@@ -1,0 +1,200 @@
+// Package repro_test holds the top-level benchmark harness: one benchmark
+// per table and figure of the paper's evaluation (§8), plus ablation
+// benchmarks for the design choices called out in DESIGN.md. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The benchmarks run reduced repetitions/sizes per iteration; the
+// cmd/experiments binary regenerates the full-size tables.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"monocle/internal/cnf"
+	"monocle/internal/dataset"
+	"monocle/internal/experiments"
+	"monocle/internal/flowtable"
+	"monocle/internal/header"
+	"monocle/internal/probe"
+	"monocle/internal/sat"
+	"monocle/internal/switchsim"
+)
+
+// BenchmarkTable2Stanford measures per-rule probe generation on the
+// Stanford-like ACL dataset (paper: 1.48 ms avg).
+func BenchmarkTable2Stanford(b *testing.B) {
+	benchDatasetGeneration(b, dataset.Stanford(), false)
+}
+
+// BenchmarkTable2Campus measures per-rule probe generation on the
+// Campus-like ACL dataset (paper: 4.03 ms avg).
+func BenchmarkTable2Campus(b *testing.B) {
+	benchDatasetGeneration(b, dataset.Campus(), false)
+}
+
+// BenchmarkAblationOverlapFilterOff disables the §5.4 overlap pre-filter:
+// every rule feeds the constraints, quantifying the optimization.
+func BenchmarkAblationOverlapFilterOff(b *testing.B) {
+	p := dataset.Stanford()
+	p.Rules = 400 // unfiltered generation is quadratic; keep it finite
+	benchDatasetGeneration(b, p, true)
+}
+
+func benchDatasetGeneration(b *testing.B, p dataset.Profile, skipFilter bool) {
+	tb, rules := dataset.Generate(p)
+	gen := probe.NewGenerator(probe.Config{
+		Collect:           flowtable.MatchAll().WithExact(header.VlanID, 1),
+		SkipOverlapFilter: skipFilter,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = gen.Generate(tb, rules[i%len(rules)])
+	}
+}
+
+// BenchmarkAblationChainSplitting compares the Velev if-then-else chain
+// with aggressive vs no splitting (Appendix B: long chains are quadratic
+// and must be split via fresh variables).
+func BenchmarkAblationChainSplitting(b *testing.B) {
+	tb, rules := dataset.Generate(dataset.Stanford())
+	for _, mc := range []int{4, 16, 1 << 20} {
+		name := "MaxChain=unbounded"
+		if mc < 1<<20 {
+			name = fmt.Sprintf("MaxChain=%d", mc)
+		}
+		b.Run(name, func(b *testing.B) {
+			gen := probe.NewGenerator(probe.Config{
+				Collect:  flowtable.MatchAll().WithExact(header.VlanID, 1),
+				MaxChain: mc,
+			})
+			for i := 0; i < b.N; i++ {
+				_, _ = gen.Generate(tb, rules[i%len(rules)])
+			}
+		})
+	}
+}
+
+// BenchmarkFigure4 runs one full failure-detection repetition (1000-rule
+// table, 500 probes/s, one failed rule) per iteration.
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultFigure4(1)
+		cfg.Rules = 1000
+		cfg.Scenarios = cfg.Scenarios[:1] // "1 out of 1"
+		res := experiments.RunFigure4(cfg)
+		if len(res.Series["1 out of 1"]) != 1 {
+			b.Fatal("no detection")
+		}
+	}
+}
+
+// BenchmarkFigure5HP runs the 300-flow consistent update against the
+// HP-like switch with Monocle confirmations.
+func BenchmarkFigure5HP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFigure5(experiments.Figure5Config{
+			Flows: 300, PacketRate: 300,
+			S3Profile:  switchsim.HP5406zl(),
+			UseMonocle: true, Seed: 5,
+		})
+		if res.Dropped > 100 {
+			b.Fatalf("unexpected drops: %f", res.Dropped)
+		}
+	}
+}
+
+// BenchmarkFigure5Pica8Barriers is the inconsistent baseline.
+func BenchmarkFigure5Pica8Barriers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFigure5(experiments.Figure5Config{
+			Flows: 300, PacketRate: 300,
+			S3Profile:  switchsim.Pica8(),
+			UseMonocle: false, Seed: 5,
+		})
+		if res.Dropped == 0 {
+			b.Fatal("baseline should drop packets")
+		}
+	}
+}
+
+// BenchmarkFigure6 sweeps the PacketOut:FlowMod interference matrix.
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.RunFigure6()) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkFigure7 sweeps the PacketIn interference matrix.
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.RunFigure7()) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkFigure8 runs a 400-path batched FatTree update under Monocle.
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFigure8(experiments.Figure8Config{
+			Paths: 400, BatchSize: 40, BatchEvery: 10 * time.Millisecond,
+			UseMonocle: true, Seed: 8,
+		})
+		if res.Total == 0 {
+			b.Fatal("nothing completed")
+		}
+	}
+}
+
+// BenchmarkFigure9Zoo colors a 40-topology Zoo subset per iteration.
+func BenchmarkFigure9Zoo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.RunFigure9Zoo(500_000, 40)
+		if len(res.Rows) != 40 {
+			b.Fatal("rows")
+		}
+	}
+}
+
+// BenchmarkProbeGenerationSingle isolates one probe generation on the
+// Campus table (the §8.2 "few milliseconds" claim).
+func BenchmarkProbeGenerationSingle(b *testing.B) {
+	tb, rules := dataset.Generate(dataset.Campus())
+	gen := probe.NewGenerator(probe.Config{
+		Collect: flowtable.MatchAll().WithExact(header.VlanID, 1),
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = gen.Generate(tb, rules[i%len(rules)])
+	}
+}
+
+// BenchmarkSATSolverProbeShape measures the raw SAT backend on a
+// probe-shaped instance (hundreds of vars, unit-heavy clauses).
+func BenchmarkSATSolverProbeShape(b *testing.B) {
+	enc := cnf.NewEncoder(header.TotalBits)
+	var lits []*cnf.Formula
+	for i := 1; i <= 64; i++ {
+		lits = append(lits, cnf.Lit(i))
+	}
+	enc.Assert(cnf.Or(lits...))
+	for i := 65; i < 128; i++ {
+		enc.Assert(cnf.Or(cnf.Lit(-i), cnf.Lit(i+1)))
+	}
+	vec := enc.Vector()
+	n := enc.NumVars()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if st, _, err := sat.SolveVector(n, vec); err != nil || st != sat.Satisfiable {
+			b.Fatal("solve failed")
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Command monocle runs one Monocle Monitor proxy over real TCP OpenFlow
+// 1.0 connections, as in the paper's deployment: the SDN controller
+// connects to the proxy's listen address, the proxy dials the switch, and
+// every message is intercepted by the Monitor state machine — FlowMods
+// update the expected table and trigger dynamic probe monitoring; steady
+// state cycling can be enabled with -steady.
+//
+// One proxy instance monitors one switch (§7: each Monocle proxy is
+// responsible for a single switch-controller connection). The probe tag
+// value and the peer map describing which switch id sits behind each port
+// come from flags.
+//
+//	monocle -listen :16653 -switch 10.0.0.5:6653 -id 3 \
+//	        -peers 1=5,2=7 -steady
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"monocle/internal/flowtable"
+	"monocle/internal/monocle"
+	"monocle/internal/openflow"
+	"monocle/internal/sim"
+)
+
+// rtLoop drives a sim.Sim in wall-clock time: external events are posted
+// through a channel, timers fire when their virtual due time passes. The
+// Monitor state machine itself stays single-threaded inside the loop.
+type rtLoop struct {
+	s     *sim.Sim
+	ch    chan func()
+	start time.Time
+}
+
+func newRTLoop() *rtLoop {
+	return &rtLoop{s: sim.New(), ch: make(chan func(), 1024), start: time.Now()}
+}
+
+// post queues fn onto the loop thread.
+func (l *rtLoop) post(fn func()) { l.ch <- fn }
+
+// run is the loop body (blocks forever).
+func (l *rtLoop) run() {
+	for {
+		now := time.Since(l.start)
+		l.s.RunUntil(now)
+		var wait time.Duration = 50 * time.Millisecond
+		if at, ok := l.s.NextEventAt(); ok {
+			if d := at - l.s.Now(); d < wait {
+				wait = d
+			}
+		}
+		if wait < time.Millisecond {
+			wait = time.Millisecond
+		}
+		select {
+		case fn := <-l.ch:
+			l.s.RunUntil(time.Since(l.start))
+			fn()
+		case <-time.After(wait):
+		}
+	}
+}
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":16653", "controller-side listen address")
+		swAddr   = flag.String("switch", "127.0.0.1:6653", "switch address to dial")
+		id       = flag.Uint("id", 1, "this switch's Monocle identifier / probe tag")
+		peers    = flag.String("peers", "", "port=switchID map, e.g. 1=5,2=7 (ports without entries are treated as edge ports)")
+		steady   = flag.Bool("steady", false, "enable steady-state monitoring of all proxied rules")
+		rate     = flag.Float64("rate", 500, "steady-state probe rate (probes/s)")
+		reserved = flag.String("reserved", "", "comma-separated reserved tag values; prints the catching FlowMods for this switch and exits")
+	)
+	flag.Parse()
+
+	cfg := monocle.DefaultConfig(uint32(*id))
+	cfg.ProbeRate = *rate
+	cfg.PortPeer = map[flowtable.PortID]uint32{}
+	if *peers != "" {
+		for _, kv := range strings.Split(*peers, ",") {
+			parts := strings.SplitN(kv, "=", 2)
+			if len(parts) != 2 {
+				log.Fatalf("bad -peers entry %q", kv)
+			}
+			p, err1 := strconv.ParseUint(parts[0], 10, 16)
+			s, err2 := strconv.ParseUint(parts[1], 10, 32)
+			if err1 != nil || err2 != nil {
+				log.Fatalf("bad -peers entry %q", kv)
+			}
+			cfg.PortPeer[flowtable.PortID(p)] = uint32(s)
+			cfg.Ports = append(cfg.Ports, flowtable.PortID(p))
+		}
+	}
+	cfg.OnAlarm = func(ruleID uint64, at sim.Time) {
+		log.Printf("ALARM: rule %d misbehaving in the data plane (t=%v)", ruleID, at)
+	}
+	cfg.OnRuleConfirmed = func(ruleID uint64, at sim.Time) {
+		log.Printf("confirmed: rule %d is in the data plane (t=%v)", ruleID, at)
+	}
+
+	loop := newRTLoop()
+	mon := monocle.New(loop.s, cfg)
+
+	if *reserved != "" {
+		var vals []uint32
+		for _, v := range strings.Split(*reserved, ",") {
+			x, err := strconv.ParseUint(v, 10, 32)
+			if err != nil {
+				log.Fatalf("bad -reserved value %q", v)
+			}
+			vals = append(vals, uint32(x))
+		}
+		for _, r := range mon.CatchRules(vals) {
+			fmt.Printf("catch rule: %v\n", r)
+		}
+		os.Exit(0)
+	}
+
+	// Dial the switch.
+	swConn, err := net.Dial("tcp", *swAddr)
+	if err != nil {
+		log.Fatalf("dialing switch: %v", err)
+	}
+	log.Printf("connected to switch %s", *swAddr)
+
+	// Accept exactly one controller connection.
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("waiting for controller on %s", *listen)
+	ctrlConn, err := ln.Accept()
+	if err != nil {
+		log.Fatalf("accept: %v", err)
+	}
+	log.Printf("controller connected from %s", ctrlConn.RemoteAddr())
+
+	mon.ToSwitch = func(msg openflow.Message, xid uint32) {
+		if err := openflow.WriteMessage(swConn, msg, xid); err != nil {
+			log.Fatalf("write to switch: %v", err)
+		}
+	}
+	mon.ToController = func(msg openflow.Message, xid uint32) {
+		if err := openflow.WriteMessage(ctrlConn, msg, xid); err != nil {
+			log.Fatalf("write to controller: %v", err)
+		}
+	}
+	if *steady {
+		loop.post(mon.StartSteadyState)
+	}
+
+	// Reader goroutines post into the event loop.
+	go func() {
+		for {
+			msg, xid, err := openflow.ReadMessage(ctrlConn)
+			if err != nil {
+				log.Fatalf("controller read: %v", err)
+			}
+			loop.post(func() { mon.OnControllerMessage(msg, xid) })
+		}
+	}()
+	go func() {
+		for {
+			msg, xid, err := openflow.ReadMessage(swConn)
+			if err != nil {
+				log.Fatalf("switch read: %v", err)
+			}
+			loop.post(func() { mon.OnSwitchMessage(msg, xid) })
+		}
+	}()
+	loop.run()
+}

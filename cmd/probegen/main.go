@@ -1,0 +1,235 @@
+// Command probegen generates data plane probes offline: it loads a flow
+// table description from JSON, runs the Monocle probe generator for every
+// rule (or one selected rule), and prints the probe header, the expected
+// outcomes, and solver statistics.
+//
+// JSON input format (array of rules):
+//
+//	[
+//	  {"id":1, "priority":10,
+//	   "match": {"nw_src":"10.0.0.0/8", "nw_proto":"6", "tp_dst":"80"},
+//	   "actions":[{"output":2},{"set":"nw_tos","value":46}]}
+//	]
+//
+// Field names follow OpenFlow 1.0 (in_port, dl_src, dl_dst, dl_type,
+// dl_vlan, dl_vlan_pcp, nw_src, nw_dst, nw_proto, nw_tos, tp_src, tp_dst).
+// Prefixes are supported on nw_src/nw_dst; an empty action list is a drop.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"monocle/internal/flowtable"
+	"monocle/internal/header"
+	"monocle/internal/probe"
+)
+
+type jsonAction struct {
+	Output *uint16  `json:"output,omitempty"`
+	Set    string   `json:"set,omitempty"`
+	Value  uint64   `json:"value,omitempty"`
+	ECMP   []uint16 `json:"ecmp,omitempty"`
+}
+
+type jsonRule struct {
+	ID       uint64            `json:"id"`
+	Priority int               `json:"priority"`
+	Match    map[string]string `json:"match"`
+	Actions  []jsonAction      `json:"actions"`
+}
+
+var fieldByName = map[string]header.FieldID{}
+
+func init() {
+	for f := header.FieldID(0); f < header.NumFields; f++ {
+		fieldByName[f.String()] = f
+	}
+}
+
+func parseMatch(m map[string]string) (flowtable.Match, error) {
+	out := flowtable.MatchAll()
+	for name, val := range m {
+		f, ok := fieldByName[name]
+		if !ok {
+			return out, fmt.Errorf("unknown field %q", name)
+		}
+		if (f == header.IPSrc || f == header.IPDst) && strings.Contains(val, "/") {
+			parts := strings.SplitN(val, "/", 2)
+			ip, err := parseIP(parts[0])
+			if err != nil {
+				return out, err
+			}
+			plen, err := strconv.Atoi(parts[1])
+			if err != nil {
+				return out, err
+			}
+			out = out.With(f, header.Prefix(f, ip, plen))
+			continue
+		}
+		var v uint64
+		var err error
+		if strings.Contains(val, ".") {
+			v, err = parseIP(val)
+		} else {
+			v, err = strconv.ParseUint(strings.TrimPrefix(val, "0x"), pickBase(val), 64)
+		}
+		if err != nil {
+			return out, fmt.Errorf("field %s: %v", name, err)
+		}
+		out = out.WithExact(f, v)
+	}
+	return out, nil
+}
+
+func pickBase(s string) int {
+	if strings.HasPrefix(s, "0x") {
+		return 16
+	}
+	return 10
+}
+
+func parseIP(s string) (uint64, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("bad IPv4 %q", s)
+	}
+	var v uint64
+	for _, p := range parts {
+		b, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return 0, err
+		}
+		v = v<<8 | b
+	}
+	return v, nil
+}
+
+func toRule(jr jsonRule) (*flowtable.Rule, error) {
+	m, err := parseMatch(jr.Match)
+	if err != nil {
+		return nil, err
+	}
+	r := &flowtable.Rule{ID: jr.ID, Priority: jr.Priority, Match: m}
+	for _, a := range jr.Actions {
+		switch {
+		case a.Output != nil:
+			r.Actions = append(r.Actions, flowtable.Output(flowtable.PortID(*a.Output)))
+		case len(a.ECMP) > 0:
+			ports := make([]flowtable.PortID, len(a.ECMP))
+			for i, p := range a.ECMP {
+				ports[i] = flowtable.PortID(p)
+			}
+			r.Actions = append(r.Actions, flowtable.ECMP(ports...))
+		case a.Set != "":
+			f, ok := fieldByName[a.Set]
+			if !ok {
+				return nil, fmt.Errorf("unknown set field %q", a.Set)
+			}
+			r.Actions = append(r.Actions, flowtable.SetField(f, a.Value))
+		default:
+			return nil, fmt.Errorf("empty action entry")
+		}
+	}
+	return r, r.Validate()
+}
+
+func main() {
+	var (
+		in     = flag.String("in", "-", "JSON rule file ('-' = stdin)")
+		ruleID = flag.Uint64("rule", 0, "generate for this rule id only (0 = all)")
+		tag    = flag.Uint64("tag", 1, "probe tag value (Collect constraint on dl_vlan)")
+		miss   = flag.String("miss", "drop", "table-miss behaviour: drop|controller")
+	)
+	flag.Parse()
+
+	var data []byte
+	var err error
+	if *in == "-" {
+		data, err = readAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(*in)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	var jrs []jsonRule
+	if err := json.Unmarshal(data, &jrs); err != nil {
+		fatal(fmt.Errorf("parsing rules: %w", err))
+	}
+	tb := flowtable.New()
+	if *miss == "controller" {
+		tb.Miss = flowtable.MissController
+	}
+	var rules []*flowtable.Rule
+	for i, jr := range jrs {
+		r, err := toRule(jr)
+		if err != nil {
+			fatal(fmt.Errorf("rule %d: %w", i, err))
+		}
+		if err := tb.Insert(r); err != nil {
+			fatal(err)
+		}
+		rules = append(rules, r)
+	}
+
+	gen := probe.NewGenerator(probe.Config{
+		Collect:       flowtable.MatchAll().WithExact(header.VlanID, *tag),
+		ValidateModel: true,
+	})
+	found, unmon := 0, 0
+	for _, r := range rules {
+		if *ruleID != 0 && r.ID != *ruleID {
+			continue
+		}
+		start := time.Now()
+		p, err := gen.Generate(tb, r)
+		el := time.Since(start)
+		if errors.Is(err, probe.ErrUnmonitorable) {
+			unmon++
+			fmt.Printf("rule %d: UNMONITORABLE (%v)\n", r.ID, el.Round(time.Microsecond))
+			continue
+		}
+		if err != nil {
+			fatal(fmt.Errorf("rule %d: %w", r.ID, err))
+		}
+		found++
+		fmt.Printf("rule %d: probe %s\n", r.ID, p.Header)
+		fmt.Printf("         present: %s\n", describeOutcome(p.Present))
+		fmt.Printf("         absent:  %s\n", describeOutcome(p.Absent))
+		fmt.Printf("         vars=%d clauses=%d overlapping=%d time=%v\n",
+			p.Stats.Vars, p.Stats.Clauses, p.Stats.Overlapping, el.Round(time.Microsecond))
+	}
+	fmt.Printf("probes found: %d, unmonitorable: %d\n", found, unmon)
+}
+
+func describeOutcome(o probe.Outcome) string {
+	if o.Drop {
+		return "dropped (negative probing)"
+	}
+	s := ""
+	for i, e := range o.Emissions {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("port %d", e.Port)
+	}
+	if o.ECMP {
+		s = "one of: " + s
+	}
+	return s
+}
+
+func readAll(f *os.File) ([]byte, error) { return io.ReadAll(f) }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "probegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,227 @@
+package cnf
+
+// Encoder converts formulas to a CNF clause vector via the Tseitin
+// transform (Appendix B of the paper). Problem variables are 1..nProblem;
+// fresh definition variables are allocated above them. The output is the
+// one-dimensional 0-terminated DIMACS integer vector described in §7.
+type Encoder struct {
+	nProblem int
+	nextVar  int
+	out      []int
+	cache    map[*Formula]int
+	trueVar  int // lazily allocated variable asserted true, for constants
+	unsat    bool
+
+	// MaxChain bounds the length of an encoded if-then-else chain before
+	// it is split by substituting the postfix with a fresh variable (the
+	// construction is quadratic in the chain length, so very long chains
+	// must be split — Appendix B). Values < 2 disable splitting.
+	MaxChain int
+}
+
+// NewEncoder returns an encoder whose problem variables are 1..nProblem.
+func NewEncoder(nProblem int) *Encoder {
+	return &Encoder{
+		nProblem: nProblem,
+		nextVar:  nProblem,
+		cache:    make(map[*Formula]int),
+		MaxChain: 16,
+	}
+}
+
+// NumVars returns the total variable count (problem + fresh).
+func (e *Encoder) NumVars() int { return e.nextVar }
+
+// NumProblemVars returns the number of problem variables.
+func (e *Encoder) NumProblemVars() int { return e.nProblem }
+
+// Vector returns the accumulated 0-terminated DIMACS clause vector.
+// The slice aliases internal storage; do not modify it.
+func (e *Encoder) Vector() []int { return e.out }
+
+// NumClauses counts emitted clauses.
+func (e *Encoder) NumClauses() int {
+	n := 0
+	for _, x := range e.out {
+		if x == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Unsat reports whether a constant-false assertion made the formula
+// trivially unsatisfiable.
+func (e *Encoder) Unsat() bool { return e.unsat }
+
+func (e *Encoder) fresh() int {
+	e.nextVar++
+	return e.nextVar
+}
+
+func (e *Encoder) clause(lits ...int) {
+	e.out = append(e.out, lits...)
+	e.out = append(e.out, 0)
+}
+
+func (e *Encoder) constLit(v bool) int {
+	if e.trueVar == 0 {
+		e.trueVar = e.fresh()
+		e.clause(e.trueVar)
+	}
+	if v {
+		return e.trueVar
+	}
+	return -e.trueVar
+}
+
+// Assert adds clauses requiring f to be true. Top-level conjunctions are
+// flattened into separate assertions and top-level literal disjunctions
+// become single clauses, so the common Hit-constraint shape (a conjunction
+// of ¬Matches terms) produces no fresh variables at all.
+func (e *Encoder) Assert(f *Formula) {
+	switch f.kind {
+	case KindConst:
+		if !f.val {
+			e.unsat = true
+			e.clause() // empty clause
+		}
+		return
+	case KindLit:
+		e.clause(f.lit)
+		return
+	case KindAnd:
+		for _, k := range f.kids {
+			e.Assert(k)
+		}
+		return
+	case KindOr:
+		// If every disjunct is a literal, emit one clause directly.
+		lits := make([]int, 0, len(f.kids))
+		direct := true
+		for _, k := range f.kids {
+			if k.kind != KindLit {
+				direct = false
+				break
+			}
+			lits = append(lits, k.lit)
+		}
+		if direct {
+			e.clause(lits...)
+			return
+		}
+		// General case: one definition literal per disjunct.
+		lits = lits[:0]
+		for _, k := range f.kids {
+			lits = append(lits, e.litOf(k))
+		}
+		e.clause(lits...)
+		return
+	}
+	e.clause(e.litOf(f))
+}
+
+// litOf returns a DIMACS literal s with s ↔ f encoded in the clause set.
+// Structurally shared nodes are encoded once.
+func (e *Encoder) litOf(f *Formula) int {
+	switch f.kind {
+	case KindConst:
+		return e.constLit(f.val)
+	case KindLit:
+		return f.lit
+	case KindNot:
+		return -e.litOf(f.kids[0])
+	}
+	if l, ok := e.cache[f]; ok {
+		return l
+	}
+	var l int
+	switch f.kind {
+	case KindAnd:
+		l = e.defineAnd(f.kids)
+	case KindOr:
+		l = e.defineOr(f.kids)
+	case KindITEChain:
+		l = e.defineITE(f.conds, f.kids, f.els)
+	default:
+		panic("cnf: unknown formula kind")
+	}
+	e.cache[f] = l
+	return l
+}
+
+// defineAnd emits v ↔ (c1 ∧ ... ∧ cn) and returns v.
+func (e *Encoder) defineAnd(kids []*Formula) int {
+	cl := make([]int, len(kids))
+	for i, k := range kids {
+		cl[i] = e.litOf(k)
+	}
+	v := e.fresh()
+	long := make([]int, 0, len(cl)+1)
+	long = append(long, v)
+	for _, c := range cl {
+		e.clause(-v, c)
+		long = append(long, -c)
+	}
+	e.clause(long...)
+	return v
+}
+
+// defineOr emits v ↔ (c1 ∨ ... ∨ cn) and returns v.
+func (e *Encoder) defineOr(kids []*Formula) int {
+	cl := make([]int, len(kids))
+	for i, k := range kids {
+		cl[i] = e.litOf(k)
+	}
+	v := e.fresh()
+	long := make([]int, 0, len(cl)+1)
+	long = append(long, -v)
+	for _, c := range cl {
+		e.clause(v, -c)
+		long = append(long, c)
+	}
+	e.clause(long...)
+	return v
+}
+
+// defineITE encodes s = If(i1,t1, If(i2,t2, ... else)) with the quadratic
+// construction from Velev (Appendix B), splitting chains longer than
+// MaxChain by substituting the postfix with a fresh definition variable.
+func (e *Encoder) defineITE(conds, thens []*Formula, els *Formula) int {
+	n := len(conds)
+	if e.MaxChain >= 2 && n > e.MaxChain {
+		cut := e.MaxChain - 1
+		// Represent the postfix chain by its own definition literal and
+		// use it as the else branch of the prefix.
+		post := e.defineITE(conds[cut:], thens[cut:], els)
+		return e.defineITEFlat(conds[:cut], thens[:cut], Lit(post))
+	}
+	return e.defineITEFlat(conds, thens, els)
+}
+
+func (e *Encoder) defineITEFlat(conds, thens []*Formula, els *Formula) int {
+	n := len(conds)
+	is := make([]int, n)
+	ts := make([]int, n)
+	for k := 0; k < n; k++ {
+		is[k] = e.litOf(conds[k])
+		ts[k] = e.litOf(thens[k])
+	}
+	el := e.litOf(els)
+	s := e.fresh()
+
+	// prefix holds i1 ... i_{k-1} (positive) for the k-th pair of clauses.
+	prefix := make([]int, 0, n+3)
+	for k := 0; k < n; k++ {
+		c1 := append(append([]int{}, prefix...), -is[k], -ts[k], s)
+		c2 := append(append([]int{}, prefix...), -is[k], ts[k], -s)
+		e.clause(c1...)
+		e.clause(c2...)
+		prefix = append(prefix, is[k])
+	}
+	c1 := append(append([]int{}, prefix...), -el, s)
+	c2 := append(append([]int{}, prefix...), el, -s)
+	e.clause(c1...)
+	e.clause(c2...)
+	return s
+}

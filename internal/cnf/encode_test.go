@@ -1,0 +1,317 @@
+package cnf
+
+import (
+	"math/rand"
+	"testing"
+
+	"monocle/internal/sat"
+)
+
+// eval interprets a formula under an assignment of problem variables
+// (assign[v] for v >= 1).
+func eval(f *Formula, assign []bool) bool {
+	switch f.kind {
+	case KindConst:
+		return f.val
+	case KindLit:
+		v := f.lit
+		if v < 0 {
+			return !assign[-v]
+		}
+		return assign[v]
+	case KindNot:
+		return !eval(f.kids[0], assign)
+	case KindAnd:
+		for _, k := range f.kids {
+			if !eval(k, assign) {
+				return false
+			}
+		}
+		return true
+	case KindOr:
+		for _, k := range f.kids {
+			if eval(k, assign) {
+				return true
+			}
+		}
+		return false
+	case KindITEChain:
+		for i, c := range f.conds {
+			if eval(c, assign) {
+				return eval(f.kids[i], assign)
+			}
+		}
+		return eval(f.els, assign)
+	}
+	panic("bad kind")
+}
+
+// satisfiableUnder checks, via the SAT solver, whether the encoder output
+// plus unit clauses pinning the problem variables is satisfiable.
+func satisfiableUnder(t *testing.T, e *Encoder, assign []bool) bool {
+	t.Helper()
+	s := sat.New(e.NumVars())
+	if err := s.AddDIMACSVector(e.Vector()); err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v <= e.NumProblemVars(); v++ {
+		l := v
+		if !assign[v] {
+			l = -v
+		}
+		if err := s.AddClause(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, _ := s.Solve()
+	return st == sat.Satisfiable
+}
+
+// checkEquivalent asserts that for every assignment of the n problem vars,
+// CNF-satisfiability matches direct formula evaluation.
+func checkEquivalent(t *testing.T, n int, f *Formula) {
+	t.Helper()
+	e := NewEncoder(n)
+	e.Assert(f)
+	for mask := 0; mask < 1<<n; mask++ {
+		assign := make([]bool, n+1)
+		for v := 1; v <= n; v++ {
+			assign[v] = mask>>(v-1)&1 == 1
+		}
+		want := eval(f, assign)
+		got := satisfiableUnder(t, e, assign)
+		if got != want {
+			t.Fatalf("assign=%v: eval=%v cnfSAT=%v formula=%s", assign[1:], want, got, f)
+		}
+	}
+}
+
+func TestAssertLiteral(t *testing.T) {
+	checkEquivalent(t, 2, Lit(1))
+	checkEquivalent(t, 2, Lit(-2))
+}
+
+func TestAssertAndOfLits(t *testing.T) {
+	checkEquivalent(t, 3, And(Lit(1), Lit(-2), Lit(3)))
+}
+
+func TestAssertOrOfLits(t *testing.T) {
+	f := Or(Lit(1), Lit(-2), Lit(3))
+	e := NewEncoder(3)
+	e.Assert(f)
+	if e.NumVars() != 3 {
+		t.Fatalf("pure-literal Or must not allocate fresh vars, got %d", e.NumVars())
+	}
+	checkEquivalent(t, 3, f)
+}
+
+func TestNotDeMorgan(t *testing.T) {
+	// ¬(a ∧ ¬b) should become (¬a ∨ b) with no fresh vars.
+	f := Not(And(Lit(1), Lit(-2)))
+	if f.Kind() != KindOr {
+		t.Fatalf("De Morgan not applied: %s", f)
+	}
+	checkEquivalent(t, 2, f)
+}
+
+func TestNestedMix(t *testing.T) {
+	// (a ∨ (b ∧ c)) ∧ (¬a ∨ ¬c)
+	f := And(Or(Lit(1), And(Lit(2), Lit(3))), Or(Lit(-1), Lit(-3)))
+	checkEquivalent(t, 3, f)
+}
+
+func TestConstFolding(t *testing.T) {
+	if And() != True() || Or() != False() {
+		t.Fatal("empty And/Or")
+	}
+	if And(True(), False()) != False() {
+		t.Fatal("And const fold")
+	}
+	if Or(False(), True()) != True() {
+		t.Fatal("Or const fold")
+	}
+	if Not(True()) != False() || Not(False()) != True() {
+		t.Fatal("Not const fold")
+	}
+	if And(Lit(1)).Kind() != KindLit {
+		t.Fatal("single-child And should collapse")
+	}
+}
+
+func TestAssertFalseUnsat(t *testing.T) {
+	e := NewEncoder(1)
+	e.Assert(False())
+	if !e.Unsat() {
+		t.Fatal("Assert(False) must flag unsat")
+	}
+	s := sat.New(e.NumVars() + 1)
+	if err := s.AddDIMACSVector(e.Vector()); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := s.Solve(); st != sat.Unsatisfiable {
+		t.Fatalf("got %v", st)
+	}
+}
+
+func TestImplies(t *testing.T) {
+	checkEquivalent(t, 2, Implies(Lit(1), Lit(2)))
+}
+
+func TestITEChainSimple(t *testing.T) {
+	// if(a, b, c)
+	f := ITEChain([]*Formula{Lit(1)}, []*Formula{Lit(2)}, Lit(3))
+	checkEquivalent(t, 3, f)
+}
+
+func TestITEChainTwoLevel(t *testing.T) {
+	// if(a, x, if(b, ¬x, y))
+	f := ITEChain(
+		[]*Formula{Lit(1), Lit(2)},
+		[]*Formula{Lit(3), Lit(-3)},
+		Lit(4))
+	checkEquivalent(t, 4, f)
+}
+
+func TestITEChainConstConds(t *testing.T) {
+	// constant-false condition dropped; constant-true truncates
+	f := ITEChain(
+		[]*Formula{False(), Lit(1), True(), Lit(2)},
+		[]*Formula{Lit(3), Lit(4), Lit(-4), Lit(3)},
+		Lit(3))
+	// equivalent to if(x1, x4, ¬x4)
+	checkEquivalent(t, 4, f)
+}
+
+func TestITEChainAllCondsFalse(t *testing.T) {
+	f := ITEChain([]*Formula{False()}, []*Formula{Lit(1)}, Lit(2))
+	if f.Kind() != KindLit {
+		t.Fatalf("chain should collapse to else, got %s", f)
+	}
+}
+
+func TestITEChainSplitting(t *testing.T) {
+	// Long chain with MaxChain=3 forces recursive splitting; verify
+	// equivalence against the interpreter on all assignments.
+	n := 6
+	conds := []*Formula{Lit(1), Lit(2), Lit(3), Lit(4), Lit(5)}
+	thens := []*Formula{Lit(-1), Lit(6), Lit(-6), Lit(2), Lit(-3)}
+	f := ITEChain(conds, thens, Lit(6))
+	e := NewEncoder(n)
+	e.MaxChain = 3
+	e.Assert(f)
+	for mask := 0; mask < 1<<n; mask++ {
+		assign := make([]bool, n+1)
+		for v := 1; v <= n; v++ {
+			assign[v] = mask>>(v-1)&1 == 1
+		}
+		want := eval(f, assign)
+		got := satisfiableUnder(t, e, assign)
+		if got != want {
+			t.Fatalf("split chain mismatch assign=%v eval=%v sat=%v", assign[1:], want, got)
+		}
+	}
+}
+
+func TestSharedSubformulaEncodedOnce(t *testing.T) {
+	shared := And(Lit(1), Lit(2), Lit(3))
+	f := And(Or(shared, Lit(4)), Or(shared, Lit(-4)))
+	e := NewEncoder(4)
+	e.Assert(f)
+	vars1 := e.NumVars()
+	// Re-encode with duplicated (non-shared) nodes; must use more vars.
+	dup1 := And(Lit(1), Lit(2), Lit(3))
+	dup2 := And(Lit(1), Lit(2), Lit(3))
+	g := And(Or(dup1, Lit(4)), Or(dup2, Lit(-4)))
+	e2 := NewEncoder(4)
+	e2.Assert(g)
+	if e2.NumVars() <= vars1 {
+		t.Fatalf("sharing saved nothing: shared=%d dup=%d", vars1, e2.NumVars())
+	}
+	checkEquivalent(t, 4, f)
+}
+
+// randomFormula builds a random formula over vars 1..n with given depth.
+func randomFormula(rng *rand.Rand, n, depth int) *Formula {
+	if depth == 0 || rng.Intn(4) == 0 {
+		l := rng.Intn(n) + 1
+		if rng.Intn(2) == 0 {
+			l = -l
+		}
+		return Lit(l)
+	}
+	switch rng.Intn(5) {
+	case 0:
+		k := 2 + rng.Intn(3)
+		kids := make([]*Formula, k)
+		for i := range kids {
+			kids[i] = randomFormula(rng, n, depth-1)
+		}
+		return And(kids...)
+	case 1:
+		k := 2 + rng.Intn(3)
+		kids := make([]*Formula, k)
+		for i := range kids {
+			kids[i] = randomFormula(rng, n, depth-1)
+		}
+		return Or(kids...)
+	case 2:
+		return Not(randomFormula(rng, n, depth-1))
+	case 3:
+		k := 1 + rng.Intn(3)
+		conds := make([]*Formula, k)
+		thens := make([]*Formula, k)
+		for i := 0; i < k; i++ {
+			conds[i] = randomFormula(rng, n, depth-1)
+			thens[i] = randomFormula(rng, n, depth-1)
+		}
+		return ITEChain(conds, thens, randomFormula(rng, n, depth-1))
+	default:
+		return Bool(rng.Intn(2) == 0)
+	}
+}
+
+// TestRandomFormulaEquivalence is the main property test: random formulas
+// over few variables must be equisatisfiable with their CNF encoding under
+// every assignment of the problem variables.
+func TestRandomFormulaEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2015))
+	for iter := 0; iter < 150; iter++ {
+		n := 2 + rng.Intn(4)
+		f := randomFormula(rng, n, 3)
+		checkEquivalent(t, n, f)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	f := ITEChain([]*Formula{Lit(1)}, []*Formula{And(Lit(2), Lit(3))}, Not(Or(Lit(1), And(Lit(2), Or(Lit(3), Lit(4))))))
+	if f.String() == "" || True().String() != "T" || False().String() != "F" {
+		t.Fatal("String rendering broken")
+	}
+}
+
+func BenchmarkEncodeITEChain(b *testing.B) {
+	// A 100-rule Distinguish-like chain of literal-conjunction conditions.
+	rng := rand.New(rand.NewSource(5))
+	n := 60
+	conds := make([]*Formula, 100)
+	thens := make([]*Formula, 100)
+	for i := range conds {
+		k := 3 + rng.Intn(5)
+		lits := make([]*Formula, k)
+		for j := range lits {
+			l := rng.Intn(n) + 1
+			if rng.Intn(2) == 0 {
+				l = -l
+			}
+			lits[j] = Lit(l)
+		}
+		conds[i] = And(lits...)
+		thens[i] = Bool(rng.Intn(2) == 0)
+	}
+	f := ITEChain(conds, thens, True())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewEncoder(n)
+		e.Assert(f)
+	}
+}

@@ -1,0 +1,234 @@
+// Package cnf builds Boolean formulas and converts them to conjunctive
+// normal form for an off-the-shelf SAT solver, following Appendix B of the
+// Monocle paper: conjunctions and disjunctions via the Tseitin transform
+// (fresh variables, equisatisfiable output), restricted negation forms, and
+// the Velev if-then-else chain construction used for the Distinguish
+// constraint (it mimics the priority matching of a switch TCAM).
+//
+// The emitted CNF is a one-dimensional vector of DIMACS integers with 0 as
+// the clause terminator — the exact representation the paper's
+// implementation feeds to PicoSAT, chosen there (and here) to avoid
+// allocating many small per-clause objects.
+package cnf
+
+import "fmt"
+
+// Kind discriminates formula AST nodes.
+type Kind int
+
+const (
+	// KindConst is the constant true/false.
+	KindConst Kind = iota
+	// KindLit is a literal over a problem variable.
+	KindLit
+	// KindAnd is an n-ary conjunction.
+	KindAnd
+	// KindOr is an n-ary disjunction.
+	KindOr
+	// KindNot negates its single child.
+	KindNot
+	// KindITEChain is If(i1,t1, If(i2,t2, ... else)).
+	KindITEChain
+)
+
+// Formula is an immutable Boolean formula node. Construct with the package
+// constructors; the zero value is invalid.
+type Formula struct {
+	kind  Kind
+	val   bool // KindConst
+	lit   int  // KindLit: DIMACS literal (nonzero)
+	kids  []*Formula
+	conds []*Formula // KindITEChain: the i_k conditions; kids are the t_k branches
+	els   *Formula   // KindITEChain: the final else branch
+}
+
+// Kind reports the node kind.
+func (f *Formula) Kind() Kind { return f.kind }
+
+var (
+	trueF  = &Formula{kind: KindConst, val: true}
+	falseF = &Formula{kind: KindConst, val: false}
+)
+
+// True returns the constant-true formula.
+func True() *Formula { return trueF }
+
+// False returns the constant-false formula.
+func False() *Formula { return falseF }
+
+// Bool returns the constant formula for b.
+func Bool(b bool) *Formula {
+	if b {
+		return trueF
+	}
+	return falseF
+}
+
+// Lit returns the literal formula for a nonzero DIMACS literal.
+func Lit(l int) *Formula {
+	if l == 0 {
+		panic("cnf: zero literal")
+	}
+	return &Formula{kind: KindLit, lit: l}
+}
+
+// IsConst reports whether f is a constant, and its value.
+func (f *Formula) IsConst() (bool, bool) {
+	return f.kind == KindConst, f.val
+}
+
+// And returns the conjunction of the operands with constant folding.
+func And(fs ...*Formula) *Formula {
+	kids := make([]*Formula, 0, len(fs))
+	for _, f := range fs {
+		if c, v := f.IsConst(); c {
+			if !v {
+				return falseF
+			}
+			continue
+		}
+		if f.kind == KindAnd {
+			kids = append(kids, f.kids...)
+			continue
+		}
+		kids = append(kids, f)
+	}
+	switch len(kids) {
+	case 0:
+		return trueF
+	case 1:
+		return kids[0]
+	}
+	return &Formula{kind: KindAnd, kids: kids}
+}
+
+// Or returns the disjunction of the operands with constant folding.
+func Or(fs ...*Formula) *Formula {
+	kids := make([]*Formula, 0, len(fs))
+	for _, f := range fs {
+		if c, v := f.IsConst(); c {
+			if v {
+				return trueF
+			}
+			continue
+		}
+		if f.kind == KindOr {
+			kids = append(kids, f.kids...)
+			continue
+		}
+		kids = append(kids, f)
+	}
+	switch len(kids) {
+	case 0:
+		return falseF
+	case 1:
+		return kids[0]
+	}
+	return &Formula{kind: KindOr, kids: kids}
+}
+
+// Not negates f. Negation is pushed through constants, literals, and (per
+// Appendix B) one level of pure-literal conjunctions/disjunctions via De
+// Morgan; anything deeper is represented structurally and handled by the
+// encoder through a Tseitin definition variable.
+func Not(f *Formula) *Formula {
+	switch f.kind {
+	case KindConst:
+		return Bool(!f.val)
+	case KindLit:
+		return Lit(-f.lit)
+	case KindNot:
+		return f.kids[0]
+	case KindAnd, KindOr:
+		// De Morgan when all children are literals (the only negation
+		// shapes the paper needs); otherwise keep the Not node.
+		allLits := true
+		for _, k := range f.kids {
+			if k.kind != KindLit {
+				allLits = false
+				break
+			}
+		}
+		if allLits {
+			neg := make([]*Formula, len(f.kids))
+			for i, k := range f.kids {
+				neg[i] = Lit(-k.lit)
+			}
+			if f.kind == KindAnd {
+				return Or(neg...)
+			}
+			return And(neg...)
+		}
+	}
+	return &Formula{kind: KindNot, kids: []*Formula{f}}
+}
+
+// Implies returns ¬a ∨ b.
+func Implies(a, b *Formula) *Formula { return Or(Not(a), b) }
+
+// ITEChain builds If(conds[0], thens[0], If(conds[1], thens[1], ... els)).
+// It is the Distinguish-constraint shape: conditions are Matches tests in
+// decreasing priority order, branches are DiffOutcome values, and els is the
+// outcome for the table-miss case. Constant conditions are folded: a
+// constant-true condition truncates the chain, a constant-false one is
+// dropped.
+func ITEChain(conds, thens []*Formula, els *Formula) *Formula {
+	if len(conds) != len(thens) {
+		panic(fmt.Sprintf("cnf: ITEChain arity mismatch %d vs %d", len(conds), len(thens)))
+	}
+	var cs, ts []*Formula
+	for i := range conds {
+		if c, v := conds[i].IsConst(); c {
+			if v {
+				els = thens[i]
+				break
+			}
+			continue // never taken
+		}
+		cs = append(cs, conds[i])
+		ts = append(ts, thens[i])
+	}
+	if len(cs) == 0 {
+		return els
+	}
+	return &Formula{kind: KindITEChain, kids: ts, conds: cs, els: els}
+}
+
+// String renders the formula for debugging.
+func (f *Formula) String() string {
+	switch f.kind {
+	case KindConst:
+		if f.val {
+			return "T"
+		}
+		return "F"
+	case KindLit:
+		return fmt.Sprintf("%d", f.lit)
+	case KindNot:
+		return "!(" + f.kids[0].String() + ")"
+	case KindAnd, KindOr:
+		op := " & "
+		if f.kind == KindOr {
+			op = " | "
+		}
+		s := "("
+		for i, k := range f.kids {
+			if i > 0 {
+				s += op
+			}
+			s += k.String()
+		}
+		return s + ")"
+	case KindITEChain:
+		s := ""
+		for i := range f.conds {
+			s += fmt.Sprintf("if(%s, %s, ", f.conds[i], f.kids[i])
+		}
+		s += f.els.String()
+		for range f.conds {
+			s += ")"
+		}
+		return s
+	}
+	return "?"
+}

@@ -1,0 +1,367 @@
+// Package coloring solves the vertex-coloring problem Monocle uses to
+// minimize the number of reserved probe-tag values and catching rules
+// (§6, Figure 9). Strategy 1 needs a proper coloring of the topology graph
+// (no two adjacent switches share an identifier); strategy 2 additionally
+// requires distinct identifiers for any two switches with a common
+// neighbour, which is a proper coloring of the square of the graph.
+//
+// The paper uses an exact ILP where feasible and a greedy heuristic where
+// the ILP runs out of memory (strategy 2 on Rocketfuel); here the exact
+// solver is an iterative-deepening branch-and-bound that is exact for the
+// same regime, plus greedy largest-first and DSATUR heuristics.
+package coloring
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a simple undirected graph over vertices 0..N-1.
+type Graph struct {
+	N   int
+	adj [][]int
+	set []map[int]bool
+}
+
+// NewGraph returns an empty graph with n vertices.
+func NewGraph(n int) *Graph {
+	return &Graph{N: n, adj: make([][]int, n), set: make([]map[int]bool, n)}
+}
+
+// AddEdge inserts an undirected edge; loops and duplicates are ignored.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v || u < 0 || v < 0 || u >= g.N || v >= g.N {
+		return
+	}
+	if g.set[u] == nil {
+		g.set[u] = make(map[int]bool)
+	}
+	if g.set[v] == nil {
+		g.set[v] = make(map[int]bool)
+	}
+	if g.set[u][v] {
+		return
+	}
+	g.set[u][v] = true
+	g.set[v][u] = true
+	g.adj[u] = append(g.adj[u], v)
+	g.adj[v] = append(g.adj[v], u)
+}
+
+// HasEdge reports adjacency.
+func (g *Graph) HasEdge(u, v int) bool { return g.set[u] != nil && g.set[u][v] }
+
+// Neighbors returns the adjacency list of u (shared slice; do not modify).
+func (g *Graph) Neighbors(u int) []int { return g.adj[u] }
+
+// Degree returns the degree of u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// MaxDegree returns the maximum degree.
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for v := 0; v < g.N; v++ {
+		if len(g.adj[v]) > d {
+			d = len(g.adj[v])
+		}
+	}
+	return d
+}
+
+// Edges counts undirected edges.
+func (g *Graph) Edges() int {
+	e := 0
+	for v := 0; v < g.N; v++ {
+		e += len(g.adj[v])
+	}
+	return e / 2
+}
+
+// Square returns the graph with an extra edge between every pair of
+// vertices at distance two — the strategy-2 constraint graph: for each
+// switch, its neighbours form a clique (§6).
+func (g *Graph) Square() *Graph {
+	sq := NewGraph(g.N)
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.adj[u] {
+			sq.AddEdge(u, v)
+		}
+		for i := 0; i < len(g.adj[u]); i++ {
+			for j := i + 1; j < len(g.adj[u]); j++ {
+				sq.AddEdge(g.adj[u][i], g.adj[u][j])
+			}
+		}
+	}
+	return sq
+}
+
+// Valid reports whether colors is a proper coloring of g.
+func Valid(g *Graph, colors []int) bool {
+	if len(colors) != g.N {
+		return false
+	}
+	for u := 0; u < g.N; u++ {
+		if colors[u] < 0 {
+			return false
+		}
+		for _, v := range g.adj[u] {
+			if colors[u] == colors[v] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// NumColors returns the number of distinct colors used.
+func NumColors(colors []int) int {
+	seen := map[int]bool{}
+	for _, c := range colors {
+		seen[c] = true
+	}
+	return len(seen)
+}
+
+// GreedyLargestFirst colors vertices in decreasing degree order with the
+// smallest feasible color (Welsh–Powell).
+func GreedyLargestFirst(g *Graph) []int {
+	order := make([]int, g.N)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return g.Degree(order[a]) > g.Degree(order[b])
+	})
+	return greedyInOrder(g, order)
+}
+
+func greedyInOrder(g *Graph, order []int) []int {
+	colors := make([]int, g.N)
+	for i := range colors {
+		colors[i] = -1
+	}
+	used := make([]bool, g.N+1)
+	for _, v := range order {
+		for i := range used {
+			used[i] = false
+		}
+		for _, w := range g.adj[v] {
+			if colors[w] >= 0 {
+				used[colors[w]] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		colors[v] = c
+	}
+	return colors
+}
+
+// DSATUR colors by maximum color-saturation first (Brélaz), typically
+// using fewer colors than largest-first on sparse graphs.
+func DSATUR(g *Graph) []int {
+	colors := make([]int, g.N)
+	for i := range colors {
+		colors[i] = -1
+	}
+	sat := make([]map[int]bool, g.N)
+	for i := range sat {
+		sat[i] = map[int]bool{}
+	}
+	for done := 0; done < g.N; done++ {
+		// Pick uncolored vertex with max saturation, tie-break degree.
+		best, bestSat, bestDeg := -1, -1, -1
+		for v := 0; v < g.N; v++ {
+			if colors[v] >= 0 {
+				continue
+			}
+			s, d := len(sat[v]), g.Degree(v)
+			if s > bestSat || (s == bestSat && d > bestDeg) {
+				best, bestSat, bestDeg = v, s, d
+			}
+		}
+		c := 0
+		for sat[best][c] {
+			c++
+		}
+		colors[best] = c
+		for _, w := range g.adj[best] {
+			sat[w][c] = true
+		}
+	}
+	return colors
+}
+
+// Exact computes an optimal coloring by iterative deepening on k with a
+// DSATUR-ordered branch-and-bound. maxNodes bounds the search effort;
+// when exceeded the best heuristic coloring found so far is returned with
+// exact=false. The paper's ILP plays the same role ("solving takes only a
+// couple of minutes for all 261+10 topologies").
+func Exact(g *Graph, maxNodes int64) (colors []int, exact bool) {
+	best := DSATUR(g)
+	ub := NumColors(best)
+	lb := cliqueLowerBound(g)
+	if lb >= ub {
+		return best, true
+	}
+	for k := lb; k < ub; k++ {
+		nodes := maxNodes
+		if sol, ok := colorWithK(g, k, &nodes); ok {
+			return sol, true
+		} else if nodes <= 0 {
+			return best, false // budget exhausted: fall back to heuristic
+		}
+	}
+	return best, true
+}
+
+// cliqueLowerBound finds a greedy clique to lower-bound the chromatic
+// number.
+func cliqueLowerBound(g *Graph) int {
+	if g.N == 0 {
+		return 0
+	}
+	bestLen := 1
+	for start := 0; start < g.N; start++ {
+		clique := []int{start}
+		cand := append([]int{}, g.adj[start]...)
+		sort.Slice(cand, func(a, b int) bool { return g.Degree(cand[a]) > g.Degree(cand[b]) })
+		for _, v := range cand {
+			inClique := true
+			for _, u := range clique {
+				if !g.HasEdge(u, v) {
+					inClique = false
+					break
+				}
+			}
+			if inClique {
+				clique = append(clique, v)
+			}
+		}
+		if len(clique) > bestLen {
+			bestLen = len(clique)
+		}
+		if start > 64 { // sampling suffices for a bound
+			break
+		}
+	}
+	return bestLen
+}
+
+// colorWithK tries to properly color g with exactly ≤k colors.
+func colorWithK(g *Graph, k int, nodes *int64) ([]int, bool) {
+	colors := make([]int, g.N)
+	for i := range colors {
+		colors[i] = -1
+	}
+	// Static DSATUR-ish order: decreasing degree.
+	order := make([]int, g.N)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return g.Degree(order[a]) > g.Degree(order[b]) })
+
+	var dfs func(pos int, maxUsed int) bool
+	dfs = func(pos int, maxUsed int) bool {
+		*nodes--
+		if *nodes <= 0 {
+			return false
+		}
+		if pos == g.N {
+			return true
+		}
+		v := order[pos]
+		forbidden := 0 // bitmask for k <= 63; fallback slice otherwise
+		var forbiddenBig []bool
+		if k > 63 {
+			forbiddenBig = make([]bool, k)
+		}
+		for _, w := range g.adj[v] {
+			if c := colors[w]; c >= 0 {
+				if forbiddenBig != nil {
+					forbiddenBig[c] = true
+				} else {
+					forbidden |= 1 << c
+				}
+			}
+		}
+		// Symmetry breaking: allow at most one brand-new color.
+		limit := maxUsed + 1
+		if limit > k-1 {
+			limit = k - 1
+		}
+		for c := 0; c <= limit; c++ {
+			bad := false
+			if forbiddenBig != nil {
+				bad = forbiddenBig[c]
+			} else {
+				bad = forbidden&(1<<c) != 0
+			}
+			if bad {
+				continue
+			}
+			colors[v] = c
+			nm := maxUsed
+			if c > nm {
+				nm = c
+			}
+			if dfs(pos+1, nm) {
+				return true
+			}
+			colors[v] = -1
+			if *nodes <= 0 {
+				return false
+			}
+		}
+		return false
+	}
+	if g.N == 0 {
+		return colors, true
+	}
+	if dfs(0, -1) {
+		return colors, true
+	}
+	return nil, false
+}
+
+// Assignment summarizes a catching-rule plan for one strategy.
+type Assignment struct {
+	Colors []int
+	// Values is the number of reserved header-field values (= colors).
+	Values int
+	// Exact reports whether the coloring is provably optimal.
+	Exact bool
+}
+
+// PlanStrategy1 colors the topology graph (probes of neighbours must be
+// distinguishable: adjacent switches need distinct identifiers).
+func PlanStrategy1(g *Graph, budget int64) Assignment {
+	c, exact := Exact(g, budget)
+	return Assignment{Colors: c, Values: NumColors(c), Exact: exact}
+}
+
+// PlanStrategy2 colors the square graph (two-field scheme: switches with a
+// common neighbour also need distinct identifiers; the count is at least
+// maxdegree, §8.3.2).
+func PlanStrategy2(g *Graph, budget int64) Assignment {
+	sq := g.Square()
+	c, exact := Exact(sq, budget)
+	return Assignment{Colors: c, Values: NumColors(c), Exact: exact}
+}
+
+// NoColoring is the baseline: every switch gets its own value (§6's
+// "basic version").
+func NoColoring(g *Graph) Assignment {
+	c := make([]int, g.N)
+	for i := range c {
+		c[i] = i
+	}
+	return Assignment{Colors: c, Values: g.N, Exact: true}
+}
+
+// String renders an assignment.
+func (a Assignment) String() string {
+	return fmt.Sprintf("%d values (exact=%v)", a.Values, a.Exact)
+}

@@ -1,0 +1,210 @@
+package coloring
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func path(n int) *Graph {
+	g := NewGraph(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func cycle(n int) *Graph {
+	g := path(n)
+	g.AddEdge(n-1, 0)
+	return g
+}
+
+func complete(n int) *Graph {
+	g := NewGraph(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+func star(n int) *Graph {
+	g := NewGraph(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i)
+	}
+	return g
+}
+
+func petersen() *Graph {
+	g := NewGraph(10)
+	for i := 0; i < 5; i++ {
+		g.AddEdge(i, (i+1)%5)     // outer cycle
+		g.AddEdge(5+i, 5+(i+2)%5) // inner pentagram
+		g.AddEdge(i, 5+i)
+	}
+	return g
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1) // duplicate ignored
+	g.AddEdge(2, 2) // loop ignored
+	g.AddEdge(1, 3)
+	if g.Edges() != 2 || !g.HasEdge(0, 1) || g.HasEdge(0, 2) {
+		t.Fatalf("edges=%d", g.Edges())
+	}
+	if g.Degree(1) != 2 || g.MaxDegree() != 2 {
+		t.Fatal("degree")
+	}
+}
+
+func TestChromaticNumbersKnownGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+		chi  int
+	}{
+		{"path10", path(10), 2},
+		{"evencycle", cycle(8), 2},
+		{"oddcycle", cycle(9), 3},
+		{"K5", complete(5), 5},
+		{"star20", star(20), 2},
+		{"petersen", petersen(), 3},
+		{"single", NewGraph(1), 1},
+		{"empty", NewGraph(0), 0},
+	}
+	for _, c := range cases {
+		colors, exact := Exact(c.g, 1_000_000)
+		if !exact {
+			t.Fatalf("%s: budget exhausted", c.name)
+		}
+		if !Valid(c.g, colors) && c.g.N > 0 {
+			t.Fatalf("%s: invalid coloring", c.name)
+		}
+		if NumColors(colors) != c.chi {
+			t.Fatalf("%s: chi=%d want %d", c.name, NumColors(colors), c.chi)
+		}
+	}
+}
+
+func TestHeuristicsValidAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(40)
+		g := NewGraph(n)
+		for i := 0; i < 2*n; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		for name, colors := range map[string][]int{
+			"greedy": GreedyLargestFirst(g),
+			"dsatur": DSATUR(g),
+		} {
+			if !Valid(g, colors) {
+				t.Fatalf("%s produced invalid coloring", name)
+			}
+			if NumColors(colors) > g.MaxDegree()+1 {
+				t.Fatalf("%s exceeded Brooks bound", name)
+			}
+		}
+	}
+}
+
+// Property: Exact never uses more colors than DSATUR, and both are valid.
+func TestExactAtMostDSATUR(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(14)
+		g := NewGraph(n)
+		for i := 0; i < n+rng.Intn(2*n); i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		ex, _ := Exact(g, 200_000)
+		ds := DSATUR(g)
+		return Valid(g, ex) && Valid(g, ds) && NumColors(ex) <= NumColors(ds)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSquareGraph(t *testing.T) {
+	// Path 0-1-2: square adds 0-2.
+	g := path(3)
+	sq := g.Square()
+	if !sq.HasEdge(0, 2) || !sq.HasEdge(0, 1) || sq.Edges() != 3 {
+		t.Fatalf("square of P3 wrong: %d edges", sq.Edges())
+	}
+	// Star: square is a clique.
+	st := star(6)
+	sqs := st.Square()
+	if sqs.Edges() != 15 {
+		t.Fatalf("square of star should be K6: %d edges", sqs.Edges())
+	}
+}
+
+func TestPlans(t *testing.T) {
+	g := star(10) // center + 9 leaves
+	s1 := PlanStrategy1(g, 1_000_000)
+	if s1.Values != 2 {
+		t.Fatalf("strategy 1 on a star needs 2 values, got %d", s1.Values)
+	}
+	s2 := PlanStrategy2(g, 1_000_000)
+	if s2.Values != 10 {
+		// Square of a star is K10: all switches share the hub.
+		t.Fatalf("strategy 2 on a star needs 10 values, got %d", s2.Values)
+	}
+	// Strategy 2 is lower-bounded by maxdegree+1 (§8.3.2 observation).
+	if s2.Values < g.MaxDegree() {
+		t.Fatal("strategy 2 below degree bound")
+	}
+	nc := NoColoring(g)
+	if nc.Values != 10 || !Valid(g, nc.Colors) {
+		t.Fatal("no-coloring baseline")
+	}
+	if s1.String() == "" {
+		t.Fatal("String")
+	}
+}
+
+func TestExactBudgetFallback(t *testing.T) {
+	// A graph hard enough that 1 node of budget is insufficient; the
+	// fallback must still be a valid DSATUR coloring.
+	g := complete(8)
+	for i := 8; i < 16; i++ {
+		// attach a pendant to each clique vertex
+	}
+	colors, _ := Exact(g, 1)
+	if !Valid(g, colors) {
+		t.Fatal("fallback coloring invalid")
+	}
+}
+
+func TestValidRejects(t *testing.T) {
+	g := path(3)
+	if Valid(g, []int{0, 0, 1}) {
+		t.Fatal("adjacent same color accepted")
+	}
+	if Valid(g, []int{0, 1}) {
+		t.Fatal("wrong length accepted")
+	}
+	if Valid(g, []int{0, -1, 0}) {
+		t.Fatal("uncolored accepted")
+	}
+}
+
+func BenchmarkExactMediumGraph(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 60
+	g := NewGraph(n)
+	for i := 0; i < 2*n; i++ {
+		g.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Exact(g, 2_000_000)
+	}
+}

@@ -1,0 +1,170 @@
+// Package controller provides the reference SDN controller pieces the
+// paper's experiments drive Monocle with: per-flow rule construction, path
+// installation over a multi-switch fabric, and the two-phase consistent
+// update discipline of §8.1.2/§8.4 ("the controller cannot update the
+// upstream switch sooner than the downstream switch finished updating its
+// data plane").
+package controller
+
+import (
+	"fmt"
+
+	"monocle/internal/flowtable"
+	"monocle/internal/header"
+	"monocle/internal/openflow"
+)
+
+// Flow identifies one unidirectional IP flow by source/destination pair.
+type Flow struct {
+	ID    uint64
+	SrcIP uint64
+	DstIP uint64
+}
+
+// FlowForIndex deterministically assigns flow i an address pair in
+// 10.0.0.0/8 (src) and 10.128.0.0/9 (dst).
+func FlowForIndex(i int) Flow {
+	return Flow{
+		ID:    uint64(i),
+		SrcIP: 10<<24 | uint64(i+1),
+		DstIP: 10<<24 | 1<<23 | uint64(i+1),
+	}
+}
+
+// Match builds the exact-flow match.
+func (f Flow) Match() flowtable.Match {
+	return flowtable.MatchAll().
+		WithExact(header.EthType, header.EthTypeIPv4).
+		WithExact(header.IPSrc, f.SrcIP).
+		WithExact(header.IPDst, f.DstIP)
+}
+
+// RuleID derives a per-switch unique rule id for the flow.
+func (f Flow) RuleID(sw uint32) uint64 {
+	return f.ID<<16 | uint64(sw)&0xffff
+}
+
+// FlowModAdd builds the ADD FlowMod forwarding the flow to out.
+func FlowModAdd(f Flow, sw uint32, priority uint16, out flowtable.PortID) (*openflow.FlowMod, error) {
+	wm, err := openflow.FromMatch(f.Match())
+	if err != nil {
+		return nil, fmt.Errorf("controller: %w", err)
+	}
+	return &openflow.FlowMod{
+		Match:    wm,
+		Cookie:   f.RuleID(sw),
+		Command:  openflow.FCAdd,
+		Priority: priority,
+		BufferID: openflow.BufferNone,
+		OutPort:  openflow.PortNone,
+		Actions:  []openflow.Action{openflow.OutputAction(uint16(out))},
+	}, nil
+}
+
+// FlowModModify builds the MODIFY_STRICT FlowMod rerouting the flow.
+func FlowModModify(f Flow, sw uint32, priority uint16, out flowtable.PortID) (*openflow.FlowMod, error) {
+	fm, err := FlowModAdd(f, sw, priority, out)
+	if err != nil {
+		return nil, err
+	}
+	fm.Command = openflow.FCModifyStrict
+	return fm, nil
+}
+
+// PathPorts maps a switch path to (switch, egress port) hops using a port
+// resolver; the final hop egresses toward the destination host port.
+type Hop struct {
+	Switch uint32
+	Out    flowtable.PortID
+}
+
+// PortResolver resolves wiring: the egress port of switch u toward switch
+// v, and the host port of an edge switch.
+type PortResolver interface {
+	PortBetween(u, v int) (flowtable.PortID, bool)
+	HostPort(edge int) (flowtable.PortID, bool)
+}
+
+// HopsForPath converts a switch-index path into per-hop egress ports,
+// ending at the destination edge switch's host port.
+func HopsForPath(path []int, r PortResolver) ([]Hop, error) {
+	if len(path) == 0 {
+		return nil, fmt.Errorf("controller: empty path")
+	}
+	var hops []Hop
+	for i := 0; i < len(path)-1; i++ {
+		p, ok := r.PortBetween(path[i], path[i+1])
+		if !ok {
+			return nil, fmt.Errorf("controller: no link %d-%d", path[i], path[i+1])
+		}
+		hops = append(hops, Hop{Switch: uint32(path[i]), Out: p})
+	}
+	last := path[len(path)-1]
+	hp, ok := r.HostPort(last)
+	if !ok {
+		return nil, fmt.Errorf("controller: switch %d has no host port", last)
+	}
+	hops = append(hops, Hop{Switch: uint32(last), Out: hp})
+	return hops, nil
+}
+
+// TwoPhaseUpdate captures the §8.4 discipline for one path: phase one
+// installs every rule except the ingress switch's; phase two updates the
+// ingress rule once phase one is confirmed.
+type TwoPhaseUpdate struct {
+	Flow    Flow
+	Ingress Hop
+	Rest    []Hop
+
+	pending map[uint64]bool // rule ids awaited in phase 1
+	done    bool
+	// OnPhase2 fires when the ingress rule may be safely updated.
+	OnPhase2 func()
+}
+
+// NewTwoPhaseUpdate splits a hop list into ingress + rest.
+func NewTwoPhaseUpdate(f Flow, hops []Hop) *TwoPhaseUpdate {
+	u := &TwoPhaseUpdate{Flow: f, Ingress: hops[0], Rest: hops[1:], pending: map[uint64]bool{}}
+	for _, h := range u.Rest {
+		u.pending[f.RuleID(h.Switch)] = true
+	}
+	return u
+}
+
+// Phase1Rules returns the FlowMods for the non-ingress hops.
+func (u *TwoPhaseUpdate) Phase1Rules(priority uint16) ([]*openflow.FlowMod, error) {
+	var out []*openflow.FlowMod
+	for _, h := range u.Rest {
+		fm, err := FlowModAdd(u.Flow, h.Switch, priority, h.Out)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fm)
+	}
+	return out, nil
+}
+
+// Phase2Rule returns the ingress FlowMod.
+func (u *TwoPhaseUpdate) Phase2Rule(priority uint16) (*openflow.FlowMod, error) {
+	return FlowModAdd(u.Flow, u.Ingress.Switch, priority, u.Ingress.Out)
+}
+
+// Confirm records one rule confirmation; it triggers OnPhase2 exactly once
+// when every phase-1 rule is confirmed. Returns true if phase 2 fired.
+func (u *TwoPhaseUpdate) Confirm(ruleID uint64) bool {
+	if u.done {
+		return false
+	}
+	delete(u.pending, ruleID)
+	if len(u.pending) == 0 {
+		u.done = true
+		if u.OnPhase2 != nil {
+			u.OnPhase2()
+		}
+		return true
+	}
+	return false
+}
+
+// Done reports whether phase 2 has fired.
+func (u *TwoPhaseUpdate) Done() bool { return u.done }

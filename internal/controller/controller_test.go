@@ -1,0 +1,146 @@
+package controller
+
+import (
+	"testing"
+
+	"monocle/internal/flowtable"
+	"monocle/internal/header"
+	"monocle/internal/openflow"
+	"monocle/internal/topo"
+)
+
+func TestFlowForIndexDistinct(t *testing.T) {
+	seen := map[[2]uint64]bool{}
+	for i := 0; i < 2000; i++ {
+		f := FlowForIndex(i)
+		key := [2]uint64{f.SrcIP, f.DstIP}
+		if seen[key] {
+			t.Fatalf("flow %d collides", i)
+		}
+		seen[key] = true
+	}
+}
+
+func TestFlowMatchAndRuleID(t *testing.T) {
+	f := FlowForIndex(7)
+	m := f.Match()
+	var h header.Header
+	h.Set(header.EthType, header.EthTypeIPv4)
+	h.Set(header.IPSrc, f.SrcIP)
+	h.Set(header.IPDst, f.DstIP)
+	if !m.Covers(h) {
+		t.Fatal("flow match must cover its packet")
+	}
+	h.Set(header.IPDst, f.DstIP+1)
+	if m.Covers(h) {
+		t.Fatal("must be exact")
+	}
+	if FlowForIndex(7).RuleID(3) == FlowForIndex(7).RuleID(4) {
+		t.Fatal("rule ids must differ per switch")
+	}
+	if FlowForIndex(7).RuleID(3) == FlowForIndex(8).RuleID(3) {
+		t.Fatal("rule ids must differ per flow")
+	}
+}
+
+func TestFlowModBuilders(t *testing.T) {
+	f := FlowForIndex(1)
+	fm, err := FlowModAdd(f, 2, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fm.Command != openflow.FCAdd || fm.Cookie != f.RuleID(2) || fm.Priority != 100 {
+		t.Fatalf("%+v", fm)
+	}
+	if len(fm.Actions) != 1 || fm.Actions[0].Port != 5 {
+		t.Fatalf("actions %+v", fm.Actions)
+	}
+	if !fm.Match.ToMatch().Equal(f.Match()) {
+		t.Fatal("match round trip")
+	}
+	mod, err := FlowModModify(f, 2, 100, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.Command != openflow.FCModifyStrict {
+		t.Fatal("modify command")
+	}
+}
+
+type ftResolver struct{ ft *topo.FatTree }
+
+func (r ftResolver) PortBetween(u, v int) (flowtable.PortID, bool) { return r.ft.Port(u, v) }
+func (r ftResolver) HostPort(e int) (flowtable.PortID, bool) {
+	p, ok := r.ft.HostPort[e]
+	return p, ok
+}
+
+func TestHopsForPath(t *testing.T) {
+	ft := topo.NewFatTree(4)
+	path := ft.Path(ft.Edge[0][0], ft.Edge[1][0])
+	hops, err := HopsForPath(path, ftResolver{ft})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hops) != len(path) {
+		t.Fatalf("hops %d path %d", len(hops), len(path))
+	}
+	// Every hop's egress port must exist on that switch; final hop uses
+	// the host port.
+	last := hops[len(hops)-1]
+	hp, _ := ft.HostPort[path[len(path)-1]], true
+	if last.Out != hp {
+		t.Fatalf("final hop port %d want host port %d", last.Out, hp)
+	}
+	if _, err := HopsForPath(nil, ftResolver{ft}); err == nil {
+		t.Fatal("empty path must error")
+	}
+	// A disconnected pair of switches fails port resolution.
+	if _, err := HopsForPath([]int{ft.Core[0], ft.Core[1]}, ftResolver{ft}); err == nil {
+		t.Fatal("non-adjacent hop must error")
+	}
+}
+
+func TestTwoPhaseUpdate(t *testing.T) {
+	f := FlowForIndex(3)
+	hops := []Hop{{Switch: 10, Out: 1}, {Switch: 11, Out: 2}, {Switch: 12, Out: 3}}
+	u := NewTwoPhaseUpdate(f, hops)
+	fired := 0
+	u.OnPhase2 = func() { fired++ }
+
+	fms, err := u.Phase1Rules(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fms) != 2 {
+		t.Fatalf("phase1 rules %d", len(fms))
+	}
+	if u.Confirm(f.RuleID(11)); u.Done() {
+		t.Fatal("half-confirmed update must not be done")
+	}
+	if !u.Confirm(f.RuleID(12)) || !u.Done() || fired != 1 {
+		t.Fatalf("done=%v fired=%d", u.Done(), fired)
+	}
+	// Idempotent.
+	if u.Confirm(f.RuleID(12)) || fired != 1 {
+		t.Fatal("double confirmation must not refire")
+	}
+	p2, err := u.Phase2Rule(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Cookie != f.RuleID(10) {
+		t.Fatal("phase2 cookie")
+	}
+}
+
+func TestTwoPhaseIgnoresForeignRules(t *testing.T) {
+	f := FlowForIndex(4)
+	u := NewTwoPhaseUpdate(f, []Hop{{Switch: 1, Out: 1}, {Switch: 2, Out: 2}})
+	if u.Confirm(999999) {
+		t.Fatal("foreign rule must not complete the update")
+	}
+	if !u.Confirm(f.RuleID(2)) {
+		t.Fatal("own rule must complete it")
+	}
+}

@@ -1,0 +1,121 @@
+package dataset
+
+import (
+	"testing"
+
+	"monocle/internal/flowtable"
+	"monocle/internal/header"
+)
+
+func TestGenerateSizes(t *testing.T) {
+	for _, p := range []Profile{Stanford(), Campus()} {
+		tb, rules := Generate(p)
+		if tb.Len() != p.Rules || len(rules) != p.Rules {
+			t.Fatalf("%s: got %d rules want %d", p.Name, tb.Len(), p.Rules)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	_, a := Generate(Stanford())
+	_, b := Generate(Stanford())
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic size")
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("rule %d differs", i)
+		}
+	}
+}
+
+func TestRulesWellFormed(t *testing.T) {
+	_, rules := Generate(Stanford())
+	deps := header.Dependencies()
+	for _, r := range rules {
+		for f, dep := range deps {
+			if r.Match[f].IsWildcard() {
+				continue
+			}
+			// A conditionally-included field may be matched only when
+			// its parent is exact-matched to an including value.
+			pt := r.Match[dep.Parent]
+			if !pt.IsExact(dep.Parent) {
+				t.Fatalf("rule %d matches %s without pinning %s", r.ID, f, dep.Parent)
+			}
+			ok := false
+			for _, v := range dep.ParentValues {
+				if pt.Value == v {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Fatalf("rule %d: %s matched under wrong parent value %#x", r.ID, f, pt.Value)
+			}
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMixFractions(t *testing.T) {
+	p := Campus()
+	_, rules := Generate(p)
+	drops, ports := 0, 0
+	for _, r := range rules {
+		if r.IsDrop() {
+			drops++
+		}
+		if !r.Match[header.TPSrc].IsWildcard() || !r.Match[header.TPDst].IsWildcard() {
+			ports++
+		}
+	}
+	denyFrac := float64(drops) / float64(len(rules))
+	if denyFrac < p.DenyFraction-0.1 || denyFrac > p.DenyFraction+0.1 {
+		t.Fatalf("deny fraction %.2f want ≈%.2f", denyFrac, p.DenyFraction)
+	}
+	portFrac := float64(ports) / float64(len(rules))
+	if portFrac < p.PortFraction-0.1 || portFrac > p.PortFraction+0.1 {
+		t.Fatalf("port fraction %.2f want ≈%.2f", portFrac, p.PortFraction)
+	}
+}
+
+func TestOverlapStructureExists(t *testing.T) {
+	tb, rules := Generate(Stanford())
+	overlapping := 0
+	sample := rules
+	if len(sample) > 200 {
+		sample = sample[:200]
+	}
+	for _, r := range sample {
+		if len(tb.Overlapping(r)) > 0 {
+			overlapping++
+		}
+	}
+	if overlapping < len(sample)/2 {
+		t.Fatalf("too little overlap: %d/%d", overlapping, len(sample))
+	}
+}
+
+func TestDefaultRoutePresent(t *testing.T) {
+	tb, _ := Generate(Stanford())
+	var h header.Header
+	h.Set(header.EthType, header.EthTypeIPv4)
+	h.Set(header.IPSrc, 0x01020304)
+	h.Set(header.IPDst, 0x05060708)
+	if tb.Lookup(h) == nil {
+		t.Fatal("no rule matched a generic packet — default route missing")
+	}
+}
+
+func TestPrioritiesStrictlyOrdered(t *testing.T) {
+	_, rules := Generate(Stanford())
+	seen := map[int]flowtable.Match{}
+	for _, r := range rules {
+		if prev, ok := seen[r.Priority]; ok && prev.Overlaps(r.Match) {
+			t.Fatalf("equal-priority overlap at %d", r.Priority)
+		}
+		seen[r.Priority] = r.Match
+	}
+}

@@ -1,0 +1,230 @@
+package experiments
+
+// Figures 6 and 7: how PacketOut and PacketIn load degrade a switch's
+// rule-modification throughput (§8.3.1). The harness saturates a single
+// simulated switch's control channel with the paper's message mixes and
+// reports FlowMod rates normalized to the unloaded baseline. §8.3.1's
+// scalar maxima (PacketOut/PacketIn per second) fall out of the profiles.
+
+import (
+	"fmt"
+	"time"
+
+	"monocle/internal/controller"
+	"monocle/internal/flowtable"
+	"monocle/internal/header"
+	"monocle/internal/openflow"
+	"monocle/internal/packet"
+	"monocle/internal/sim"
+	"monocle/internal/switchsim"
+)
+
+// Figure6Point is one (ratio, switch) cell.
+type Figure6Point struct {
+	Switch     string
+	K          int // PacketOut count in the k:2 mix
+	Normalized float64
+}
+
+// Figure6Ratios is the paper's x-axis.
+var Figure6Ratios = []int{0, 1, 2, 3, 4, 5, 10, 20, 40}
+
+// figureProfiles returns the four switch models of Figures 6–7.
+func figureProfiles() []switchsim.Profile {
+	return []switchsim.Profile{
+		switchsim.Dell8132F(),
+		switchsim.HP5406zl(),
+		switchsim.DellS4810(),
+		switchsim.DellS4810EqualPrio(),
+	}
+}
+
+// RunFigure6 measures the FlowMod rate under k PacketOuts per 2 FlowMods.
+func RunFigure6() []Figure6Point {
+	var out []Figure6Point
+	for _, prof := range figureProfiles() {
+		base := flowModRate(prof, 0, 0)
+		for _, k := range Figure6Ratios {
+			rate := flowModRate(prof, k, 0)
+			out = append(out, Figure6Point{Switch: prof.Name, K: k, Normalized: rate / base})
+		}
+	}
+	return out
+}
+
+// Figure7Point is one (PacketIn rate, switch) cell.
+type Figure7Point struct {
+	Switch     string
+	PacketIns  int // offered PacketIn/s
+	Normalized float64
+}
+
+// Figure7Rates is the paper's x-axis.
+var Figure7Rates = []int{0, 100, 200, 300, 400, 1000, 5000}
+
+// RunFigure7 measures the FlowMod rate under background PacketIn load.
+func RunFigure7() []Figure7Point {
+	var out []Figure7Point
+	for _, prof := range figureProfiles() {
+		base := flowModRate(prof, 0, 0)
+		for _, r := range Figure7Rates {
+			rate := flowModRate(prof, 0, r)
+			out = append(out, Figure7Point{Switch: prof.Name, PacketIns: r, Normalized: rate / base})
+		}
+	}
+	return out
+}
+
+// flowModRate saturates the switch's control channel with the k:2
+// PacketOut:FlowMod mix for a simulated window while data packets arrive
+// at piRate (hitting a punt-to-controller rule) and returns the achieved
+// FlowMod completions per second.
+func flowModRate(prof switchsim.Profile, k int, piRate int) float64 {
+	s := sim.New()
+	sw := switchsim.New(1, s, prof, 99)
+	switchsim.ConnectHost(sw, 1, 0, func(switchsim.Frame) {})
+	switchsim.ConnectHost(sw, 2, 0, func(switchsim.Frame) {})
+
+	// A punt rule for the PacketIn traffic.
+	puntMatch := flowtable.MatchAll().
+		WithExact(header.EthType, header.EthTypeIPv4).
+		WithExact(header.IPProto, header.ProtoICMP)
+	if err := sw.DataTable().Insert(&flowtable.Rule{
+		ID: 1 << 40, Priority: 30000, Match: puntMatch,
+		Actions: []flowtable.Action{flowtable.Output(flowtable.PortController)},
+	}); err != nil {
+		panic(err)
+	}
+
+	window := 2 * time.Second
+	// The k:2 mix (delete an existing rule + add a new one keeps the
+	// table size stable, per the paper).
+	var poData switchsim.Frame
+	{
+		var h header.Header
+		h.Set(header.EthType, header.EthTypeIPv4)
+		h.Set(header.VlanID, header.VlanNone)
+		h.Set(header.IPProto, header.ProtoUDP)
+		f, err := packet.Craft(h, []byte("probe-size payload, 35B-ish"))
+		if err != nil {
+			panic(err)
+		}
+		poData = f
+	}
+	// Closed-loop feeder: enqueue the next k:2 pattern whenever the
+	// control queue drains, so background PacketIn work interleaves with
+	// the FlowMod stream instead of queueing behind a preloaded backlog.
+	flow := 0
+	var feed func()
+	feed = func() {
+		if s.Now() >= window {
+			return
+		}
+		for j := 0; j < k; j++ {
+			sw.FromController(&openflow.PacketOut{
+				BufferID: openflow.BufferNone, InPort: openflow.PortNone,
+				Actions: []openflow.Action{openflow.OutputAction(1)},
+				Data:    poData,
+			}, 0)
+		}
+		for j := 0; j < 2; j++ {
+			f := controller.FlowForIndex(flow)
+			flow++
+			cmd := openflow.FCAdd
+			if j == 1 {
+				cmd = openflow.FCDeleteStrict
+			}
+			fm, err := controller.FlowModAdd(f, 1, 100, 2)
+			if err != nil {
+				panic(err)
+			}
+			fm.Command = cmd
+			sw.FromController(fm, 0)
+		}
+		next := sw.CtrlBusyUntil()
+		if next <= s.Now() {
+			next = s.Now() + time.Microsecond
+		}
+		s.At(next, feed)
+	}
+	feed()
+	// Background PacketIn traffic.
+	if piRate > 0 {
+		var h header.Header
+		h.Set(header.EthType, header.EthTypeIPv4)
+		h.Set(header.VlanID, header.VlanNone)
+		h.Set(header.IPProto, header.ProtoICMP)
+		frame, err := packet.Craft(h, []byte("pi"))
+		if err != nil {
+			panic(err)
+		}
+		interval := time.Duration(float64(time.Second) / float64(piRate))
+		for t := sim.Time(0); t < window; t += interval {
+			t := t
+			s.At(t, func() { sw.InjectFrame(2, frame) })
+		}
+	}
+	s.RunUntil(window)
+	processed := sw.Stats.FlowModsProcessed
+	return float64(processed) / window.Seconds()
+}
+
+// SwitchRatesRow reports the §8.3.1 scalar capacities per profile.
+type SwitchRatesRow struct {
+	Switch        string
+	PacketOutRate float64
+	PacketInRate  float64
+	FlowModRate   float64
+}
+
+// RunSwitchRates reproduces the §8.3.1 maxima table.
+func RunSwitchRates() []SwitchRatesRow {
+	var out []SwitchRatesRow
+	for _, p := range figureProfiles() {
+		out = append(out, SwitchRatesRow{
+			Switch:        p.Name,
+			PacketOutRate: p.MaxPacketOutRate(),
+			PacketInRate:  p.MaxPacketInRate(),
+			FlowModRate:   flowModRate(p, 0, 0),
+		})
+	}
+	return out
+}
+
+// FormatFigure6 renders the normalized-rate matrix.
+func FormatFigure6(points []Figure6Point) string {
+	out := "Figure 6: normalized FlowMod rate vs PacketOut:FlowMod ratio (k:2)\n"
+	cur := ""
+	for _, p := range points {
+		if p.Switch != cur {
+			cur = p.Switch
+			out += fmt.Sprintf("  %s\n", cur)
+		}
+		out += fmt.Sprintf("    %2d:2  %.3f\n", p.K, p.Normalized)
+	}
+	return out
+}
+
+// FormatFigure7 renders the PacketIn interference matrix.
+func FormatFigure7(points []Figure7Point) string {
+	out := "Figure 7: normalized FlowMod rate vs PacketIn rate\n"
+	cur := ""
+	for _, p := range points {
+		if p.Switch != cur {
+			cur = p.Switch
+			out += fmt.Sprintf("  %s\n", cur)
+		}
+		out += fmt.Sprintf("    %5d/s  %.3f\n", p.PacketIns, p.Normalized)
+	}
+	return out
+}
+
+// FormatSwitchRates renders the §8.3.1 scalars.
+func FormatSwitchRates(rows []SwitchRatesRow) string {
+	out := "§8.3.1: control-channel capacities\n"
+	out += fmt.Sprintf("  %-14s %12s %12s %12s\n", "Switch", "PacketOut/s", "PacketIn/s", "FlowMod/s")
+	for _, r := range rows {
+		out += fmt.Sprintf("  %-14s %12.0f %12.0f %12.0f\n", r.Switch, r.PacketOutRate, r.PacketInRate, r.FlowModRate)
+	}
+	return out
+}

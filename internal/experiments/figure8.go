@@ -1,0 +1,267 @@
+package experiments
+
+// Figure 8: batched consistent update of 2000 random paths in a larger
+// network (§8.4): a k=4 FatTree of 20 Pica8-like switches plus one
+// hypervisor (OVS with reliable acknowledgments) per edge switch, compared
+// against the same FatTree built from 28 ideal switches. The controller
+// starts 40 path updates every 10 ms; each path installs all rules except
+// the ingress hypervisor's (phase 1), then updates the ingress rule
+// (phase 2). Monocle's feedback delays the whole update only modestly
+// (≈350 ms in the paper).
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"monocle/internal/controller"
+	"monocle/internal/flowtable"
+	"monocle/internal/openflow"
+	"monocle/internal/sim"
+	"monocle/internal/switchsim"
+	"monocle/internal/topo"
+)
+
+// Figure8Config parameterizes the batched update.
+type Figure8Config struct {
+	Paths      int
+	BatchSize  int
+	BatchEvery time.Duration
+	// UseMonocle: Pica8 cores behind Monocle proxies; false: ideal
+	// switches with trustworthy barriers.
+	UseMonocle bool
+	Seed       int64
+}
+
+// Figure8Result is the completion-time series.
+type Figure8Result struct {
+	Mode string
+	// Done[i] is when flow i's phase-2 (ingress) rule was confirmed.
+	Done  []time.Duration
+	Total time.Duration
+}
+
+// fatTreeResolver adapts the FatTree wiring plus hypervisor links to the
+// controller's PortResolver.
+type fatTreeResolver struct {
+	ft   *topo.FatTree
+	net  *Net
+	hypO map[int]flowtable.PortID // hypervisor's host-facing port
+}
+
+func (r fatTreeResolver) PortBetween(u, v int) (flowtable.PortID, bool) {
+	return r.net.PortBetween(u, v)
+}
+
+func (r fatTreeResolver) HostPort(e int) (flowtable.PortID, bool) {
+	p, ok := r.hypO[e]
+	return p, ok
+}
+
+// RunFigure8 executes one mode of the experiment.
+func RunFigure8(cfg Figure8Config) Figure8Result {
+	ft := topo.NewFatTree(4)
+	nCore := ft.N // 20
+	edges := ft.EdgeSwitches()
+	nHyp := len(edges) // 8
+	total := nCore + nHyp
+
+	// Wiring: core fat-tree links, then hypervisor i (index nCore+i)
+	// connects its port 1 to edge switch's host port; its port 2 is the
+	// host-facing egress.
+	var links []LinkSpec
+	g := ft.Graph()
+	seen := map[[2]int]bool{}
+	for u := 0; u < nCore; u++ {
+		for _, v := range g.Neighbors(u) {
+			if seen[[2]int{v, u}] || seen[[2]int{u, v}] {
+				continue
+			}
+			seen[[2]int{u, v}] = true
+			pu, _ := ft.Port(u, v)
+			pv, _ := ft.Port(v, u)
+			links = append(links, LinkSpec{A: u, B: v, PA: pu, PB: pv})
+		}
+	}
+	hostPorts := map[int]flowtable.PortID{}
+	hypOf := map[int]int{}
+	for i, e := range edges {
+		hyp := nCore + i
+		hypOf[e] = hyp
+		links = append(links, LinkSpec{A: e, B: hyp, PA: ft.HostPort[e], PB: 1})
+		hostPorts[hyp] = 2
+	}
+
+	net := Build(NetConfig{
+		N:         total,
+		Links:     links,
+		HostPorts: hostPorts,
+		Profile: func(i int) switchsim.Profile {
+			if !cfg.UseMonocle {
+				// Ideal baseline: same speeds, truthful acknowledgments.
+				if i < nCore {
+					return switchsim.HonestPica8()
+				}
+				return switchsim.OVS()
+			}
+			if i < nCore {
+				return switchsim.Pica8()
+			}
+			return switchsim.OVS() // hypervisors: reliable acks
+		},
+		Monocle: cfg.UseMonocle,
+		Seed:    cfg.Seed,
+	})
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	done := make([]time.Duration, cfg.Paths)
+	res := Figure8Result{Mode: "Ideal (barriers)"}
+	if cfg.UseMonocle {
+		res.Mode = "Monocle (Pica8 cores)"
+	}
+
+	// Per-switch two-phase bookkeeping: map rule id → update.
+	updates := make(map[uint64]*controller.TwoPhaseUpdate)
+	const prio = 100
+
+	sendRule := func(sw int, fm *openflow.FlowMod, barrierXID uint32) {
+		net.Send(sw, fm, 0)
+		if !cfg.UseMonocle || sw >= nCore {
+			// Barrier-based confirmation (ideal mode, or hypervisors
+			// under Monocle mode — they have reliable acks).
+			net.Send(sw, openflow.BarrierRequest{}, barrierXID)
+		}
+	}
+
+	// Confirmation plumbing. Monocle mode: core rules confirm via the
+	// monitor callback; hypervisor / ideal rules via barrier replies.
+	confirm := func(flowID int, ruleID uint64, at sim.Time) {
+		if u, ok := updates[ruleID]; ok {
+			if u.Confirm(ruleID) {
+				// Phase 2: ingress rule.
+				fm, err := u.Phase2Rule(prio)
+				if err != nil {
+					panic(err)
+				}
+				ingress := int(u.Ingress.Switch)
+				sendRule(ingress, fm, uint32(3_000_000+u.Flow.ID))
+			}
+			delete(updates, ruleID)
+			return
+		}
+		_ = flowID
+	}
+
+	if cfg.UseMonocle {
+		for i := 0; i < nCore; i++ {
+			net.Monitors[i].Cfg.OnRuleConfirmed = func(ruleID uint64, at sim.Time) {
+				confirm(int(ruleID>>16), ruleID, at)
+			}
+		}
+	}
+	for i := 0; i < total; i++ {
+		i := i
+		net.SetCtrlRecv(i, func(msg openflow.Message, xid uint32) {
+			switch msg.(type) {
+			case openflow.BarrierReply, *openflow.BarrierReply:
+				switch {
+				case xid >= 3_000_000: // phase-2 ingress commit
+					flow := int(xid - 3_000_000)
+					if done[flow] == 0 {
+						done[flow] = time.Duration(net.Sim.Now())
+					}
+				case xid >= 2_000_000: // phase-1 rule at a barrier switch
+					ruleID := uint64(xid-2_000_000)<<16 | uint64(i)&0xffff
+					confirm(int(xid-2_000_000), ruleID, net.Sim.Now())
+				}
+			}
+		})
+	}
+
+	// Phase-2 completion under Monocle mode also needs the ingress
+	// hypervisor's barrier (handled above; hypervisors always barrier).
+
+	// Launch batches.
+	flowID := 0
+	var launch func()
+	launch = func() {
+		for b := 0; b < cfg.BatchSize && flowID < cfg.Paths; b++ {
+			i := flowID
+			flowID++
+			f := controller.FlowForIndex(i)
+			srcE := edges[rng.Intn(len(edges))]
+			dstE := edges[rng.Intn(len(edges))]
+			for dstE == srcE {
+				dstE = edges[rng.Intn(len(edges))]
+			}
+			corePath := ft.Path(srcE, dstE)
+			full := append([]int{hypOf[srcE]}, corePath...)
+			full = append(full, hypOf[dstE])
+			hops, err := controller.HopsForPath(full, fatTreeResolver{ft: ft, net: net, hypO: hostPorts})
+			if err != nil {
+				panic(err)
+			}
+			u := controller.NewTwoPhaseUpdate(f, hops)
+			fms, err := u.Phase1Rules(prio)
+			if err != nil {
+				panic(err)
+			}
+			for hi, fm := range fms {
+				sw := int(u.Rest[hi].Switch)
+				updates[f.RuleID(uint32(sw))] = u
+				sendRule(sw, fm, uint32(2_000_000+i))
+			}
+		}
+		if flowID < cfg.Paths {
+			net.Sim.After(cfg.BatchEvery, launch)
+		}
+	}
+	launch()
+	net.Sim.RunUntil(10 * time.Minute)
+
+	for i, d := range done {
+		if d > res.Total {
+			res.Total = d
+		}
+		_ = i
+	}
+	res.Done = done
+	return res
+}
+
+// DefaultFigure8 runs both modes with the paper's parameters.
+func DefaultFigure8(paths int) []Figure8Result {
+	var out []Figure8Result
+	for _, mode := range []bool{false, true} {
+		out = append(out, RunFigure8(Figure8Config{
+			Paths: paths, BatchSize: 40, BatchEvery: 10 * time.Millisecond,
+			UseMonocle: mode, Seed: 8,
+		}))
+	}
+	return out
+}
+
+// FormatFigure8 renders the completion comparison.
+func FormatFigure8(results []Figure8Result) string {
+	out := "Figure 8: batched update of random paths on a 20-switch FatTree\n"
+	var ideal, mon time.Duration
+	for _, r := range results {
+		completed := 0
+		for _, d := range r.Done {
+			if d > 0 {
+				completed++
+			}
+		}
+		out += fmt.Sprintf("  %-24s completed=%d/%d total=%v\n",
+			r.Mode, completed, len(r.Done), r.Total.Round(time.Millisecond))
+		if r.Mode == "Ideal (barriers)" {
+			ideal = r.Total
+		} else {
+			mon = r.Total
+		}
+	}
+	if ideal > 0 && mon > 0 {
+		out += fmt.Sprintf("  Monocle delay over ideal: %v\n", (mon - ideal).Round(time.Millisecond))
+	}
+	return out
+}

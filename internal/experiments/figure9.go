@@ -1,0 +1,96 @@
+package experiments
+
+// Figure 9: the number of reserved probe-field values (= catching rules
+// per switch) needed across a topology corpus, for the no-coloring
+// baseline, the strategy-1 coloring, and the strategy-2 (square-graph)
+// coloring (§8.3.2). The paper finds at most 9 values for Zoo topologies
+// up to 754 switches and at most 8 for Rocketfuel up to 11800 with
+// strategy 1, with strategy 2 sometimes needing many more (max degree
+// bound).
+
+import (
+	"fmt"
+	"sort"
+
+	"monocle/internal/coloring"
+	"monocle/internal/topo"
+)
+
+// Figure9Row summarizes one topology.
+type Figure9Row struct {
+	Name       string
+	Switches   int
+	NoColoring int
+	Strategy1  int
+	Strategy2  int
+}
+
+// Figure9Result is a corpus summary.
+type Figure9Result struct {
+	Corpus string
+	Rows   []Figure9Row
+}
+
+// RunFigure9Zoo colors the Topology-Zoo-like corpus. budget bounds the
+// exact search per graph.
+func RunFigure9Zoo(budget int64, limit int) Figure9Result {
+	corpus := topo.ZooCorpus()
+	if limit > 0 && limit < len(corpus) {
+		corpus = corpus[:limit]
+	}
+	return runFigure9("Topology Zoo (synthetic)", corpus, budget, false)
+}
+
+// RunFigure9Rocketfuel colors the Rocketfuel-like corpus; strategy 2 uses
+// the greedy heuristic like the paper ("our ILP formulation runs
+// out-of-memory" there).
+func RunFigure9Rocketfuel(budget int64, limit int) Figure9Result {
+	corpus := topo.RocketfuelCorpus()
+	if limit > 0 && limit < len(corpus) {
+		corpus = corpus[:limit]
+	}
+	return runFigure9("Rocketfuel (synthetic)", corpus, budget, true)
+}
+
+func runFigure9(name string, corpus []topo.Topology, budget int64, greedy2 bool) Figure9Result {
+	res := Figure9Result{Corpus: name}
+	for _, tp := range corpus {
+		row := Figure9Row{Name: tp.Name, Switches: tp.Graph.N}
+		row.NoColoring = coloring.NoColoring(tp.Graph).Values
+		row.Strategy1 = coloring.PlanStrategy1(tp.Graph, budget).Values
+		if greedy2 {
+			row.Strategy2 = coloring.NumColors(coloring.DSATUR(tp.Graph.Square()))
+		} else {
+			row.Strategy2 = coloring.PlanStrategy2(tp.Graph, budget).Values
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// CDF returns the sorted per-topology value counts for one column.
+func (r Figure9Result) CDF(col func(Figure9Row) int) []int {
+	out := make([]int, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		out = append(out, col(row))
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FormatFigure9 renders the CDF summary.
+func FormatFigure9(r Figure9Result) string {
+	if len(r.Rows) == 0 {
+		return "Figure 9: empty corpus\n"
+	}
+	no := r.CDF(func(x Figure9Row) int { return x.NoColoring })
+	s1 := r.CDF(func(x Figure9Row) int { return x.Strategy1 })
+	s2 := r.CDF(func(x Figure9Row) int { return x.Strategy2 })
+	maxOf := func(s []int) int { return s[len(s)-1] }
+	medOf := func(s []int) int { return s[len(s)/2] }
+	out := fmt.Sprintf("Figure 9 (%s, %d topologies):\n", r.Corpus, len(r.Rows))
+	out += fmt.Sprintf("  %-14s median=%4d max=%4d\n", "no coloring", medOf(no), maxOf(no))
+	out += fmt.Sprintf("  %-14s median=%4d max=%4d\n", "coloring (1)", medOf(s1), maxOf(s1))
+	out += fmt.Sprintf("  %-14s median=%4d max=%4d\n", "coloring (2)", medOf(s2), maxOf(s2))
+	return out
+}

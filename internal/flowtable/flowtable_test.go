@@ -1,0 +1,391 @@
+package flowtable
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"monocle/internal/header"
+)
+
+func ip(a, b, c, d uint64) uint64 { return a<<24 | b<<16 | c<<8 | d }
+
+func TestMatchCovers(t *testing.T) {
+	m := MatchAll().
+		With(header.IPSrc, header.Prefix(header.IPSrc, ip(10, 0, 0, 0), 24)).
+		WithExact(header.IPProto, header.ProtoTCP)
+	var h header.Header
+	h.Set(header.IPSrc, ip(10, 0, 0, 7))
+	h.Set(header.IPProto, header.ProtoTCP)
+	if !m.Covers(h) {
+		t.Fatal("should cover")
+	}
+	h.Set(header.IPProto, header.ProtoUDP)
+	if m.Covers(h) {
+		t.Fatal("should not cover UDP")
+	}
+	h.Set(header.IPProto, header.ProtoTCP)
+	h.Set(header.IPSrc, ip(10, 0, 1, 7))
+	if m.Covers(h) {
+		t.Fatal("should not cover other subnet")
+	}
+}
+
+func TestMatchOverlapsAndSubsumes(t *testing.T) {
+	a := MatchAll().With(header.IPSrc, header.Prefix(header.IPSrc, ip(10, 0, 0, 0), 8))
+	b := MatchAll().With(header.IPSrc, header.Prefix(header.IPSrc, ip(10, 1, 0, 0), 16)).
+		WithExact(header.IPProto, header.ProtoTCP)
+	c := MatchAll().With(header.IPSrc, header.Prefix(header.IPSrc, ip(11, 0, 0, 0), 8))
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Fatal("a,b overlap")
+	}
+	if a.Overlaps(c) {
+		t.Fatal("a,c disjoint")
+	}
+	if !a.Subsumes(b) || b.Subsumes(a) {
+		t.Fatal("subsume direction")
+	}
+	if !MatchAll().Subsumes(a) {
+		t.Fatal("wildcard subsumes all")
+	}
+}
+
+// Property: the paper's overlap lemma witness — if two matches overlap,
+// the combined value matches both.
+func TestMatchOverlapWitness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		randMatch := func() Match {
+			m := MatchAll()
+			for i := 0; i < rng.Intn(4); i++ {
+				f := header.FieldID(rng.Intn(int(header.NumFields)))
+				if rng.Intn(2) == 0 {
+					m = m.WithExact(f, rng.Uint64()&header.WidthMask(f))
+				} else {
+					m = m.With(f, header.Prefix(f, rng.Uint64()&header.WidthMask(f), rng.Intn(header.Width(f)+1)))
+				}
+			}
+			return m
+		}
+		a, b := randMatch(), randMatch()
+		if !a.Overlaps(b) {
+			return true
+		}
+		var h header.Header
+		for f := header.FieldID(0); f < header.NumFields; f++ {
+			v := (a[f].Value & a[f].Mask) | (b[f].Value & b[f].Mask &^ a[f].Mask)
+			h.Set(f, v)
+		}
+		return a.Covers(h) && b.Covers(h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRuleValidate(t *testing.T) {
+	good := &Rule{ID: 1, Actions: []Action{SetField(header.IPTos, 4), Output(1), Output(2)}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	drop := &Rule{ID: 2}
+	if err := drop.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ecmp := &Rule{ID: 3, Actions: []Action{ECMP(1, 2, 3)}}
+	if err := ecmp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Rule{ID: 4, Actions: []Action{ECMP(1), Output(2)}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("ECMP+Output must be rejected")
+	}
+	empty := &Rule{ID: 5, Actions: []Action{ECMP()}}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty ECMP must be rejected")
+	}
+}
+
+func TestForwardingSetAndKinds(t *testing.T) {
+	r := &Rule{Actions: []Action{Output(3), SetField(header.IPTos, 1), Output(1), Output(3)}}
+	fs := r.ForwardingSet()
+	if len(fs) != 2 || fs[0] != 1 || fs[1] != 3 {
+		t.Fatalf("fs=%v", fs)
+	}
+	if r.IsDrop() || r.IsECMP() {
+		t.Fatal("multicast rule flags")
+	}
+	drop := &Rule{}
+	if !drop.IsDrop() {
+		t.Fatal("drop")
+	}
+	ecmp := &Rule{Actions: []Action{ECMP(1, 2)}}
+	if !ecmp.IsECMP() || ecmp.IsDrop() {
+		t.Fatal("ecmp flags")
+	}
+	single := &Rule{Actions: []Action{ECMP(5, 5)}}
+	if single.IsECMP() {
+		t.Fatal("single-port group is deterministic, not ECMP")
+	}
+}
+
+func TestRewriteOnPort(t *testing.T) {
+	// set tos=1, out(1), set tos=2, out(2): port 1 sees tos=1, port 2 tos=2.
+	r := &Rule{Actions: []Action{
+		SetField(header.IPTos, 1), Output(1),
+		SetField(header.IPTos, 2), Output(2),
+	}}
+	w1, ok := r.RewriteOnPort(1)
+	if !ok || !w1.Set[header.IPTos] || w1.Value[header.IPTos] != 1 {
+		t.Fatalf("port1 rewrite %v ok=%v", w1, ok)
+	}
+	w2, ok := r.RewriteOnPort(2)
+	if !ok || w2.Value[header.IPTos] != 2 {
+		t.Fatalf("port2 rewrite %v", w2)
+	}
+	if _, ok := r.RewriteOnPort(9); ok {
+		t.Fatal("port 9 unused")
+	}
+}
+
+func TestRewriteApplyAndBits(t *testing.T) {
+	var w Rewrite
+	w.Set[header.IPTos] = true
+	w.Value[header.IPTos] = 0x80 // MSB set
+	var h header.Header
+	h.Set(header.IPTos, 0x01)
+	got := w.Apply(h)
+	if got.Get(header.IPTos) != 0x80 {
+		t.Fatalf("apply got %#x", got.Get(header.IPTos))
+	}
+	fixed, val := w.BitRewrite(header.IPTos, 0)
+	if !fixed || !val {
+		t.Fatal("bit 0 must be fixed to 1")
+	}
+	fixed, val = w.BitRewrite(header.IPTos, 7)
+	if !fixed || val {
+		t.Fatal("bit 7 must be fixed to 0")
+	}
+	if fixed, _ = w.BitRewrite(header.IPSrc, 0); fixed {
+		t.Fatal("unset field passes through")
+	}
+}
+
+func TestRuleApply(t *testing.T) {
+	r := &Rule{Actions: []Action{
+		SetField(header.IPTos, 4), Output(1), SetField(header.IPTos, 8), Output(2),
+	}}
+	var h header.Header
+	em := r.Apply(h, nil)
+	if len(em) != 2 || em[0].Port != 1 || em[1].Port != 2 {
+		t.Fatalf("emissions %v", em)
+	}
+	if em[0].Header.Get(header.IPTos) != 4 || em[1].Header.Get(header.IPTos) != 8 {
+		t.Fatal("interleaved rewrites")
+	}
+	ecmp := &Rule{Actions: []Action{ECMP(7, 8, 9)}}
+	em = ecmp.Apply(h, func(n int) int { return 2 })
+	if len(em) != 1 || em[0].Port != 9 {
+		t.Fatalf("ecmp choose %v", em)
+	}
+}
+
+func TestTableInsertOrderAndLookup(t *testing.T) {
+	tb := New()
+	low := &Rule{ID: 1, Priority: 1, Actions: []Action{Output(1)}}
+	mid := &Rule{ID: 2, Priority: 5,
+		Match:   MatchAll().With(header.IPSrc, header.Prefix(header.IPSrc, ip(10, 0, 0, 0), 8)),
+		Actions: []Action{Output(2)}}
+	high := &Rule{ID: 3, Priority: 9,
+		Match:   MatchAll().WithExact(header.IPSrc, ip(10, 0, 0, 1)),
+		Actions: []Action{Output(3)}}
+	for _, r := range []*Rule{mid, high, low} {
+		if err := tb.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs := tb.Rules()
+	if rs[0] != high || rs[1] != mid || rs[2] != low {
+		t.Fatal("priority order")
+	}
+	var h header.Header
+	h.Set(header.IPSrc, ip(10, 0, 0, 1))
+	if tb.Lookup(h) != high {
+		t.Fatal("lookup highest")
+	}
+	h.Set(header.IPSrc, ip(10, 0, 0, 2))
+	if tb.Lookup(h) != mid {
+		t.Fatal("lookup mid")
+	}
+	h.Set(header.IPSrc, ip(11, 0, 0, 2))
+	if tb.Lookup(h) != low {
+		t.Fatal("lookup default")
+	}
+}
+
+func TestTableRejectsEqualPriorityOverlap(t *testing.T) {
+	tb := New()
+	a := &Rule{ID: 1, Priority: 5, Match: MatchAll().WithExact(header.IPProto, 6)}
+	b := &Rule{ID: 2, Priority: 5, Match: MatchAll().With(header.IPSrc, header.Prefix(header.IPSrc, 0, 1))}
+	if err := tb.Insert(a); err != nil {
+		t.Fatal(err)
+	}
+	err := tb.Insert(b)
+	if !errors.Is(err, ErrSamePriorityOverlap) {
+		t.Fatalf("got %v", err)
+	}
+	// Non-overlapping same priority is fine.
+	c := &Rule{ID: 3, Priority: 5, Match: MatchAll().WithExact(header.IPProto, 17)}
+	if err := tb.Insert(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableDuplicateID(t *testing.T) {
+	tb := New()
+	if err := tb.Insert(&Rule{ID: 1, Priority: 1}); err != nil {
+		t.Fatal(err)
+	}
+	err := tb.Insert(&Rule{ID: 1, Priority: 2, Match: MatchAll().WithExact(header.IPProto, 6)})
+	if !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestTableDeleteModify(t *testing.T) {
+	tb := New()
+	r := &Rule{ID: 7, Priority: 3, Actions: []Action{Output(1)}}
+	if err := tb.Insert(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Modify(7, []Action{Output(2)}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := tb.Get(7)
+	if got.ForwardingSet()[0] != 2 {
+		t.Fatal("modify did not take")
+	}
+	if err := tb.Modify(7, []Action{ECMP(1), Output(2)}); err == nil {
+		t.Fatal("modify must validate")
+	}
+	if err := tb.Delete(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Delete(7); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("got %v", err)
+	}
+	if tb.Len() != 0 {
+		t.Fatal("len after delete")
+	}
+}
+
+func TestTableDeleteMatching(t *testing.T) {
+	tb := New()
+	m := MatchAll().WithExact(header.IPProto, 6)
+	a := &Rule{ID: 1, Priority: 4, Match: m}
+	b := &Rule{ID: 2, Priority: 5, Match: m}
+	if err := tb.Insert(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Insert(b); err != nil {
+		t.Fatal(err)
+	}
+	removed := tb.DeleteMatching(m, 4)
+	if len(removed) != 1 || removed[0] != a || tb.Len() != 1 {
+		t.Fatalf("removed=%v len=%d", removed, tb.Len())
+	}
+}
+
+func TestHigherLowerOverlapping(t *testing.T) {
+	tb := New()
+	mk := func(id uint64, prio int, plen int) *Rule {
+		return &Rule{ID: id, Priority: prio,
+			Match: MatchAll().With(header.IPSrc, header.Prefix(header.IPSrc, ip(10, 0, 0, 0), plen))}
+	}
+	r1 := mk(1, 1, 8)
+	r2 := mk(2, 5, 16)
+	r3 := mk(3, 9, 24)
+	other := &Rule{ID: 4, Priority: 7, Match: MatchAll().With(header.IPSrc, header.Prefix(header.IPSrc, ip(192, 168, 0, 0), 16))}
+	for _, r := range []*Rule{r1, r2, r3, other} {
+		if err := tb.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hi := tb.HigherPriority(r2)
+	if len(hi) != 2 || hi[0] != r3 || hi[1] != other {
+		t.Fatalf("higher=%v", hi)
+	}
+	lo := tb.LowerPriority(r2)
+	if len(lo) != 1 || lo[0] != r1 {
+		t.Fatalf("lower=%v", lo)
+	}
+	ov := tb.Overlapping(r2)
+	if len(ov) != 2 { // r1, r3 overlap; "other" does not
+		t.Fatalf("overlapping=%v", ov)
+	}
+}
+
+func TestTableClone(t *testing.T) {
+	tb := New()
+	tb.Miss = MissController
+	r := &Rule{ID: 1, Priority: 2, Actions: []Action{ECMP(1, 2)}}
+	if err := tb.Insert(r); err != nil {
+		t.Fatal(err)
+	}
+	cp := tb.Clone()
+	if cp.Miss != MissController || cp.Len() != 1 {
+		t.Fatal("clone meta")
+	}
+	cr, _ := cp.Get(1)
+	if cr == r {
+		t.Fatal("clone must deep-copy rules")
+	}
+	cr.Actions[0].Ports[0] = 99
+	if r.Actions[0].Ports[0] == 99 {
+		t.Fatal("clone shares ECMP port slice")
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := &Rule{ID: 1, Priority: 2, Actions: []Action{SetField(header.IPTos, 4), Output(1)}}
+	if r.String() == "" || (&Rule{}).String() == "" {
+		t.Fatal("String")
+	}
+	if MatchAll().String() != "match(*)" {
+		t.Fatal("MatchAll string")
+	}
+}
+
+// Property: Lookup returns the highest-priority covering rule.
+func TestLookupProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := New()
+		for i := 0; i < 30; i++ {
+			r := &Rule{ID: uint64(i), Priority: rng.Intn(1000),
+				Match: MatchAll().
+					With(header.IPSrc, header.Prefix(header.IPSrc, rng.Uint64(), rng.Intn(33))).
+					With(header.IPDst, header.Prefix(header.IPDst, rng.Uint64(), rng.Intn(33)))}
+			_ = tb.Insert(r) // equal-priority overlaps silently skipped
+		}
+		var h header.Header
+		h.Set(header.IPSrc, rng.Uint64())
+		h.Set(header.IPDst, rng.Uint64())
+		got := tb.Lookup(h)
+		// Brute force check.
+		var best *Rule
+		for _, r := range tb.Rules() {
+			if r.Match.Covers(h) && (best == nil || r.Priority > best.Priority) {
+				best = r
+			}
+		}
+		if best == nil {
+			return got == nil
+		}
+		return got != nil && got.Priority == best.Priority && got.Match.Covers(h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,333 @@
+// Package flowtable models OpenFlow 1.0 forwarding state: ternary matches
+// over the abstract 12-tuple, prioritized rules with ordered action lists,
+// and the lookup semantics of a switch TCAM. It provides the primitives the
+// probe generator reasons about: rule overlap, forwarding sets, and the
+// per-port rewrite outcome RewriteOnPort (§3.4 of the paper).
+package flowtable
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"monocle/internal/header"
+)
+
+// PortID identifies a switch port. The zero value is invalid (OpenFlow 1.0
+// numbers physical ports from 1).
+type PortID uint16
+
+// PortController is the reserved port for sending packets to the
+// controller (catching rules use it).
+const PortController PortID = 0xfffd
+
+// Match is a ternary match over every abstract header field; the zero
+// value matches every packet (all fields wildcarded).
+type Match [header.NumFields]header.Ternary
+
+// MatchAll returns the all-wildcard match.
+func MatchAll() Match { return Match{} }
+
+// With returns a copy of m with field f set to t (builder style).
+func (m Match) With(f header.FieldID, t header.Ternary) Match {
+	m[f] = t
+	return m
+}
+
+// WithExact returns a copy of m with field f exact-matched to v.
+func (m Match) WithExact(f header.FieldID, v uint64) Match {
+	m[f] = header.Exact(f, v)
+	return m
+}
+
+// Covers reports whether the concrete header h matches m.
+func (m Match) Covers(h header.Header) bool {
+	for f := header.FieldID(0); f < header.NumFields; f++ {
+		if !m[f].Covers(h.Get(f)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Overlaps reports whether some packet matches both m and o, i.e. whether
+// the two matches agree on every bit they both constrain (§5.4).
+func (m Match) Overlaps(o Match) bool {
+	for f := header.FieldID(0); f < header.NumFields; f++ {
+		if !m[f].Overlaps(o[f]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Subsumes reports whether every packet matched by o is matched by m.
+func (m Match) Subsumes(o Match) bool {
+	for f := header.FieldID(0); f < header.NumFields; f++ {
+		if !m[f].Subsumes(o[f]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports structural equality.
+func (m Match) Equal(o Match) bool { return m == o }
+
+// String renders only the constrained fields.
+func (m Match) String() string {
+	var parts []string
+	for f := header.FieldID(0); f < header.NumFields; f++ {
+		if !m[f].IsWildcard() {
+			parts = append(parts, fmt.Sprintf("%s=%s", f, m[f].Render(f)))
+		}
+	}
+	if len(parts) == 0 {
+		return "match(*)"
+	}
+	return "match(" + strings.Join(parts, ",") + ")"
+}
+
+// ActionKind discriminates rule actions.
+type ActionKind int
+
+const (
+	// ActionSetField rewrites one header field to a fixed value before
+	// subsequent outputs.
+	ActionSetField ActionKind = iota
+	// ActionOutput emits the packet (with rewrites applied so far) on
+	// one port. Multiple ActionOutputs make the rule multicast.
+	ActionOutput
+	// ActionGroupECMP emits the packet on exactly one — unspecified —
+	// port from Ports (equal-cost multi-path). A rule may contain at
+	// most one group action and no plain outputs alongside it.
+	ActionGroupECMP
+)
+
+// Action is one element of a rule's ordered action list.
+type Action struct {
+	Kind  ActionKind
+	Field header.FieldID // ActionSetField
+	Value uint64         // ActionSetField
+	Port  PortID         // ActionOutput
+	Ports []PortID       // ActionGroupECMP
+}
+
+// SetField builds a rewrite action.
+func SetField(f header.FieldID, v uint64) Action {
+	return Action{Kind: ActionSetField, Field: f, Value: v & header.WidthMask(f)}
+}
+
+// Output builds a unicast output action.
+func Output(p PortID) Action { return Action{Kind: ActionOutput, Port: p} }
+
+// ECMP builds an equal-cost multipath group action.
+func ECMP(ports ...PortID) Action {
+	cp := make([]PortID, len(ports))
+	copy(cp, ports)
+	return Action{Kind: ActionGroupECMP, Ports: cp}
+}
+
+// Rule is one prioritized flow entry. ID is a caller-chosen identifier
+// (Monocle uses it to map probes back to rules); it does not participate
+// in matching.
+type Rule struct {
+	ID       uint64
+	Priority int
+	Match    Match
+	Actions  []Action
+}
+
+// Validate rejects action lists outside the supported shape: ECMP groups
+// must be the sole output-producing action and non-empty.
+func (r *Rule) Validate() error {
+	groups, outputs := 0, 0
+	for _, a := range r.Actions {
+		switch a.Kind {
+		case ActionGroupECMP:
+			groups++
+			if len(a.Ports) == 0 {
+				return fmt.Errorf("flowtable: rule %d: empty ECMP group", r.ID)
+			}
+		case ActionOutput:
+			outputs++
+		case ActionSetField:
+			if a.Field < 0 || a.Field >= header.NumFields {
+				return fmt.Errorf("flowtable: rule %d: bad set-field %d", r.ID, a.Field)
+			}
+		default:
+			return fmt.Errorf("flowtable: rule %d: unknown action kind %d", r.ID, a.Kind)
+		}
+	}
+	if groups > 1 || (groups == 1 && outputs > 0) {
+		return fmt.Errorf("flowtable: rule %d: ECMP group must be the only output action", r.ID)
+	}
+	return nil
+}
+
+// IsDrop reports whether the rule forwards nowhere.
+func (r *Rule) IsDrop() bool { return len(r.ForwardingSet()) == 0 }
+
+// IsECMP reports whether the rule forwards nondeterministically to one of
+// several ports. A single-port group is deterministic and therefore not
+// ECMP in the paper's sense.
+func (r *Rule) IsECMP() bool {
+	for _, a := range r.Actions {
+		if a.Kind == ActionGroupECMP && len(dedupPorts(a.Ports)) > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// ForwardingSet returns the set of ports the rule may emit on, sorted.
+func (r *Rule) ForwardingSet() []PortID {
+	var ports []PortID
+	for _, a := range r.Actions {
+		switch a.Kind {
+		case ActionOutput:
+			ports = append(ports, a.Port)
+		case ActionGroupECMP:
+			ports = append(ports, a.Ports...)
+		}
+	}
+	return dedupPorts(ports)
+}
+
+func dedupPorts(ports []PortID) []PortID {
+	if len(ports) == 0 {
+		return nil
+	}
+	cp := make([]PortID, len(ports))
+	copy(cp, ports)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	out := cp[:1]
+	for _, p := range cp[1:] {
+		if p != out[len(out)-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Rewrite is the accumulated effect of set-field actions: for each field,
+// whether it is overwritten and with what value. The zero value rewrites
+// nothing.
+type Rewrite struct {
+	Set   [header.NumFields]bool
+	Value [header.NumFields]uint64
+}
+
+// Apply returns h with the rewrite applied.
+func (w Rewrite) Apply(h header.Header) header.Header {
+	for f := header.FieldID(0); f < header.NumFields; f++ {
+		if w.Set[f] {
+			h.Set(f, w.Value[f])
+		}
+	}
+	return h
+}
+
+// BitRewrite implements Table 4's R[i] classification for bit `bit` of
+// field f: it returns (fixed, value) where fixed=false means the bit
+// passes through ("*") and fixed=true means the rule forces it to value.
+func (w Rewrite) BitRewrite(f header.FieldID, bit int) (fixed bool, value bool) {
+	if !w.Set[f] {
+		return false, false
+	}
+	wdt := header.Width(f)
+	return true, w.Value[f]>>(wdt-1-bit)&1 == 1
+}
+
+// Equal reports whether two rewrites are structurally identical.
+func (w Rewrite) Equal(o Rewrite) bool { return w == o }
+
+// RewriteOnPort returns the rewrite state in effect when the rule emits on
+// port p, and whether the rule can emit on p at all. For ECMP groups the
+// rewrite is whatever accumulated before the group action. If a multicast
+// rule outputs twice to the same port, the first emission's rewrite is
+// reported (the paper's model has at most one emission per port).
+func (r *Rule) RewriteOnPort(p PortID) (Rewrite, bool) {
+	var w Rewrite
+	for _, a := range r.Actions {
+		switch a.Kind {
+		case ActionSetField:
+			w.Set[a.Field] = true
+			w.Value[a.Field] = a.Value & header.WidthMask(a.Field)
+		case ActionOutput:
+			if a.Port == p {
+				return w, true
+			}
+		case ActionGroupECMP:
+			for _, gp := range a.Ports {
+				if gp == p {
+					return w, true
+				}
+			}
+		}
+	}
+	return Rewrite{}, false
+}
+
+// Emission is one packet leaving a switch after rule processing.
+type Emission struct {
+	Port   PortID
+	Header header.Header
+}
+
+// Apply executes the action list on h deterministically. For ECMP rules
+// the choose function selects an index into the group's port list (pass
+// nil to take the first port). It returns every emission in order.
+func (r *Rule) Apply(h header.Header, choose func(n int) int) []Emission {
+	var out []Emission
+	cur := h
+	for _, a := range r.Actions {
+		switch a.Kind {
+		case ActionSetField:
+			cur.Set(a.Field, a.Value)
+		case ActionOutput:
+			out = append(out, Emission{Port: a.Port, Header: cur})
+		case ActionGroupECMP:
+			i := 0
+			if choose != nil {
+				i = choose(len(a.Ports)) % len(a.Ports)
+			}
+			out = append(out, Emission{Port: a.Ports[i], Header: cur})
+		}
+	}
+	return out
+}
+
+// String renders the rule compactly.
+func (r *Rule) String() string {
+	var acts []string
+	for _, a := range r.Actions {
+		switch a.Kind {
+		case ActionSetField:
+			acts = append(acts, fmt.Sprintf("set(%s=%#x)", a.Field, a.Value))
+		case ActionOutput:
+			acts = append(acts, fmt.Sprintf("fwd(%d)", a.Port))
+		case ActionGroupECMP:
+			acts = append(acts, fmt.Sprintf("ecmp(%v)", a.Ports))
+		}
+	}
+	if len(acts) == 0 {
+		acts = []string{"drop"}
+	}
+	return fmt.Sprintf("rule(id=%d,prio=%d,%s -> %s)", r.ID, r.Priority, r.Match, strings.Join(acts, ","))
+}
+
+// Clone returns a deep copy of the rule.
+func (r *Rule) Clone() *Rule {
+	cp := *r
+	cp.Actions = make([]Action, len(r.Actions))
+	copy(cp.Actions, r.Actions)
+	for i, a := range cp.Actions {
+		if a.Kind == ActionGroupECMP {
+			ports := make([]PortID, len(a.Ports))
+			copy(ports, a.Ports)
+			cp.Actions[i].Ports = ports
+		}
+	}
+	return &cp
+}

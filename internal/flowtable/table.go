@@ -1,0 +1,199 @@
+package flowtable
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"monocle/internal/header"
+)
+
+// TableMiss selects what the switch does with packets matching no rule.
+// The OpenFlow 1.0 default sends the packet to the controller; many
+// deployments (and the paper's examples, §4.2) configure drop instead.
+type TableMiss int
+
+const (
+	// MissDrop drops unmatched packets.
+	MissDrop TableMiss = iota
+	// MissController punts unmatched packets to the controller.
+	MissController
+)
+
+// ErrSamePriorityOverlap is returned when inserting a rule that overlaps
+// an existing rule at the same priority: the OpenFlow specification leaves
+// that behaviour undefined, so the paper (footnote 1) and this model reject
+// it outright.
+var ErrSamePriorityOverlap = errors.New("flowtable: overlapping rules at equal priority (undefined behaviour)")
+
+// ErrNotFound is returned by Delete/Modify when no rule matches.
+var ErrNotFound = errors.New("flowtable: rule not found")
+
+// ErrDuplicateID is returned when inserting a rule whose ID is in use.
+var ErrDuplicateID = errors.New("flowtable: duplicate rule id")
+
+// Table is a priority-ordered flow table with OpenFlow lookup semantics.
+// It is not safe for concurrent use; callers own synchronization.
+type Table struct {
+	rules []*Rule // sorted by priority descending, stable insert order
+	byID  map[uint64]*Rule
+	// Miss is the table-miss behaviour used by Lookup-driven dataplanes.
+	Miss TableMiss
+}
+
+// New returns an empty table with MissDrop behaviour.
+func New() *Table {
+	return &Table{byID: make(map[uint64]*Rule)}
+}
+
+// Len returns the number of installed rules.
+func (t *Table) Len() int { return len(t.rules) }
+
+// Rules returns the rules in priority-descending order. The slice is a
+// copy; the pointed-to rules are shared.
+func (t *Table) Rules() []*Rule {
+	out := make([]*Rule, len(t.rules))
+	copy(out, t.rules)
+	return out
+}
+
+// Get returns the rule with the given ID.
+func (t *Table) Get(id uint64) (*Rule, bool) {
+	r, ok := t.byID[id]
+	return r, ok
+}
+
+// Insert adds a rule. It rejects invalid action lists, duplicate IDs, and
+// equal-priority overlaps.
+func (t *Table) Insert(r *Rule) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	if _, dup := t.byID[r.ID]; dup {
+		return fmt.Errorf("%w: %d", ErrDuplicateID, r.ID)
+	}
+	for _, ex := range t.rules {
+		if ex.Priority == r.Priority && ex.Match.Overlaps(r.Match) {
+			return fmt.Errorf("%w: new %v vs existing %v", ErrSamePriorityOverlap, r, ex)
+		}
+	}
+	// Insert keeping priority-descending order.
+	i := sort.Search(len(t.rules), func(i int) bool { return t.rules[i].Priority < r.Priority })
+	t.rules = append(t.rules, nil)
+	copy(t.rules[i+1:], t.rules[i:])
+	t.rules[i] = r
+	t.byID[r.ID] = r
+	return nil
+}
+
+// Delete removes the rule with the given ID.
+func (t *Table) Delete(id uint64) error {
+	r, ok := t.byID[id]
+	if !ok {
+		return fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	delete(t.byID, id)
+	for i, x := range t.rules {
+		if x == r {
+			t.rules = append(t.rules[:i], t.rules[i+1:]...)
+			return nil
+		}
+	}
+	panic("flowtable: byID/rules out of sync")
+}
+
+// DeleteMatching removes every rule whose match and priority equal the
+// given ones (OpenFlow strict delete). It returns the removed rules.
+func (t *Table) DeleteMatching(m Match, priority int) []*Rule {
+	var removed []*Rule
+	kept := t.rules[:0]
+	for _, r := range t.rules {
+		if r.Priority == priority && r.Match.Equal(m) {
+			removed = append(removed, r)
+			delete(t.byID, r.ID)
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	t.rules = kept
+	return removed
+}
+
+// Modify replaces the actions of the rule with the given ID, keeping match
+// and priority (OpenFlow modify semantics; §4.1 of the paper).
+func (t *Table) Modify(id uint64, actions []Action) error {
+	r, ok := t.byID[id]
+	if !ok {
+		return fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	tmp := *r
+	tmp.Actions = actions
+	if err := tmp.Validate(); err != nil {
+		return err
+	}
+	r.Actions = actions
+	return nil
+}
+
+// Lookup returns the highest-priority rule matching h, or nil on a table
+// miss. Ties cannot occur for matching rules because equal-priority
+// overlaps are rejected at insert.
+func (t *Table) Lookup(h header.Header) *Rule {
+	for _, r := range t.rules {
+		if r.Match.Covers(h) {
+			return r
+		}
+	}
+	return nil
+}
+
+// HigherPriority returns the rules with strictly higher priority than ref,
+// in priority-descending order.
+func (t *Table) HigherPriority(ref *Rule) []*Rule {
+	var out []*Rule
+	for _, r := range t.rules {
+		if r.Priority > ref.Priority {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// LowerPriority returns the rules with strictly lower priority than ref,
+// in priority-descending order.
+func (t *Table) LowerPriority(ref *Rule) []*Rule {
+	var out []*Rule
+	for _, r := range t.rules {
+		if r.Priority < ref.Priority {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Clone deep-copies the table (used by the dynamic prober to build the
+// altered table for modification probes, §4.1).
+func (t *Table) Clone() *Table {
+	cp := New()
+	cp.Miss = t.Miss
+	cp.rules = make([]*Rule, len(t.rules))
+	for i, r := range t.rules {
+		rc := r.Clone()
+		cp.rules[i] = rc
+		cp.byID[rc.ID] = rc
+	}
+	return cp
+}
+
+// Overlapping returns the rules (other than ref itself) whose match
+// overlaps ref's match — the §5.4 pre-filter: only these can influence
+// probe generation for ref.
+func (t *Table) Overlapping(ref *Rule) []*Rule {
+	var out []*Rule
+	for _, r := range t.rules {
+		if r != ref && r.ID != ref.ID && r.Match.Overlaps(ref.Match) {
+			out = append(out, r)
+		}
+	}
+	return out
+}

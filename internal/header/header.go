@@ -1,0 +1,220 @@
+// Package header defines the abstract packet view used throughout Monocle
+// (§5.1 of the paper): instead of representing a packet as a stream of bits
+// with complex wire-format dependencies, a packet is a series of abstract
+// fields, one per well-defined protocol field, mirroring the OpenFlow 1.0
+// 12-tuple. Constraints are formulated over the bits of this abstract view;
+// the packet package later translates a solved abstract header into a real
+// wire-format packet.
+package header
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FieldID identifies one abstract header field.
+type FieldID int
+
+// The OpenFlow 1.0 match fields.
+const (
+	InPort FieldID = iota
+	EthSrc
+	EthDst
+	EthType
+	VlanID
+	VlanPCP
+	IPSrc
+	IPDst
+	IPProto
+	IPTos
+	TPSrc
+	TPDst
+	NumFields // sentinel
+)
+
+var fieldNames = [NumFields]string{
+	"in_port", "dl_src", "dl_dst", "dl_type", "dl_vlan", "dl_vlan_pcp",
+	"nw_src", "nw_dst", "nw_proto", "nw_tos", "tp_src", "tp_dst",
+}
+
+// String returns the OpenFlow-style field name.
+func (f FieldID) String() string {
+	if f < 0 || f >= NumFields {
+		return fmt.Sprintf("field(%d)", int(f))
+	}
+	return fieldNames[f]
+}
+
+// Width in bits of each abstract field. VlanID is 16 bits wide so that the
+// OpenFlow 1.0 OFP_VLAN_NONE sentinel (0xffff, "packet has no 802.1Q tag")
+// is representable directly in the abstract space.
+var fieldWidths = [NumFields]int{
+	16, 48, 48, 16, 16, 3, 32, 32, 8, 8, 16, 16,
+}
+
+// Width returns the bit width of field f.
+func Width(f FieldID) int { return fieldWidths[f] }
+
+// offsets[f] is the index of field f's most significant bit in the flat
+// bit-vector view of the abstract packet.
+var offsets [NumFields]int
+
+// TotalBits is the length of the flat bit vector of the abstract packet.
+var TotalBits int
+
+func init() {
+	off := 0
+	for f := FieldID(0); f < NumFields; f++ {
+		offsets[f] = off
+		off += fieldWidths[f]
+	}
+	TotalBits = off
+}
+
+// Offset returns the flat bit offset of field f's most significant bit.
+func Offset(f FieldID) int { return offsets[f] }
+
+// BitVar returns the 1-based SAT variable for bit `bit` (0 = MSB) of field
+// f. This is the canonical mapping between abstract header bits and DIMACS
+// problem variables.
+func BitVar(f FieldID, bit int) int {
+	if bit < 0 || bit >= fieldWidths[f] {
+		panic(fmt.Sprintf("header: bit %d out of range for %s", bit, f))
+	}
+	return offsets[f] + bit + 1
+}
+
+// VlanNone is the OpenFlow 1.0 sentinel for "no 802.1Q tag present".
+const VlanNone uint64 = 0xffff
+
+// EtherType values used by the reproduction.
+const (
+	EthTypeIPv4 uint64 = 0x0800
+	EthTypeARP  uint64 = 0x0806
+)
+
+// IP protocol numbers.
+const (
+	ProtoICMP uint64 = 1
+	ProtoTCP  uint64 = 6
+	ProtoUDP  uint64 = 17
+)
+
+// Header is a fully concrete abstract packet: one value per field.
+type Header [NumFields]uint64
+
+// Get returns field f.
+func (h *Header) Get(f FieldID) uint64 { return h[f] }
+
+// Set assigns field f, truncating to the field width.
+func (h *Header) Set(f FieldID, v uint64) {
+	h[f] = v & widthMask(f)
+}
+
+func widthMask(f FieldID) uint64 {
+	w := fieldWidths[f]
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << w) - 1
+}
+
+// WidthMask returns the all-ones mask for field f's width.
+func WidthMask(f FieldID) uint64 { return widthMask(f) }
+
+// Bit returns bit `bit` (0 = MSB) of field f.
+func (h *Header) Bit(f FieldID, bit int) bool {
+	w := fieldWidths[f]
+	return h[f]>>(w-1-bit)&1 == 1
+}
+
+// FromModel reconstructs a concrete header from a SAT model indexed by the
+// BitVar mapping (model[v] for variable v).
+func FromModel(model []bool) Header {
+	var h Header
+	for f := FieldID(0); f < NumFields; f++ {
+		var v uint64
+		for b := 0; b < fieldWidths[f]; b++ {
+			v <<= 1
+			if model[BitVar(f, b)] {
+				v |= 1
+			}
+		}
+		h[f] = v
+	}
+	return h
+}
+
+// String renders the header compactly.
+func (h Header) String() string {
+	var sb strings.Builder
+	for f := FieldID(0); f < NumFields; f++ {
+		if f > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%#x", f, h[f])
+	}
+	return sb.String()
+}
+
+// Ternary is a value/mask pair over a single field: mask bit 1 means the
+// bit must equal the corresponding value bit, mask bit 0 is wildcard. The
+// all-zero Ternary is the full wildcard.
+type Ternary struct {
+	Value uint64
+	Mask  uint64
+}
+
+// Exact returns a fully specified ternary for field f.
+func Exact(f FieldID, v uint64) Ternary {
+	m := widthMask(f)
+	return Ternary{Value: v & m, Mask: m}
+}
+
+// Prefix returns a CIDR-style ternary matching the top plen bits of v in a
+// field of f's width (used for nw_src/nw_dst).
+func Prefix(f FieldID, v uint64, plen int) Ternary {
+	w := fieldWidths[f]
+	if plen < 0 || plen > w {
+		panic(fmt.Sprintf("header: prefix length %d out of range for %s", plen, f))
+	}
+	var m uint64
+	if plen > 0 {
+		m = widthMask(f) &^ ((uint64(1) << (w - plen)) - 1)
+	}
+	return Ternary{Value: v & m, Mask: m}
+}
+
+// Wildcard is the fully wildcarded ternary.
+func Wildcard() Ternary { return Ternary{} }
+
+// IsWildcard reports whether no bit is constrained.
+func (t Ternary) IsWildcard() bool { return t.Mask == 0 }
+
+// IsExact reports whether every bit of field f is constrained.
+func (t Ternary) IsExact(f FieldID) bool { return t.Mask == widthMask(f) }
+
+// Covers reports whether concrete value v matches the ternary.
+func (t Ternary) Covers(v uint64) bool { return (v^t.Value)&t.Mask == 0 }
+
+// Overlaps reports whether some concrete value matches both ternaries:
+// the values agree on every commonly constrained bit.
+func (t Ternary) Overlaps(o Ternary) bool {
+	return (t.Value^o.Value)&(t.Mask&o.Mask) == 0
+}
+
+// Subsumes reports whether every value covered by o is covered by t.
+func (t Ternary) Subsumes(o Ternary) bool {
+	return t.Mask&^o.Mask == 0 && (t.Value^o.Value)&t.Mask == 0
+}
+
+// String renders the ternary for field f.
+func (t Ternary) Render(f FieldID) string {
+	if t.IsWildcard() {
+		return "*"
+	}
+	if t.IsExact(f) {
+		return fmt.Sprintf("%#x", t.Value)
+	}
+	return fmt.Sprintf("%#x/%#x", t.Value, t.Mask)
+}

@@ -1,0 +1,241 @@
+package header
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLayout(t *testing.T) {
+	if TotalBits != 16+48+48+16+16+3+32+32+8+8+16+16 {
+		t.Fatalf("TotalBits=%d", TotalBits)
+	}
+	if Offset(InPort) != 0 {
+		t.Fatal("InPort offset")
+	}
+	// Offsets must be contiguous.
+	off := 0
+	for f := FieldID(0); f < NumFields; f++ {
+		if Offset(f) != off {
+			t.Fatalf("offset(%s)=%d want %d", f, Offset(f), off)
+		}
+		off += Width(f)
+	}
+}
+
+func TestBitVarMapping(t *testing.T) {
+	if BitVar(InPort, 0) != 1 {
+		t.Fatalf("first bit must be var 1, got %d", BitVar(InPort, 0))
+	}
+	if BitVar(TPDst, Width(TPDst)-1) != TotalBits {
+		t.Fatalf("last bit must be var %d", TotalBits)
+	}
+	seen := map[int]bool{}
+	for f := FieldID(0); f < NumFields; f++ {
+		for b := 0; b < Width(f); b++ {
+			v := BitVar(f, b)
+			if v < 1 || v > TotalBits || seen[v] {
+				t.Fatalf("BitVar(%s,%d)=%d invalid/duplicate", f, b, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestBitVarPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for out-of-range bit")
+		}
+	}()
+	BitVar(VlanPCP, 3)
+}
+
+func TestHeaderSetGetTruncates(t *testing.T) {
+	var h Header
+	h.Set(VlanPCP, 0xff)
+	if h.Get(VlanPCP) != 0x7 {
+		t.Fatalf("got %#x, want truncation to width", h.Get(VlanPCP))
+	}
+	h.Set(IPSrc, 0x1_0000_0001)
+	if h.Get(IPSrc) != 1 {
+		t.Fatalf("got %#x", h.Get(IPSrc))
+	}
+}
+
+func TestHeaderBitMSBFirst(t *testing.T) {
+	var h Header
+	h.Set(IPProto, 0x80) // MSB of the 8-bit field
+	if !h.Bit(IPProto, 0) || h.Bit(IPProto, 7) {
+		t.Fatal("Bit() must be MSB-first")
+	}
+}
+
+func TestFromModelRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var h Header
+		for fid := FieldID(0); fid < NumFields; fid++ {
+			h.Set(fid, rng.Uint64())
+		}
+		model := make([]bool, TotalBits+1)
+		for fid := FieldID(0); fid < NumFields; fid++ {
+			for b := 0; b < Width(fid); b++ {
+				model[BitVar(fid, b)] = h.Bit(fid, b)
+			}
+		}
+		return FromModel(model) == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTernaryExact(t *testing.T) {
+	tn := Exact(EthType, EthTypeIPv4)
+	if !tn.IsExact(EthType) || tn.IsWildcard() {
+		t.Fatal("Exact flags")
+	}
+	if !tn.Covers(EthTypeIPv4) || tn.Covers(EthTypeARP) {
+		t.Fatal("Covers")
+	}
+}
+
+func TestTernaryPrefix(t *testing.T) {
+	// 10.0.0.0/24
+	v := uint64(10)<<24 | 0
+	p := Prefix(IPSrc, v, 24)
+	if !p.Covers(v | 5) {
+		t.Fatal("prefix must cover host bits")
+	}
+	if p.Covers(uint64(11) << 24) {
+		t.Fatal("prefix must reject other networks")
+	}
+	if Prefix(IPSrc, 0, 0) != Wildcard() {
+		t.Fatal("zero-length prefix is wildcard")
+	}
+	full := Prefix(IPSrc, v|5, 32)
+	if !full.IsExact(IPSrc) {
+		t.Fatal("/32 is exact")
+	}
+}
+
+func TestTernaryPrefixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for bad prefix length")
+		}
+	}()
+	Prefix(IPSrc, 0, 33)
+}
+
+func TestTernaryOverlapSubsume(t *testing.T) {
+	a := Prefix(IPSrc, 10<<24, 8)  // 10/8
+	b := Prefix(IPSrc, 10<<24, 24) // 10.0.0/24
+	c := Prefix(IPSrc, 11<<24, 8)  // 11/8
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Fatal("nested prefixes overlap")
+	}
+	if a.Overlaps(c) {
+		t.Fatal("disjoint prefixes must not overlap")
+	}
+	if !a.Subsumes(b) || b.Subsumes(a) {
+		t.Fatal("subsume direction")
+	}
+	w := Wildcard()
+	if !w.Overlaps(a) || !w.Subsumes(a) || a.Subsumes(w) {
+		t.Fatal("wildcard relations")
+	}
+}
+
+// Property: Overlaps is symmetric and implied by a shared covered value.
+func TestOverlapsProperty(t *testing.T) {
+	f := func(v1, m1, v2, m2 uint32) bool {
+		a := Ternary{Value: uint64(v1), Mask: uint64(m1)}
+		b := Ternary{Value: uint64(v2), Mask: uint64(m2)}
+		if a.Overlaps(b) != b.Overlaps(a) {
+			return false
+		}
+		if a.Overlaps(b) {
+			// Construct the witness: agree on common bits, take each
+			// side's value on its own bits.
+			w := (a.Value & a.Mask) | (b.Value & b.Mask &^ a.Mask)
+			return a.Covers(w) && b.Covers(w)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRender(t *testing.T) {
+	if Wildcard().Render(IPSrc) != "*" {
+		t.Fatal("wildcard render")
+	}
+	if Exact(IPProto, 6).Render(IPProto) != "0x6" {
+		t.Fatalf("exact render: %s", Exact(IPProto, 6).Render(IPProto))
+	}
+	if Prefix(IPSrc, 10<<24, 8).Render(IPSrc) == "*" {
+		t.Fatal("prefix render")
+	}
+}
+
+func TestFieldString(t *testing.T) {
+	if InPort.String() != "in_port" || TPDst.String() != "tp_dst" {
+		t.Fatal("field names")
+	}
+	if FieldID(99).String() != "field(99)" {
+		t.Fatal("out-of-range field name")
+	}
+}
+
+func TestDomains(t *testing.T) {
+	d := DefaultDomains()
+	if !d[EthType].Contains(EthTypeIPv4) || d[EthType].Contains(EthTypeARP) {
+		t.Fatal("dl_type domain")
+	}
+	if !d[IPProto].Contains(ProtoTCP) || d[IPProto].Contains(2) {
+		t.Fatal("nw_proto domain")
+	}
+	if !d[VlanID].Contains(100) || !d[VlanID].Contains(VlanNone) || d[VlanID].Contains(5000) {
+		t.Fatal("dl_vlan domain")
+	}
+	if d[VlanPCP].Full() != true {
+		t.Fatal("pcp full")
+	}
+}
+
+func TestDomainSpare(t *testing.T) {
+	d := Domain{Values: []uint64{1, 6, 17}}
+	used := map[uint64]bool{1: true, 6: true}
+	v, ok := d.Spare(used, 255)
+	if !ok || v != 17 {
+		t.Fatalf("spare=%d ok=%v", v, ok)
+	}
+	used[17] = true
+	if _, ok := d.Spare(used, 255); ok {
+		t.Fatal("no spare should remain")
+	}
+	full := Domain{}
+	v, ok = full.Spare(map[uint64]bool{0: true, 1: true}, 10)
+	if !ok || v != 2 {
+		t.Fatalf("full-domain spare=%d ok=%v", v, ok)
+	}
+}
+
+func TestDependencies(t *testing.T) {
+	deps := Dependencies()
+	if deps[TPSrc].Parent != IPProto {
+		t.Fatal("tp_src parent")
+	}
+	if deps[IPSrc].Parent != EthType {
+		t.Fatal("nw_src parent")
+	}
+	if _, ok := deps[EthSrc]; ok {
+		t.Fatal("dl_src is unconditional")
+	}
+	if !PCPRequiresTag(VlanNone) || PCPRequiresTag(100) {
+		t.Fatal("PCPRequiresTag")
+	}
+}

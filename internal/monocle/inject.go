@@ -1,0 +1,308 @@
+package monocle
+
+// Probe injection, collection and judging. Probes are injected through the
+// monitored switch's own control channel as PacketOut messages whose only
+// action outputs to OFPP_TABLE, i.e. the frame traverses the switch's flow
+// table exactly like a data packet arriving on InPort (§8.3.1: "the
+// approach we implemented relies on the control channel"). Caught probes
+// arrive as PacketIns at the *downstream* switch's Monitor, which hands
+// them to the Multiplexer for routing back to the owner by the switch id
+// in the probe metadata (§4.2).
+
+import (
+	"time"
+
+	"monocle/internal/flowtable"
+	"monocle/internal/header"
+	"monocle/internal/openflow"
+	"monocle/internal/packet"
+	"monocle/internal/probe"
+)
+
+// startPending registers dynamic monitoring for an update. All pending
+// updates share one round-robin prober whose aggregate PacketOut budget is
+// capped by DynamicProbeRate, so a burst of updates (the §8.4 batched
+// scenario) does not crowd FlowMods out of the switch's control channel.
+func (m *Monitor) startPending(ruleID uint64, p *probe.Probe, kind packet.Expectation) *pendingUpdate {
+	pu := &pendingUpdate{ruleID: ruleID, probe: p, kind: kind, issuedAt: m.Sim.Now()}
+	// The probe is ready for injection after the modeled generation
+	// latency (Table 2).
+	pu.eligibleAt = m.Sim.Now() + m.Cfg.GenDelay
+	m.pending[ruleID] = pu
+	m.dynQueue = append(m.dynQueue, ruleID)
+	if m.Cfg.DynamicTimeout > 0 {
+		pu.deadline = m.Sim.After(m.Cfg.DynamicTimeout, func() {
+			if m.pending[ruleID] == pu {
+				if m.Cfg.OnUpdateStuck != nil {
+					m.Cfg.OnUpdateStuck(ruleID, m.Sim.Now())
+				}
+			}
+		})
+	}
+	m.armDynTicker(m.Cfg.GenDelay)
+	return pu
+}
+
+// armDynTicker ensures a prober tick is scheduled within d.
+func (m *Monitor) armDynTicker(d time.Duration) {
+	if m.dynTicker != nil && m.dynTicker.Pending() {
+		return
+	}
+	m.dynTicker = m.Sim.After(d, m.dynamicTick)
+}
+
+// dynTickInterval is the pacing of the round-robin prober.
+func (m *Monitor) dynTickInterval() time.Duration {
+	rate := m.Cfg.DynamicProbeRate
+	if rate <= 0 {
+		rate = 1000
+	}
+	return time.Duration(float64(time.Second) / rate)
+}
+
+// retryInterval is the minimum per-update re-injection gap.
+func (m *Monitor) retryInterval() time.Duration {
+	if m.Cfg.DynamicRetryInterval > 0 {
+		return m.Cfg.DynamicRetryInterval
+	}
+	return defaultRetryInterval
+}
+
+// dynamicTick probes the oldest eligible pending update first: updates
+// are forwarded to the switch in arrival order and commit in roughly that
+// order, so the head of the queue is the rule most likely to have just
+// landed in the data plane. Silence-confirmable updates (drops, deletions
+// falling through to a drop) confirm when a full retry interval passes
+// without any catch.
+func (m *Monitor) dynamicTick() {
+	if len(m.pending) == 0 {
+		m.dynQueue = m.dynQueue[:0]
+		return
+	}
+	now := m.Sim.Now()
+	scanned := 0
+	injected := false
+	for scanned < len(m.dynQueue) && !injected {
+		id := m.dynQueue[scanned]
+		scanned++
+		pu, ok := m.pending[id]
+		if !ok {
+			continue // confirmed; lazily compacted below
+		}
+		if now < pu.eligibleAt {
+			continue
+		}
+		if m.confirmsBySilence(pu) && pu.lastInject > 0 && pu.lastCatch < pu.lastInject &&
+			now-pu.lastInject >= m.retryInterval() {
+			m.confirmRule(pu)
+			continue
+		}
+		if pu.lastInject > 0 && now-pu.lastInject < m.retryInterval() {
+			continue
+		}
+		m.injectProbe(pu.probe, true, pu.kind)
+		pu.lastInject = now
+		injected = true
+	}
+	// Compact confirmed entries off the head, and fully once the queue
+	// is mostly dead.
+	for len(m.dynQueue) > 0 {
+		if _, ok := m.pending[m.dynQueue[0]]; ok {
+			break
+		}
+		m.dynQueue = m.dynQueue[1:]
+	}
+	if len(m.dynQueue) > 32 && len(m.dynQueue) > 2*len(m.pending) {
+		kept := make([]uint64, 0, len(m.pending))
+		for _, id := range m.dynQueue {
+			if _, ok := m.pending[id]; ok {
+				kept = append(kept, id)
+			}
+		}
+		m.dynQueue = kept
+	}
+	if len(m.pending) > 0 {
+		m.dynTicker = m.Sim.After(m.dynTickInterval(), m.dynamicTick)
+	}
+}
+
+const defaultRetryInterval = 3 * time.Millisecond
+
+// confirmsBySilence reports whether the update's expected post-state
+// produces no catchable probe, so absence of evidence is the confirmation
+// signal (§3.3's negative probing, applied to dynamic mode).
+func (m *Monitor) confirmsBySilence(pu *pendingUpdate) bool {
+	switch pu.kind {
+	case packet.ExpectPresent, packet.ExpectModified:
+		return m.outcomeSilent(pu.probe.Present)
+	case packet.ExpectAbsent:
+		return m.outcomeSilent(pu.probe.Absent)
+	}
+	return false
+}
+
+// outcomeSilent reports whether no emission of the outcome can reach a
+// catcher (drop, or every emission exits toward hosts).
+func (m *Monitor) outcomeSilent(o probe.Outcome) bool {
+	if o.Drop {
+		return true
+	}
+	for _, e := range o.Emissions {
+		if m.catcherFor(e.Port) != HostPeer {
+			return false
+		}
+	}
+	return true
+}
+
+// catcherFor maps an output port of the monitored switch to the switch ID
+// that would catch a probe emitted there.
+func (m *Monitor) catcherFor(p flowtable.PortID) uint32 {
+	if p == flowtable.PortController {
+		// A to-controller emission comes back as a PacketIn on the
+		// monitored switch itself.
+		return m.Cfg.SwitchID
+	}
+	if id, ok := m.Cfg.PortPeer[p]; ok {
+		return id
+	}
+	return HostPeer
+}
+
+// injectProbe crafts and PacketOuts one probe; it returns the sequence
+// number (0 on crafting failure).
+func (m *Monitor) injectProbe(p *probe.Probe, dynamic bool, kind packet.Expectation) uint64 {
+	m.nextSeq++
+	seq := m.nextSeq
+	meta := packet.Metadata{
+		RuleID:   p.RuleID,
+		Seq:      seq,
+		SwitchID: m.Cfg.SwitchID,
+		Expect:   kind,
+		Nonce:    m.nonce,
+	}
+	frame, err := packet.Craft(p.Header, meta.Marshal())
+	if err != nil {
+		return 0
+	}
+	m.inflight[seq] = &inflightProbe{seq: seq, ruleID: p.RuleID, dynamic: dynamic, epoch: m.updateEpoch}
+	m.Stats.ProbesSent++
+	po := &openflow.PacketOut{
+		BufferID: openflow.BufferNone,
+		InPort:   uint16(p.Header.Get(header.InPort)),
+		Actions:  []openflow.Action{openflow.OutputAction(openflow.PortTable)},
+		Data:     frame,
+	}
+	m.forwardToSwitch(po, m.virtXID())
+	return seq
+}
+
+// handleCaughtProbe inspects a PacketIn arriving from this Monitor's
+// switch; Monocle probes are consumed and routed, everything else passes
+// through to the controller. It returns true when consumed.
+func (m *Monitor) handleCaughtProbe(pi *openflow.PacketIn) bool {
+	h, payload, err := packet.Parse(pi.Data)
+	if err != nil {
+		return false
+	}
+	meta, err := packet.UnmarshalMetadata(payload)
+	if err != nil {
+		return false
+	}
+	h.Set(header.InPort, 0)
+	if m.Mux != nil {
+		m.Mux.RouteCaught(meta, m.Cfg.SwitchID, h)
+		return true
+	}
+	// Single-switch setups without a Multiplexer: self-route.
+	if meta.SwitchID == m.Cfg.SwitchID {
+		m.OnProbeCaught(meta, m.Cfg.SwitchID, h)
+	}
+	return true
+}
+
+// OnProbeCaught processes a probe owned by this Monitor that was caught at
+// switch `catcher` carrying observed header `obs`.
+func (m *Monitor) OnProbeCaught(meta packet.Metadata, catcher uint32, obs header.Header) {
+	m.Stats.ProbesCaught++
+	if meta.Nonce != m.nonce {
+		m.Stats.ProbesStale++
+		return
+	}
+	fl, ok := m.inflight[meta.Seq]
+	if !ok {
+		m.Stats.ProbesStale++
+		return
+	}
+	delete(m.inflight, meta.Seq)
+
+	if fl.dynamic {
+		pu := m.pending[fl.ruleID]
+		if pu == nil {
+			return // confirmed by an earlier probe
+		}
+		pu.lastCatch = m.Sim.Now()
+		switch judgeForKind(pu.kind, m.judge(pu.probe, catcher, obs)) {
+		case VerdictConfirmed:
+			m.confirmRule(pu)
+		case VerdictAbsent, VerdictUnexpected:
+			// Transient inconsistency: keep retrying (§4.1 — do not
+			// raise an alarm instantly in dynamic mode).
+		}
+		return
+	}
+	m.steadyVerdict(fl, catcher, obs)
+}
+
+// judge classifies an observation against the pending update's semantics:
+// for additions/modifications the Present outcome confirms; for deletions
+// the Absent outcome does.
+func (m *Monitor) judge(p *probe.Probe, catcher uint32, obs header.Header) Verdict {
+	matchesPresent := m.outcomeMatches(p.Present, catcher, obs)
+	matchesAbsent := m.outcomeMatches(p.Absent, catcher, obs)
+	switch {
+	case matchesPresent && !matchesAbsent:
+		return VerdictConfirmed
+	case matchesAbsent && !matchesPresent:
+		return VerdictAbsent
+	case matchesPresent && matchesAbsent:
+		// Cannot happen for a valid probe (outcomes distinguishable).
+		return VerdictUnexpected
+	default:
+		return VerdictUnexpected
+	}
+}
+
+// judgeForKind maps raw present/absent evidence to confirmation for the
+// update kind.
+func judgeForKind(kind packet.Expectation, v Verdict) Verdict {
+	if kind == packet.ExpectAbsent {
+		switch v {
+		case VerdictConfirmed:
+			return VerdictAbsent // rule still present
+		case VerdictAbsent:
+			return VerdictConfirmed // deletion took effect
+		}
+	}
+	return v
+}
+
+// outcomeMatches checks one observation against an expected outcome: the
+// probe must have been caught by the switch downstream of one of the
+// outcome's emission ports, with exactly the rewritten header.
+func (m *Monitor) outcomeMatches(o probe.Outcome, catcher uint32, obs header.Header) bool {
+	if o.Drop {
+		return false
+	}
+	for _, e := range o.Emissions {
+		if m.catcherFor(e.Port) != catcher {
+			continue
+		}
+		want := e.Header
+		want.Set(header.InPort, 0)
+		if want == obs {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,361 @@
+// Package monocle implements the Monocle proxy itself (§2, §4, §7): a
+// per-switch Monitor that sits between an SDN controller and one switch,
+// tracks the expected flow table from the FlowMods it forwards, verifies
+// the data plane with generated probes, and a Multiplexer that routes
+// caught probes back to the Monitor that owns them.
+//
+// The Monitor is a pure event-driven state machine over a sim.Sim clock:
+// transport adapters (the in-process simulator harness, or the real TCP
+// proxy in cmd/monocle) deliver controller/switch messages and the Monitor
+// emits messages through callbacks. It never blocks and owns no goroutines.
+package monocle
+
+import (
+	"fmt"
+	"time"
+
+	"monocle/internal/flowtable"
+	"monocle/internal/header"
+	"monocle/internal/openflow"
+	"monocle/internal/packet"
+	"monocle/internal/probe"
+	"monocle/internal/sim"
+)
+
+// Config parameterizes one Monitor.
+type Config struct {
+	// SwitchID is the network-wide unique identifier of the monitored
+	// switch, used to route caught probes back to this Monitor.
+	SwitchID uint32
+	// TagValue is the reserved probe-field value S_i this switch stamps
+	// on its probes. With the vertex-coloring optimization of §6 this is
+	// the switch's color; zero means "use SwitchID".
+	TagValue uint32
+	// ProbeField is the header field reserved for probe tagging
+	// (strategy 1 uses a single field; default dl_vlan).
+	ProbeField header.FieldID
+	// PortPeer maps each switch port to the switch ID of the neighbour
+	// reachable over it (the downstream catcher), or to HostPeer for
+	// edge ports (probes exiting there are lost, §3.5).
+	PortPeer map[flowtable.PortID]uint32
+	// Ports lists the switch's usable ports (the in_port domain).
+	Ports []flowtable.PortID
+
+	// ProbeRate caps steady-state probing (probes/second); 500/s in the
+	// paper's experiments.
+	ProbeRate float64
+	// AlarmTimeout is how long a rule may stay unconfirmed (with
+	// retries) before the steady-state monitor raises an alarm; 150 ms
+	// in the paper.
+	AlarmTimeout time.Duration
+	// Retries is the number of re-sent probes within AlarmTimeout (3).
+	Retries int
+	// GenDelay models the probe-generation latency charged on the
+	// virtual clock before a dynamic probe is first injected (Table 2
+	// measures 1.5–4 ms per probe on real rule sets).
+	GenDelay time.Duration
+	// DynamicRetryInterval is the minimum re-injection gap per pending
+	// update while waiting for it to reach the data plane.
+	DynamicRetryInterval time.Duration
+	// DynamicProbeRate caps the aggregate dynamic-probe PacketOut rate
+	// (probes/s, default 1000); pending updates share it round-robin so
+	// bursts of updates do not crowd FlowMods out of the control
+	// channel (§8.4).
+	DynamicProbeRate float64
+	// DynamicTimeout bounds how long an update may stay unconfirmed
+	// before OnUpdateStuck fires (0 disables).
+	DynamicTimeout time.Duration
+
+	// DropPostpone enables the §4.3 reliable drop-rule installation:
+	// drop rules are installed as "mark with DropValue in DropField and
+	// forward to DropNeighborPort", confirmed positively, then
+	// rewritten into real drops.
+	DropPostpone bool
+	// DropField/DropValue are the special header marking; neighbours
+	// must hold a pre-installed rule dropping marked traffic.
+	DropField header.FieldID
+	// DropValue marks to-be-dropped traffic during postponement.
+	DropValue uint64
+	// DropNeighborPort is where postponed-drop traffic is diverted.
+	DropNeighborPort flowtable.PortID
+
+	// Counting enables the multicast/ECMP probe-counting exception.
+	Counting bool
+
+	// OnAlarm fires when steady-state monitoring concludes a rule is
+	// misbehaving in the data plane.
+	OnAlarm func(ruleID uint64, at sim.Time)
+	// OnRuleConfirmed fires when a dynamic update (add/modify/delete)
+	// is verified to have reached the data plane.
+	OnRuleConfirmed func(ruleID uint64, at sim.Time)
+	// OnUpdateStuck fires when a dynamic update exceeds DynamicTimeout.
+	OnUpdateStuck func(ruleID uint64, at sim.Time)
+}
+
+// HostPeer marks a port that leads out of the monitored core (no catcher).
+const HostPeer uint32 = 0xffffffff
+
+// DefaultConfig returns the paper's experiment parameters.
+func DefaultConfig(switchID uint32) Config {
+	return Config{
+		SwitchID:             switchID,
+		ProbeField:           header.VlanID,
+		ProbeRate:            500,
+		AlarmTimeout:         150 * time.Millisecond,
+		Retries:              3,
+		GenDelay:             2 * time.Millisecond,
+		DynamicRetryInterval: 3 * time.Millisecond,
+		DropField:            header.IPTos,
+		DropValue:            0xfc,
+	}
+}
+
+// Verdict classifies one probe observation.
+type Verdict int
+
+const (
+	// VerdictConfirmed: observation matches the Present outcome.
+	VerdictConfirmed Verdict = iota
+	// VerdictAbsent: observation matches the Absent outcome (rule
+	// missing, or deletion/modification not yet applied).
+	VerdictAbsent
+	// VerdictUnexpected: observation matches neither outcome (rule
+	// misbehaving, or a stale in-flight probe).
+	VerdictUnexpected
+)
+
+// Monitor proxies one controller↔switch session and monitors that switch.
+type Monitor struct {
+	Cfg Config
+	Sim *sim.Sim
+
+	// ToSwitch and ToController forward proxied messages; the harness
+	// wires them.
+	ToSwitch     func(msg openflow.Message, xid uint32)
+	ToController func(msg openflow.Message, xid uint32)
+	// Mux routes probes caught at this switch to their owners.
+	Mux *Multiplexer
+
+	expected *flowtable.Table
+	gen      *probe.Generator
+
+	// Dynamic monitoring state.
+	pending   map[uint64]*pendingUpdate // by rule ID
+	queued    []*queuedMod              // overlapping updates held back (§4.2)
+	dynQueue  []uint64                  // arrival (oldest-first) order for the prober
+	dynTicker *sim.Timer
+
+	// Barrier gating: barriers are answered to the controller only when
+	// the switch replied and every update issued before them confirmed.
+	barriers    []*pendingBarrier
+	nextVirtXID uint32
+
+	// Steady-state monitoring state.
+	steady      *steadyState
+	inflight    map[uint64]*inflightProbe // by probe seq
+	nextSeq     uint64
+	nonce       uint64
+	updateEpoch uint64 // bumped on table changes; invalidates cached probes
+
+	// Stats for experiments.
+	Stats MonitorStats
+}
+
+// MonitorStats counts monitor activity.
+type MonitorStats struct {
+	FlowModsProxied  int
+	ProbesSent       int
+	ProbesCaught     int
+	ProbesStale      int
+	Confirmations    int
+	Alarms           int
+	Unmonitorable    int
+	QueuedOverlaps   int
+	GeneratedProbes  int
+	GenerationFailed int
+}
+
+// pendingUpdate tracks one not-yet-confirmed rule update.
+type pendingUpdate struct {
+	ruleID     uint64
+	probe      *probe.Probe
+	kind       packet.Expectation
+	issuedAt   sim.Time
+	lastInject sim.Time
+	lastCatch  sim.Time
+	eligibleAt sim.Time
+	deadline   *sim.Timer // DynamicTimeout
+	postponed  *postponedDrop
+	// onConfirm runs when the update is verified (used by barrier
+	// gating and drop-postponing follow-ups).
+	onConfirm []func()
+}
+
+// postponedDrop remembers the real drop rule to install after the marked
+// version is confirmed (§4.3).
+type postponedDrop struct {
+	match    flowtable.Match
+	priority uint16
+	cookie   uint64
+}
+
+// queuedMod is a FlowMod held back because it overlaps unconfirmed rules.
+type queuedMod struct {
+	fm  *openflow.FlowMod
+	xid uint32
+}
+
+// pendingBarrier gates one controller barrier.
+type pendingBarrier struct {
+	xid          uint32
+	switchAcked  bool
+	waitingRules map[uint64]bool
+}
+
+// inflightProbe tracks one injected steady-state or dynamic probe.
+type inflightProbe struct {
+	seq     uint64
+	ruleID  uint64
+	dynamic bool
+	epoch   uint64
+	attempt *attempt // steady-state attempt this probe belongs to
+}
+
+// New creates a Monitor. Wire ToSwitch/ToController/Mux before use.
+func New(s *sim.Sim, cfg Config) *Monitor {
+	if cfg.ProbeField == 0 {
+		cfg.ProbeField = header.VlanID
+	}
+	if cfg.TagValue == 0 {
+		cfg.TagValue = cfg.SwitchID
+	}
+	m := &Monitor{
+		Cfg:      cfg,
+		Sim:      s,
+		expected: flowtable.New(),
+		pending:  make(map[uint64]*pendingUpdate),
+		inflight: make(map[uint64]*inflightProbe),
+		nonce:    uint64(cfg.SwitchID)<<32 | 1,
+	}
+	m.gen = probe.NewGenerator(m.generatorConfig())
+	return m
+}
+
+// generatorConfig builds the probe.Config for this switch: the Collect
+// constraint pins the probe tag to this switch's own ID so any neighbour's
+// catching rule intercepts it (strategy 1, §6), and in_port is restricted
+// to real ports.
+func (m *Monitor) generatorConfig() probe.Config {
+	domains := header.DefaultDomains()
+	if len(m.Cfg.Ports) > 0 {
+		vals := make([]uint64, len(m.Cfg.Ports))
+		for i, p := range m.Cfg.Ports {
+			vals[i] = uint64(p)
+		}
+		domains[header.InPort] = header.Domain{Values: vals}
+	}
+	return probe.Config{
+		Collect:        flowtable.MatchAll().WithExact(m.Cfg.ProbeField, uint64(m.Cfg.TagValue)),
+		Domains:        domains,
+		ReservedFields: []header.FieldID{m.Cfg.ProbeField},
+		Counting:       m.Cfg.Counting,
+		ValidateModel:  true,
+	}
+}
+
+// Expected exposes the tracked control-plane view (tests, experiments).
+func (m *Monitor) Expected() *flowtable.Table { return m.expected }
+
+// Preinstall records rules that are already in the switch (catching rules,
+// pre-existing state) into the expected table without monitoring them.
+// Returns the first insert error, if any.
+func (m *Monitor) Preinstall(rules ...*flowtable.Rule) error {
+	var firstErr error
+	for _, r := range rules {
+		if err := m.expected.Insert(r); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	m.invalidateAllCached()
+	return firstErr
+}
+
+// CatchRules returns the catching rules this switch must carry for its
+// neighbours' probes (strategy 1): one top-priority rule per reserved
+// value other than its own, forwarding to the controller. The pre-installed
+// drop rule for drop-postponing is appended when that mode is on.
+func (m *Monitor) CatchRules(reserved []uint32) []*flowtable.Rule {
+	var out []*flowtable.Rule
+	id := uint64(0xC0000000) | uint64(m.Cfg.SwitchID)<<16
+	for _, v := range reserved {
+		if v == m.Cfg.TagValue {
+			continue
+		}
+		out = append(out, &flowtable.Rule{
+			ID:       id,
+			Priority: catchPriority,
+			Match:    flowtable.MatchAll().WithExact(m.Cfg.ProbeField, uint64(v)),
+			Actions:  []flowtable.Action{flowtable.Output(flowtable.PortController)},
+		})
+		id++
+	}
+	if m.Cfg.DropPostpone {
+		out = append(out, &flowtable.Rule{
+			ID:       id,
+			Priority: dropPriority,
+			Match:    flowtable.MatchAll().WithExact(m.Cfg.DropField, m.Cfg.DropValue),
+			Actions:  nil, // drop
+		})
+	}
+	return out
+}
+
+// Catch and postponed-drop rule priorities: catching is highest, the
+// special drop sits just below it but above production rules (§4.3).
+const (
+	catchPriority = 1 << 15
+	dropPriority  = catchPriority - 1
+)
+
+// tableChanged invalidates cached steady-state probes affected by a rule
+// change with the given match: per the §5.4 overlap lemma, only probes of
+// rules overlapping the changed match can be influenced.
+func (m *Monitor) tableChanged(match flowtable.Match) {
+	m.updateEpoch++
+	if m.steady == nil {
+		return
+	}
+	for id, cp := range m.steady.cache {
+		r, ok := m.expected.Get(id)
+		if !ok {
+			delete(m.steady.cache, id)
+			continue
+		}
+		if r.Match.Overlaps(match) {
+			cp.dirty = true
+		}
+	}
+}
+
+// invalidateAllCached marks every cached probe stale (Preinstall and other
+// bulk changes).
+func (m *Monitor) invalidateAllCached() {
+	m.updateEpoch++
+	if m.steady == nil {
+		return
+	}
+	for _, cp := range m.steady.cache {
+		cp.dirty = true
+	}
+}
+
+// errUnmonitorable marks generation failures in stats without alarming.
+func (m *Monitor) noteGenFailure(err error) {
+	m.Stats.GenerationFailed++
+	if err == probe.ErrUnmonitorable {
+		m.Stats.Unmonitorable++
+	}
+}
+
+// String identifies the monitor in logs.
+func (m *Monitor) String() string { return fmt.Sprintf("monitor(S%d)", m.Cfg.SwitchID) }

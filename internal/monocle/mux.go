@@ -1,0 +1,55 @@
+package monocle
+
+// Multiplexer (§7): connects to the Monitors of all monitored switches and
+// routes caught probes to their owners. In the paper it also fans
+// PacketIn/PacketOut messages between switch connections; in this
+// event-driven reproduction each Monitor keeps its own switch connection
+// and the Multiplexer's job reduces to probe routing by the switch id
+// embedded in the probe metadata.
+
+import (
+	"monocle/internal/header"
+	"monocle/internal/packet"
+)
+
+// Multiplexer routes caught probes between Monitors.
+type Multiplexer struct {
+	monitors map[uint32]*Monitor
+	// Stats counts routing activity.
+	Stats MuxStats
+}
+
+// MuxStats counts multiplexer routing results.
+type MuxStats struct {
+	Routed  int
+	NoOwner int
+}
+
+// NewMultiplexer returns an empty multiplexer.
+func NewMultiplexer() *Multiplexer {
+	return &Multiplexer{monitors: make(map[uint32]*Monitor)}
+}
+
+// Register attaches a Monitor and wires its Mux pointer.
+func (x *Multiplexer) Register(m *Monitor) {
+	x.monitors[m.Cfg.SwitchID] = m
+	m.Mux = x
+}
+
+// Monitor returns the Monitor for a switch id.
+func (x *Multiplexer) Monitor(id uint32) (*Monitor, bool) {
+	m, ok := x.monitors[id]
+	return m, ok
+}
+
+// RouteCaught delivers a probe caught at switch `catcher` to the Monitor
+// that owns it (meta.SwitchID).
+func (x *Multiplexer) RouteCaught(meta packet.Metadata, catcher uint32, obs header.Header) {
+	owner, ok := x.monitors[meta.SwitchID]
+	if !ok {
+		x.Stats.NoOwner++
+		return
+	}
+	x.Stats.Routed++
+	owner.OnProbeCaught(meta, catcher, obs)
+}

@@ -1,0 +1,263 @@
+package monocle
+
+// Steady-state monitoring (§3, §8.1.1): Monocle cycles through every
+// installed rule at a capped probe rate, re-sends unanswered probes up to
+// Retries times, and raises an alarm when a rule stays unconfirmed for
+// AlarmTimeout. Probes are cached per rule and regenerated whenever the
+// expected table changes (epoch bump).
+
+import (
+	"time"
+
+	"monocle/internal/header"
+	"monocle/internal/packet"
+	"monocle/internal/probe"
+	"monocle/internal/sim"
+)
+
+// steadyState is the cycling prober.
+type steadyState struct {
+	order   []uint64 // rule id cycle
+	idx     int
+	cache   map[uint64]*cachedProbe
+	active  map[uint64]*attempt
+	failed  map[uint64]bool // already-alarmed rules (no duplicate alarms)
+	ticker  *sim.Timer
+	running bool
+}
+
+type cachedProbe struct {
+	p     *probe.Probe
+	dirty bool
+}
+
+// attempt tracks one rule's in-progress verification.
+type attempt struct {
+	ruleID    uint64
+	firstSent sim.Time
+	resends   int
+	negative  bool
+	confirmed bool
+	alarm     *sim.Timer
+	retry     *sim.Timer
+}
+
+// StartSteadyState begins (or restarts) cycling over all rules currently
+// in the expected table plus rules added later.
+func (m *Monitor) StartSteadyState() {
+	if m.steady == nil {
+		m.steady = &steadyState{
+			cache:  make(map[uint64]*cachedProbe),
+			active: make(map[uint64]*attempt),
+			failed: make(map[uint64]bool),
+		}
+	}
+	m.steady.running = true
+	m.scheduleTick(0)
+}
+
+// StopSteadyState pauses the cycle.
+func (m *Monitor) StopSteadyState() {
+	if m.steady == nil {
+		return
+	}
+	m.steady.running = false
+	if m.steady.ticker != nil {
+		m.steady.ticker.Cancel()
+	}
+}
+
+// probeInterval is the steady-state pacing (1/ProbeRate).
+func (m *Monitor) probeInterval() time.Duration {
+	rate := m.Cfg.ProbeRate
+	if rate <= 0 {
+		rate = 500
+	}
+	return time.Duration(float64(time.Second) / rate)
+}
+
+func (m *Monitor) scheduleTick(d time.Duration) {
+	st := m.steady
+	if st.ticker != nil {
+		st.ticker.Cancel()
+	}
+	st.ticker = m.Sim.After(d, m.steadyTick)
+}
+
+// steadyTick probes the next rule in the cycle.
+func (m *Monitor) steadyTick() {
+	st := m.steady
+	if st == nil || !st.running {
+		return
+	}
+	defer m.scheduleTick(m.probeInterval())
+
+	ruleID, ok := m.nextSteadyRule()
+	if !ok {
+		return // nothing to monitor this tick
+	}
+	cp := st.cache[ruleID]
+	rule, exists := m.expected.Get(ruleID)
+	if !exists {
+		delete(st.cache, ruleID)
+		return
+	}
+	if cp == nil || cp.dirty {
+		p, err := m.gen.Generate(m.expected, rule)
+		if err != nil {
+			m.noteGenFailure(err)
+			st.cache[ruleID] = &cachedProbe{p: nil}
+			return
+		}
+		m.Stats.GeneratedProbes++
+		cp = &cachedProbe{p: p}
+		st.cache[ruleID] = cp
+	}
+	if cp.p == nil {
+		return // unmonitorable at current epoch
+	}
+	m.beginAttempt(ruleID, cp.p)
+}
+
+// nextSteadyRule advances the cycle, rebuilding the order from the
+// expected table when exhausted. Rules under dynamic confirmation and
+// rules with an attempt in flight are skipped.
+func (m *Monitor) nextSteadyRule() (uint64, bool) {
+	st := m.steady
+	for scan := 0; scan < 2; scan++ {
+		for st.idx < len(st.order) {
+			id := st.order[st.idx]
+			st.idx++
+			if _, pending := m.pending[id]; pending {
+				continue
+			}
+			if _, busy := st.active[id]; busy {
+				continue
+			}
+			if _, ok := m.expected.Get(id); !ok {
+				continue
+			}
+			return id, true
+		}
+		// Rebuild the cycle.
+		st.order = st.order[:0]
+		for _, r := range m.expected.Rules() {
+			st.order = append(st.order, r.ID)
+		}
+		st.idx = 0
+		if len(st.order) == 0 {
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// beginAttempt sends the first probe of an attempt and arms retry/alarm
+// timers. Negative probes (drop rules) invert the logic: silence until
+// AlarmTimeout confirms, a caught Absent observation alarms.
+func (m *Monitor) beginAttempt(ruleID uint64, p *probe.Probe) {
+	st := m.steady
+	at := &attempt{ruleID: ruleID, firstSent: m.Sim.Now(), negative: p.Negative}
+	st.active[ruleID] = at
+	m.sendSteadyProbe(at, p)
+
+	retryGap := m.Cfg.AlarmTimeout / time.Duration(m.Cfg.Retries+1)
+	if retryGap <= 0 {
+		retryGap = 50 * time.Millisecond
+	}
+	var rearm func()
+	rearm = func() {
+		if at.confirmed || st.active[ruleID] != at {
+			return
+		}
+		if at.resends >= m.Cfg.Retries {
+			return
+		}
+		at.resends++
+		m.sendSteadyProbe(at, p)
+		at.retry = m.Sim.After(retryGap, rearm)
+	}
+	at.retry = m.Sim.After(retryGap, rearm)
+	at.alarm = m.Sim.After(m.Cfg.AlarmTimeout, func() {
+		if st.active[ruleID] != at {
+			return
+		}
+		delete(st.active, ruleID)
+		if at.retry != nil {
+			at.retry.Cancel()
+		}
+		if at.negative {
+			// Silence is the expected (present) outcome for drop rules.
+			return
+		}
+		if !at.confirmed {
+			m.raiseAlarm(ruleID)
+		}
+	})
+}
+
+func (m *Monitor) sendSteadyProbe(at *attempt, p *probe.Probe) {
+	seq := m.injectProbe(p, false, packet.ExpectPresent)
+	if seq == 0 {
+		return
+	}
+	m.inflight[seq].attempt = at
+}
+
+// steadyVerdict resolves a caught steady-state probe.
+func (m *Monitor) steadyVerdict(fl *inflightProbe, catcher uint32, obs header.Header) {
+	st := m.steady
+	if st == nil {
+		return
+	}
+	at := fl.attempt
+	if at == nil || st.active[at.ruleID] != at {
+		m.Stats.ProbesStale++
+		return
+	}
+	cp := st.cache[at.ruleID]
+	if cp == nil || cp.p == nil {
+		return
+	}
+	switch m.judge(cp.p, catcher, obs) {
+	case VerdictConfirmed:
+		at.confirmed = true
+		delete(st.active, at.ruleID)
+		if at.alarm != nil {
+			at.alarm.Cancel()
+		}
+		if at.retry != nil {
+			at.retry.Cancel()
+		}
+		delete(st.failed, at.ruleID) // rule healed
+	case VerdictAbsent, VerdictUnexpected:
+		if at.negative {
+			// A drop-rule probe that reappears proves the rule is not
+			// dropping: immediate alarm.
+			delete(st.active, at.ruleID)
+			if at.alarm != nil {
+				at.alarm.Cancel()
+			}
+			if at.retry != nil {
+				at.retry.Cancel()
+			}
+			m.raiseAlarm(at.ruleID)
+			return
+		}
+		// Definitive negative evidence still waits for the timeout
+		// (retries may reveal a transient), matching the paper's
+		// timeout-driven detection latency.
+	}
+}
+
+func (m *Monitor) raiseAlarm(ruleID uint64) {
+	st := m.steady
+	if st.failed[ruleID] {
+		return
+	}
+	st.failed[ruleID] = true
+	m.Stats.Alarms++
+	if m.Cfg.OnAlarm != nil {
+		m.Cfg.OnAlarm(ruleID, m.Sim.Now())
+	}
+}

@@ -1,0 +1,100 @@
+package monocle
+
+import (
+	"errors"
+	"testing"
+
+	"monocle/internal/flowtable"
+	"monocle/internal/header"
+	"monocle/internal/probe"
+	"monocle/internal/sim"
+)
+
+func TestCatchRulesStrategy2(t *testing.T) {
+	fields := DefaultStrategy2Fields()
+	rules := CatchRulesStrategy2(3, fields, []uint32{1, 2, 3, 4})
+	if len(rules) != 4 { // 1 catch + 3 filters
+		t.Fatalf("got %d rules", len(rules))
+	}
+	catch := rules[0]
+	if !catch.Match[fields.H2].Covers(3) || catch.ForwardingSet()[0] != flowtable.PortController {
+		t.Fatalf("catch rule wrong: %v", catch)
+	}
+	if catch.Priority <= rules[1].Priority {
+		t.Fatal("catch must outrank filters")
+	}
+	for _, f := range rules[1:] {
+		if !f.IsDrop() {
+			t.Fatalf("filter must drop: %v", f)
+		}
+		if f.Match[fields.H1].Covers(3) {
+			t.Fatal("filter must not drop own probes")
+		}
+	}
+}
+
+func TestStrategy2CollectPinsBothFields(t *testing.T) {
+	fields := DefaultStrategy2Fields()
+	m := Strategy2Collect(fields, 5, 2)
+	var h header.Header
+	h.Set(fields.H1, 5)
+	h.Set(fields.H2, 2)
+	if !m.Covers(h) {
+		t.Fatal("must cover the tagged probe")
+	}
+	h.Set(fields.H2, 3)
+	if m.Covers(h) {
+		t.Fatal("wrong downstream must not match")
+	}
+}
+
+func TestGenerateStrategy2(t *testing.T) {
+	s := sim.New()
+	cfg := DefaultConfig(5)
+	cfg.PortPeer = map[flowtable.PortID]uint32{1: 1, 2: 2}
+	cfg.Ports = []flowtable.PortID{1, 2}
+	m := New(s, cfg)
+	fields := DefaultStrategy2Fields()
+
+	tb := flowtable.New()
+	def := &flowtable.Rule{ID: 1, Priority: 1,
+		Actions: []flowtable.Action{flowtable.Output(1)}}
+	target := &flowtable.Rule{ID: 2, Priority: 5,
+		Match: flowtable.MatchAll().
+			WithExact(header.EthType, header.EthTypeIPv4).
+			WithExact(header.IPSrc, 0x0a000001),
+		Actions: []flowtable.Action{flowtable.Output(2)}}
+	for _, r := range []*flowtable.Rule{def, target} {
+		if err := tb.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := m.GenerateStrategy2(tb, target, fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The probe must carry H1=5 (probed) and H2=2 (downstream of port 2).
+	if p.Header.Get(fields.H1) != 5 || p.Header.Get(fields.H2) != 2 {
+		t.Fatalf("probe tags H1=%d H2=%d", p.Header.Get(fields.H1), p.Header.Get(fields.H2))
+	}
+}
+
+func TestGenerateStrategy2EgressUnmonitorable(t *testing.T) {
+	s := sim.New()
+	cfg := DefaultConfig(5)
+	cfg.PortPeer = map[flowtable.PortID]uint32{1: 1, 9: HostPeer}
+	cfg.Ports = []flowtable.PortID{1, 9}
+	m := New(s, cfg)
+
+	tb := flowtable.New()
+	egress := &flowtable.Rule{ID: 1, Priority: 5,
+		Match:   flowtable.MatchAll().WithExact(header.EthType, header.EthTypeIPv4),
+		Actions: []flowtable.Action{flowtable.Output(9)}} // host-facing
+	if err := tb.Insert(egress); err != nil {
+		t.Fatal(err)
+	}
+	_, err := m.GenerateStrategy2(tb, egress, DefaultStrategy2Fields())
+	if !errors.Is(err, probe.ErrUnmonitorable) {
+		t.Fatalf("egress rule must be unmonitorable, got %v", err)
+	}
+}

@@ -1,0 +1,177 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"monocle/internal/flowtable"
+	"monocle/internal/header"
+)
+
+// ofp_action_type values (OpenFlow 1.0 §5.2.4).
+const (
+	atOutput     uint16 = 0
+	atSetVlanVID uint16 = 1
+	atSetVlanPCP uint16 = 2
+	atStripVlan  uint16 = 3
+	atSetDLSrc   uint16 = 4
+	atSetDLDst   uint16 = 5
+	atSetNWSrc   uint16 = 6
+	atSetNWDst   uint16 = 7
+	atSetNWTos   uint16 = 8
+	atSetTPSrc   uint16 = 9
+	atSetTPDst   uint16 = 10
+)
+
+// Action is one wire-format action.
+type Action struct {
+	Type uint16
+	// Port and MaxLen apply to OUTPUT.
+	Port   uint16
+	MaxLen uint16
+	// Value carries the set-field payload for the remaining types.
+	Value uint64
+}
+
+// OutputAction builds an OUTPUT action.
+func OutputAction(port uint16) Action {
+	return Action{Type: atOutput, Port: port, MaxLen: 0xffff}
+}
+
+func encodeActions(actions []Action) []byte {
+	var b []byte
+	for _, a := range actions {
+		switch a.Type {
+		case atOutput:
+			b = binary.BigEndian.AppendUint16(b, atOutput)
+			b = binary.BigEndian.AppendUint16(b, 8)
+			b = binary.BigEndian.AppendUint16(b, a.Port)
+			b = binary.BigEndian.AppendUint16(b, a.MaxLen)
+		case atSetDLSrc, atSetDLDst:
+			b = binary.BigEndian.AppendUint16(b, a.Type)
+			b = binary.BigEndian.AppendUint16(b, 16)
+			var mac [8]byte
+			binary.BigEndian.PutUint64(mac[:], a.Value<<16)
+			b = append(b, mac[:6]...)
+			b = append(b, make([]byte, 6)...)
+		case atSetNWSrc, atSetNWDst:
+			b = binary.BigEndian.AppendUint16(b, a.Type)
+			b = binary.BigEndian.AppendUint16(b, 8)
+			b = binary.BigEndian.AppendUint32(b, uint32(a.Value))
+		case atSetVlanVID, atSetTPSrc, atSetTPDst:
+			b = binary.BigEndian.AppendUint16(b, a.Type)
+			b = binary.BigEndian.AppendUint16(b, 8)
+			b = binary.BigEndian.AppendUint16(b, uint16(a.Value))
+			b = append(b, 0, 0)
+		case atSetVlanPCP, atSetNWTos:
+			b = binary.BigEndian.AppendUint16(b, a.Type)
+			b = binary.BigEndian.AppendUint16(b, 8)
+			b = append(b, byte(a.Value), 0, 0, 0)
+		case atStripVlan:
+			b = binary.BigEndian.AppendUint16(b, atStripVlan)
+			b = binary.BigEndian.AppendUint16(b, 8)
+			b = append(b, 0, 0, 0, 0)
+		}
+	}
+	return b
+}
+
+func decodeActions(b []byte) ([]Action, error) {
+	var out []Action
+	for len(b) > 0 {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("%w: action header", ErrMalformed)
+		}
+		typ := binary.BigEndian.Uint16(b[0:2])
+		ln := int(binary.BigEndian.Uint16(b[2:4]))
+		if ln < 8 || ln%8 != 0 || len(b) < ln {
+			return nil, fmt.Errorf("%w: action length %d", ErrMalformed, ln)
+		}
+		body := b[4:ln]
+		a := Action{Type: typ}
+		switch typ {
+		case atOutput:
+			a.Port = binary.BigEndian.Uint16(body[0:2])
+			a.MaxLen = binary.BigEndian.Uint16(body[2:4])
+		case atSetDLSrc, atSetDLDst:
+			var mac [8]byte
+			copy(mac[2:], body[0:6])
+			a.Value = binary.BigEndian.Uint64(mac[:])
+		case atSetNWSrc, atSetNWDst:
+			a.Value = uint64(binary.BigEndian.Uint32(body[0:4]))
+		case atSetVlanVID, atSetTPSrc, atSetTPDst:
+			a.Value = uint64(binary.BigEndian.Uint16(body[0:2]))
+		case atSetVlanPCP, atSetNWTos:
+			a.Value = uint64(body[0])
+		case atStripVlan:
+		default:
+			return nil, fmt.Errorf("%w: action type %d", ErrMalformed, typ)
+		}
+		out = append(out, a)
+		b = b[ln:]
+	}
+	return out, nil
+}
+
+// setFieldType maps abstract fields to OF1.0 set-field action types.
+var setFieldType = map[header.FieldID]uint16{
+	header.EthSrc:  atSetDLSrc,
+	header.EthDst:  atSetDLDst,
+	header.VlanID:  atSetVlanVID,
+	header.VlanPCP: atSetVlanPCP,
+	header.IPSrc:   atSetNWSrc,
+	header.IPDst:   atSetNWDst,
+	header.IPTos:   atSetNWTos,
+	header.TPSrc:   atSetTPSrc,
+	header.TPDst:   atSetTPDst,
+}
+
+var setFieldOf = func() map[uint16]header.FieldID {
+	m := make(map[uint16]header.FieldID, len(setFieldType))
+	for f, t := range setFieldType {
+		m[t] = f
+	}
+	return m
+}()
+
+// FromActions converts abstract rule actions to wire actions. ECMP groups
+// have no OpenFlow 1.0 encoding and yield an error; the in-simulator data
+// path exchanges abstract rules directly and never hits this limit.
+func FromActions(actions []flowtable.Action) ([]Action, error) {
+	var out []Action
+	for _, a := range actions {
+		switch a.Kind {
+		case flowtable.ActionOutput:
+			out = append(out, OutputAction(uint16(a.Port)))
+		case flowtable.ActionSetField:
+			t, ok := setFieldType[a.Field]
+			if !ok {
+				return nil, fmt.Errorf("openflow: no OF1.0 set action for field %s", a.Field)
+			}
+			out = append(out, Action{Type: t, Value: a.Value})
+		case flowtable.ActionGroupECMP:
+			return nil, fmt.Errorf("openflow: ECMP groups are not expressible in OF1.0")
+		}
+	}
+	return out, nil
+}
+
+// ToActions converts wire actions to abstract rule actions.
+func ToActions(actions []Action) ([]flowtable.Action, error) {
+	var out []flowtable.Action
+	for _, a := range actions {
+		switch a.Type {
+		case atOutput:
+			out = append(out, flowtable.Output(flowtable.PortID(a.Port)))
+		case atStripVlan:
+			out = append(out, flowtable.SetField(header.VlanID, header.VlanNone))
+		default:
+			f, ok := setFieldOf[a.Type]
+			if !ok {
+				return nil, fmt.Errorf("%w: action type %d", ErrMalformed, a.Type)
+			}
+			out = append(out, flowtable.SetField(f, a.Value))
+		}
+	}
+	return out, nil
+}

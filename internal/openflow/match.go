@@ -1,0 +1,226 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"monocle/internal/flowtable"
+	"monocle/internal/header"
+)
+
+// ofp_match wildcard bits (OpenFlow 1.0 §5.2.3).
+const (
+	wInPort    = 1 << 0
+	wDLVlan    = 1 << 1
+	wDLSrc     = 1 << 2
+	wDLDst     = 1 << 3
+	wDLType    = 1 << 4
+	wNWProto   = 1 << 5
+	wTPSrc     = 1 << 6
+	wTPDst     = 1 << 7
+	wNWSrcAll  = 32 << 8 // >= 32 wildcards the whole field
+	wNWDstAll  = 32 << 14
+	wDLVlanPCP = 1 << 20
+	wNWTos     = 1 << 21
+	wAll       = (1 << 22) - 1
+)
+
+const wireMatchLen = 40
+
+// WireMatch is the fixed 40-byte ofp_match structure.
+type WireMatch struct {
+	Wildcards uint32
+	InPort    uint16
+	DLSrc     uint64
+	DLDst     uint64
+	DLVlan    uint16
+	DLVlanPCP uint8
+	DLType    uint16
+	NWTos     uint8
+	NWProto   uint8
+	NWSrc     uint32
+	NWDst     uint32
+	TPSrc     uint16
+	TPDst     uint16
+}
+
+func (m WireMatch) encode(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, m.Wildcards)
+	b = binary.BigEndian.AppendUint16(b, m.InPort)
+	var mac [8]byte
+	binary.BigEndian.PutUint64(mac[:], m.DLSrc<<16)
+	b = append(b, mac[:6]...)
+	binary.BigEndian.PutUint64(mac[:], m.DLDst<<16)
+	b = append(b, mac[:6]...)
+	b = binary.BigEndian.AppendUint16(b, m.DLVlan)
+	b = append(b, m.DLVlanPCP, 0)
+	b = binary.BigEndian.AppendUint16(b, m.DLType)
+	b = append(b, m.NWTos, m.NWProto, 0, 0)
+	b = binary.BigEndian.AppendUint32(b, m.NWSrc)
+	b = binary.BigEndian.AppendUint32(b, m.NWDst)
+	b = binary.BigEndian.AppendUint16(b, m.TPSrc)
+	return binary.BigEndian.AppendUint16(b, m.TPDst)
+}
+
+func (m *WireMatch) decode(b []byte) error {
+	if len(b) < wireMatchLen {
+		return fmt.Errorf("%w: match %d bytes", ErrMalformed, len(b))
+	}
+	m.Wildcards = binary.BigEndian.Uint32(b[0:4])
+	m.InPort = binary.BigEndian.Uint16(b[4:6])
+	var mac [8]byte
+	copy(mac[2:], b[6:12])
+	m.DLSrc = binary.BigEndian.Uint64(mac[:])
+	copy(mac[2:], b[12:18])
+	m.DLDst = binary.BigEndian.Uint64(mac[:])
+	m.DLVlan = binary.BigEndian.Uint16(b[18:20])
+	m.DLVlanPCP = b[20]
+	m.DLType = binary.BigEndian.Uint16(b[22:24])
+	m.NWTos = b[24]
+	m.NWProto = b[25]
+	m.NWSrc = binary.BigEndian.Uint32(b[28:32])
+	m.NWDst = binary.BigEndian.Uint32(b[32:36])
+	m.TPSrc = binary.BigEndian.Uint16(b[36:38])
+	m.TPDst = binary.BigEndian.Uint16(b[38:40])
+	return nil
+}
+
+// nwSrcWildBits / nwDstWildBits extract the 6-bit prefix-wildcard counts.
+func (m WireMatch) nwSrcWildBits() int { return int(m.Wildcards >> 8 & 0x3f) }
+func (m WireMatch) nwDstWildBits() int { return int(m.Wildcards >> 14 & 0x3f) }
+
+// FromMatch converts an abstract flowtable match into the wire structure.
+// OpenFlow 1.0 can express only exact matches, full wildcards, and
+// nw_src/nw_dst prefixes; anything else is an error.
+func FromMatch(m flowtable.Match) (WireMatch, error) {
+	var w WireMatch
+	w.Wildcards = wAll &^ (wNWSrcAll | wNWDstAll)
+	w.Wildcards |= wNWSrcAll | wNWDstAll
+
+	setExact := func(f header.FieldID, bit uint32, assign func(v uint64)) error {
+		t := m[f]
+		if t.IsWildcard() {
+			return nil
+		}
+		if !t.IsExact(f) {
+			return fmt.Errorf("openflow: field %s: partial masks not expressible in OF1.0", f)
+		}
+		w.Wildcards &^= bit
+		assign(t.Value)
+		return nil
+	}
+	if err := setExact(header.InPort, wInPort, func(v uint64) { w.InPort = uint16(v) }); err != nil {
+		return w, err
+	}
+	if err := setExact(header.EthSrc, wDLSrc, func(v uint64) { w.DLSrc = v }); err != nil {
+		return w, err
+	}
+	if err := setExact(header.EthDst, wDLDst, func(v uint64) { w.DLDst = v }); err != nil {
+		return w, err
+	}
+	if err := setExact(header.EthType, wDLType, func(v uint64) { w.DLType = uint16(v) }); err != nil {
+		return w, err
+	}
+	if err := setExact(header.VlanID, wDLVlan, func(v uint64) { w.DLVlan = uint16(v) }); err != nil {
+		return w, err
+	}
+	if err := setExact(header.VlanPCP, wDLVlanPCP, func(v uint64) { w.DLVlanPCP = uint8(v) }); err != nil {
+		return w, err
+	}
+	if err := setExact(header.IPProto, wNWProto, func(v uint64) { w.NWProto = uint8(v) }); err != nil {
+		return w, err
+	}
+	if err := setExact(header.IPTos, wNWTos, func(v uint64) { w.NWTos = uint8(v) }); err != nil {
+		return w, err
+	}
+	if err := setExact(header.TPSrc, wTPSrc, func(v uint64) { w.TPSrc = uint16(v) }); err != nil {
+		return w, err
+	}
+	if err := setExact(header.TPDst, wTPDst, func(v uint64) { w.TPDst = uint16(v) }); err != nil {
+		return w, err
+	}
+
+	// nw_src / nw_dst as prefixes.
+	encodePrefix := func(f header.FieldID, shift uint) (uint32, uint32, error) {
+		t := m[f]
+		if t.IsWildcard() {
+			return 32 << shift, 0, nil
+		}
+		plen := prefixLen(t.Mask)
+		if plen < 0 {
+			return 0, 0, fmt.Errorf("openflow: field %s: non-prefix mask %#x", f, t.Mask)
+		}
+		return uint32(32-plen) << shift, uint32(t.Value), nil
+	}
+	wc, v, err := encodePrefix(header.IPSrc, 8)
+	if err != nil {
+		return w, err
+	}
+	w.Wildcards = w.Wildcards&^(0x3f<<8) | wc
+	w.NWSrc = v
+	wc, v, err = encodePrefix(header.IPDst, 14)
+	if err != nil {
+		return w, err
+	}
+	w.Wildcards = w.Wildcards&^(0x3f<<14) | wc
+	w.NWDst = v
+	return w, nil
+}
+
+// prefixLen returns the prefix length of a 32-bit mask, or -1 if the mask
+// is not of prefix form.
+func prefixLen(mask uint64) int {
+	m := uint32(mask)
+	for plen := 0; plen <= 32; plen++ {
+		var want uint32
+		if plen > 0 {
+			want = ^uint32(0) << (32 - plen)
+		}
+		if m == want {
+			return plen
+		}
+	}
+	return -1
+}
+
+// ToMatch converts the wire structure back into an abstract match.
+func (m WireMatch) ToMatch() flowtable.Match {
+	out := flowtable.MatchAll()
+	if m.Wildcards&wInPort == 0 {
+		out = out.WithExact(header.InPort, uint64(m.InPort))
+	}
+	if m.Wildcards&wDLSrc == 0 {
+		out = out.WithExact(header.EthSrc, m.DLSrc)
+	}
+	if m.Wildcards&wDLDst == 0 {
+		out = out.WithExact(header.EthDst, m.DLDst)
+	}
+	if m.Wildcards&wDLType == 0 {
+		out = out.WithExact(header.EthType, uint64(m.DLType))
+	}
+	if m.Wildcards&wDLVlan == 0 {
+		out = out.WithExact(header.VlanID, uint64(m.DLVlan))
+	}
+	if m.Wildcards&wDLVlanPCP == 0 {
+		out = out.WithExact(header.VlanPCP, uint64(m.DLVlanPCP))
+	}
+	if m.Wildcards&wNWProto == 0 {
+		out = out.WithExact(header.IPProto, uint64(m.NWProto))
+	}
+	if m.Wildcards&wNWTos == 0 {
+		out = out.WithExact(header.IPTos, uint64(m.NWTos))
+	}
+	if m.Wildcards&wTPSrc == 0 {
+		out = out.WithExact(header.TPSrc, uint64(m.TPSrc))
+	}
+	if m.Wildcards&wTPDst == 0 {
+		out = out.WithExact(header.TPDst, uint64(m.TPDst))
+	}
+	if wb := m.nwSrcWildBits(); wb < 32 {
+		out = out.With(header.IPSrc, header.Prefix(header.IPSrc, uint64(m.NWSrc), 32-wb))
+	}
+	if wb := m.nwDstWildBits(); wb < 32 {
+		out = out.With(header.IPDst, header.Prefix(header.IPDst, uint64(m.NWDst), 32-wb))
+	}
+	return out
+}

@@ -1,0 +1,503 @@
+// Package openflow implements the subset of the OpenFlow 1.0 wire protocol
+// Monocle needs to proxy a controller-switch connection: HELLO, ECHO,
+// FEATURES, FLOW_MOD, PACKET_IN, PACKET_OUT, BARRIER, FLOW_REMOVED and
+// ERROR messages, the 40-byte ofp_match structure, and the action list
+// encoding. Messages are Go structs with symmetric Encode/Decode and a
+// length-prefixed framing over any io.Reader/io.Writer.
+package openflow
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Version is the OpenFlow 1.0 wire version byte.
+const Version = 0x01
+
+// MsgType is the ofp_type enum.
+type MsgType uint8
+
+// OpenFlow 1.0 message types (subset).
+const (
+	TypeHello           MsgType = 0
+	TypeError           MsgType = 1
+	TypeEchoRequest     MsgType = 2
+	TypeEchoReply       MsgType = 3
+	TypeFeaturesRequest MsgType = 5
+	TypeFeaturesReply   MsgType = 6
+	TypePacketIn        MsgType = 10
+	TypeFlowRemoved     MsgType = 11
+	TypePacketOut       MsgType = 13
+	TypeFlowMod         MsgType = 14
+	TypeBarrierRequest  MsgType = 18
+	TypeBarrierReply    MsgType = 19
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case TypeHello:
+		return "HELLO"
+	case TypeError:
+		return "ERROR"
+	case TypeEchoRequest:
+		return "ECHO_REQUEST"
+	case TypeEchoReply:
+		return "ECHO_REPLY"
+	case TypeFeaturesRequest:
+		return "FEATURES_REQUEST"
+	case TypeFeaturesReply:
+		return "FEATURES_REPLY"
+	case TypePacketIn:
+		return "PACKET_IN"
+	case TypeFlowRemoved:
+		return "FLOW_REMOVED"
+	case TypePacketOut:
+		return "PACKET_OUT"
+	case TypeFlowMod:
+		return "FLOW_MOD"
+	case TypeBarrierRequest:
+		return "BARRIER_REQUEST"
+	case TypeBarrierReply:
+		return "BARRIER_REPLY"
+	default:
+		return fmt.Sprintf("TYPE(%d)", uint8(t))
+	}
+}
+
+// FlowMod commands.
+const (
+	FCAdd          uint16 = 0
+	FCModify       uint16 = 1
+	FCModifyStrict uint16 = 2
+	FCDelete       uint16 = 3
+	FCDeleteStrict uint16 = 4
+)
+
+// PacketIn reasons.
+const (
+	ReasonNoMatch uint8 = 0
+	ReasonAction  uint8 = 1
+)
+
+// Special port numbers.
+const (
+	PortMax        uint16 = 0xff00
+	PortTable      uint16 = 0xfff9
+	PortController uint16 = 0xfffd
+	PortNone       uint16 = 0xffff
+)
+
+// BufferNone is the "packet not buffered" sentinel.
+const BufferNone uint32 = 0xffffffff
+
+// ErrMalformed is returned for undecodable wire bytes.
+var ErrMalformed = errors.New("openflow: malformed message")
+
+// ErrTooLong is returned when a message exceeds the 16-bit length field.
+var ErrTooLong = errors.New("openflow: message exceeds 65535 bytes")
+
+// Message is any OpenFlow message body. All message types implement it
+// with value receivers; Decode returns pointer forms.
+type Message interface {
+	MsgType() MsgType
+	encodeBody(b []byte) []byte
+}
+
+// bodyDecoder is the internal decoding half, implemented on pointers.
+type bodyDecoder interface {
+	Message
+	decodeBody(b []byte) error
+}
+
+// Hello is OFPT_HELLO.
+type Hello struct{}
+
+// MsgType implements Message.
+func (Hello) MsgType() MsgType           { return TypeHello }
+func (Hello) encodeBody(b []byte) []byte { return b }
+func (*Hello) decodeBody([]byte) error   { return nil }
+
+// EchoRequest is OFPT_ECHO_REQUEST.
+type EchoRequest struct{ Data []byte }
+
+// MsgType implements Message.
+func (EchoRequest) MsgType() MsgType             { return TypeEchoRequest }
+func (m EchoRequest) encodeBody(b []byte) []byte { return append(b, m.Data...) }
+func (m *EchoRequest) decodeBody(b []byte) error {
+	m.Data = append([]byte(nil), b...)
+	return nil
+}
+
+// EchoReply is OFPT_ECHO_REPLY.
+type EchoReply struct{ Data []byte }
+
+// MsgType implements Message.
+func (EchoReply) MsgType() MsgType             { return TypeEchoReply }
+func (m EchoReply) encodeBody(b []byte) []byte { return append(b, m.Data...) }
+func (m *EchoReply) decodeBody(b []byte) error {
+	m.Data = append([]byte(nil), b...)
+	return nil
+}
+
+// FeaturesRequest is OFPT_FEATURES_REQUEST.
+type FeaturesRequest struct{}
+
+// MsgType implements Message.
+func (FeaturesRequest) MsgType() MsgType           { return TypeFeaturesRequest }
+func (FeaturesRequest) encodeBody(b []byte) []byte { return b }
+func (*FeaturesRequest) decodeBody([]byte) error   { return nil }
+
+// PhyPort is a trimmed ofp_phy_port (number + name).
+type PhyPort struct {
+	PortNo uint16
+	Name   string // at most 15 bytes on the wire
+}
+
+// FeaturesReply is OFPT_FEATURES_REPLY with the fields Monocle uses.
+type FeaturesReply struct {
+	DatapathID uint64
+	NBuffers   uint32
+	NTables    uint8
+	Ports      []PhyPort
+}
+
+// MsgType implements Message.
+func (FeaturesReply) MsgType() MsgType { return TypeFeaturesReply }
+
+func (m FeaturesReply) encodeBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint64(b, m.DatapathID)
+	b = binary.BigEndian.AppendUint32(b, m.NBuffers)
+	b = append(b, m.NTables, 0, 0, 0) // n_tables + pad
+	b = binary.BigEndian.AppendUint32(b, 0)
+	b = binary.BigEndian.AppendUint32(b, 0) // capabilities, actions
+	for _, p := range m.Ports {
+		b = binary.BigEndian.AppendUint16(b, p.PortNo)
+		b = append(b, make([]byte, 6)...) // hw addr
+		name := make([]byte, 16)
+		copy(name, p.Name)
+		name[15] = 0
+		b = append(b, name...)
+		b = append(b, make([]byte, 24)...) // config..peer
+	}
+	return b
+}
+
+func (m *FeaturesReply) decodeBody(b []byte) error {
+	if len(b) < 24 {
+		return fmt.Errorf("%w: features reply %d bytes", ErrMalformed, len(b))
+	}
+	m.DatapathID = binary.BigEndian.Uint64(b[0:8])
+	m.NBuffers = binary.BigEndian.Uint32(b[8:12])
+	m.NTables = b[12]
+	rest := b[24:]
+	m.Ports = nil
+	for len(rest) >= 48 {
+		p := PhyPort{PortNo: binary.BigEndian.Uint16(rest[0:2])}
+		name := rest[8:24]
+		for i, c := range name {
+			if c == 0 {
+				name = name[:i]
+				break
+			}
+		}
+		p.Name = string(name)
+		m.Ports = append(m.Ports, p)
+		rest = rest[48:]
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: trailing %d bytes in features reply", ErrMalformed, len(rest))
+	}
+	return nil
+}
+
+// PacketIn is OFPT_PACKET_IN.
+type PacketIn struct {
+	BufferID uint32
+	InPort   uint16
+	Reason   uint8
+	Data     []byte
+}
+
+// MsgType implements Message.
+func (PacketIn) MsgType() MsgType { return TypePacketIn }
+
+func (m PacketIn) encodeBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, m.BufferID)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(m.Data)))
+	b = binary.BigEndian.AppendUint16(b, m.InPort)
+	b = append(b, m.Reason, 0)
+	return append(b, m.Data...)
+}
+
+func (m *PacketIn) decodeBody(b []byte) error {
+	if len(b) < 10 {
+		return fmt.Errorf("%w: packet_in %d bytes", ErrMalformed, len(b))
+	}
+	m.BufferID = binary.BigEndian.Uint32(b[0:4])
+	m.InPort = binary.BigEndian.Uint16(b[6:8])
+	m.Reason = b[8]
+	m.Data = append([]byte(nil), b[10:]...)
+	return nil
+}
+
+// PacketOut is OFPT_PACKET_OUT.
+type PacketOut struct {
+	BufferID uint32
+	InPort   uint16
+	Actions  []Action
+	Data     []byte
+}
+
+// MsgType implements Message.
+func (PacketOut) MsgType() MsgType { return TypePacketOut }
+
+func (m PacketOut) encodeBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, m.BufferID)
+	b = binary.BigEndian.AppendUint16(b, m.InPort)
+	actions := encodeActions(m.Actions)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(actions)))
+	b = append(b, actions...)
+	return append(b, m.Data...)
+}
+
+func (m *PacketOut) decodeBody(b []byte) error {
+	if len(b) < 8 {
+		return fmt.Errorf("%w: packet_out %d bytes", ErrMalformed, len(b))
+	}
+	m.BufferID = binary.BigEndian.Uint32(b[0:4])
+	m.InPort = binary.BigEndian.Uint16(b[4:6])
+	alen := int(binary.BigEndian.Uint16(b[6:8]))
+	if len(b) < 8+alen {
+		return fmt.Errorf("%w: packet_out actions", ErrMalformed)
+	}
+	var err error
+	m.Actions, err = decodeActions(b[8 : 8+alen])
+	if err != nil {
+		return err
+	}
+	m.Data = append([]byte(nil), b[8+alen:]...)
+	return nil
+}
+
+// FlowMod is OFPT_FLOW_MOD. Cookie doubles as Monocle's rule identifier.
+type FlowMod struct {
+	Match       WireMatch
+	Cookie      uint64
+	Command     uint16
+	IdleTimeout uint16
+	HardTimeout uint16
+	Priority    uint16
+	BufferID    uint32
+	OutPort     uint16
+	Flags       uint16
+	Actions     []Action
+}
+
+// MsgType implements Message.
+func (FlowMod) MsgType() MsgType { return TypeFlowMod }
+
+func (m FlowMod) encodeBody(b []byte) []byte {
+	b = m.Match.encode(b)
+	b = binary.BigEndian.AppendUint64(b, m.Cookie)
+	b = binary.BigEndian.AppendUint16(b, m.Command)
+	b = binary.BigEndian.AppendUint16(b, m.IdleTimeout)
+	b = binary.BigEndian.AppendUint16(b, m.HardTimeout)
+	b = binary.BigEndian.AppendUint16(b, m.Priority)
+	b = binary.BigEndian.AppendUint32(b, m.BufferID)
+	b = binary.BigEndian.AppendUint16(b, m.OutPort)
+	b = binary.BigEndian.AppendUint16(b, m.Flags)
+	return append(b, encodeActions(m.Actions)...)
+}
+
+func (m *FlowMod) decodeBody(b []byte) error {
+	if len(b) < wireMatchLen+24 {
+		return fmt.Errorf("%w: flow_mod %d bytes", ErrMalformed, len(b))
+	}
+	if err := m.Match.decode(b[:wireMatchLen]); err != nil {
+		return err
+	}
+	r := b[wireMatchLen:]
+	m.Cookie = binary.BigEndian.Uint64(r[0:8])
+	m.Command = binary.BigEndian.Uint16(r[8:10])
+	m.IdleTimeout = binary.BigEndian.Uint16(r[10:12])
+	m.HardTimeout = binary.BigEndian.Uint16(r[12:14])
+	m.Priority = binary.BigEndian.Uint16(r[14:16])
+	m.BufferID = binary.BigEndian.Uint32(r[16:20])
+	m.OutPort = binary.BigEndian.Uint16(r[20:22])
+	m.Flags = binary.BigEndian.Uint16(r[22:24])
+	var err error
+	m.Actions, err = decodeActions(r[24:])
+	return err
+}
+
+// FlowRemoved is OFPT_FLOW_REMOVED (trimmed).
+type FlowRemoved struct {
+	Match    WireMatch
+	Cookie   uint64
+	Priority uint16
+	Reason   uint8
+}
+
+// MsgType implements Message.
+func (FlowRemoved) MsgType() MsgType { return TypeFlowRemoved }
+
+func (m FlowRemoved) encodeBody(b []byte) []byte {
+	b = m.Match.encode(b)
+	b = binary.BigEndian.AppendUint64(b, m.Cookie)
+	b = binary.BigEndian.AppendUint16(b, m.Priority)
+	b = append(b, m.Reason, 0)
+	b = append(b, make([]byte, 4+4+2+2+8+8)...) // duration..byte_count
+	return b
+}
+
+func (m *FlowRemoved) decodeBody(b []byte) error {
+	if len(b) < wireMatchLen+12 {
+		return fmt.Errorf("%w: flow_removed", ErrMalformed)
+	}
+	if err := m.Match.decode(b[:wireMatchLen]); err != nil {
+		return err
+	}
+	r := b[wireMatchLen:]
+	m.Cookie = binary.BigEndian.Uint64(r[0:8])
+	m.Priority = binary.BigEndian.Uint16(r[8:10])
+	m.Reason = r[10]
+	return nil
+}
+
+// BarrierRequest is OFPT_BARRIER_REQUEST.
+type BarrierRequest struct{}
+
+// MsgType implements Message.
+func (BarrierRequest) MsgType() MsgType           { return TypeBarrierRequest }
+func (BarrierRequest) encodeBody(b []byte) []byte { return b }
+func (*BarrierRequest) decodeBody([]byte) error   { return nil }
+
+// BarrierReply is OFPT_BARRIER_REPLY.
+type BarrierReply struct{}
+
+// MsgType implements Message.
+func (BarrierReply) MsgType() MsgType           { return TypeBarrierReply }
+func (BarrierReply) encodeBody(b []byte) []byte { return b }
+func (*BarrierReply) decodeBody([]byte) error   { return nil }
+
+// ErrorMsg is OFPT_ERROR.
+type ErrorMsg struct {
+	Type uint16
+	Code uint16
+	Data []byte
+}
+
+// MsgType implements Message.
+func (ErrorMsg) MsgType() MsgType { return TypeError }
+
+func (m ErrorMsg) encodeBody(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, m.Type)
+	b = binary.BigEndian.AppendUint16(b, m.Code)
+	return append(b, m.Data...)
+}
+
+func (m *ErrorMsg) decodeBody(b []byte) error {
+	if len(b) < 4 {
+		return fmt.Errorf("%w: error msg", ErrMalformed)
+	}
+	m.Type = binary.BigEndian.Uint16(b[0:2])
+	m.Code = binary.BigEndian.Uint16(b[2:4])
+	m.Data = append([]byte(nil), b[4:]...)
+	return nil
+}
+
+// headerLen is the common ofp_header size.
+const headerLen = 8
+
+// Encode serializes a message with the given transaction id.
+func Encode(msg Message, xid uint32) ([]byte, error) {
+	b := make([]byte, headerLen, headerLen+64)
+	b = msg.encodeBody(b)
+	if len(b) > 0xffff {
+		return nil, ErrTooLong
+	}
+	b[0] = Version
+	b[1] = byte(msg.MsgType())
+	binary.BigEndian.PutUint16(b[2:4], uint16(len(b)))
+	binary.BigEndian.PutUint32(b[4:8], xid)
+	return b, nil
+}
+
+// Decode parses one complete wire message.
+func Decode(b []byte) (Message, uint32, error) {
+	if len(b) < headerLen {
+		return nil, 0, fmt.Errorf("%w: short header", ErrMalformed)
+	}
+	if b[0] != Version {
+		return nil, 0, fmt.Errorf("%w: version %d", ErrMalformed, b[0])
+	}
+	length := int(binary.BigEndian.Uint16(b[2:4]))
+	if length != len(b) {
+		return nil, 0, fmt.Errorf("%w: length %d != %d", ErrMalformed, length, len(b))
+	}
+	xid := binary.BigEndian.Uint32(b[4:8])
+	var msg bodyDecoder
+	switch MsgType(b[1]) {
+	case TypeHello:
+		msg = &Hello{}
+	case TypeError:
+		msg = &ErrorMsg{}
+	case TypeEchoRequest:
+		msg = &EchoRequest{}
+	case TypeEchoReply:
+		msg = &EchoReply{}
+	case TypeFeaturesRequest:
+		msg = &FeaturesRequest{}
+	case TypeFeaturesReply:
+		msg = &FeaturesReply{}
+	case TypePacketIn:
+		msg = &PacketIn{}
+	case TypeFlowRemoved:
+		msg = &FlowRemoved{}
+	case TypePacketOut:
+		msg = &PacketOut{}
+	case TypeFlowMod:
+		msg = &FlowMod{}
+	case TypeBarrierRequest:
+		msg = &BarrierRequest{}
+	case TypeBarrierReply:
+		msg = &BarrierReply{}
+	default:
+		return nil, xid, fmt.Errorf("%w: unknown type %d", ErrMalformed, b[1])
+	}
+	if err := msg.decodeBody(b[headerLen:]); err != nil {
+		return nil, xid, err
+	}
+	return msg, xid, nil
+}
+
+// WriteMessage frames and writes one message.
+func WriteMessage(w io.Writer, msg Message, xid uint32) error {
+	b, err := Encode(msg, xid)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadMessage reads exactly one framed message.
+func ReadMessage(r io.Reader) (Message, uint32, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, err
+	}
+	length := int(binary.BigEndian.Uint16(hdr[2:4]))
+	if length < headerLen {
+		return nil, 0, fmt.Errorf("%w: length %d", ErrMalformed, length)
+	}
+	buf := make([]byte, length)
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(r, buf[headerLen:]); err != nil {
+		return nil, 0, err
+	}
+	return Decode(buf)
+}

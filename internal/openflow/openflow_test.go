@@ -1,0 +1,339 @@
+package openflow
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"net"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"monocle/internal/flowtable"
+	"monocle/internal/header"
+)
+
+func roundTrip(t *testing.T, msg Message, xid uint32) Message {
+	t.Helper()
+	b, err := Encode(msg, xid)
+	if err != nil {
+		t.Fatalf("encode %T: %v", msg, err)
+	}
+	got, gotXID, err := Decode(b)
+	if err != nil {
+		t.Fatalf("decode %T: %v", msg, err)
+	}
+	if gotXID != xid {
+		t.Fatalf("xid %d != %d", gotXID, xid)
+	}
+	return got
+}
+
+func TestHelloEchoBarrierRoundTrip(t *testing.T) {
+	if _, ok := roundTrip(t, Hello{}, 1).(*Hello); !ok {
+		t.Fatal("hello")
+	}
+	er := roundTrip(t, EchoRequest{Data: []byte("ping")}, 2).(*EchoRequest)
+	if string(er.Data) != "ping" {
+		t.Fatal("echo data")
+	}
+	if _, ok := roundTrip(t, BarrierRequest{}, 3).(*BarrierRequest); !ok {
+		t.Fatal("barrier req")
+	}
+	if _, ok := roundTrip(t, BarrierReply{}, 4).(*BarrierReply); !ok {
+		t.Fatal("barrier rep")
+	}
+}
+
+func TestFeaturesReplyRoundTrip(t *testing.T) {
+	msg := FeaturesReply{
+		DatapathID: 0xabcdef0123456789,
+		NBuffers:   256,
+		NTables:    2,
+		Ports:      []PhyPort{{PortNo: 1, Name: "eth1"}, {PortNo: 2, Name: "eth2"}},
+	}
+	got := roundTrip(t, msg, 7).(*FeaturesReply)
+	if got.DatapathID != msg.DatapathID || got.NBuffers != 256 || got.NTables != 2 {
+		t.Fatalf("%+v", got)
+	}
+	if !reflect.DeepEqual(got.Ports, msg.Ports) {
+		t.Fatalf("ports %+v", got.Ports)
+	}
+}
+
+func TestPacketInOutRoundTrip(t *testing.T) {
+	pin := PacketIn{BufferID: BufferNone, InPort: 3, Reason: ReasonAction, Data: []byte{1, 2, 3}}
+	gotIn := roundTrip(t, pin, 9).(*PacketIn)
+	if gotIn.InPort != 3 || gotIn.Reason != ReasonAction || !bytes.Equal(gotIn.Data, pin.Data) {
+		t.Fatalf("%+v", gotIn)
+	}
+	pout := PacketOut{
+		BufferID: BufferNone, InPort: PortNone,
+		Actions: []Action{OutputAction(5)},
+		Data:    []byte("frame"),
+	}
+	gotOut := roundTrip(t, pout, 10).(*PacketOut)
+	if len(gotOut.Actions) != 1 || gotOut.Actions[0].Port != 5 || !bytes.Equal(gotOut.Data, pout.Data) {
+		t.Fatalf("%+v", gotOut)
+	}
+}
+
+func TestFlowModRoundTrip(t *testing.T) {
+	m := flowtable.MatchAll().
+		With(header.IPSrc, header.Prefix(header.IPSrc, 10<<24, 24)).
+		WithExact(header.IPProto, header.ProtoTCP).
+		WithExact(header.TPDst, 80)
+	wm, err := FromMatch(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm := FlowMod{
+		Match:    wm,
+		Cookie:   42,
+		Command:  FCAdd,
+		Priority: 100,
+		BufferID: BufferNone,
+		OutPort:  PortNone,
+		Actions:  []Action{{Type: atSetNWTos, Value: 0x2e}, OutputAction(2)},
+	}
+	got := roundTrip(t, fm, 11).(*FlowMod)
+	if got.Cookie != 42 || got.Priority != 100 || len(got.Actions) != 2 {
+		t.Fatalf("%+v", got)
+	}
+	if !got.Match.ToMatch().Equal(m) {
+		t.Fatalf("match: %v != %v", got.Match.ToMatch(), m)
+	}
+}
+
+func TestErrorMsgRoundTrip(t *testing.T) {
+	e := roundTrip(t, ErrorMsg{Type: 3, Code: 1, Data: []byte("bad")}, 12).(*ErrorMsg)
+	if e.Type != 3 || e.Code != 1 || string(e.Data) != "bad" {
+		t.Fatalf("%+v", e)
+	}
+}
+
+func TestFlowRemovedRoundTrip(t *testing.T) {
+	wm, _ := FromMatch(flowtable.MatchAll().WithExact(header.IPProto, 6))
+	fr := roundTrip(t, FlowRemoved{Match: wm, Cookie: 5, Priority: 7, Reason: 1}, 13).(*FlowRemoved)
+	if fr.Cookie != 5 || fr.Priority != 7 || fr.Reason != 1 {
+		t.Fatalf("%+v", fr)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, _, err := Decode(nil); !errors.Is(err, ErrMalformed) {
+		t.Fatal("nil")
+	}
+	b, _ := Encode(Hello{}, 1)
+	b[0] = 9 // wrong version
+	if _, _, err := Decode(b); !errors.Is(err, ErrMalformed) {
+		t.Fatal("version")
+	}
+	b, _ = Encode(Hello{}, 1)
+	b[1] = 200 // unknown type
+	if _, _, err := Decode(b); !errors.Is(err, ErrMalformed) {
+		t.Fatal("type")
+	}
+	b, _ = Encode(Hello{}, 1)
+	if _, _, err := Decode(b[:6]); !errors.Is(err, ErrMalformed) {
+		t.Fatal("short")
+	}
+}
+
+// TestMatchConversionProperty: abstract → wire → abstract is the identity
+// for OF1.0-expressible matches.
+func TestMatchConversionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := flowtable.MatchAll()
+		if rng.Intn(2) == 0 {
+			m = m.WithExact(header.InPort, uint64(rng.Intn(48)+1))
+		}
+		if rng.Intn(2) == 0 {
+			m = m.WithExact(header.EthSrc, rng.Uint64()&header.WidthMask(header.EthSrc))
+		}
+		if rng.Intn(2) == 0 {
+			m = m.WithExact(header.EthType, header.EthTypeIPv4)
+			if rng.Intn(2) == 0 {
+				m = m.With(header.IPSrc, header.Prefix(header.IPSrc, rng.Uint64(), rng.Intn(33)))
+			}
+			if rng.Intn(2) == 0 {
+				m = m.With(header.IPDst, header.Prefix(header.IPDst, rng.Uint64(), rng.Intn(33)))
+			}
+			if rng.Intn(2) == 0 {
+				m = m.WithExact(header.IPProto, header.ProtoUDP)
+				m = m.WithExact(header.TPSrc, uint64(rng.Intn(65536)))
+			}
+		}
+		wm, err := FromMatch(m)
+		if err != nil {
+			return false
+		}
+		back := wm.ToMatch()
+		// Wire roundtrip too.
+		var buf []byte
+		buf = wm.encode(buf)
+		var wm2 WireMatch
+		if err := wm2.decode(buf); err != nil {
+			return false
+		}
+		return back.Equal(m) && wm2.ToMatch().Equal(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromMatchRejectsNonPrefix(t *testing.T) {
+	m := flowtable.MatchAll().With(header.IPSrc, header.Ternary{Value: 1, Mask: 1})
+	if _, err := FromMatch(m); err == nil {
+		t.Fatal("non-prefix nw mask must be rejected")
+	}
+	m2 := flowtable.MatchAll().With(header.EthSrc, header.Ternary{Value: 0, Mask: 0xff})
+	if _, err := FromMatch(m2); err == nil {
+		t.Fatal("partial dl mask must be rejected")
+	}
+}
+
+func TestActionsConversion(t *testing.T) {
+	abstract := []flowtable.Action{
+		flowtable.SetField(header.IPTos, 0x2e),
+		flowtable.SetField(header.EthDst, 0x0000aabbccddee),
+		flowtable.Output(7),
+	}
+	wire, err := FromActions(abstract)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ToActions(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, abstract) {
+		t.Fatalf("%+v != %+v", back, abstract)
+	}
+	if _, err := FromActions([]flowtable.Action{flowtable.ECMP(1, 2)}); err == nil {
+		t.Fatal("ECMP must be rejected")
+	}
+}
+
+func TestActionWireRoundTripAllTypes(t *testing.T) {
+	actions := []Action{
+		OutputAction(3),
+		{Type: atSetVlanVID, Value: 42},
+		{Type: atSetVlanPCP, Value: 5},
+		{Type: atStripVlan},
+		{Type: atSetDLSrc, Value: 0x1234567890ab},
+		{Type: atSetDLDst, Value: 0xa1b2c3d4e5f6},
+		{Type: atSetNWSrc, Value: 0x0a000001},
+		{Type: atSetNWDst, Value: 0x0a000002},
+		{Type: atSetNWTos, Value: 0x2e},
+		{Type: atSetTPSrc, Value: 8080},
+		{Type: atSetTPDst, Value: 443},
+	}
+	got, err := decodeActions(encodeActions(actions))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MaxLen only survives for OUTPUT.
+	if !reflect.DeepEqual(got, actions) {
+		t.Fatalf("\n got %+v\nwant %+v", got, actions)
+	}
+}
+
+func TestDecodeActionsRejectsBadLength(t *testing.T) {
+	if _, err := decodeActions([]byte{0, 0, 0}); err == nil {
+		t.Fatal("short header")
+	}
+	b := encodeActions([]Action{OutputAction(1)})
+	b[3] = 7 // not multiple of 8
+	if _, err := decodeActions(b); err == nil {
+		t.Fatal("bad length")
+	}
+}
+
+// TestReadWriteOverTCP exercises framing over a real loopback connection.
+func TestReadWriteOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		for i := 0; i < 3; i++ {
+			msg, xid, err := ReadMessage(conn)
+			if err != nil {
+				done <- err
+				return
+			}
+			if err := WriteMessage(conn, msg, xid); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msgs := []Message{
+		Hello{},
+		EchoRequest{Data: []byte("x")},
+		PacketOut{BufferID: BufferNone, InPort: PortNone, Actions: []Action{OutputAction(1)}, Data: []byte("d")},
+	}
+	for i, m := range msgs {
+		if err := WriteMessage(conn, m, uint32(i)); err != nil {
+			t.Fatal(err)
+		}
+		echo, xid, err := ReadMessage(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if xid != uint32(i) || echo.MsgType() != m.MsgType() {
+			t.Fatalf("echo %v xid=%d", echo.MsgType(), xid)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	for _, typ := range []MsgType{TypeHello, TypeError, TypeEchoRequest, TypeEchoReply,
+		TypeFeaturesRequest, TypeFeaturesReply, TypePacketIn, TypeFlowRemoved,
+		TypePacketOut, TypeFlowMod, TypeBarrierRequest, TypeBarrierReply} {
+		if typ.String() == "" {
+			t.Fatal("empty name")
+		}
+	}
+	if MsgType(99).String() != "TYPE(99)" {
+		t.Fatal("unknown type name")
+	}
+}
+
+func BenchmarkFlowModEncodeDecode(b *testing.B) {
+	wm, _ := FromMatch(flowtable.MatchAll().
+		With(header.IPSrc, header.Prefix(header.IPSrc, 10<<24, 24)).
+		WithExact(header.IPProto, 6))
+	fm := FlowMod{Match: wm, Cookie: 1, Priority: 10, BufferID: BufferNone, OutPort: PortNone,
+		Actions: []Action{OutputAction(2)}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf, err := Encode(fm, uint32(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

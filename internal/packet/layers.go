@@ -1,0 +1,389 @@
+// Package packet translates between the abstract header view (package
+// header) and real wire-format packets (§5.2 of the paper). It plays the
+// role of the "existing packet crafting library" the paper leverages:
+// given consistent abstract data, it assembles Ethernet / 802.1Q / IPv4 /
+// TCP / UDP / ICMP frames with correct lengths and checksums, and parses
+// received frames back into the abstract view.
+//
+// The design follows the layered serialize/decode idiom of gopacket: each
+// protocol is a small layer type with SerializeTo appending its bytes and
+// decode consuming them.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"monocle/internal/header"
+)
+
+// Common wire constants.
+const (
+	etherTypeDot1Q = 0x8100
+	ipv4Version    = 4
+	ipv4MinIHL     = 5
+	defaultTTL     = 64
+)
+
+// ErrTruncated is returned when a frame is too short for its headers.
+var ErrTruncated = errors.New("packet: truncated frame")
+
+// ErrChecksum is returned when a checksum does not verify.
+var ErrChecksum = errors.New("packet: bad checksum")
+
+// ErrUnsupported is returned for frames outside the supported subset.
+var ErrUnsupported = errors.New("packet: unsupported frame")
+
+// ethernet is the 14-byte Ethernet II header.
+type ethernet struct {
+	dst, src  uint64 // low 48 bits
+	etherType uint16
+}
+
+func (e ethernet) serializeTo(b []byte) []byte {
+	var mac [8]byte
+	binary.BigEndian.PutUint64(mac[:], e.dst<<16)
+	b = append(b, mac[:6]...)
+	binary.BigEndian.PutUint64(mac[:], e.src<<16)
+	b = append(b, mac[:6]...)
+	return binary.BigEndian.AppendUint16(b, e.etherType)
+}
+
+func decodeEthernet(b []byte) (ethernet, []byte, error) {
+	if len(b) < 14 {
+		return ethernet{}, nil, fmt.Errorf("%w: ethernet", ErrTruncated)
+	}
+	var mac [8]byte
+	copy(mac[2:], b[0:6])
+	dst := binary.BigEndian.Uint64(mac[:])
+	copy(mac[2:], b[6:12])
+	src := binary.BigEndian.Uint64(mac[:])
+	return ethernet{dst: dst, src: src, etherType: binary.BigEndian.Uint16(b[12:14])}, b[14:], nil
+}
+
+// dot1q is the 4-byte 802.1Q tag (TPID already consumed as etherType).
+type dot1q struct {
+	pcp       uint8
+	vid       uint16
+	etherType uint16
+}
+
+func (d dot1q) serializeTo(b []byte) []byte {
+	tci := uint16(d.pcp)<<13 | d.vid&0x0fff
+	b = binary.BigEndian.AppendUint16(b, tci)
+	return binary.BigEndian.AppendUint16(b, d.etherType)
+}
+
+func decodeDot1Q(b []byte) (dot1q, []byte, error) {
+	if len(b) < 4 {
+		return dot1q{}, nil, fmt.Errorf("%w: 802.1q", ErrTruncated)
+	}
+	tci := binary.BigEndian.Uint16(b[0:2])
+	return dot1q{
+		pcp:       uint8(tci >> 13),
+		vid:       tci & 0x0fff,
+		etherType: binary.BigEndian.Uint16(b[2:4]),
+	}, b[4:], nil
+}
+
+// ipv4 carries the fields Monocle manipulates; the rest use defaults.
+type ipv4 struct {
+	tos      uint8
+	id       uint16
+	ttl      uint8
+	protocol uint8
+	src, dst uint32
+	length   uint16 // total length incl. header
+}
+
+func (ip ipv4) serializeTo(b []byte) []byte {
+	start := len(b)
+	b = append(b,
+		ipv4Version<<4|ipv4MinIHL, // version + IHL
+		ip.tos, 0, 0,              // tos, total length (patched below)
+		0, 0, // identification
+		0x40, 0, // flags (DF), fragment offset
+		ip.ttl, ip.protocol,
+		0, 0, // checksum (patched below)
+	)
+	b = binary.BigEndian.AppendUint32(b, ip.src)
+	b = binary.BigEndian.AppendUint32(b, ip.dst)
+	binary.BigEndian.PutUint16(b[start+2:], ip.length)
+	binary.BigEndian.PutUint16(b[start+4:], ip.id)
+	cks := checksum(b[start : start+20])
+	binary.BigEndian.PutUint16(b[start+10:], cks)
+	return b
+}
+
+func decodeIPv4(b []byte) (ipv4, []byte, error) {
+	if len(b) < 20 {
+		return ipv4{}, nil, fmt.Errorf("%w: ipv4", ErrTruncated)
+	}
+	if b[0]>>4 != ipv4Version {
+		return ipv4{}, nil, fmt.Errorf("%w: ip version %d", ErrUnsupported, b[0]>>4)
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < 20 || len(b) < ihl {
+		return ipv4{}, nil, fmt.Errorf("%w: ihl", ErrTruncated)
+	}
+	if checksum(b[:ihl]) != 0 {
+		return ipv4{}, nil, fmt.Errorf("%w: ipv4 header", ErrChecksum)
+	}
+	ip := ipv4{
+		tos:      b[1],
+		length:   binary.BigEndian.Uint16(b[2:4]),
+		id:       binary.BigEndian.Uint16(b[4:6]),
+		ttl:      b[8],
+		protocol: b[9],
+		src:      binary.BigEndian.Uint32(b[12:16]),
+		dst:      binary.BigEndian.Uint32(b[16:20]),
+	}
+	if int(ip.length) < ihl || int(ip.length) > len(b) {
+		return ipv4{}, nil, fmt.Errorf("%w: ipv4 total length", ErrTruncated)
+	}
+	return ip, b[ihl:ip.length], nil
+}
+
+// checksum is the RFC 1071 ones-complement sum.
+func checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderSum folds the IPv4 pseudo-header into a partial sum for
+// TCP/UDP checksums.
+func pseudoHeaderSum(src, dst uint32, proto uint8, l4len int) uint32 {
+	var sum uint32
+	sum += src >> 16
+	sum += src & 0xffff
+	sum += dst >> 16
+	sum += dst & 0xffff
+	sum += uint32(proto)
+	sum += uint32(l4len)
+	return sum
+}
+
+func finishChecksum(partial uint32, b []byte) uint16 {
+	sum := partial
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// serializeTCP appends a minimal TCP header plus payload. Sequence numbers
+// are zero and the only flag is ACK, which is sufficient for probes.
+func serializeTCP(b []byte, src, dst uint16, ip ipv4, payload []byte) []byte {
+	start := len(b)
+	b = binary.BigEndian.AppendUint16(b, src)
+	b = binary.BigEndian.AppendUint16(b, dst)
+	b = append(b, 0, 0, 0, 0, 0, 0, 0, 0)        // seq, ack
+	b = append(b, 5<<4, 0x10)                    // data offset, flags=ACK
+	b = binary.BigEndian.AppendUint16(b, 0xffff) // window
+	b = append(b, 0, 0, 0, 0)                    // checksum, urgent
+	b = append(b, payload...)
+	l4 := b[start:]
+	cks := finishChecksum(pseudoHeaderSum(ip.src, ip.dst, ip.protocol, len(l4)), l4)
+	binary.BigEndian.PutUint16(b[start+16:], cks)
+	return b
+}
+
+func decodeTCP(b []byte, ip ipv4) (src, dst uint16, payload []byte, err error) {
+	if len(b) < 20 {
+		return 0, 0, nil, fmt.Errorf("%w: tcp", ErrTruncated)
+	}
+	if finishChecksum(pseudoHeaderSum(ip.src, ip.dst, ip.protocol, len(b)), b) != 0 {
+		return 0, 0, nil, fmt.Errorf("%w: tcp", ErrChecksum)
+	}
+	off := int(b[12]>>4) * 4
+	if off < 20 || len(b) < off {
+		return 0, 0, nil, fmt.Errorf("%w: tcp offset", ErrTruncated)
+	}
+	return binary.BigEndian.Uint16(b[0:2]), binary.BigEndian.Uint16(b[2:4]), b[off:], nil
+}
+
+func serializeUDP(b []byte, src, dst uint16, ip ipv4, payload []byte) []byte {
+	start := len(b)
+	b = binary.BigEndian.AppendUint16(b, src)
+	b = binary.BigEndian.AppendUint16(b, dst)
+	b = binary.BigEndian.AppendUint16(b, uint16(8+len(payload)))
+	b = append(b, 0, 0) // checksum
+	b = append(b, payload...)
+	l4 := b[start:]
+	cks := finishChecksum(pseudoHeaderSum(ip.src, ip.dst, ip.protocol, len(l4)), l4)
+	if cks == 0 {
+		cks = 0xffff // RFC 768: transmitted zero means "no checksum"
+	}
+	binary.BigEndian.PutUint16(b[start+6:], cks)
+	return b
+}
+
+func decodeUDP(b []byte, ip ipv4) (src, dst uint16, payload []byte, err error) {
+	if len(b) < 8 {
+		return 0, 0, nil, fmt.Errorf("%w: udp", ErrTruncated)
+	}
+	ln := int(binary.BigEndian.Uint16(b[4:6]))
+	if ln < 8 || ln > len(b) {
+		return 0, 0, nil, fmt.Errorf("%w: udp length", ErrTruncated)
+	}
+	if binary.BigEndian.Uint16(b[6:8]) != 0 {
+		if finishChecksum(pseudoHeaderSum(ip.src, ip.dst, ip.protocol, ln), b[:ln]) != 0 {
+			return 0, 0, nil, fmt.Errorf("%w: udp", ErrChecksum)
+		}
+	}
+	return binary.BigEndian.Uint16(b[0:2]), binary.BigEndian.Uint16(b[2:4]), b[8:ln], nil
+}
+
+// serializeICMP uses the OpenFlow 1.0 convention that tp_src/tp_dst carry
+// the ICMP type and code.
+func serializeICMP(b []byte, icmpType, icmpCode uint8, payload []byte) []byte {
+	start := len(b)
+	b = append(b, icmpType, icmpCode, 0, 0) // type, code, checksum
+	b = append(b, 0, 0, 0, 0)               // identifier, sequence
+	b = append(b, payload...)
+	cks := checksum(b[start:])
+	binary.BigEndian.PutUint16(b[start+2:], cks)
+	return b
+}
+
+func decodeICMP(b []byte) (icmpType, icmpCode uint8, payload []byte, err error) {
+	if len(b) < 8 {
+		return 0, 0, nil, fmt.Errorf("%w: icmp", ErrTruncated)
+	}
+	if checksum(b) != 0 {
+		return 0, 0, nil, fmt.Errorf("%w: icmp", ErrChecksum)
+	}
+	return b[0], b[1], b[8:], nil
+}
+
+// Craft assembles a wire-format frame from the abstract header and
+// payload. The in_port field is switch metadata and not represented on the
+// wire. It returns an error if the abstract values cannot appear in a
+// valid packet (e.g. an EtherType the crafter does not speak) — by
+// construction the probe generator's domain handling avoids these.
+func Craft(h header.Header, payload []byte) ([]byte, error) {
+	if h.Get(header.EthType) != header.EthTypeIPv4 {
+		return nil, fmt.Errorf("%w: dl_type %#x", ErrUnsupported, h.Get(header.EthType))
+	}
+	b := make([]byte, 0, 64+len(payload))
+	eth := ethernet{dst: h.Get(header.EthDst), src: h.Get(header.EthSrc)}
+	tagged := h.Get(header.VlanID) != header.VlanNone
+	if tagged {
+		eth.etherType = etherTypeDot1Q
+	} else {
+		eth.etherType = uint16(h.Get(header.EthType))
+	}
+	b = eth.serializeTo(b)
+	if tagged {
+		b = dot1q{
+			pcp:       uint8(h.Get(header.VlanPCP)),
+			vid:       uint16(h.Get(header.VlanID)),
+			etherType: uint16(h.Get(header.EthType)),
+		}.serializeTo(b)
+	}
+
+	proto := uint8(h.Get(header.IPProto))
+	var l4len int
+	switch uint64(proto) {
+	case header.ProtoTCP:
+		l4len = 20 + len(payload)
+	case header.ProtoUDP, header.ProtoICMP:
+		l4len = 8 + len(payload)
+	default:
+		return nil, fmt.Errorf("%w: nw_proto %d", ErrUnsupported, proto)
+	}
+	ip := ipv4{
+		tos:      uint8(h.Get(header.IPTos)),
+		ttl:      defaultTTL,
+		protocol: proto,
+		src:      uint32(h.Get(header.IPSrc)),
+		dst:      uint32(h.Get(header.IPDst)),
+		length:   uint16(20 + l4len),
+	}
+	b = ip.serializeTo(b)
+	switch uint64(proto) {
+	case header.ProtoTCP:
+		b = serializeTCP(b, uint16(h.Get(header.TPSrc)), uint16(h.Get(header.TPDst)), ip, payload)
+	case header.ProtoUDP:
+		b = serializeUDP(b, uint16(h.Get(header.TPSrc)), uint16(h.Get(header.TPDst)), ip, payload)
+	case header.ProtoICMP:
+		b = serializeICMP(b, uint8(h.Get(header.TPSrc)), uint8(h.Get(header.TPDst)), payload)
+	}
+	return b, nil
+}
+
+// Parse decodes a frame produced by Craft (or a compatible stack) back
+// into the abstract view plus its payload. in_port is set to zero.
+func Parse(frame []byte) (header.Header, []byte, error) {
+	var h header.Header
+	eth, rest, err := decodeEthernet(frame)
+	if err != nil {
+		return h, nil, err
+	}
+	h.Set(header.EthDst, eth.dst)
+	h.Set(header.EthSrc, eth.src)
+	etherType := eth.etherType
+	h.Set(header.VlanID, header.VlanNone)
+	if etherType == etherTypeDot1Q {
+		var q dot1q
+		q, rest, err = decodeDot1Q(rest)
+		if err != nil {
+			return h, nil, err
+		}
+		h.Set(header.VlanID, uint64(q.vid))
+		h.Set(header.VlanPCP, uint64(q.pcp))
+		etherType = q.etherType
+	}
+	h.Set(header.EthType, uint64(etherType))
+	if uint64(etherType) != header.EthTypeIPv4 {
+		return h, nil, fmt.Errorf("%w: dl_type %#x", ErrUnsupported, etherType)
+	}
+	ip, l4, err := decodeIPv4(rest)
+	if err != nil {
+		return h, nil, err
+	}
+	h.Set(header.IPSrc, uint64(ip.src))
+	h.Set(header.IPDst, uint64(ip.dst))
+	h.Set(header.IPProto, uint64(ip.protocol))
+	h.Set(header.IPTos, uint64(ip.tos))
+	var payload []byte
+	switch uint64(ip.protocol) {
+	case header.ProtoTCP:
+		var s, d uint16
+		s, d, payload, err = decodeTCP(l4, ip)
+		h.Set(header.TPSrc, uint64(s))
+		h.Set(header.TPDst, uint64(d))
+	case header.ProtoUDP:
+		var s, d uint16
+		s, d, payload, err = decodeUDP(l4, ip)
+		h.Set(header.TPSrc, uint64(s))
+		h.Set(header.TPDst, uint64(d))
+	case header.ProtoICMP:
+		var ty, co uint8
+		ty, co, payload, err = decodeICMP(l4)
+		h.Set(header.TPSrc, uint64(ty))
+		h.Set(header.TPDst, uint64(co))
+	default:
+		return h, nil, fmt.Errorf("%w: nw_proto %d", ErrUnsupported, ip.protocol)
+	}
+	if err != nil {
+		return h, nil, err
+	}
+	return h, payload, nil
+}

@@ -1,0 +1,84 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Probe metadata (§4.2): Monocle embeds "rule under test and expected
+// result" into the probe payload, which switches cannot touch, so a caught
+// probe can be matched back to the rule it was monitoring even when many
+// probes are in flight. The layout is fixed-width and independent of host
+// byte order:
+//
+//	0:4   magic "MNCL"
+//	4:12  rule id
+//	12:20 sequence number
+//	20:24 switch id of the probed switch
+//	24:25 expectation code
+//	25:33 nonce (generation epoch; invalidates stale in-flight probes)
+//	33:35 checksum over bytes 0:33
+const (
+	metaMagic = "MNCL"
+	// MetadataLen is the wire size of the probe metadata payload.
+	MetadataLen = 35
+)
+
+// Expectation tells the collector how to interpret the probe's arrival.
+type Expectation uint8
+
+const (
+	// ExpectPresent: arrival consistent with Present confirms the rule.
+	ExpectPresent Expectation = iota
+	// ExpectAbsent: arrival consistent with Absent confirms a deletion.
+	ExpectAbsent
+	// ExpectModified: arrival with the new rewrite confirms a
+	// modification.
+	ExpectModified
+)
+
+// ErrBadMetadata is returned when a payload is not a Monocle probe.
+var ErrBadMetadata = errors.New("packet: not a Monocle probe payload")
+
+// Metadata identifies one in-flight probe.
+type Metadata struct {
+	RuleID   uint64
+	Seq      uint64
+	SwitchID uint32
+	Expect   Expectation
+	Nonce    uint64
+}
+
+// Marshal encodes the metadata into its fixed wire layout.
+func (m Metadata) Marshal() []byte {
+	b := make([]byte, MetadataLen)
+	copy(b[0:4], metaMagic)
+	binary.BigEndian.PutUint64(b[4:12], m.RuleID)
+	binary.BigEndian.PutUint64(b[12:20], m.Seq)
+	binary.BigEndian.PutUint32(b[20:24], m.SwitchID)
+	b[24] = byte(m.Expect)
+	binary.BigEndian.PutUint64(b[25:33], m.Nonce)
+	binary.BigEndian.PutUint16(b[33:35], checksum(b[:33]))
+	return b
+}
+
+// UnmarshalMetadata decodes and verifies a probe payload.
+func UnmarshalMetadata(b []byte) (Metadata, error) {
+	var m Metadata
+	if len(b) < MetadataLen {
+		return m, fmt.Errorf("%w: %d bytes", ErrBadMetadata, len(b))
+	}
+	if string(b[0:4]) != metaMagic {
+		return m, fmt.Errorf("%w: bad magic", ErrBadMetadata)
+	}
+	if binary.BigEndian.Uint16(b[33:35]) != checksum(b[:33]) {
+		return m, fmt.Errorf("%w: bad checksum", ErrBadMetadata)
+	}
+	m.RuleID = binary.BigEndian.Uint64(b[4:12])
+	m.Seq = binary.BigEndian.Uint64(b[12:20])
+	m.SwitchID = binary.BigEndian.Uint32(b[20:24])
+	m.Expect = Expectation(b[24])
+	m.Nonce = binary.BigEndian.Uint64(b[25:33])
+	return m, nil
+}

@@ -1,0 +1,275 @@
+package packet
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"monocle/internal/header"
+)
+
+// validHeader produces an abstract header the crafter accepts.
+func validHeader(rng *rand.Rand) header.Header {
+	var h header.Header
+	h.Set(header.EthSrc, rng.Uint64())
+	h.Set(header.EthDst, rng.Uint64())
+	h.Set(header.EthType, header.EthTypeIPv4)
+	if rng.Intn(2) == 0 {
+		h.Set(header.VlanID, uint64(rng.Intn(4095)))
+		h.Set(header.VlanPCP, uint64(rng.Intn(8)))
+	} else {
+		h.Set(header.VlanID, header.VlanNone)
+		h.Set(header.VlanPCP, 0)
+	}
+	h.Set(header.IPSrc, rng.Uint64())
+	h.Set(header.IPDst, rng.Uint64())
+	h.Set(header.IPTos, uint64(rng.Intn(256)))
+	switch rng.Intn(3) {
+	case 0:
+		h.Set(header.IPProto, header.ProtoTCP)
+		h.Set(header.TPSrc, rng.Uint64())
+		h.Set(header.TPDst, rng.Uint64())
+	case 1:
+		h.Set(header.IPProto, header.ProtoUDP)
+		h.Set(header.TPSrc, rng.Uint64())
+		h.Set(header.TPDst, rng.Uint64())
+	default:
+		h.Set(header.IPProto, header.ProtoICMP)
+		h.Set(header.TPSrc, uint64(rng.Intn(256)))
+		h.Set(header.TPDst, uint64(rng.Intn(256)))
+	}
+	return h
+}
+
+// TestCraftParseRoundTrip is the central property: craft → parse recovers
+// the abstract header (minus in_port) and payload byte-for-byte.
+func TestCraftParseRoundTrip(t *testing.T) {
+	f := func(seed int64, payload []byte) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := validHeader(rng)
+		frame, err := Craft(h, payload)
+		if err != nil {
+			return false
+		}
+		got, gotPayload, err := Parse(frame)
+		if err != nil {
+			return false
+		}
+		h.Set(header.InPort, 0) // not on the wire
+		if got != h {
+			return false
+		}
+		if len(gotPayload) != len(payload) {
+			return false
+		}
+		for i := range payload {
+			if gotPayload[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCraftRejectsNonIPv4(t *testing.T) {
+	var h header.Header
+	h.Set(header.EthType, header.EthTypeARP)
+	h.Set(header.VlanID, header.VlanNone)
+	if _, err := Craft(h, nil); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestCraftRejectsUnknownProto(t *testing.T) {
+	var h header.Header
+	h.Set(header.EthType, header.EthTypeIPv4)
+	h.Set(header.VlanID, header.VlanNone)
+	h.Set(header.IPProto, 89) // OSPF
+	if _, err := Craft(h, nil); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestParseTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := validHeader(rng)
+	frame, err := Craft(h, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 5, 13, 15, 20, len(frame) - 1} {
+		if cut >= len(frame) {
+			continue
+		}
+		if _, _, err := Parse(frame[:cut]); err == nil {
+			t.Fatalf("cut=%d: want error", cut)
+		}
+	}
+}
+
+func TestParseDetectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var h header.Header
+	h.Set(header.EthType, header.EthTypeIPv4)
+	h.Set(header.VlanID, header.VlanNone)
+	h.Set(header.IPProto, header.ProtoTCP)
+	h.Set(header.IPSrc, rng.Uint64())
+	frame, err := Craft(h, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit in the IPv4 source address; header checksum must fail.
+	frame[14+12] ^= 0x40
+	if _, _, err := Parse(frame); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestTCPChecksumCoversPayload(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var h header.Header
+	h.Set(header.EthType, header.EthTypeIPv4)
+	h.Set(header.VlanID, header.VlanNone)
+	h.Set(header.IPProto, header.ProtoTCP)
+	h.Set(header.IPSrc, rng.Uint64())
+	frame, err := Craft(h, []byte("hello world"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[len(frame)-1] ^= 0xff // corrupt payload
+	if _, _, err := Parse(frame); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestVlanTagOnWire(t *testing.T) {
+	var h header.Header
+	h.Set(header.EthType, header.EthTypeIPv4)
+	h.Set(header.VlanID, 42)
+	h.Set(header.VlanPCP, 5)
+	h.Set(header.IPProto, header.ProtoUDP)
+	frame, err := Craft(h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame[12] != 0x81 || frame[13] != 0x00 {
+		t.Fatal("missing 802.1Q TPID")
+	}
+	got, _, err := Parse(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Get(header.VlanID) != 42 || got.Get(header.VlanPCP) != 5 {
+		t.Fatalf("vlan fields: %v", got)
+	}
+	// Untagged frame is 4 bytes shorter.
+	h.Set(header.VlanID, header.VlanNone)
+	h.Set(header.VlanPCP, 0)
+	untagged, err := Craft(h, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(untagged) != len(frame)-4 {
+		t.Fatalf("tagged %d vs untagged %d", len(frame), len(untagged))
+	}
+}
+
+func TestChecksumRFC1071(t *testing.T) {
+	// Example from RFC 1071: bytes 00 01 f2 03 f4 f5 f6 f7 sum to ddf2
+	// (checksum = ^ddf2 = 220d).
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := checksum(b); got != 0x220d {
+		t.Fatalf("checksum=%#x", got)
+	}
+	// Odd length pads with zero.
+	if checksum([]byte{0xff}) != ^uint16(0xff00) {
+		t.Fatal("odd-length checksum")
+	}
+}
+
+func TestMetadataRoundTrip(t *testing.T) {
+	f := func(rule, seq, nonce uint64, sw uint32, exp uint8) bool {
+		m := Metadata{
+			RuleID: rule, Seq: seq, SwitchID: sw,
+			Expect: Expectation(exp % 3), Nonce: nonce,
+		}
+		got, err := UnmarshalMetadata(m.Marshal())
+		return err == nil && got == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetadataRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalMetadata(nil); !errors.Is(err, ErrBadMetadata) {
+		t.Fatal("nil payload")
+	}
+	if _, err := UnmarshalMetadata(make([]byte, MetadataLen)); !errors.Is(err, ErrBadMetadata) {
+		t.Fatal("zero payload")
+	}
+	m := Metadata{RuleID: 7}.Marshal()
+	m[5] ^= 1
+	if _, err := UnmarshalMetadata(m); !errors.Is(err, ErrBadMetadata) {
+		t.Fatal("corrupt payload")
+	}
+}
+
+// TestProbeInPacketRoundTrip simulates the full probe pipeline: metadata
+// payload inside a crafted frame survives crafting, rewriting nothing, and
+// parsing.
+func TestProbeInPacketRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 50; i++ {
+		h := validHeader(rng)
+		meta := Metadata{RuleID: rng.Uint64(), Seq: rng.Uint64(), SwitchID: rng.Uint32(), Nonce: rng.Uint64()}
+		frame, err := Craft(h, meta.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, payload, err := Parse(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := UnmarshalMetadata(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != meta {
+			t.Fatalf("metadata mismatch: %+v vs %+v", got, meta)
+		}
+	}
+}
+
+func BenchmarkCraft(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	h := validHeader(rng)
+	payload := Metadata{RuleID: 1}.Marshal()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Craft(h, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	h := validHeader(rng)
+	frame, err := Craft(h, Metadata{RuleID: 1}.Marshal())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Parse(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Package probe implements Monocle's primary contribution: generating data
+// plane probe packets for a monitored rule by formulating the switch
+// forwarding logic as a Boolean satisfiability problem (§3, §5).
+//
+// A probe for rule R_probed must
+//
+//	Hit:         match R_probed and no higher-priority rule,
+//	Distinguish: behave observably differently depending on whether
+//	             R_probed is installed, whatever lower-priority rule
+//	             would process it otherwise, and
+//	Collect:     match the downstream probe-catching rule.
+//
+// Constraints are built over the abstract header bits (package header),
+// encoded to CNF with the if-then-else chain construction (package cnf) and
+// solved with the bundled SAT solver (package sat). The SAT model is then
+// translated into a valid abstract packet (limited field domains, the
+// spare-value substitution lemma, conditionally-excluded field
+// elimination — §5.2).
+package probe
+
+import (
+	"monocle/internal/cnf"
+	"monocle/internal/flowtable"
+	"monocle/internal/header"
+)
+
+// matchFormula returns the Table-3 encoding of Matches(P, m): a
+// conjunction of one literal per constrained header bit. The wildcard
+// match yields the constant true.
+func matchFormula(m flowtable.Match) *cnf.Formula {
+	var lits []*cnf.Formula
+	for f := header.FieldID(0); f < header.NumFields; f++ {
+		t := m[f]
+		if t.IsWildcard() {
+			continue
+		}
+		w := header.Width(f)
+		for b := 0; b < w; b++ {
+			maskBit := t.Mask >> (w - 1 - b) & 1
+			if maskBit == 0 {
+				continue
+			}
+			v := header.BitVar(f, b)
+			if t.Value>>(w-1-b)&1 == 1 {
+				lits = append(lits, cnf.Lit(v))
+			} else {
+				lits = append(lits, cnf.Lit(-v))
+			}
+		}
+	}
+	return cnf.And(lits...)
+}
+
+// fieldEquals returns the formula pinning field f to value v.
+func fieldEquals(f header.FieldID, v uint64) *cnf.Formula {
+	w := header.Width(f)
+	lits := make([]*cnf.Formula, 0, w)
+	for b := 0; b < w; b++ {
+		bv := header.BitVar(f, b)
+		if v>>(w-1-b)&1 == 1 {
+			lits = append(lits, cnf.Lit(bv))
+		} else {
+			lits = append(lits, cnf.Lit(-bv))
+		}
+	}
+	return cnf.And(lits...)
+}
+
+// portSet is a small helper over sorted forwarding sets.
+type portSet map[flowtable.PortID]bool
+
+func toSet(ports []flowtable.PortID) portSet {
+	s := make(portSet, len(ports))
+	for _, p := range ports {
+		s[p] = true
+	}
+	return s
+}
+
+func setEqual(a, b portSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for p := range a {
+		if !b[p] {
+			return false
+		}
+	}
+	return true
+}
+
+func intersect(a, b portSet) []flowtable.PortID {
+	var out []flowtable.PortID
+	for p := range a {
+		if b[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func difference(a, b portSet) []flowtable.PortID {
+	var out []flowtable.PortID
+	for p := range a {
+		if !b[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// diffPorts implements the §3.4 DiffPorts case analysis. Drop and unicast
+// rules are multicast rules with zero / one element in their forwarding
+// set; a single-port ECMP group is likewise deterministic.
+func diffPorts(r1, r2 *flowtable.Rule, counting bool) bool {
+	f1 := toSet(r1.ForwardingSet())
+	f2 := toSet(r2.ForwardingSet())
+	e1, e2 := r1.IsECMP(), r2.IsECMP()
+	switch {
+	case !e1 && !e2: // both multicast-like (incl. unicast, drop)
+		return !setEqual(f1, f2)
+	case e1 && e2: // both ECMP
+		return len(intersect(f1, f2)) == 0
+	case !e1: // r1 multicast, r2 ECMP
+		if len(difference(f1, f2)) != 0 {
+			return true
+		}
+		// Counting exception: an ECMP rule always emits exactly one
+		// probe; a multicast rule emits |F1| ≠ 1 of them.
+		return counting && len(f1) != 1
+	default: // r1 ECMP, r2 multicast
+		if len(difference(f2, f1)) != 0 {
+			return true
+		}
+		return counting && len(f2) != 1
+	}
+}
+
+// bitDiffOnPort returns the Table-4 formula: true iff rules r1 and r2
+// rewrite at least one bit of the probe differently as observed on port p.
+func bitDiffOnPort(r1, r2 *flowtable.Rule, p flowtable.PortID) *cnf.Formula {
+	w1, ok1 := r1.RewriteOnPort(p)
+	w2, ok2 := r2.RewriteOnPort(p)
+	if !ok1 || !ok2 {
+		// One of the rules never emits on p; location alone
+		// distinguishes, which DiffPorts already accounts for.
+		return cnf.False()
+	}
+	var terms []*cnf.Formula
+	for f := header.FieldID(0); f < header.NumFields; f++ {
+		if !w1.Set[f] && !w2.Set[f] {
+			continue // both pass the whole field through
+		}
+		width := header.Width(f)
+		for b := 0; b < width; b++ {
+			f1, v1 := w1.BitRewrite(f, b)
+			f2, v2 := w2.BitRewrite(f, b)
+			switch {
+			case f1 && f2:
+				if v1 != v2 {
+					return cnf.True() // bit always differs
+				}
+			case f1 != f2:
+				// One side fixes the bit, the other passes P[i]
+				// through: they differ iff P[i] disagrees with the
+				// fixed value.
+				fixedVal := v1
+				if f2 {
+					fixedVal = v2
+				}
+				bv := header.BitVar(f, b)
+				if fixedVal {
+					terms = append(terms, cnf.Lit(-bv))
+				} else {
+					terms = append(terms, cnf.Lit(bv))
+				}
+			}
+		}
+	}
+	return cnf.Or(terms...)
+}
+
+// diffRewrite implements the §3.4 DiffRewrite case analysis over the ports
+// in F1 ∩ F2. Drop rules never output, so their rewrites are meaningless
+// and DiffRewrite is defined false (footnote 2).
+func diffRewrite(r1, r2 *flowtable.Rule) *cnf.Formula {
+	if r1.IsDrop() || r2.IsDrop() {
+		return cnf.False()
+	}
+	common := intersect(toSet(r1.ForwardingSet()), toSet(r2.ForwardingSet()))
+	if len(common) == 0 {
+		return cnf.False()
+	}
+	terms := make([]*cnf.Formula, 0, len(common))
+	for _, p := range common {
+		terms = append(terms, bitDiffOnPort(r1, r2, p))
+	}
+	if !r1.IsECMP() && !r2.IsECMP() {
+		// Both deterministic: a single differing port suffices.
+		return cnf.Or(terms...)
+	}
+	// ECMP involved: the difference must be observable no matter which
+	// common port the ECMP rule chooses.
+	return cnf.And(terms...)
+}
+
+// diffOutcome is DiffOutcome(P, r1, r2) := DiffPorts ∨ DiffRewrite.
+// DiffPorts depends only on the rules, so it folds to a constant before
+// SAT encoding (Appendix B note).
+func diffOutcome(r1, r2 *flowtable.Rule, counting bool) *cnf.Formula {
+	if diffPorts(r1, r2, counting) {
+		return cnf.True()
+	}
+	return diffRewrite(r1, r2)
+}

@@ -1,0 +1,89 @@
+package sat
+
+// varHeap is a max-heap of variables ordered by activity, used for the
+// VSIDS-style branching heuristic. It maintains positions so that activity
+// bumps can sift entries in place.
+type varHeap struct {
+	act  []float64
+	heap []int
+	pos  []int // pos[v] = index in heap, -1 if absent
+}
+
+func newVarHeap(act []float64) *varHeap {
+	h := &varHeap{act: act, pos: make([]int, len(act))}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+func (h *varHeap) len() int { return len(h.heap) }
+
+func (h *varHeap) less(i, j int) bool { return h.act[h.heap[i]] > h.act[h.heap[j]] }
+
+func (h *varHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.pos[h.heap[i]] = i
+	h.pos[h.heap[j]] = j
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *varHeap) down(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h *varHeap) push(v int) {
+	if h.pos[v] != -1 {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.pos[v] = len(h.heap) - 1
+	h.up(len(h.heap) - 1)
+}
+
+// pushIfAbsent re-inserts a variable after backtracking.
+func (h *varHeap) pushIfAbsent(v int) { h.push(v) }
+
+func (h *varHeap) pop() int {
+	v := h.heap[0]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.heap = h.heap[:last]
+	h.pos[v] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return v
+}
+
+// update restores heap order after v's activity increased.
+func (h *varHeap) update(v int) {
+	if p := h.pos[v]; p != -1 {
+		h.up(p)
+	}
+}

@@ -1,0 +1,509 @@
+// Package sat implements a complete Boolean satisfiability solver in the
+// spirit of PicoSAT, which the Monocle paper uses as its backend solver.
+//
+// The solver consumes clauses in the DIMACS convention: a clause is a list
+// of non-zero integers, where a positive integer v denotes the variable v
+// and a negative integer -v denotes its negation. Following the paper's
+// implementation note (§7), the whole CNF formula can also be supplied as a
+// single one-dimensional vector of integers with 0 acting as the clause
+// terminator; this avoids allocating one small slice per clause on the hot
+// path of probe generation.
+//
+// The algorithm is conflict-driven clause learning (CDCL) with two-literal
+// watching, first-UIP conflict analysis, non-chronological backjumping, an
+// exponential VSIDS-style activity heuristic, and Luby restarts. Probe
+// instances are small (a few hundred variables), so the solver is tuned for
+// low constant overhead rather than industrial-scale inputs.
+package sat
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Status is the outcome of a Solve call.
+type Status int
+
+const (
+	// Unknown means solving was aborted (e.g. by budget exhaustion).
+	Unknown Status = iota
+	// Satisfiable means a model was found.
+	Satisfiable
+	// Unsatisfiable means no assignment satisfies the formula.
+	Unsatisfiable
+)
+
+// String returns a human-readable status name.
+func (s Status) String() string {
+	switch s {
+	case Satisfiable:
+		return "SAT"
+	case Unsatisfiable:
+		return "UNSAT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// ErrBadLiteral is returned when a clause contains a literal whose variable
+// index is zero or out of range.
+var ErrBadLiteral = errors.New("sat: literal out of range")
+
+// lit is an internal literal encoding: variable v (1-based) with sign s is
+// encoded as 2*v + s where s=1 for negated. lit 0/1 are unused.
+type lit uint32
+
+func toLit(dimacs int) lit {
+	if dimacs > 0 {
+		return lit(2 * dimacs)
+	}
+	return lit(-2*dimacs + 1)
+}
+
+func (l lit) dimacs() int {
+	v := int(l >> 1)
+	if l&1 == 1 {
+		return -v
+	}
+	return v
+}
+
+func (l lit) neg() lit   { return l ^ 1 }
+func (l lit) varID() int { return int(l >> 1) }
+func (l lit) sign() bool { return l&1 == 1 }
+
+// value of an assignment slot.
+type tribool int8
+
+const (
+	unassigned tribool = iota
+	vTrue
+	vFalse
+)
+
+type clause struct {
+	lits    []lit
+	learnt  bool
+	act     float64
+	deleted bool
+}
+
+type watcher struct {
+	c       *clause
+	blocker lit
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; create
+// instances with New. A Solver may be reused for multiple Solve calls by
+// adding more clauses between calls (incremental interface without
+// assumptions), but clauses can never be removed.
+type Solver struct {
+	nVars   int
+	clauses []*clause
+	learnts []*clause
+	watches [][]watcher // indexed by lit
+
+	assign  []tribool // indexed by var
+	level   []int     // decision level per var
+	reason  []*clause // antecedent clause per var
+	trail   []lit
+	trailLi []int // trail limits per decision level
+	qhead   int
+
+	activity []float64
+	varInc   float64
+	order    *varHeap
+	polarity []bool // phase saving
+
+	ok        bool // false once a top-level conflict is found
+	conflicts int64
+	decisions int64
+	propag    int64
+
+	// Budget bounds the number of conflicts before Solve gives up with
+	// Unknown. Zero means no limit.
+	Budget int64
+}
+
+// New returns a solver prepared for nVars variables (1..nVars).
+func New(nVars int) *Solver {
+	s := &Solver{
+		nVars:    nVars,
+		watches:  make([][]watcher, 2*nVars+2),
+		assign:   make([]tribool, nVars+1),
+		level:    make([]int, nVars+1),
+		reason:   make([]*clause, nVars+1),
+		activity: make([]float64, nVars+1),
+		polarity: make([]bool, nVars+1),
+		varInc:   1.0,
+		ok:       true,
+	}
+	s.order = newVarHeap(s.activity)
+	for v := 1; v <= nVars; v++ {
+		s.order.push(v)
+	}
+	return s
+}
+
+// NumVars returns the number of variables the solver was created with.
+func (s *Solver) NumVars() int { return s.nVars }
+
+// Stats reports (decisions, propagations, conflicts) accumulated so far.
+func (s *Solver) Stats() (decisions, propagations, conflicts int64) {
+	return s.decisions, s.propag, s.conflicts
+}
+
+// AddClause adds one clause given as DIMACS literals. It returns
+// ErrBadLiteral for out-of-range variables. Adding an empty clause (or a
+// clause that simplifies to empty) makes the formula trivially UNSAT.
+func (s *Solver) AddClause(dimacs ...int) error {
+	return s.addClause(dimacs)
+}
+
+func (s *Solver) addClause(dimacs []int) error {
+	if !s.ok {
+		return nil // already UNSAT; further clauses are irrelevant
+	}
+	// Normalize: drop duplicate literals and satisfied-at-level-0 clauses.
+	seen := make(map[int]bool, len(dimacs))
+	lits := make([]lit, 0, len(dimacs))
+	for _, d := range dimacs {
+		if d == 0 {
+			return fmt.Errorf("%w: 0 inside clause", ErrBadLiteral)
+		}
+		v := d
+		if v < 0 {
+			v = -v
+		}
+		if v > s.nVars {
+			return fmt.Errorf("%w: var %d > %d", ErrBadLiteral, v, s.nVars)
+		}
+		if seen[-d] {
+			return nil // clause contains x ∨ ¬x: tautology
+		}
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		l := toLit(d)
+		switch s.valueLit(l) {
+		case vTrue:
+			if s.level[l.varID()] == 0 {
+				return nil // satisfied at top level
+			}
+		case vFalse:
+			if s.level[l.varID()] == 0 {
+				continue // falsified at top level: drop literal
+			}
+		}
+		lits = append(lits, l)
+	}
+	switch len(lits) {
+	case 0:
+		s.ok = false
+		return nil
+	case 1:
+		if !s.enqueue(lits[0], nil) {
+			s.ok = false
+		} else if conf := s.propagate(); conf != nil {
+			s.ok = false
+		}
+		return nil
+	}
+	c := &clause{lits: lits}
+	s.clauses = append(s.clauses, c)
+	s.watch(c)
+	return nil
+}
+
+// AddDIMACSVector adds a whole formula given as a one-dimensional vector of
+// integers where 0 terminates each clause, mirroring the representation the
+// paper's Cython implementation feeds to PicoSAT.
+func (s *Solver) AddDIMACSVector(vec []int) error {
+	start := 0
+	for i, x := range vec {
+		if x == 0 {
+			if err := s.addClause(vec[start:i]); err != nil {
+				return err
+			}
+			start = i + 1
+		}
+	}
+	if start != len(vec) {
+		return fmt.Errorf("sat: DIMACS vector not 0-terminated (trailing %d literals)", len(vec)-start)
+	}
+	return nil
+}
+
+func (s *Solver) watch(c *clause) {
+	s.watches[c.lits[0].neg()] = append(s.watches[c.lits[0].neg()], watcher{c, c.lits[1]})
+	s.watches[c.lits[1].neg()] = append(s.watches[c.lits[1].neg()], watcher{c, c.lits[0]})
+}
+
+func (s *Solver) valueLit(l lit) tribool {
+	a := s.assign[l.varID()]
+	if a == unassigned {
+		return unassigned
+	}
+	if l.sign() {
+		if a == vTrue {
+			return vFalse
+		}
+		return vTrue
+	}
+	return a
+}
+
+func (s *Solver) enqueue(l lit, from *clause) bool {
+	switch s.valueLit(l) {
+	case vTrue:
+		return true
+	case vFalse:
+		return false
+	}
+	v := l.varID()
+	if l.sign() {
+		s.assign[v] = vFalse
+	} else {
+		s.assign[v] = vTrue
+	}
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	return true
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLi) }
+
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.propag++
+		ws := s.watches[p]
+		kept := ws[:0]
+		var conflict *clause
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if conflict != nil {
+				kept = append(kept, ws[i:]...)
+				break
+			}
+			if s.valueLit(w.blocker) == vTrue {
+				kept = append(kept, w)
+				continue
+			}
+			c := w.c
+			// Ensure the false literal (¬p) is at position 1.
+			np := p.neg()
+			if c.lits[0] == np {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.valueLit(first) == vTrue {
+				kept = append(kept, watcher{c, first})
+				continue
+			}
+			// Look for a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.valueLit(c.lits[k]) != vFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].neg()] = append(s.watches[c.lits[1].neg()], watcher{c, first})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, watcher{c, first})
+			if !s.enqueue(first, c) {
+				conflict = c
+				s.qhead = len(s.trail)
+			}
+		}
+		s.watches[p] = kept
+		if conflict != nil {
+			return conflict
+		}
+	}
+	return nil
+}
+
+func (s *Solver) analyze(confl *clause) (learnt []lit, backLevel int) {
+	seen := make([]bool, s.nVars+1)
+	counter := 0
+	var p lit
+	learnt = append(learnt, 0) // slot for the asserting literal
+	idx := len(s.trail) - 1
+	first := true
+
+	for {
+		for _, q := range confl.lits {
+			if first || q != p {
+				v := q.varID()
+				if !seen[v] && s.level[v] > 0 {
+					seen[v] = true
+					s.bumpVar(v)
+					if s.level[v] >= s.decisionLevel() {
+						counter++
+					} else {
+						learnt = append(learnt, q)
+						if s.level[v] > backLevel {
+							backLevel = s.level[v]
+						}
+					}
+				}
+			}
+		}
+		// Find next literal on trail to resolve on.
+		for !seen[s.trail[idx].varID()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		counter--
+		seen[p.varID()] = false
+		first = false
+		if counter == 0 {
+			break
+		}
+		confl = s.reason[p.varID()]
+	}
+	learnt[0] = p.neg()
+	return learnt, backLevel
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := 1; i <= s.nVars; i++ {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	bound := s.trailLi[lvl]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].varID()
+		s.polarity[v] = s.assign[v] == vTrue
+		s.assign[v] = unassigned
+		s.reason[v] = nil
+		s.order.pushIfAbsent(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLi = s.trailLi[:lvl]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) pickBranchVar() int {
+	for s.order.len() > 0 {
+		v := s.order.pop()
+		if s.assign[v] == unassigned {
+			return v
+		}
+	}
+	return 0
+}
+
+// luby computes the Luby restart sequence value for index i (1-based).
+func luby(i int64) int64 {
+	// Find k such that i = 2^k - 1 → return 2^(k-1); otherwise recurse.
+	for k := int64(1); ; k++ {
+		p := int64(1)<<k - 1
+		if i == p {
+			return int64(1) << (k - 1)
+		}
+		if i < p {
+			return luby(i - (int64(1)<<(k-1) - 1))
+		}
+	}
+}
+
+// Solve runs the CDCL search. It returns Satisfiable with a model,
+// Unsatisfiable, or Unknown when the conflict budget is exhausted.
+// The model maps variable v (1..NumVars) at index v; index 0 is unused.
+func (s *Solver) Solve() (Status, []bool) {
+	if !s.ok {
+		return Unsatisfiable, nil
+	}
+	if confl := s.propagate(); confl != nil {
+		s.ok = false
+		return Unsatisfiable, nil
+	}
+	restart := int64(1)
+	conflBudget := 32 * luby(restart)
+	conflCount := int64(0)
+
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.conflicts++
+			conflCount++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsatisfiable, nil
+			}
+			learnt, back := s.analyze(confl)
+			s.cancelUntil(back)
+			if len(learnt) == 1 {
+				s.enqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learnt: true}
+				s.learnts = append(s.learnts, c)
+				s.watch(c)
+				s.enqueue(learnt[0], c)
+			}
+			s.varInc *= 1.0 / 0.95
+			if s.Budget > 0 && s.conflicts >= s.Budget {
+				return Unknown, nil
+			}
+			continue
+		}
+		if conflCount >= conflBudget {
+			// Restart.
+			conflCount = 0
+			restart++
+			conflBudget = 32 * luby(restart)
+			s.cancelUntil(0)
+			continue
+		}
+		v := s.pickBranchVar()
+		if v == 0 {
+			// All variables assigned: SAT.
+			model := make([]bool, s.nVars+1)
+			for i := 1; i <= s.nVars; i++ {
+				model[i] = s.assign[i] == vTrue
+			}
+			return Satisfiable, model
+		}
+		s.decisions++
+		s.trailLi = append(s.trailLi, len(s.trail))
+		l := toLit(v)
+		if s.polarity[v] {
+			// branch on last saved phase
+		} else {
+			l = l.neg()
+		}
+		s.enqueue(l, nil)
+	}
+}
+
+// SolveVector is a convenience wrapper: it builds a fresh solver for nVars
+// variables, loads the 0-terminated DIMACS vector and solves it.
+func SolveVector(nVars int, vec []int) (Status, []bool, error) {
+	s := New(nVars)
+	if err := s.AddDIMACSVector(vec); err != nil {
+		return Unknown, nil, err
+	}
+	st, m := s.Solve()
+	return st, m, nil
+}

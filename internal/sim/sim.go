@@ -1,0 +1,171 @@
+// Package sim is a small discrete-event simulation kernel: a virtual
+// clock, an ordered event queue, and cancellable timers. All Monocle and
+// switch logic in this repository is written as event-driven state
+// machines against this kernel, which is what lets the experiment harness
+// replay second-scale hardware experiments (1000-repetition CDFs, §8.1)
+// in milliseconds of wall time, deterministically.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Time is virtual time since simulation start.
+type Time = time.Duration
+
+// event is one scheduled callback. seq breaks ties FIFO so same-instant
+// events run in schedule order — determinism matters more than speed here.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+	// index inside the heap, -1 once popped/cancelled.
+	index int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is the simulation kernel. Not safe for concurrent use: the whole
+// point is single-threaded determinism.
+type Sim struct {
+	now Time
+	pq  eventHeap
+	seq uint64
+}
+
+// New returns a kernel at time zero.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Timer handles a scheduled event; Cancel is a no-op after firing.
+type Timer struct {
+	s *Sim
+	e *event
+}
+
+// Cancel prevents the timer from firing. It reports whether the timer was
+// still pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.e == nil || t.e.index < 0 {
+		return false
+	}
+	heap.Remove(&t.s.pq, t.e.index)
+	t.e.fn = nil
+	return true
+}
+
+// Pending reports whether the timer has not yet fired or been cancelled.
+func (t *Timer) Pending() bool { return t != nil && t.e != nil && t.e.index >= 0 }
+
+// At schedules fn at absolute virtual time at (clamped to now).
+func (s *Sim) At(at Time, fn func()) *Timer {
+	if at < s.now {
+		at = s.now
+	}
+	e := &event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.pq, e)
+	return &Timer{s: s, e: e}
+}
+
+// After schedules fn after delay d.
+func (s *Sim) After(d time.Duration, fn func()) *Timer {
+	return s.At(s.now+d, fn)
+}
+
+// Step runs the next event; it reports false when the queue is empty.
+func (s *Sim) Step() bool {
+	for s.pq.Len() > 0 {
+		e := heap.Pop(&s.pq).(*event)
+		if e.fn == nil {
+			continue // cancelled
+		}
+		s.now = e.at
+		fn := e.fn
+		e.fn = nil
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with at <= deadline, then advances the clock to
+// the deadline.
+func (s *Sim) RunUntil(deadline Time) {
+	for s.pq.Len() > 0 {
+		// Peek.
+		next := s.pq[0]
+		if next.fn == nil {
+			heap.Pop(&s.pq)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// NextEventAt reports the virtual time of the earliest live event; ok is
+// false when the queue is empty. Real-time adapters use it to sleep until
+// the next timer without busy-polling.
+func (s *Sim) NextEventAt() (Time, bool) {
+	for s.pq.Len() > 0 {
+		if s.pq[0].fn == nil {
+			heap.Pop(&s.pq)
+			continue
+		}
+		return s.pq[0].at, true
+	}
+	return 0, false
+}
+
+// Pending returns the number of live scheduled events.
+func (s *Sim) Pending() int {
+	n := 0
+	for _, e := range s.pq {
+		if e.fn != nil {
+			n++
+		}
+	}
+	return n
+}

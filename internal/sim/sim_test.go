@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestOrderingAndClock(t *testing.T) {
+	s := New()
+	var order []int
+	s.After(30*time.Millisecond, func() { order = append(order, 3) })
+	s.After(10*time.Millisecond, func() { order = append(order, 1) })
+	s.After(20*time.Millisecond, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order %v", order)
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Fatalf("clock %v", s.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5*time.Millisecond, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	tm := s.After(time.Millisecond, func() { fired = true })
+	if !tm.Pending() {
+		t.Fatal("pending before run")
+	}
+	if !tm.Cancel() {
+		t.Fatal("cancel should succeed")
+	}
+	if tm.Cancel() {
+		t.Fatal("double cancel should fail")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+	if tm.Pending() {
+		t.Fatal("pending after cancel")
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	s := New()
+	tm := s.After(time.Millisecond, func() {})
+	s.Run()
+	if tm.Cancel() {
+		t.Fatal("cancel after fire must report false")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	var at []Time
+	s.After(time.Millisecond, func() {
+		at = append(at, s.Now())
+		s.After(2*time.Millisecond, func() {
+			at = append(at, s.Now())
+		})
+	})
+	s.Run()
+	if len(at) != 2 || at[0] != time.Millisecond || at[1] != 3*time.Millisecond {
+		t.Fatalf("times %v", at)
+	}
+}
+
+func TestSchedulingInPast(t *testing.T) {
+	s := New()
+	var got Time = -1
+	s.After(10*time.Millisecond, func() {
+		s.At(time.Millisecond, func() { got = s.Now() }) // in the past
+	})
+	s.Run()
+	if got != 10*time.Millisecond {
+		t.Fatalf("past event ran at %v", got)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.After(time.Duration(i)*time.Millisecond, func() { count++ })
+	}
+	s.RunUntil(5 * time.Millisecond)
+	if count != 5 {
+		t.Fatalf("count %d", count)
+	}
+	if s.Now() != 5*time.Millisecond {
+		t.Fatalf("clock %v", s.Now())
+	}
+	if s.Pending() != 5 {
+		t.Fatalf("pending %d", s.Pending())
+	}
+	s.RunUntil(4 * time.Millisecond) // no-op: deadline in past
+	if count != 5 {
+		t.Fatal("regressed")
+	}
+	s.Run()
+	if count != 10 {
+		t.Fatalf("final count %d", count)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	s := New()
+	s.RunUntil(time.Second)
+	if s.Now() != time.Second {
+		t.Fatalf("clock %v", s.Now())
+	}
+}
+
+// TestRandomizedOrdering inserts events in random order with random
+// cancellations and verifies global time-ordering of execution.
+func TestRandomizedOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		s := New()
+		var fired []Time
+		var timers []*Timer
+		var want []Time
+		cancelIdx := map[int]bool{}
+		n := 200
+		for i := 0; i < n; i++ {
+			at := Time(rng.Intn(1000)) * time.Microsecond
+			timers = append(timers, s.At(at, func() { fired = append(fired, s.Now()) }))
+			if rng.Intn(4) == 0 {
+				cancelIdx[i] = true
+			} else {
+				want = append(want, at)
+			}
+		}
+		for i := range cancelIdx {
+			timers[i].Cancel()
+		}
+		s.Run()
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(fired) != len(want) {
+			t.Fatalf("fired %d want %d", len(fired), len(want))
+		}
+		for i := range fired {
+			if fired[i] != want[i] {
+				t.Fatalf("event %d at %v want %v", i, fired[i], want[i])
+			}
+		}
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for j := 0; j < 1000; j++ {
+			s.After(time.Duration(j%97)*time.Microsecond, func() {})
+		}
+		s.Run()
+	}
+}

@@ -1,0 +1,194 @@
+// Package switchsim is an event-driven OpenFlow 1.0 switch simulator. It
+// stands in for the hardware switches of the paper's testbed (HP ProCurve
+// 5406zl, Pica8, Dell S4810, Dell 8132F): each Profile reproduces the
+// externally observable control-plane behaviour the paper measured —
+// message processing rates (§8.3.1), control-vs-data-plane lag and
+// premature acknowledgments (§8.1.2, [16]), rule reordering, and the
+// interference of PacketOut/PacketIn load with rule modification
+// throughput (Figures 6 and 7).
+//
+// A Switch is a pure state machine over a sim.Sim virtual clock: the
+// controller side feeds it openflow messages, the data plane side feeds it
+// wire frames, and it emits messages/frames through callbacks. That keeps
+// it deterministic and lets experiments replay seconds of testbed time in
+// milliseconds.
+package switchsim
+
+import (
+	"time"
+)
+
+// Profile captures one switch model's control-plane behaviour. Service
+// times are per message; sustained maxima are their reciprocals, so the
+// §8.3.1 measurements calibrate them directly.
+type Profile struct {
+	// Name labels the profile in experiment output.
+	Name string
+
+	// FlowModService is the control-plane processing time per FlowMod.
+	FlowModService time.Duration
+	// CommitService is the data plane (TCAM) update time per rule; the
+	// commit pipeline is serial and runs behind the control plane,
+	// which is what creates control/data-plane inconsistency windows.
+	CommitService time.Duration
+	// PacketOutService is the processing time per PacketOut; its
+	// reciprocal is the switch's maximum PacketOut rate.
+	PacketOutService time.Duration
+	// PacketInService is the time to punt one packet to the controller;
+	// its reciprocal caps the PacketIn rate (excess punts are dropped).
+	PacketInService time.Duration
+	// PacketInShare is the fraction of PacketIn punting work that
+	// contends with the FlowMod path (Figure 7's interference knob).
+	PacketInShare float64
+
+	// PrematureAck makes the switch answer barriers as soon as the
+	// control plane has processed preceding FlowMods, before the data
+	// plane commit finishes — the HP/Pica8 behaviour from [16] that
+	// Monocle exists to paper over.
+	PrematureAck bool
+	// ReorderCommits lets data plane commits complete out of order
+	// (Pica8): each commit gets an extra uniform delay in
+	// [0, ReorderJitter].
+	ReorderCommits bool
+	// ReorderJitter bounds the commit reorder delay.
+	ReorderJitter time.Duration
+}
+
+// MaxPacketOutRate returns the sustained PacketOut/s capacity.
+func (p Profile) MaxPacketOutRate() float64 {
+	if p.PacketOutService <= 0 {
+		return 1e12
+	}
+	return float64(time.Second) / float64(p.PacketOutService)
+}
+
+// MaxPacketInRate returns the sustained PacketIn/s capacity.
+func (p Profile) MaxPacketInRate() float64 {
+	if p.PacketInService <= 0 {
+		return 1e12
+	}
+	return float64(time.Second) / float64(p.PacketInService)
+}
+
+// MaxFlowModRate returns the sustained FlowMod/s capacity of the control
+// plane (the data plane commit pipeline may be slower).
+func (p Profile) MaxFlowModRate() float64 {
+	if p.FlowModService <= 0 {
+		return 1e12
+	}
+	return float64(time.Second) / float64(p.FlowModService)
+}
+
+// Calibration notes: PacketOut/PacketIn service times are set from the
+// paper's measured maxima (§8.3.1): HP 7006/5531 msg/s, Dell S4810
+// 850/401, Dell 8132F 9128/1105. FlowMod and commit rates are set so the
+// Figure 5/6/7 shapes reproduce: HP and Pica8 acknowledge rules several
+// milliseconds to hundreds of milliseconds before the data plane commit
+// lands; Dell S4810 is very slow with distinct priorities and much faster
+// (but interference-prone) with equal priorities [16].
+
+// HP5406zl models the HP ProCurve 5406zl.
+func HP5406zl() Profile {
+	return Profile{
+		Name:             "HP 5406zl",
+		FlowModService:   4500 * time.Microsecond, // ~222 FlowMod/s
+		CommitService:    5100 * time.Microsecond, // ~196 commits/s
+		PacketOutService: 143 * time.Microsecond,  // ~7006 PacketOut/s
+		PacketInService:  181 * time.Microsecond,  // ~5531 PacketIn/s
+		PacketInShare:    0.03,
+		PrematureAck:     true,
+	}
+}
+
+// Pica8 models the Pica8 behaviour the paper emulates in front of OVS:
+// premature barrier replies and rule reordering.
+func Pica8() Profile {
+	return Profile{
+		Name:             "PICA8 emulation",
+		FlowModService:   5500 * time.Microsecond, // ~182 FlowMod/s
+		CommitService:    5900 * time.Microsecond, // ~170 commits/s
+		PacketOutService: 200 * time.Microsecond,
+		PacketInService:  400 * time.Microsecond,
+		PacketInShare:    0.05,
+		PrematureAck:     true,
+		ReorderCommits:   true,
+		ReorderJitter:    40 * time.Millisecond,
+	}
+}
+
+// DellS4810 models the Dell S4810 with rules at distinct priorities
+// (very low baseline modification rate).
+func DellS4810() Profile {
+	return Profile{
+		Name:             "DELL S4810",
+		FlowModService:   35 * time.Millisecond, // ~29 FlowMod/s
+		CommitService:    35 * time.Millisecond,
+		PacketOutService: 1176 * time.Microsecond, // ~850 PacketOut/s
+		PacketInService:  2494 * time.Microsecond, // ~401 PacketIn/s
+		PacketInShare:    0.02,
+	}
+}
+
+// DellS4810EqualPrio models the S4810 with all rules at equal priority
+// (the ** series in Figures 6–7): a much higher baseline rate that is
+// easily degraded by control-channel load.
+func DellS4810EqualPrio() Profile {
+	return Profile{
+		Name:             "DELL S4810**",
+		FlowModService:   1430 * time.Microsecond, // ~700 FlowMod/s
+		CommitService:    1430 * time.Microsecond,
+		PacketOutService: 1176 * time.Microsecond,
+		PacketInService:  2494 * time.Microsecond,
+		PacketInShare:    0.6,
+	}
+}
+
+// Dell8132F models the Dell 8132F with experimental OpenFlow support.
+func Dell8132F() Profile {
+	return Profile{
+		Name:             "DELL 8132F",
+		FlowModService:   4 * time.Millisecond, // ~250 FlowMod/s
+		CommitService:    4 * time.Millisecond,
+		PacketOutService: 110 * time.Microsecond, // ~9128 PacketOut/s
+		PacketInService:  905 * time.Microsecond, // ~1105 PacketIn/s
+		PacketInShare:    0.05,
+	}
+}
+
+// HonestPica8 is the Figure 8 "ideal switch" baseline: the same
+// processing and commit rates as the Pica8 emulation, but with truthful
+// barriers and in-order commits. Comparing Monocle-on-Pica8 against it
+// isolates the cost of Monocle's feedback from the switch's speed.
+func HonestPica8() Profile {
+	p := Pica8()
+	p.Name = "Ideal"
+	p.PrematureAck = false
+	p.ReorderCommits = false
+	p.ReorderJitter = 0
+	return p
+}
+
+// OVS models Open vSwitch: fast, with accurate update acknowledgments
+// (the hypervisor/edge switch role in §8.4).
+func OVS() Profile {
+	return Profile{
+		Name:             "OVS",
+		FlowModService:   100 * time.Microsecond,
+		CommitService:    50 * time.Microsecond,
+		PacketOutService: 20 * time.Microsecond,
+		PacketInService:  30 * time.Microsecond,
+		PacketInShare:    0.01,
+	}
+}
+
+// Ideal models the hypothetical switch with instantaneous, truthful
+// updates (the comparison baseline of Figure 8).
+func Ideal() Profile {
+	return Profile{
+		Name:             "Ideal",
+		FlowModService:   100 * time.Microsecond,
+		CommitService:    100 * time.Microsecond,
+		PacketOutService: 20 * time.Microsecond,
+		PacketInService:  30 * time.Microsecond,
+	}
+}

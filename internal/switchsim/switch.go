@@ -1,0 +1,406 @@
+package switchsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"monocle/internal/flowtable"
+	"monocle/internal/header"
+	"monocle/internal/openflow"
+	"monocle/internal/packet"
+	"monocle/internal/sim"
+)
+
+// PortTable aliases the OpenFlow OFPP_TABLE pseudo-port: a PacketOut with
+// this output port submits the frame to the switch's own flow table, which
+// is how Monocle injects probes through the probed switch.
+const PortTable = openflow.PortTable
+
+// Frame is a wire-format packet traversing the simulated data plane.
+type Frame []byte
+
+// Switch is one simulated OpenFlow switch. All methods must be called from
+// the owning sim.Sim event loop; the switch schedules its own follow-up
+// events on that loop.
+type Switch struct {
+	ID      uint32
+	Sim     *sim.Sim
+	Profile Profile
+
+	// ToController delivers switch→controller messages (PacketIn,
+	// BarrierReply, EchoReply, ...). Set by the owner before use.
+	ToController func(msg openflow.Message, xid uint32)
+
+	dataTable *flowtable.Table
+	links     map[flowtable.PortID]*linkEnd
+
+	// Control-plane server occupancy.
+	ctrlBusyUntil sim.Time
+	// Data plane commit pipeline occupancy and completion bookkeeping.
+	commitBusyUntil sim.Time
+	lastCommitDone  sim.Time
+
+	// PacketIn rate limiting.
+	piNextFree sim.Time
+
+	rng *rand.Rand
+
+	// Failure injection state.
+	failedRules map[uint64]bool
+
+	// OnCommit, when set, observes every data plane commit (used by the
+	// experiment harness to timestamp when rules truly land).
+	OnCommit func(cmd uint16, cookie uint64, at sim.Time)
+
+	// Statistics.
+	Stats Stats
+}
+
+// Stats counts switch activity for the experiments.
+type Stats struct {
+	FlowModsProcessed  int
+	CommitsApplied     int
+	PacketOuts         int
+	PacketIns          int
+	PacketInsDropped   int
+	DataPacketsIn      int
+	DataPacketsOut     int
+	DataPacketsDropped int
+}
+
+// New creates a switch bound to the simulation kernel. The seed fixes the
+// ECMP and reordering randomness.
+func New(id uint32, s *sim.Sim, profile Profile, seed int64) *Switch {
+	return &Switch{
+		ID:          id,
+		Sim:         s,
+		Profile:     profile,
+		dataTable:   flowtable.New(),
+		links:       make(map[flowtable.PortID]*linkEnd),
+		rng:         rand.New(rand.NewSource(seed)),
+		failedRules: make(map[uint64]bool),
+	}
+}
+
+// DataTable exposes the data plane table (read-only use by tests and
+// failure injection).
+func (sw *Switch) DataTable() *flowtable.Table { return sw.dataTable }
+
+// CtrlBusyUntil reports when the control-plane server drains its current
+// backlog (virtual time); used by closed-loop load generators.
+func (sw *Switch) CtrlBusyUntil() sim.Time { return sw.ctrlBusyUntil }
+
+// linkEnd is one side of a link: either a peer switch port or a host
+// delivery function.
+type linkEnd struct {
+	latency time.Duration
+	failed  *bool // shared between both directions
+	deliver func(f Frame)
+}
+
+// Connect wires port a of sa to port b of sb with the given one-way
+// latency. It returns a handle that can fail/heal the link.
+func Connect(sa *Switch, pa flowtable.PortID, sb *Switch, pb flowtable.PortID, latency time.Duration) *Link {
+	failed := new(bool)
+	l := &Link{failed: failed}
+	sa.links[pa] = &linkEnd{latency: latency, failed: failed, deliver: func(f Frame) {
+		sb.InjectFrame(pb, f)
+	}}
+	sb.links[pb] = &linkEnd{latency: latency, failed: failed, deliver: func(f Frame) {
+		sa.InjectFrame(pa, f)
+	}}
+	return l
+}
+
+// ConnectHost attaches a host (delivery callback) to a switch port.
+func ConnectHost(sw *Switch, p flowtable.PortID, latency time.Duration, deliver func(f Frame)) *Link {
+	failed := new(bool)
+	sw.links[p] = &linkEnd{latency: latency, failed: failed, deliver: deliver}
+	return &Link{failed: failed}
+}
+
+// Link is a handle over a (bidirectional) link for failure injection.
+type Link struct{ failed *bool }
+
+// Fail makes the link drop all frames.
+func (l *Link) Fail() { *l.failed = true }
+
+// Heal restores the link.
+func (l *Link) Heal() { *l.failed = false }
+
+// Failed reports the link state.
+func (l *Link) Failed() bool { return *l.failed }
+
+// FailRule removes a rule from the data plane while leaving every
+// control-plane view intact — the paper's steady-state failure injection
+// (§8.1.1). Unknown IDs are remembered so a late commit is suppressed.
+func (sw *Switch) FailRule(id uint64) {
+	sw.failedRules[id] = true
+	_ = sw.dataTable.Delete(id)
+}
+
+// HealRule lifts the injected failure so a subsequent (re-)install works;
+// the rule itself must be re-installed by the control plane.
+func (sw *Switch) HealRule(id uint64) {
+	delete(sw.failedRules, id)
+}
+
+// ctrlOccupy serializes work on the control-plane server and returns the
+// completion time of this unit of work.
+func (sw *Switch) ctrlOccupy(service time.Duration) sim.Time {
+	start := sw.Sim.Now()
+	if sw.ctrlBusyUntil > start {
+		start = sw.ctrlBusyUntil
+	}
+	done := start + service
+	sw.ctrlBusyUntil = done
+	return done
+}
+
+// commitOccupy serializes work on the data plane commit pipeline.
+func (sw *Switch) commitOccupy(after sim.Time, service time.Duration) sim.Time {
+	start := after
+	if sw.commitBusyUntil > start {
+		start = sw.commitBusyUntil
+	}
+	done := start + service
+	sw.commitBusyUntil = done
+	return done
+}
+
+// FromController handles one controller→switch message.
+func (sw *Switch) FromController(msg openflow.Message, xid uint32) {
+	switch m := msg.(type) {
+	case *openflow.Hello, openflow.Hello:
+		// Session setup is implicit in simulation.
+	case *openflow.EchoRequest:
+		sw.reply(openflow.EchoReply{Data: m.Data}, xid)
+	case *openflow.FeaturesRequest, openflow.FeaturesRequest:
+		sw.reply(sw.features(), xid)
+	case *openflow.FlowMod:
+		sw.handleFlowMod(m, xid)
+	case *openflow.PacketOut:
+		sw.handlePacketOut(m)
+	case *openflow.BarrierRequest, openflow.BarrierRequest:
+		sw.handleBarrier(xid)
+	default:
+		sw.reply(openflow.ErrorMsg{Type: 1, Code: 1}, xid) // bad request
+	}
+}
+
+func (sw *Switch) reply(msg openflow.Message, xid uint32) {
+	if sw.ToController == nil {
+		return
+	}
+	sw.Sim.At(sw.Sim.Now(), func() { sw.ToController(msg, xid) })
+}
+
+func (sw *Switch) features() openflow.FeaturesReply {
+	fr := openflow.FeaturesReply{DatapathID: uint64(sw.ID), NBuffers: 256, NTables: 1}
+	for p := range sw.links {
+		fr.Ports = append(fr.Ports, openflow.PhyPort{PortNo: uint16(p), Name: fmt.Sprintf("port%d", p)})
+	}
+	return fr
+}
+
+// handleFlowMod runs the FlowMod through the control-plane server, then
+// schedules the data plane commit behind the commit pipeline.
+func (sw *Switch) handleFlowMod(m *openflow.FlowMod, _ uint32) {
+	procDone := sw.ctrlOccupy(sw.Profile.FlowModService)
+	commitService := sw.Profile.CommitService
+	commitDone := sw.commitOccupy(procDone, commitService)
+	if sw.Profile.ReorderCommits && sw.Profile.ReorderJitter > 0 {
+		// Reordering manifests under concurrency: a commit can be
+		// delayed past later ones, but only within the window the
+		// pending backlog provides (a lone sequential update cannot be
+		// reordered with anything).
+		backlog := sw.commitBusyUntil - procDone
+		if backlog < 0 {
+			backlog = 0
+		}
+		window := sw.Profile.ReorderJitter
+		if backlog < window {
+			window = backlog
+		}
+		if window > 0 {
+			commitDone += time.Duration(sw.rng.Int63n(int64(window)))
+		}
+	}
+	if commitDone > sw.lastCommitDone {
+		sw.lastCommitDone = commitDone
+	}
+	match := m.Match.ToMatch()
+	actions, err := openflow.ToActions(m.Actions)
+	if err != nil {
+		sw.reply(openflow.ErrorMsg{Type: 2, Code: 0}, 0) // bad action
+		return
+	}
+	cmd := m.Command
+	cookie := m.Cookie
+	prio := int(m.Priority)
+	sw.Sim.At(procDone, func() { sw.Stats.FlowModsProcessed++ })
+	sw.Sim.At(commitDone, func() {
+		sw.Stats.CommitsApplied++
+		sw.applyCommit(cmd, cookie, prio, match, actions)
+		if sw.OnCommit != nil {
+			sw.OnCommit(cmd, cookie, sw.Sim.Now())
+		}
+	})
+}
+
+func (sw *Switch) applyCommit(cmd uint16, cookie uint64, prio int, match flowtable.Match, actions []flowtable.Action) {
+	switch cmd {
+	case openflow.FCAdd:
+		if sw.failedRules[cookie] {
+			return // injected install failure
+		}
+		// OpenFlow add-or-replace semantics for identical match+prio.
+		sw.dataTable.DeleteMatching(match, prio)
+		rule := &flowtable.Rule{ID: cookie, Priority: prio, Match: match, Actions: actions}
+		if err := sw.dataTable.Insert(rule); err != nil {
+			// Equal-priority overlap: spec-undefined; real switches
+			// accept silently. We drop the new rule to stay defined.
+			return
+		}
+	case openflow.FCModify, openflow.FCModifyStrict:
+		if r, ok := sw.dataTable.Get(cookie); ok {
+			_ = sw.dataTable.Modify(r.ID, actions)
+			return
+		}
+		sw.dataTable.DeleteMatching(match, prio)
+		_ = sw.dataTable.Insert(&flowtable.Rule{ID: cookie, Priority: prio, Match: match, Actions: actions})
+	case openflow.FCDelete, openflow.FCDeleteStrict:
+		if _, ok := sw.dataTable.Get(cookie); ok {
+			_ = sw.dataTable.Delete(cookie)
+			return
+		}
+		sw.dataTable.DeleteMatching(match, prio)
+	}
+}
+
+// handleBarrier replies per the profile's acknowledgment discipline.
+func (sw *Switch) handleBarrier(xid uint32) {
+	procDone := sw.ctrlOccupy(0)
+	replyAt := procDone
+	if !sw.Profile.PrematureAck {
+		// Honest barrier: wait for every commit issued so far.
+		if sw.lastCommitDone > replyAt {
+			replyAt = sw.lastCommitDone
+		}
+	}
+	sw.Sim.At(replyAt, func() {
+		if sw.ToController != nil {
+			sw.ToController(openflow.BarrierReply{}, xid)
+		}
+	})
+}
+
+// handlePacketOut emits the frame after control-plane processing.
+func (sw *Switch) handlePacketOut(m *openflow.PacketOut) {
+	done := sw.ctrlOccupy(sw.Profile.PacketOutService)
+	data := append(Frame(nil), m.Data...)
+	inPort := m.InPort
+	var outs []uint16
+	for _, a := range m.Actions {
+		if a.Type == 0 { // OUTPUT
+			outs = append(outs, a.Port)
+		}
+	}
+	sw.Sim.At(done, func() {
+		sw.Stats.PacketOuts++
+		for _, p := range outs {
+			if p == PortTable {
+				sw.forwardViaTable(flowtable.PortID(inPort), data)
+			} else {
+				sw.emit(flowtable.PortID(p), data)
+			}
+		}
+	})
+}
+
+// InjectFrame is the data plane entry point: a frame arrives on a port.
+func (sw *Switch) InjectFrame(port flowtable.PortID, f Frame) {
+	sw.Stats.DataPacketsIn++
+	sw.forwardViaTable(port, f)
+}
+
+// forwardViaTable looks the frame up in the data plane table and executes
+// the matching rule's actions.
+func (sw *Switch) forwardViaTable(inPort flowtable.PortID, f Frame) {
+	h, payload, err := packet.Parse(f)
+	if err != nil {
+		sw.Stats.DataPacketsDropped++
+		return
+	}
+	h.Set(header.InPort, uint64(inPort))
+	rule := sw.dataTable.Lookup(h)
+	if rule == nil {
+		if sw.dataTable.Miss == flowtable.MissController {
+			sw.punt(inPort, f, openflow.ReasonNoMatch)
+		} else {
+			sw.Stats.DataPacketsDropped++
+		}
+		return
+	}
+	emissions := rule.Apply(h, sw.rng.Intn)
+	if len(emissions) == 0 {
+		sw.Stats.DataPacketsDropped++
+		return
+	}
+	for _, em := range emissions {
+		if em.Port == flowtable.PortController {
+			out, err := packet.Craft(em.Header, payload)
+			if err != nil {
+				sw.Stats.DataPacketsDropped++
+				continue
+			}
+			sw.punt(inPort, out, openflow.ReasonAction)
+			continue
+		}
+		out, err := packet.Craft(em.Header, payload)
+		if err != nil {
+			sw.Stats.DataPacketsDropped++
+			continue
+		}
+		sw.emit(em.Port, out)
+	}
+}
+
+// punt sends a PacketIn, subject to the profile's PacketIn capacity.
+func (sw *Switch) punt(inPort flowtable.PortID, f Frame, reason uint8) {
+	now := sw.Sim.Now()
+	if now < sw.piNextFree {
+		sw.Stats.PacketInsDropped++
+		return
+	}
+	sw.piNextFree = now + sw.Profile.PacketInService
+	// Punting steals a share of the control-plane server (Figure 7).
+	if sw.Profile.PacketInShare > 0 {
+		sw.ctrlOccupy(time.Duration(float64(sw.Profile.PacketInService) * sw.Profile.PacketInShare))
+	}
+	data := append(Frame(nil), f...)
+	sw.Sim.At(now+sw.Profile.PacketInService, func() {
+		sw.Stats.PacketIns++
+		if sw.ToController != nil {
+			sw.ToController(&openflow.PacketIn{
+				BufferID: openflow.BufferNone,
+				InPort:   uint16(inPort),
+				Reason:   reason,
+				Data:     data,
+			}, 0)
+		}
+	})
+}
+
+// emit puts the frame on the link attached to port, if any.
+func (sw *Switch) emit(port flowtable.PortID, f Frame) {
+	le, ok := sw.links[port]
+	if !ok || *le.failed {
+		sw.Stats.DataPacketsDropped++
+		return
+	}
+	sw.Stats.DataPacketsOut++
+	cp := append(Frame(nil), f...)
+	sw.Sim.After(le.latency, func() { le.deliver(cp) })
+}

@@ -1,0 +1,333 @@
+package switchsim
+
+import (
+	"testing"
+	"time"
+
+	"monocle/internal/flowtable"
+	"monocle/internal/header"
+	"monocle/internal/openflow"
+	"monocle/internal/packet"
+	"monocle/internal/sim"
+)
+
+func ip4(a, b, c, d uint64) uint64 { return a<<24 | b<<16 | c<<8 | d }
+
+func testFrame(t *testing.T, src uint64) Frame {
+	t.Helper()
+	var h header.Header
+	h.Set(header.EthType, header.EthTypeIPv4)
+	h.Set(header.VlanID, header.VlanNone)
+	h.Set(header.IPProto, header.ProtoUDP)
+	h.Set(header.IPSrc, src)
+	f, err := packet.Craft(h, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func fmAdd(t *testing.T, cookie uint64, prio uint16, src uint64, out uint16) *openflow.FlowMod {
+	t.Helper()
+	m := flowtable.MatchAll().
+		WithExact(header.EthType, header.EthTypeIPv4).
+		WithExact(header.IPSrc, src)
+	wm, err := openflow.FromMatch(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acts []openflow.Action
+	if out != 0 {
+		acts = []openflow.Action{openflow.OutputAction(out)}
+	}
+	return &openflow.FlowMod{Match: wm, Cookie: cookie, Command: openflow.FCAdd,
+		Priority: prio, BufferID: openflow.BufferNone, OutPort: openflow.PortNone, Actions: acts}
+}
+
+func TestFlowModCommitTiming(t *testing.T) {
+	s := sim.New()
+	sw := New(1, s, HP5406zl(), 1)
+	sw.FromController(fmAdd(t, 1, 10, ip4(10, 0, 0, 1), 2), 1)
+	s.RunUntil(HP5406zl().FlowModService) // control processed, commit pending
+	if _, ok := sw.DataTable().Get(1); ok {
+		t.Fatal("rule committed too early")
+	}
+	s.Run()
+	if _, ok := sw.DataTable().Get(1); !ok {
+		t.Fatal("rule never committed")
+	}
+	if sw.Stats.FlowModsProcessed != 1 || sw.Stats.CommitsApplied != 1 {
+		t.Fatalf("stats %+v", sw.Stats)
+	}
+}
+
+func TestHonestBarrierWaitsForCommit(t *testing.T) {
+	s := sim.New()
+	sw := New(1, s, Ideal(), 1) // Ideal: no premature ack
+	var barrierAt sim.Time = -1
+	sw.ToController = func(msg openflow.Message, xid uint32) {
+		if _, ok := msg.(openflow.BarrierReply); ok {
+			barrierAt = s.Now()
+		}
+	}
+	sw.FromController(fmAdd(t, 1, 10, ip4(10, 0, 0, 1), 2), 1)
+	sw.FromController(openflow.BarrierRequest{}, 2)
+	s.Run()
+	want := Ideal().FlowModService + Ideal().CommitService
+	if barrierAt < want {
+		t.Fatalf("honest barrier at %v, commit finishes at %v", barrierAt, want)
+	}
+}
+
+func TestDataPlaneForwarding(t *testing.T) {
+	s := sim.New()
+	a := New(1, s, Ideal(), 1)
+	b := New(2, s, Ideal(), 2)
+	Connect(a, 1, b, 1, time.Millisecond)
+	a.FromController(fmAdd(t, 1, 10, ip4(10, 0, 0, 1), 1), 1)
+	s.Run()
+	a.InjectFrame(2, testFrame(t, ip4(10, 0, 0, 1)))
+	s.Run()
+	if b.Stats.DataPacketsIn != 1 {
+		t.Fatalf("b did not receive the frame: %+v", b.Stats)
+	}
+	// Unmatched traffic drops (MissDrop default).
+	a.InjectFrame(2, testFrame(t, ip4(10, 0, 0, 9)))
+	s.Run()
+	if a.Stats.DataPacketsDropped != 1 {
+		t.Fatalf("a stats %+v", a.Stats)
+	}
+}
+
+func TestRewriteAppliedOnPath(t *testing.T) {
+	s := sim.New()
+	a := New(1, s, Ideal(), 1)
+	var got header.Header
+	ConnectHost(a, 1, 0, func(f Frame) {
+		h, _, err := packet.Parse(f)
+		if err != nil {
+			t.Errorf("parse: %v", err)
+		}
+		got = h
+	})
+	m := flowtable.MatchAll().WithExact(header.EthType, header.EthTypeIPv4)
+	wm, _ := openflow.FromMatch(m)
+	fm := &openflow.FlowMod{Match: wm, Cookie: 1, Command: openflow.FCAdd, Priority: 5,
+		BufferID: openflow.BufferNone, OutPort: openflow.PortNone,
+		Actions: []openflow.Action{
+			{Type: 8, Value: 0x2e}, // SET_NW_TOS
+			openflow.OutputAction(1),
+		}}
+	a.FromController(fm, 1)
+	s.Run()
+	a.InjectFrame(2, testFrame(t, ip4(1, 2, 3, 4)))
+	s.Run()
+	if got.Get(header.IPTos) != 0x2e {
+		t.Fatalf("rewrite not applied: tos=%#x", got.Get(header.IPTos))
+	}
+}
+
+func TestPacketOutViaTable(t *testing.T) {
+	s := sim.New()
+	a := New(1, s, Ideal(), 1)
+	b := New(2, s, Ideal(), 2)
+	Connect(a, 1, b, 1, 0)
+	a.FromController(fmAdd(t, 1, 10, ip4(10, 0, 0, 1), 1), 1)
+	s.Run()
+	a.FromController(&openflow.PacketOut{
+		BufferID: openflow.BufferNone, InPort: 2,
+		Actions: []openflow.Action{openflow.OutputAction(PortTable)},
+		Data:    testFrame(t, ip4(10, 0, 0, 1)),
+	}, 2)
+	s.Run()
+	if b.Stats.DataPacketsIn != 1 {
+		t.Fatalf("OFPP_TABLE injection failed: %+v", b.Stats)
+	}
+}
+
+func TestPacketOutDirectPort(t *testing.T) {
+	s := sim.New()
+	a := New(1, s, Ideal(), 1)
+	b := New(2, s, Ideal(), 2)
+	Connect(a, 1, b, 1, 0)
+	a.FromController(&openflow.PacketOut{
+		BufferID: openflow.BufferNone, InPort: openflow.PortNone,
+		Actions: []openflow.Action{openflow.OutputAction(1)},
+		Data:    testFrame(t, ip4(10, 0, 0, 1)),
+	}, 1)
+	s.Run()
+	if b.Stats.DataPacketsIn != 1 {
+		t.Fatalf("direct PacketOut failed: %+v", b.Stats)
+	}
+}
+
+func TestPacketInRateCap(t *testing.T) {
+	s := sim.New()
+	prof := DellS4810() // 401 PacketIn/s
+	sw := New(1, s, prof, 1)
+	sw.DataTable().Miss = flowtable.MissController
+	received := 0
+	sw.ToController = func(msg openflow.Message, xid uint32) {
+		if _, ok := msg.(*openflow.PacketIn); ok {
+			received++
+		}
+	}
+	// Offer 2000 packets over 1 second.
+	for i := 0; i < 2000; i++ {
+		f := testFrame(t, ip4(9, 9, uint64(i>>8), uint64(i&0xff)))
+		s.At(sim.Time(i)*(time.Second/2000), func() { sw.InjectFrame(1, f) })
+	}
+	s.Run()
+	max := int(prof.MaxPacketInRate()) + 10
+	if received > max {
+		t.Fatalf("PacketIn rate cap violated: %d > %d", received, max)
+	}
+	if received < 300 {
+		t.Fatalf("too few PacketIns: %d", received)
+	}
+	if sw.Stats.PacketInsDropped == 0 {
+		t.Fatal("no drops recorded above capacity")
+	}
+}
+
+func TestFailRuleRemovesFromDataplaneOnly(t *testing.T) {
+	s := sim.New()
+	sw := New(1, s, Ideal(), 1)
+	sw.FromController(fmAdd(t, 5, 10, ip4(10, 0, 0, 5), 1), 1)
+	s.Run()
+	sw.FailRule(5)
+	if _, ok := sw.DataTable().Get(5); ok {
+		t.Fatal("rule still in data plane")
+	}
+	// A re-install attempt is suppressed (persistent failure).
+	sw.FromController(fmAdd(t, 5, 10, ip4(10, 0, 0, 5), 1), 2)
+	s.Run()
+	if _, ok := sw.DataTable().Get(5); ok {
+		t.Fatal("failed rule resurrected")
+	}
+}
+
+func TestLinkFailure(t *testing.T) {
+	s := sim.New()
+	a := New(1, s, Ideal(), 1)
+	b := New(2, s, Ideal(), 2)
+	link := Connect(a, 1, b, 1, 0)
+	a.FromController(fmAdd(t, 1, 10, ip4(10, 0, 0, 1), 1), 1)
+	s.Run()
+	link.Fail()
+	a.InjectFrame(2, testFrame(t, ip4(10, 0, 0, 1)))
+	s.Run()
+	if b.Stats.DataPacketsIn != 0 {
+		t.Fatal("failed link delivered")
+	}
+	link.Heal()
+	if link.Failed() {
+		t.Fatal("heal")
+	}
+	a.InjectFrame(2, testFrame(t, ip4(10, 0, 0, 1)))
+	s.Run()
+	if b.Stats.DataPacketsIn != 1 {
+		t.Fatal("healed link did not deliver")
+	}
+}
+
+func TestEchoAndFeatures(t *testing.T) {
+	s := sim.New()
+	sw := New(7, s, Ideal(), 1)
+	ConnectHost(sw, 3, 0, func(Frame) {})
+	var msgs []openflow.Message
+	sw.ToController = func(msg openflow.Message, xid uint32) { msgs = append(msgs, msg) }
+	sw.FromController(&openflow.EchoRequest{Data: []byte("hi")}, 1)
+	sw.FromController(openflow.FeaturesRequest{}, 2)
+	s.Run()
+	if len(msgs) != 2 {
+		t.Fatalf("msgs %v", msgs)
+	}
+	if er, ok := msgs[0].(openflow.EchoReply); !ok || string(er.Data) != "hi" {
+		t.Fatalf("echo %v", msgs[0])
+	}
+	fr, ok := msgs[1].(openflow.FeaturesReply)
+	if !ok || fr.DatapathID != 7 || len(fr.Ports) != 1 {
+		t.Fatalf("features %v", msgs[1])
+	}
+}
+
+func TestModifyAndDeleteCommands(t *testing.T) {
+	s := sim.New()
+	sw := New(1, s, Ideal(), 1)
+	fm := fmAdd(t, 9, 10, ip4(10, 0, 0, 9), 1)
+	sw.FromController(fm, 1)
+	s.Run()
+	mod := *fm
+	mod.Command = openflow.FCModifyStrict
+	mod.Actions = []openflow.Action{openflow.OutputAction(4)}
+	sw.FromController(&mod, 2)
+	s.Run()
+	r, _ := sw.DataTable().Get(9)
+	if r == nil || r.ForwardingSet()[0] != 4 {
+		t.Fatalf("modify: %v", r)
+	}
+	del := *fm
+	del.Command = openflow.FCDeleteStrict
+	del.Actions = nil
+	sw.FromController(&del, 3)
+	s.Run()
+	if sw.DataTable().Len() != 0 {
+		t.Fatal("delete failed")
+	}
+}
+
+func TestReorderCommits(t *testing.T) {
+	s := sim.New()
+	sw := New(1, s, Pica8(), 42)
+	var commitTimes []sim.Time
+	n := 20
+	for i := 0; i < n; i++ {
+		sw.FromController(fmAdd(t, uint64(i), uint16(10+i), ip4(10, 0, 1, uint64(i)), 1), uint32(i))
+	}
+	// Sample commit completion order by polling each event step.
+	seen := make(map[uint64]bool)
+	for s.Step() {
+		for i := 0; i < n; i++ {
+			if _, ok := sw.DataTable().Get(uint64(i)); ok && !seen[uint64(i)] {
+				seen[uint64(i)] = true
+				commitTimes = append(commitTimes, sim.Time(i))
+			}
+		}
+	}
+	if len(commitTimes) != n {
+		t.Fatalf("committed %d/%d", len(commitTimes), n)
+	}
+	inOrder := true
+	for i := 1; i < n; i++ {
+		if commitTimes[i] < commitTimes[i-1] {
+			inOrder = false
+		}
+	}
+	if inOrder {
+		t.Fatal("Pica8 profile should reorder commits (with jitter 40ms over 5.9ms service)")
+	}
+}
+
+func TestProfileRatesMatchPaper(t *testing.T) {
+	checks := []struct {
+		prof Profile
+		po   float64
+		pi   float64
+	}{
+		{HP5406zl(), 7006, 5531},
+		{DellS4810(), 850, 401},
+		{Dell8132F(), 9128, 1105},
+	}
+	for _, c := range checks {
+		if got := c.prof.MaxPacketOutRate(); got < c.po*0.95 || got > c.po*1.05 {
+			t.Errorf("%s PacketOut rate %.0f want ≈%.0f", c.prof.Name, got, c.po)
+		}
+		if got := c.prof.MaxPacketInRate(); got < c.pi*0.95 || got > c.pi*1.05 {
+			t.Errorf("%s PacketIn rate %.0f want ≈%.0f", c.prof.Name, got, c.pi)
+		}
+	}
+	if HP5406zl().MaxFlowModRate() <= 0 {
+		t.Fatal("flowmod rate")
+	}
+}

@@ -1,0 +1,141 @@
+package topo
+
+import (
+	"fmt"
+
+	"monocle/internal/coloring"
+	"monocle/internal/flowtable"
+)
+
+// FatTree models the k-ary fat-tree of the §8.4 experiment as an explicit
+// switch/port wiring, not just a graph: (k/2)² core switches, k pods of
+// k/2 aggregation and k/2 edge switches, with one host port per edge
+// switch (the paper attaches a single emulated hypervisor per ToR). k=4
+// gives the paper's 20-switch network.
+type FatTree struct {
+	K int
+	// Switch indices.
+	Core []int
+	Agg  [][]int // [pod][i]
+	Edge [][]int // [pod][i]
+	// Links[(u,v)] = port of u facing v.
+	ports map[[2]int]flowtable.PortID
+	// HostPort is the edge-switch port facing its host.
+	HostPort map[int]flowtable.PortID
+	N        int
+	graph    *coloring.Graph
+}
+
+// NewFatTree builds the wiring for an even k ≥ 2.
+func NewFatTree(k int) *FatTree {
+	if k < 2 || k%2 != 0 {
+		panic(fmt.Sprintf("topo: fat-tree k must be even and >= 2, got %d", k))
+	}
+	half := k / 2
+	ft := &FatTree{
+		K:        k,
+		ports:    make(map[[2]int]flowtable.PortID),
+		HostPort: make(map[int]flowtable.PortID),
+	}
+	next := 0
+	alloc := func() int { v := next; next++; return v }
+	for i := 0; i < half*half; i++ {
+		ft.Core = append(ft.Core, alloc())
+	}
+	ft.Agg = make([][]int, k)
+	ft.Edge = make([][]int, k)
+	for p := 0; p < k; p++ {
+		for i := 0; i < half; i++ {
+			ft.Agg[p] = append(ft.Agg[p], alloc())
+		}
+		for i := 0; i < half; i++ {
+			ft.Edge[p] = append(ft.Edge[p], alloc())
+		}
+	}
+	ft.N = next
+	ft.graph = coloring.NewGraph(ft.N)
+	portCount := make([]flowtable.PortID, ft.N)
+	link := func(u, v int) {
+		portCount[u]++
+		portCount[v]++
+		ft.ports[[2]int{u, v}] = portCount[u]
+		ft.ports[[2]int{v, u}] = portCount[v]
+		ft.graph.AddEdge(u, v)
+	}
+	// Core i*half+j connects to aggregation switch i of every pod... the
+	// standard wiring: agg i in each pod connects to cores
+	// [i*half, (i+1)*half).
+	for p := 0; p < k; p++ {
+		for i := 0; i < half; i++ {
+			for j := 0; j < half; j++ {
+				link(ft.Agg[p][i], ft.Core[i*half+j])
+			}
+			for e := 0; e < half; e++ {
+				link(ft.Agg[p][i], ft.Edge[p][e])
+			}
+		}
+		for e := 0; e < half; e++ {
+			portCount[ft.Edge[p][e]]++
+			ft.HostPort[ft.Edge[p][e]] = portCount[ft.Edge[p][e]]
+		}
+	}
+	return ft
+}
+
+// Graph returns the adjacency graph (for coloring).
+func (ft *FatTree) Graph() *coloring.Graph { return ft.graph }
+
+// Port returns u's port facing v.
+func (ft *FatTree) Port(u, v int) (flowtable.PortID, bool) {
+	p, ok := ft.ports[[2]int{u, v}]
+	return p, ok
+}
+
+// Neighbors lists v's adjacent switches.
+func (ft *FatTree) Neighbors(v int) []int { return ft.graph.Neighbors(v) }
+
+// EdgeSwitches flattens the edge layer.
+func (ft *FatTree) EdgeSwitches() []int {
+	var out []int
+	for _, pod := range ft.Edge {
+		out = append(out, pod...)
+	}
+	return out
+}
+
+// Path computes a shortest switch path between two edge switches using
+// BFS (deterministic tie-breaking by index order).
+func (ft *FatTree) Path(src, dst int) []int {
+	return BFSPath(ft.graph, src, dst)
+}
+
+// BFSPath returns a shortest path in g from src to dst inclusive, or nil.
+func BFSPath(g *coloring.Graph, src, dst int) []int {
+	if src == dst {
+		return []int{src}
+	}
+	prev := make([]int, g.N)
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[src] = src
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(v) {
+			if prev[w] == -1 {
+				prev[w] = v
+				if w == dst {
+					var path []int
+					for x := dst; x != src; x = prev[x] {
+						path = append([]int{x}, path...)
+					}
+					return append([]int{src}, path...)
+				}
+				queue = append(queue, w)
+			}
+		}
+	}
+	return nil
+}
