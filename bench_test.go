@@ -9,6 +9,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -173,6 +174,67 @@ func BenchmarkProbeGenerationSingle(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, _ = gen.Generate(tb, rules[i%len(rules)])
+	}
+}
+
+// benchSweepTable is the shared whole-table sweep workload: a
+// Stanford-shaped ACL trimmed so one sweep stays benchmarkable (the
+// cmd/experiments binary sweeps the full-size tables).
+func benchSweepTable() (*flowtable.Table, []*flowtable.Rule) {
+	p := dataset.Stanford()
+	p.Rules = 600
+	return dataset.Generate(p)
+}
+
+func benchSweepGenerator() *probe.Generator {
+	return probe.NewGenerator(probe.Config{
+		Collect: flowtable.MatchAll().WithExact(header.VlanID, 1),
+	})
+}
+
+// BenchmarkProbeGenerationPerRuleLoop is the baseline the incremental
+// engine is measured against: the one-shot Generate called for every rule
+// of the table, re-encoding the CNF and building a fresh solver each time.
+func BenchmarkProbeGenerationPerRuleLoop(b *testing.B) {
+	tb, rules := benchSweepTable()
+	gen := benchSweepGenerator()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range rules {
+			_, _ = gen.Generate(tb, r)
+		}
+	}
+}
+
+// BenchmarkProbeGenerationIncremental sweeps the same table through one
+// persistent probe.Session: the table encoding and solver are built once,
+// each rule adds only its Distinguish delta plus assumptions.
+func BenchmarkProbeGenerationIncremental(b *testing.B) {
+	tb, rules := benchSweepTable()
+	gen := benchSweepGenerator()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess, err := gen.NewSession(tb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rules {
+			_, _ = sess.Generate(r)
+		}
+	}
+}
+
+// BenchmarkProbeGenerationBatch is the steady-state sweep workload:
+// GenerateAll fans the incremental engine out over all CPUs.
+func BenchmarkProbeGenerationBatch(b *testing.B) {
+	tb, _ := benchSweepTable()
+	gen := benchSweepGenerator()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.GenerateAll(context.Background(), tb, 0)
 	}
 }
 

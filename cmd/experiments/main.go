@@ -48,6 +48,11 @@ func main() {
 		rows := experiments.RunTable2(experiments.Table2Config{})
 		fmt.Print(experiments.FormatTable2(rows))
 		fmt.Printf("  (wall time %v)\n\n", time.Since(start).Round(time.Millisecond))
+
+		start = time.Now()
+		sweep := experiments.RunTable2Sweep(0, 0)
+		fmt.Print(experiments.FormatTable2Sweep(sweep))
+		fmt.Printf("  (wall time %v)\n\n", time.Since(start).Round(time.Millisecond))
 	}
 	if run(4) {
 		start := time.Now()

@@ -1,0 +1,3 @@
+module monocle
+
+go 1.22

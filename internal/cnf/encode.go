@@ -8,8 +8,10 @@ type Encoder struct {
 	nProblem int
 	nextVar  int
 	out      []int
+	nClauses int
 	cache    map[*Formula]int
-	trueVar  int // lazily allocated variable asserted true, for constants
+	defs     []*Formula // cache keys in insertion order (for LIFO eviction on Reset)
+	trueVar  int        // lazily allocated variable asserted true, for constants
 	unsat    bool
 
 	// MaxChain bounds the length of an encoded if-then-else chain before
@@ -40,15 +42,7 @@ func (e *Encoder) NumProblemVars() int { return e.nProblem }
 func (e *Encoder) Vector() []int { return e.out }
 
 // NumClauses counts emitted clauses.
-func (e *Encoder) NumClauses() int {
-	n := 0
-	for _, x := range e.out {
-		if x == 0 {
-			n++
-		}
-	}
-	return n
-}
+func (e *Encoder) NumClauses() int { return e.nClauses }
 
 // Unsat reports whether a constant-false assertion made the formula
 // trivially unsatisfiable.
@@ -62,6 +56,7 @@ func (e *Encoder) fresh() int {
 func (e *Encoder) clause(lits ...int) {
 	e.out = append(e.out, lits...)
 	e.out = append(e.out, 0)
+	e.nClauses++
 }
 
 func (e *Encoder) constLit(v bool) int {
@@ -147,6 +142,7 @@ func (e *Encoder) litOf(f *Formula) int {
 		panic("cnf: unknown formula kind")
 	}
 	e.cache[f] = l
+	e.defs = append(e.defs, f)
 	return l
 }
 

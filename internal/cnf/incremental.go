@@ -1,0 +1,86 @@
+package cnf
+
+// This file adds the incremental interface the probe generator's table
+// sessions use: an encoder can emit a shared prefix (the table encoding)
+// once, mark it, append per-rule delta clauses, hand just the delta to the
+// solver, and rewind to the mark for the next rule. Fork clones an encoder
+// at its current state so parallel workers can share one table prefix.
+
+// Mark is a rewind point in an Encoder's output. Marks only nest LIFO:
+// resetting to an older mark invalidates newer ones.
+type Mark struct {
+	nextVar  int
+	outLen   int
+	nClauses int
+	trueVar  int
+	unsat    bool
+}
+
+// Mark records the current encoder state.
+func (e *Encoder) Mark() Mark {
+	return Mark{
+		nextVar:  e.nextVar,
+		outLen:   len(e.out),
+		nClauses: e.nClauses,
+		trueVar:  e.trueVar,
+		unsat:    e.unsat,
+	}
+}
+
+// Reset rewinds the encoder to a previous Mark: clauses and fresh
+// variables allocated since are discarded, and cached Tseitin definitions
+// that lived in the discarded region are evicted (definitions from before
+// the mark stay shared). The output slice is truncated in place, so
+// a Vector() result obtained before the Reset must not be retained.
+func (e *Encoder) Reset(m Mark) {
+	e.out = e.out[:m.outLen]
+	e.nClauses = m.nClauses
+	e.trueVar = m.trueVar
+	e.unsat = m.unsat
+	// Cached definition literals are always the (positive) fresh variable
+	// allocated for the node and grow monotonically, so the post-mark
+	// definitions form a suffix of the insertion-order log: pop until the
+	// survivors are within the mark's variable bound.
+	for len(e.defs) > 0 {
+		f := e.defs[len(e.defs)-1]
+		if e.cache[f] <= m.nextVar {
+			break
+		}
+		delete(e.cache, f)
+		e.defs = e.defs[:len(e.defs)-1]
+	}
+	e.nextVar = m.nextVar
+}
+
+// VectorFrom returns the 0-terminated clause vector emitted since the
+// mark. The slice aliases internal storage; do not modify or retain it
+// across Reset.
+func (e *Encoder) VectorFrom(m Mark) []int { return e.out[m.outLen:] }
+
+// Define returns a DIMACS literal equivalent to f, emitting the defining
+// clauses (once — definitions are cached by node identity). Unlike Assert
+// it does not constrain f to hold; the caller may later assert, assume, or
+// negate the returned literal.
+func (e *Encoder) Define(f *Formula) int { return e.litOf(f) }
+
+// Fork returns an independent copy of the encoder: same emitted clauses,
+// variable counter, and definition cache. Appending to either copy does
+// not affect the other, so workers can fork one shared table prefix and
+// encode their per-rule deltas privately.
+func (e *Encoder) Fork() *Encoder {
+	cp := &Encoder{
+		nProblem: e.nProblem,
+		nextVar:  e.nextVar,
+		out:      append([]int(nil), e.out...),
+		nClauses: e.nClauses,
+		cache:    make(map[*Formula]int, len(e.cache)),
+		trueVar:  e.trueVar,
+		unsat:    e.unsat,
+		MaxChain: e.MaxChain,
+	}
+	for f, l := range e.cache {
+		cp.cache[f] = l
+	}
+	cp.defs = append([]*Formula(nil), e.defs...)
+	return cp
+}

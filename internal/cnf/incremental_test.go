@@ -1,0 +1,93 @@
+package cnf
+
+import (
+	"testing"
+)
+
+func TestMarkResetRestoresState(t *testing.T) {
+	e := NewEncoder(4)
+	e.Assert(Or(Lit(1), Lit(2)))
+	sharedDef := e.Define(And(Lit(3), Lit(4)))
+	vars, clauses, outLen := e.NumVars(), e.NumClauses(), len(e.Vector())
+
+	m := e.Mark()
+	e.Assert(And(Or(Lit(-1), Lit(3)), Or(Lit(-2), Lit(4))))
+	deltaVar := e.Define(Or(And(Lit(1), Lit(2)), Lit(-3)))
+	if len(e.VectorFrom(m)) != len(e.Vector())-outLen {
+		t.Fatal("VectorFrom must be the post-mark suffix")
+	}
+	e.Reset(m)
+
+	if e.NumVars() != vars || e.NumClauses() != clauses || len(e.Vector()) != outLen {
+		t.Fatalf("Reset left vars=%d clauses=%d out=%d, want %d/%d/%d",
+			e.NumVars(), e.NumClauses(), len(e.Vector()), vars, clauses, outLen)
+	}
+	// The shared definition survives the reset; re-defining it must not
+	// emit anything new.
+	if got := e.Define(And(Lit(3), Lit(4))); got == sharedDef {
+		// Structural nodes are cached by identity; a fresh node re-encodes.
+		t.Fatal("distinct nodes should not share a cache entry")
+	}
+	if e.NumVars() <= vars {
+		t.Fatal("re-defining a fresh node should allocate again")
+	}
+	_ = deltaVar
+}
+
+func TestResetEvictsPostMarkDefinitions(t *testing.T) {
+	e := NewEncoder(3)
+	shared := And(Lit(1), Lit(2))
+	sharedLit := e.Define(shared)
+	m := e.Mark()
+	delta := Or(Lit(-1), Lit(3))
+	deltaLit := e.Define(delta)
+	e.Reset(m)
+	// Shared definition stays cached (no new clauses), post-mark one is
+	// evicted and re-encodes at the same variable as before.
+	before := e.NumClauses()
+	if got := e.Define(shared); got != sharedLit || e.NumClauses() != before {
+		t.Fatalf("shared definition re-encoded: lit %d vs %d", got, sharedLit)
+	}
+	if got := e.Define(delta); got != deltaLit {
+		t.Fatalf("delta definition should reuse the variable space: %d vs %d", got, deltaLit)
+	}
+}
+
+func TestResetRestoresTrueVarAndUnsat(t *testing.T) {
+	e := NewEncoder(2)
+	m := e.Mark()
+	// Force the lazily allocated constant variable and an UNSAT marker
+	// after the mark; both must roll back.
+	_ = e.Define(True())
+	e.Assert(False())
+	if !e.Unsat() {
+		t.Fatal("Assert(False) must mark unsat")
+	}
+	e.Reset(m)
+	if e.Unsat() || e.NumVars() != 2 || e.NumClauses() != 0 {
+		t.Fatalf("Reset did not clear constant state: unsat=%v vars=%d", e.Unsat(), e.NumVars())
+	}
+}
+
+func TestForkIsIndependent(t *testing.T) {
+	e := NewEncoder(3)
+	e.Assert(Or(Lit(1), Lit(2)))
+	shared := And(Lit(2), Lit(3))
+	sl := e.Define(shared)
+
+	f := e.Fork()
+	e.Assert(Lit(3))
+	f.Assert(Lit(-3))
+	if e.NumClauses() != f.NumClauses() {
+		t.Fatalf("clause counts diverged structurally: %d vs %d", e.NumClauses(), f.NumClauses())
+	}
+	ev, fv := e.Vector(), f.Vector()
+	if ev[len(ev)-2] != 3 || fv[len(fv)-2] != -3 {
+		t.Fatalf("appends leaked across the fork: %v vs %v", ev[len(ev)-2:], fv[len(fv)-2:])
+	}
+	// The definition cache is shared by value: both encoders reuse the
+	// pre-fork definition without re-encoding.
+	if got := f.Define(shared); got != sl {
+		t.Fatalf("fork lost the shared definition: %d vs %d", got, sl)
+	}
+}

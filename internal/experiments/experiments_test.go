@@ -103,6 +103,40 @@ func TestTable2Shape(t *testing.T) {
 	}
 }
 
+// TestTable2IncrementalMatchesOneShot: the incremental engine must find
+// probes for exactly as many rules as the one-shot generator.
+func TestTable2IncrementalMatchesOneShot(t *testing.T) {
+	oneShot := RunTable2(Table2Config{Limit: 80})
+	incr := RunTable2(Table2Config{Limit: 80, Incremental: true})
+	for i := range oneShot {
+		if oneShot[i].Found != incr[i].Found || oneShot[i].Total != incr[i].Total {
+			t.Fatalf("%s: one-shot %d/%d vs incremental %d/%d",
+				oneShot[i].Dataset, oneShot[i].Found, oneShot[i].Total, incr[i].Found, incr[i].Total)
+		}
+	}
+}
+
+func TestTable2SweepShape(t *testing.T) {
+	rows := RunTable2Sweep(100, 2)
+	if len(rows) != 2 {
+		t.Fatalf("rows %v", rows)
+	}
+	for _, r := range rows {
+		if r.Rules != 100 || r.Workers != 2 {
+			t.Fatalf("%s: rules=%d workers=%d", r.Dataset, r.Rules, r.Workers)
+		}
+		if float64(r.Found)/float64(r.Rules) < 0.8 {
+			t.Fatalf("%s: found only %d/%d", r.Dataset, r.Found, r.Rules)
+		}
+		if r.WallMS <= 0 || r.PerRuleMS <= 0 {
+			t.Fatalf("%s: timing %+v", r.Dataset, r)
+		}
+	}
+	if FormatTable2Sweep(rows) == "" {
+		t.Fatal("format")
+	}
+}
+
 func TestFigure6Shape(t *testing.T) {
 	points := RunFigure6()
 	byName := map[string]map[int]float64{}

@@ -7,6 +7,7 @@ package monocle
 // expected table changes (epoch bump).
 
 import (
+	"context"
 	"time"
 
 	"monocle/internal/header"
@@ -53,7 +54,42 @@ func (m *Monitor) StartSteadyState() {
 		}
 	}
 	m.steady.running = true
+	m.prewarmProbeCache()
 	m.scheduleTick(0)
+}
+
+// prewarmProbeCache fills the steady-state probe cache for every rule that
+// lacks a fresh probe, using the incremental parallel engine: the whole
+// expected table is swept through persistent per-worker SAT sessions
+// instead of re-encoding each rule from scratch on its first cycle tick.
+// Generation costs no virtual time, so monitoring semantics are unchanged;
+// the sweep only moves the real-time cost off the per-tick path.
+func (m *Monitor) prewarmProbeCache() {
+	st := m.steady
+	stale := false
+	for _, r := range m.expected.Rules() {
+		cp := st.cache[r.ID]
+		if cp == nil || cp.dirty {
+			stale = true
+			break
+		}
+	}
+	if !stale {
+		return
+	}
+	for _, res := range m.gen.GenerateAll(context.Background(), m.expected, 0) {
+		cp := st.cache[res.Rule.ID]
+		if cp != nil && !cp.dirty {
+			continue // fresh entry; keep it (semantics of the lazy path)
+		}
+		if res.Err != nil {
+			m.noteGenFailure(res.Err)
+			st.cache[res.Rule.ID] = &cachedProbe{p: nil}
+			continue
+		}
+		m.Stats.GeneratedProbes++
+		st.cache[res.Rule.ID] = &cachedProbe{p: res.Probe}
+	}
 }
 
 // StopSteadyState pauses the cycle.

@@ -1,0 +1,92 @@
+package probe
+
+// Batch probe generation: a worker pool of forked Sessions sweeping every
+// rule of a table, used by steady-state monitoring and the experiment
+// harnesses. Each rule's probe is generated from an identical solver state
+// (the shared table prefix), so the result set is deterministic regardless
+// of how many workers run or how rules are scheduled onto them.
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"monocle/internal/flowtable"
+)
+
+// Result is the outcome of generating a probe for one rule of a table.
+type Result struct {
+	// Rule is the probed rule (always set).
+	Rule *flowtable.Rule
+	// Probe is the generated probe; nil when Err is set.
+	Probe *Probe
+	// Err reports why no probe exists: ErrUnmonitorable,
+	// ErrRewritesProbeField, a context error, or an internal failure.
+	Err error
+}
+
+// GenerateAll generates probes for every rule of the table, in the table's
+// priority order, fanning the work out over `parallelism` workers
+// (parallelism <= 0 means GOMAXPROCS). Each worker holds its own forked
+// Session, so the per-table encoding is built once and every solve runs
+// incrementally. Cancelling the context stops the sweep early; rules not
+// processed by then carry the context's error.
+func (g *Generator) GenerateAll(ctx context.Context, table *flowtable.Table, parallelism int) []Result {
+	rules := table.Rules()
+	results := make([]Result, len(rules))
+	for i, r := range rules {
+		results[i].Rule = r
+	}
+	if len(rules) == 0 {
+		return results
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(rules) {
+		parallelism = len(rules)
+	}
+
+	root, err := g.NewSession(table)
+	if err != nil {
+		for i := range results {
+			results[i].Err = err
+		}
+		return results
+	}
+	sessions := make([]*Session, parallelism)
+	sessions[0] = root
+	for w := 1; w < parallelism; w++ {
+		fork, err := root.Fork()
+		if err != nil {
+			for i := range results {
+				results[i].Err = err
+			}
+			return results
+		}
+		sessions[w] = fork
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for _, sess := range sessions {
+		wg.Add(1)
+		go func(sess *Session) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(rules) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					results[i].Err = err
+					continue
+				}
+				results[i].Probe, results[i].Err = sess.Generate(rules[i])
+			}
+		}(sess)
+	}
+	wg.Wait()
+	return results
+}

@@ -34,21 +34,29 @@ func matchFormula(m flowtable.Match) *cnf.Formula {
 		if t.IsWildcard() {
 			continue
 		}
-		w := header.Width(f)
-		for b := 0; b < w; b++ {
-			maskBit := t.Mask >> (w - 1 - b) & 1
-			if maskBit == 0 {
-				continue
-			}
-			v := header.BitVar(f, b)
-			if t.Value>>(w-1-b)&1 == 1 {
-				lits = append(lits, cnf.Lit(v))
-			} else {
-				lits = append(lits, cnf.Lit(-v))
-			}
-		}
+		lits = append(lits, ternaryLits(f, t)...)
 	}
 	return cnf.And(lits...)
+}
+
+// ternaryLits returns the literal formulas matching one field's ternary:
+// the single-field slice of the Table-3 encoding.
+func ternaryLits(f header.FieldID, t header.Ternary) []*cnf.Formula {
+	w := header.Width(f)
+	var lits []*cnf.Formula
+	for b := 0; b < w; b++ {
+		maskBit := t.Mask >> (w - 1 - b) & 1
+		if maskBit == 0 {
+			continue
+		}
+		v := header.BitVar(f, b)
+		if t.Value>>(w-1-b)&1 == 1 {
+			lits = append(lits, cnf.Lit(v))
+		} else {
+			lits = append(lits, cnf.Lit(-v))
+		}
+	}
+	return lits
 }
 
 // fieldEquals returns the formula pinning field f to value v.

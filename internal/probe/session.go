@@ -1,0 +1,384 @@
+package probe
+
+// Incremental probe generation (the engine behind whole-table sweeps).
+//
+// The one-shot Generate rebuilds the complete CNF encoding and a fresh SAT
+// solver for every rule, so sweeping a table re-encodes every match
+// formula once per probe it participates in. A Session amortizes that work
+// across the rules of one table:
+//
+//   - the rule-independent constraints (Collect, limited domains) form a
+//     small persistent solver base;
+//   - every rule's match formula is Tseitin-defined once, factored through
+//     per-field atoms (ACL tables repeat the same (field, ternary) pairs
+//     across many rules), and compiled into an immutable sat.Block — a
+//     pre-parsed clause block that attaches to the solver with no parsing
+//     and no per-clause allocation;
+//   - per probed rule, only the blocks of the rules in its overlap scope
+//     are attached (the instance stays as small as the one-shot path's),
+//     the Hit constraint becomes solver *assumptions* (the probed rule's
+//     match bits plus the negated definition literals of higher-priority
+//     rules), and only the Distinguish if-then-else chain is freshly
+//     encoded; after the solve everything above the base is retracted
+//     (sat.Checkpoint), which is cheap because the base is tiny.
+//
+// Solver state before each solve is a pure function of the table (RetractTo
+// restores the base bit-exactly and resets heuristics), so a given rule's
+// probe is identical no matter which session generates it or what was
+// generated before — the property GenerateAll's determinism rests on.
+//
+// A Session is bound to a snapshot of the table's rule set: it must not be
+// used after the table changes. It is not safe for concurrent use; Fork
+// creates independent copies for parallel workers (see GenerateAll).
+
+import (
+	"fmt"
+	"sort"
+
+	"monocle/internal/cnf"
+	"monocle/internal/flowtable"
+	"monocle/internal/header"
+	"monocle/internal/sat"
+)
+
+// tableLibrary is the immutable per-table compilation shared by a session
+// and all its forks.
+type tableLibrary struct {
+	baseVec    []int          // Collect + domain clauses (the solver base)
+	baseVars   int            // variable count of the base encoder state
+	baseNC     int            // clause count of the base
+	matchLit   map[uint64]int // rule ID → definition literal of its match
+	blocks     []sat.Block    // compiled definition blocks (atoms and rules)
+	blockVars  []int32        // fresh variables introduced per block
+	libVars    int            // encoder variable count after the library
+	libClauses int            // encoder clause count after the library
+	// ruleBlocks lists, per rule ID, the non-empty blocks that must be
+	// attached before the rule's definition literal may be used.
+	ruleBlocks map[uint64][]int32
+}
+
+// Session generates probes for the rules of one table through a single
+// persistent solver instance.
+type Session struct {
+	g     *Generator
+	table *flowtable.Table
+	rules []*flowtable.Rule
+
+	lib     *tableLibrary
+	enc     *cnf.Encoder
+	libMark cnf.Mark // rewind point: everything past it is per-rule delta
+	solver  *sat.Solver
+	cp      sat.Checkpoint // the tiny base (Collect + domains)
+
+	// Block-dedup scratch: loaded[i] == epoch when block i is already
+	// attached for the current Generate call.
+	loaded []uint32
+	epoch  uint32
+}
+
+// NewSession compiles the table (Collect, domains, one definition block
+// per match atom and rule) and prepares the persistent solver.
+func (g *Generator) NewSession(table *flowtable.Table) (*Session, error) {
+	enc := cnf.NewEncoder(header.TotalBits)
+	if g.cfg.MaxChain > 0 {
+		enc.MaxChain = g.cfg.MaxChain
+	}
+
+	// Base region: Collect and the limited domains (§5.2), iterated in
+	// field order so every session of the same table emits the identical
+	// clause sequence (determinism). The constant-true variable is
+	// pinned here so later regions can reference it.
+	enc.Assert(matchFormula(g.cfg.Collect))
+	fields := make([]header.FieldID, 0, len(g.cfg.Domains))
+	for f := range g.cfg.Domains {
+		fields = append(fields, f)
+	}
+	sort.Slice(fields, func(i, j int) bool { return fields[i] < fields[j] })
+	for _, f := range fields {
+		d := g.cfg.Domains[f]
+		if d.Values == nil {
+			continue
+		}
+		alts := make([]*cnf.Formula, len(d.Values))
+		for i, v := range d.Values {
+			alts[i] = fieldEquals(f, v)
+		}
+		enc.Assert(cnf.Or(alts...))
+	}
+	_ = enc.Define(cnf.True())
+
+	lib := &tableLibrary{
+		baseVec:    append([]int(nil), enc.Vector()...),
+		baseVars:   enc.NumVars(),
+		matchLit:   make(map[uint64]int),
+		ruleBlocks: make(map[uint64][]int32),
+	}
+
+	// Library region: one definition per distinct (field, ternary) atom
+	// and one per rule, each compiled into a reusable block. Definition
+	// literals get fixed variable ids here, which is what lets a block
+	// compiled once be attached to any number of solves.
+	type atomKey struct {
+		f           header.FieldID
+		value, mask uint64
+	}
+	for _, x := range lib.baseVec {
+		if x == 0 {
+			lib.baseNC++
+		}
+	}
+	atomIdx := make(map[atomKey]int32)
+	atomLit := make(map[atomKey]int)
+	rules := table.Rules()
+	compile := func(m cnf.Mark, preVars int) (int32, error) {
+		blk, err := sat.CompileBlock(enc.VectorFrom(m))
+		if err != nil {
+			return -1, fmt.Errorf("probe: internal CNF error: %w", err)
+		}
+		lib.blocks = append(lib.blocks, blk)
+		lib.blockVars = append(lib.blockVars, int32(enc.NumVars()-preVars))
+		return int32(len(lib.blocks) - 1), nil
+	}
+	for _, r := range rules {
+		var idxs []int32
+		var parts []*cnf.Formula
+		for f := header.FieldID(0); f < header.NumFields; f++ {
+			t := r.Match[f]
+			if t.IsWildcard() {
+				continue
+			}
+			k := atomKey{f, t.Value, t.Mask}
+			bi, ok := atomIdx[k]
+			if !ok {
+				m, pre := enc.Mark(), enc.NumVars()
+				atomLit[k] = enc.Define(cnf.And(ternaryLits(f, t)...))
+				var err error
+				if bi, err = compile(m, pre); err != nil {
+					return nil, err
+				}
+				atomIdx[k] = bi
+			}
+			parts = append(parts, cnf.Lit(atomLit[k]))
+			if !lib.blocks[bi].Empty() {
+				idxs = append(idxs, bi)
+			}
+		}
+		m, pre := enc.Mark(), enc.NumVars()
+		lib.matchLit[r.ID] = enc.Define(cnf.And(parts...))
+		bi, err := compile(m, pre)
+		if err != nil {
+			return nil, err
+		}
+		if !lib.blocks[bi].Empty() {
+			idxs = append(idxs, bi)
+		}
+		lib.ruleBlocks[r.ID] = idxs
+	}
+	lib.libVars = enc.NumVars()
+	lib.libClauses = enc.NumClauses()
+
+	solver := sat.New(lib.baseVars)
+	if err := solver.AddDIMACSVector(lib.baseVec); err != nil {
+		return nil, fmt.Errorf("probe: internal CNF error: %w", err)
+	}
+	return &Session{
+		g:       g,
+		table:   table,
+		rules:   rules,
+		lib:     lib,
+		enc:     enc,
+		libMark: enc.Mark(),
+		solver:  solver,
+		cp:      solver.Mark(),
+		loaded:  make([]uint32, len(lib.blocks)),
+	}, nil
+}
+
+// Fork returns an independent Session over the same table, sharing the
+// compiled library (base vector, definition blocks, match literals) and
+// replaying only the small base into a fresh solver. Forks generate
+// identical probes to the parent for any given rule.
+func (s *Session) Fork() (*Session, error) {
+	enc := s.enc.Fork()
+	solver := sat.New(s.lib.baseVars)
+	if err := solver.AddDIMACSVector(s.lib.baseVec); err != nil {
+		return nil, fmt.Errorf("probe: internal CNF error: %w", err)
+	}
+	return &Session{
+		g:       s.g,
+		table:   s.table,
+		rules:   s.rules,
+		lib:     s.lib,
+		enc:     enc,
+		libMark: enc.Mark(),
+		solver:  solver,
+		cp:      solver.Mark(),
+		loaded:  make([]uint32, len(s.lib.blocks)),
+	}, nil
+}
+
+// Generate creates a probe for `probed` through the session's persistent
+// solver. It is equivalent to Generator.Generate over the session's table:
+// the same rules are monitorable, the returned probe satisfies the same
+// Hit/Distinguish/Collect constraints, and the same errors are reported
+// (the concrete header may differ — any witness of the constraints is a
+// valid probe).
+func (s *Session) Generate(probed *flowtable.Rule) (*Probe, error) {
+	g := s.g
+	if err := g.checkReserved(probed); err != nil {
+		return nil, err
+	}
+
+	var scope []*flowtable.Rule
+	if g.cfg.SkipOverlapFilter {
+		for _, r := range s.rules {
+			if r != probed && r.ID != probed.ID {
+				scope = append(scope, r)
+			}
+		}
+	} else {
+		scope = s.table.Overlapping(probed)
+	}
+	for _, r := range scope {
+		if err := g.checkReserved(r); err != nil {
+			return nil, err
+		}
+	}
+
+	// Hit, as assumptions: the probed rule's constrained match bits, and
+	// ¬match for every higher-priority rule in scope via its definition
+	// literal.
+	assume := matchAssumptions(probed.Match)
+	var lower []*flowtable.Rule
+	for _, r := range scope {
+		switch {
+		case r.Priority > probed.Priority:
+			ml, ok := s.lib.matchLit[r.ID]
+			if !ok {
+				return nil, fmt.Errorf("probe: rule %d not part of the session table", r.ID)
+			}
+			assume = append(assume, -ml)
+		case r.Priority < probed.Priority:
+			lower = append(lower, r)
+		default:
+			if r.Match.Overlaps(probed.Match) {
+				return nil, fmt.Errorf("probe: rule %d overlaps probed rule %d at equal priority", r.ID, probed.ID)
+			}
+		}
+	}
+
+	// Distinguish, as freshly encoded delta clauses: the Velev
+	// if-then-else chain (§5.3) whose conditions are the rules'
+	// definition literals.
+	sort.SliceStable(lower, func(i, j int) bool { return lower[i].Priority > lower[j].Priority })
+	miss := missRule(s.table.Miss)
+	conds := make([]*cnf.Formula, len(lower))
+	thens := make([]*cnf.Formula, len(lower))
+	for i, r := range lower {
+		ml, ok := s.lib.matchLit[r.ID]
+		if !ok {
+			return nil, fmt.Errorf("probe: rule %d not part of the session table", r.ID)
+		}
+		conds[i] = cnf.Lit(ml)
+		thens[i] = diffOutcome(probed, r, g.cfg.Counting)
+	}
+
+	defer func() {
+		s.solver.RetractTo(s.cp)
+		s.enc.Reset(s.libMark)
+	}()
+	s.enc.Assert(cnf.ITEChain(conds, thens, diffOutcome(probed, miss, g.cfg.Counting)))
+	if s.enc.Unsat() {
+		return nil, ErrUnmonitorable
+	}
+	s.solver.EnsureVars(s.enc.NumVars())
+
+	// Attach the definition blocks of every rule in scope, each at most
+	// once (shared atoms are deduplicated via the epoch stamp), tracking
+	// the size of the instance actually handed to the solver.
+	instVars := s.lib.baseVars
+	instClauses := s.lib.baseNC
+	s.epoch++
+	for _, r := range scope {
+		for _, bi := range s.lib.ruleBlocks[r.ID] {
+			if s.loaded[bi] == s.epoch {
+				continue
+			}
+			s.loaded[bi] = s.epoch
+			s.solver.AddBlock(&s.lib.blocks[bi])
+			instVars += int(s.lib.blockVars[bi])
+			instClauses += s.lib.blocks[bi].NumClauses()
+		}
+	}
+	// The Distinguish delta goes through the normalizing AddDIMACSVector
+	// path on purpose: an if-then-else chain may repeat a condition
+	// literal (two rules with identical matches share a definition), so
+	// its clauses can contain duplicate or tautological literals, which
+	// compiled blocks deliberately do not handle.
+	if err := s.solver.AddDIMACSVector(s.enc.VectorFrom(s.libMark)); err != nil {
+		return nil, fmt.Errorf("probe: internal CNF error: %w", err)
+	}
+	instVars += s.enc.NumVars() - s.lib.libVars
+	instClauses += s.enc.NumClauses() - s.lib.libClauses
+
+	d0, _, c0 := s.solver.Stats()
+	status, model := s.solver.SolveAssuming(assume...)
+	d1, _, c1 := s.solver.Stats()
+	if status != sat.Satisfiable {
+		return nil, ErrUnmonitorable
+	}
+	h := header.FromModel(model)
+
+	h, err := g.repairDomains(h, s.table, probed)
+	if err != nil {
+		return nil, err
+	}
+	h = canonicalizeExcluded(h)
+
+	p := &Probe{
+		RuleID: probed.ID,
+		Header: h,
+		Stats: Stats{
+			Vars:        instVars,
+			Clauses:     instClauses,
+			Overlapping: len(scope),
+			Decisions:   d1 - d0,
+			Conflicts:   c1 - c0,
+		},
+	}
+	p.Present = outcomeOf(probed, h)
+	p.Absent = g.absentOutcome(s.table, probed, h)
+	p.Negative = p.Present.Drop
+
+	if g.cfg.ValidateModel {
+		if err := g.validate(s.table, probed, p); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// matchAssumptions returns the Table-3 match encoding as raw assumption
+// literals: one per constrained bit of m (cf. matchFormula).
+func matchAssumptions(m flowtable.Match) []int {
+	var lits []int
+	for f := header.FieldID(0); f < header.NumFields; f++ {
+		t := m[f]
+		if t.IsWildcard() {
+			continue
+		}
+		w := header.Width(f)
+		for b := 0; b < w; b++ {
+			if t.Mask>>(w-1-b)&1 == 0 {
+				continue
+			}
+			v := header.BitVar(f, b)
+			if t.Value>>(w-1-b)&1 == 1 {
+				lits = append(lits, v)
+			} else {
+				lits = append(lits, -v)
+			}
+		}
+	}
+	return lits
+}

@@ -19,6 +19,30 @@ func newVarHeap(act []float64) *varHeap {
 
 func (h *varHeap) len() int { return len(h.heap) }
 
+// grow rebinds the (possibly reallocated) activity slice and widens the
+// position index to cover it, for solvers that add variables after New.
+func (h *varHeap) grow(act []float64) {
+	h.act = act
+	for len(h.pos) < len(act) {
+		h.pos = append(h.pos, -1)
+	}
+}
+
+// reset rebuilds the heap to its canonical initial state over variables
+// 1..n: ascending order, which is a valid heap for all-equal activities.
+// The activity slice must already be zeroed (or uniform) by the caller.
+func (h *varHeap) reset(n int) {
+	h.pos = h.pos[:0]
+	for len(h.pos) < n+1 {
+		h.pos = append(h.pos, -1)
+	}
+	h.heap = h.heap[:0]
+	for v := 1; v <= n; v++ {
+		h.heap = append(h.heap, v)
+		h.pos[v] = v - 1
+	}
+}
+
 func (h *varHeap) less(i, j int) bool { return h.act[h.heap[i]] > h.act[h.heap[j]] }
 
 func (h *varHeap) swap(i, j int) {

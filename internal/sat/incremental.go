@@ -1,0 +1,210 @@
+package sat
+
+import "fmt"
+
+// This file implements the incremental interface used by the probe
+// generator's table sessions: solving under assumptions (à la MiniSat),
+// growing the variable space on demand, and retracting clauses added after
+// a checkpoint so one solver instance can serve every rule of a flow table.
+
+// Checkpoint captures the solver state needed to retract clauses added
+// after Mark. Checkpoints only nest LIFO: retracting to an older
+// checkpoint invalidates newer ones. A Checkpoint may be retracted to any
+// number of times.
+type Checkpoint struct {
+	nVars    int
+	dbLen    int
+	arenaLen int
+	trailLen int
+	ok       bool
+	// Search permutes clause literals and migrates watchers, so the
+	// checkpoint snapshots both: the concatenated literals of every
+	// retained clause, and every watch list flattened into one arena
+	// (offsets[l]..offsets[l+1] is the list of literal l). Restoring
+	// them — all pointer-free, so pure memmove — puts the solver in a
+	// state that depends only on the retained clause database, never on
+	// what was solved in between.
+	lits     []lit
+	watchers []watcher
+	offsets  []int32
+}
+
+// Mark records the current clause database boundary. The solver is
+// backtracked to decision level 0 first, so the recorded trail prefix
+// contains exactly the top-level facts implied by the clauses added so far.
+func (s *Solver) Mark() Checkpoint {
+	s.cancelUntil(0)
+	cp := Checkpoint{
+		nVars:    s.nVars,
+		dbLen:    len(s.db),
+		arenaLen: len(s.arena),
+		trailLen: len(s.trail),
+		ok:       s.ok,
+		offsets:  make([]int32, len(s.watches)+1),
+	}
+	n := 0
+	for i := range s.db {
+		n += len(s.db[i].lits)
+	}
+	cp.lits = make([]lit, 0, n)
+	for i := range s.db {
+		cp.lits = append(cp.lits, s.db[i].lits...)
+	}
+	n = 0
+	for _, ws := range s.watches {
+		n += len(ws)
+	}
+	cp.watchers = make([]watcher, 0, n)
+	for i, ws := range s.watches {
+		cp.offsets[i] = int32(len(cp.watchers))
+		cp.watchers = append(cp.watchers, ws...)
+	}
+	cp.offsets[len(s.watches)] = int32(len(cp.watchers))
+	return cp
+}
+
+// RetractTo removes every clause added after the checkpoint (the per-rule
+// delta plus any learnt clauses, which may depend on it), unassigns
+// top-level facts derived since, shrinks the variable space back to the
+// checkpoint's, restores the snapshotted literal order and watch lists,
+// and resets the branching heuristics.
+//
+// After RetractTo the solver state is a pure function of the retained
+// clause database: a Solve gives bit-identical results no matter what was
+// added, assumed, or solved since the Mark. The batch probe generator
+// relies on this for determinism across worker counts. The restore is
+// pointer-free bulk copying and allocates only when a watch list grew past
+// its previous capacity.
+func (s *Solver) RetractTo(cp Checkpoint) {
+	s.cancelUntil(0)
+	s.db = s.db[:cp.dbLen]
+	s.arena = s.arena[:cp.arenaLen]
+
+	// Unassign top-level facts derived after the checkpoint. Facts on the
+	// retained prefix were enqueued before Mark, so their reason clauses
+	// are all retained too.
+	for i := len(s.trail) - 1; i >= cp.trailLen; i-- {
+		v := s.trail[i].varID()
+		s.assign[v] = unassigned
+		s.reason[v] = crefNil
+		s.level[v] = 0
+	}
+	s.trail = s.trail[:cp.trailLen]
+	s.qhead = cp.trailLen
+	s.ok = cp.ok
+
+	s.shrinkVars(cp.nVars)
+
+	pos := 0
+	for i := range s.db {
+		c := &s.db[i]
+		copy(c.lits, cp.lits[pos:pos+len(c.lits)])
+		pos += len(c.lits)
+	}
+	for i := range s.watches {
+		snap := cp.watchers[cp.offsets[i]:cp.offsets[i+1]]
+		if cap(s.watches[i]) < len(snap) {
+			s.watches[i] = make([]watcher, len(snap))
+		} else {
+			s.watches[i] = s.watches[i][:len(snap)]
+		}
+		copy(s.watches[i], snap)
+	}
+	s.resetHeuristics()
+}
+
+// EnsureVars grows the variable space to at least n variables. Existing
+// clauses and assignments are unaffected; new variables start unassigned
+// with zero activity.
+func (s *Solver) EnsureVars(n int) {
+	if n <= s.nVars {
+		return
+	}
+	grow := n - s.nVars
+	s.assign = append(s.assign, make([]tribool, grow)...)
+	s.level = append(s.level, make([]int, grow)...)
+	s.activity = append(s.activity, make([]float64, grow)...)
+	s.polarity = append(s.polarity, make([]bool, grow)...)
+	for v := s.nVars + 1; v <= n; v++ {
+		s.reason = append(s.reason, crefNil)
+	}
+	// Re-extend the watch-list table, reusing backing arrays retained
+	// across a previous shrink (grow/shrink cycles are the steady state
+	// of a probe session; reallocating every list would dominate it).
+	for len(s.watches) < 2*n+2 {
+		if len(s.watches) < cap(s.watches) {
+			s.watches = s.watches[:len(s.watches)+1]
+			s.watches[len(s.watches)-1] = s.watches[len(s.watches)-1][:0]
+		} else {
+			s.watches = append(s.watches, nil)
+		}
+	}
+	// New variables are not entered into the decision heap: a variable
+	// only needs branching once a clause watches it (see lazyPush); an
+	// unconstrained variable stays unassigned, which reads as false in
+	// the model — exactly what a polarity-false decision would yield.
+	s.order.grow(s.activity)
+	s.nVars = n
+}
+
+// shrinkVars truncates the variable space back to n variables. Only valid
+// when every clause mentioning a removed variable has been deleted (true
+// for RetractTo: clauses added before a checkpoint cannot reference
+// variables allocated after it).
+func (s *Solver) shrinkVars(n int) {
+	if n >= s.nVars {
+		return
+	}
+	s.assign = s.assign[:n+1]
+	s.level = s.level[:n+1]
+	s.reason = s.reason[:n+1]
+	s.activity = s.activity[:n+1]
+	s.polarity = s.polarity[:n+1]
+	s.watches = s.watches[:2*n+2]
+	s.nVars = n
+}
+
+// resetHeuristics restores the deterministic initial branching state:
+// zero activities, default phases, and a freshly ordered decision heap.
+func (s *Solver) resetHeuristics() {
+	for v := 1; v <= s.nVars; v++ {
+		s.activity[v] = 0
+		s.polarity[v] = false
+	}
+	s.varInc = 1.0
+	s.order.grow(s.activity) // rebind after possible slice reallocation
+	s.order.reset(s.nVars)
+}
+
+// SolveAssuming runs the CDCL search under the given assumption literals
+// (DIMACS convention). Assumptions act as forced first decisions: the
+// result is the satisfiability of the clause database conjoined with the
+// assumptions, without adding them as clauses. The solver backtracks to
+// decision level 0 on entry and exit, so it can be reused — with the same,
+// different, or no assumptions — and clauses may be added between calls.
+//
+// Unsatisfiable is returned either when the clause database itself is
+// UNSAT (a later Solve will also report UNSAT) or when the assumptions
+// conflict with it (retrying without them may still succeed). Clauses
+// learnt during the search are logical consequences of the clause database
+// alone and are kept across calls.
+func (s *Solver) SolveAssuming(assumptions ...int) (Status, []bool) {
+	if !s.ok {
+		return Unsatisfiable, nil
+	}
+	assume := make([]lit, len(assumptions))
+	for i, d := range assumptions {
+		v := d
+		if v < 0 {
+			v = -v
+		}
+		if v == 0 || v > s.nVars {
+			panic(fmt.Sprintf("sat: assumption literal %d out of range (1..%d)", d, s.nVars))
+		}
+		assume[i] = toLit(d)
+	}
+	s.cancelUntil(0)
+	st, model := s.search(assume)
+	s.cancelUntil(0)
+	return st, model
+}

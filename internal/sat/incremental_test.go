@@ -1,0 +1,219 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// base3 loads (x1 ∨ x2) ∧ (¬x1 ∨ x3) into a fresh solver.
+func base3(t *testing.T) *Solver {
+	t.Helper()
+	s := New(3)
+	for _, c := range [][]int{{1, 2}, {-1, 3}} {
+		if err := s.AddClause(c...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestSolveAssumingSAT(t *testing.T) {
+	s := base3(t)
+	st, m := s.SolveAssuming(-2)
+	if st != Satisfiable {
+		t.Fatalf("got %v, want SAT", st)
+	}
+	// ¬x2 forces x1 (first clause) which forces x3 (second clause).
+	if m[2] || !m[1] || !m[3] {
+		t.Fatalf("model %v violates assumption or clauses", m)
+	}
+}
+
+func TestSolveAssumingUNSATThenReusable(t *testing.T) {
+	s := base3(t)
+	// x1 ∧ ¬x3 contradicts (¬x1 ∨ x3).
+	if st, _ := s.SolveAssuming(1, -3); st != Unsatisfiable {
+		t.Fatalf("got %v, want UNSAT under assumptions", st)
+	}
+	// The UNSAT verdict was relative to the assumptions only: the solver
+	// stays usable, under other assumptions and with none at all.
+	if st, m := s.SolveAssuming(-2); st != Satisfiable || !m[1] {
+		t.Fatalf("solver not reusable after assumption UNSAT: %v %v", st, m)
+	}
+	if st, _ := s.Solve(); st != Satisfiable {
+		t.Fatal("plain Solve failed after assumption solves")
+	}
+}
+
+func TestSolveAssumingConflictingAssumptions(t *testing.T) {
+	s := base3(t)
+	if st, _ := s.SolveAssuming(2, -2); st != Unsatisfiable {
+		t.Fatal("contradictory assumptions must be UNSAT")
+	}
+	if st, _ := s.Solve(); st != Satisfiable {
+		t.Fatal("solver must recover")
+	}
+}
+
+func TestSolveAssumingGloballyUNSAT(t *testing.T) {
+	s := New(1)
+	_ = s.AddClause(1)
+	_ = s.AddClause(-1)
+	if st, _ := s.SolveAssuming(1); st != Unsatisfiable {
+		t.Fatal("globally UNSAT formula must stay UNSAT under assumptions")
+	}
+}
+
+func TestCheckpointRetractClauses(t *testing.T) {
+	s := base3(t)
+	cp := s.Mark()
+	// Make the formula UNSAT, observe it, then retract back to SAT.
+	_ = s.AddClause(-1)
+	_ = s.AddClause(2)
+	_ = s.AddClause(-2)
+	if st, _ := s.Solve(); st != Unsatisfiable {
+		t.Fatal("expected UNSAT after contradictory clauses")
+	}
+	s.RetractTo(cp)
+	st, m := s.Solve()
+	if st != Satisfiable {
+		t.Fatalf("got %v after retract, want SAT", st)
+	}
+	checkModel(t, [][]int{{1, 2}, {-1, 3}}, m)
+}
+
+func TestCheckpointRetractVars(t *testing.T) {
+	s := base3(t)
+	cp := s.Mark()
+	s.EnsureVars(6)
+	if s.NumVars() != 6 {
+		t.Fatalf("NumVars=%d after EnsureVars(6)", s.NumVars())
+	}
+	_ = s.AddClause(4, 5)
+	_ = s.AddClause(-5, 6)
+	if st, _ := s.Solve(); st != Satisfiable {
+		t.Fatal("delta instance should be SAT")
+	}
+	s.RetractTo(cp)
+	if s.NumVars() != 3 {
+		t.Fatalf("NumVars=%d after retract, want 3", s.NumVars())
+	}
+	if st, _ := s.SolveAssuming(-2); st != Satisfiable {
+		t.Fatal("base instance should stay SAT after retract")
+	}
+}
+
+func TestRetractIsDeterministic(t *testing.T) {
+	s := New(8)
+	rng := rand.New(rand.NewSource(42))
+	var clauses [][]int
+	for i := 0; i < 20; i++ {
+		c := []int{rng.Intn(8) + 1, rng.Intn(8) + 1, rng.Intn(8) + 1}
+		for j := range c {
+			if rng.Intn(2) == 0 {
+				c[j] = -c[j]
+			}
+		}
+		clauses = append(clauses, c)
+		if err := s.AddClause(c...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp := s.Mark()
+	st1, m1 := s.Solve()
+	s.RetractTo(cp)
+	// A solve over different delta clauses in between must not leak into
+	// the next base solve.
+	_ = s.AddClause(1, 2)
+	_ = s.AddClause(-1, -2)
+	_, _ = s.Solve()
+	s.RetractTo(cp)
+	st2, m2 := s.Solve()
+	if st1 != st2 {
+		t.Fatalf("status changed across retract: %v vs %v", st1, st2)
+	}
+	if st1 == Satisfiable {
+		checkModel(t, clauses, m2)
+		for v := 1; v <= 8; v++ {
+			if m1[v] != m2[v] {
+				t.Fatalf("model not deterministic after retract: %v vs %v", m1, m2)
+			}
+		}
+	}
+}
+
+// TestIncrementalAgainstFresh cross-checks the incremental lifecycle
+// (mark, add delta, solve under assumptions, retract) against fresh
+// one-shot solvers on random instances.
+func TestIncrementalAgainstFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(1337))
+	for iter := 0; iter < 100; iter++ {
+		nVars := 4 + rng.Intn(8)
+		mk := func(n int) [][]int {
+			var cs [][]int
+			for i := 0; i < n; i++ {
+				k := 1 + rng.Intn(3)
+				c := make([]int, k)
+				for j := range c {
+					c[j] = rng.Intn(nVars) + 1
+					if rng.Intn(2) == 0 {
+						c[j] = -c[j]
+					}
+				}
+				cs = append(cs, c)
+			}
+			return cs
+		}
+		base := mk(2 + rng.Intn(6))
+		s := New(nVars)
+		for _, c := range base {
+			_ = s.AddClause(c...)
+		}
+		cp := s.Mark()
+		for round := 0; round < 3; round++ {
+			delta := mk(1 + rng.Intn(4))
+			for _, c := range delta {
+				_ = s.AddClause(c...)
+			}
+			var assume []int
+			for len(assume) < rng.Intn(3) {
+				a := rng.Intn(nVars) + 1
+				if rng.Intn(2) == 0 {
+					a = -a
+				}
+				assume = append(assume, a)
+			}
+			got, model := s.SolveAssuming(assume...)
+
+			fresh := New(nVars)
+			for _, c := range base {
+				_ = fresh.AddClause(c...)
+			}
+			for _, c := range delta {
+				_ = fresh.AddClause(c...)
+			}
+			for _, a := range assume {
+				_ = fresh.AddClause(a)
+			}
+			want, _ := fresh.Solve()
+			if got != want {
+				t.Fatalf("iter %d round %d: incremental=%v fresh=%v (base=%v delta=%v assume=%v)",
+					iter, round, got, want, base, delta, assume)
+			}
+			if got == Satisfiable {
+				checkModel(t, base, model)
+				checkModel(t, delta, model)
+				for _, a := range assume {
+					v := a
+					if v < 0 {
+						v = -v
+					}
+					if (a > 0) != model[v] {
+						t.Fatalf("assumption %d violated by model", a)
+					}
+				}
+			}
+			s.RetractTo(cp)
+		}
+	}
+}

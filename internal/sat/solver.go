@@ -82,30 +82,37 @@ const (
 )
 
 type clause struct {
-	lits    []lit
-	learnt  bool
-	act     float64
-	deleted bool
+	lits   []lit
+	learnt bool
 }
 
+// cref indexes a clause in the solver's database. Watchers and antecedent
+// references hold indices rather than pointers so they are pointer-free:
+// watch lists copy with memmove and never trip GC write barriers, which is
+// what makes checkpoint restore (RetractTo) cheap.
+type cref = int32
+
+// crefNil marks "no clause" (decision/assumption antecedents, no conflict).
+const crefNil cref = -1
+
 type watcher struct {
-	c       *clause
+	c       cref
 	blocker lit
 }
 
 // Solver is a CDCL SAT solver. The zero value is not usable; create
 // instances with New. A Solver may be reused for multiple Solve calls by
-// adding more clauses between calls (incremental interface without
-// assumptions), but clauses can never be removed.
+// adding more clauses between calls; clauses added after a Mark can be
+// retracted again with RetractTo.
 type Solver struct {
 	nVars   int
-	clauses []*clause
-	learnts []*clause
+	db      []clause    // problem and learnt clauses, in insertion order
+	arena   []lit       // backing storage for AddBlock clause literals
 	watches [][]watcher // indexed by lit
 
 	assign  []tribool // indexed by var
 	level   []int     // decision level per var
-	reason  []*clause // antecedent clause per var
+	reason  []cref    // antecedent clause per var (crefNil for decisions)
 	trail   []lit
 	trailLi []int // trail limits per decision level
 	qhead   int
@@ -132,11 +139,14 @@ func New(nVars int) *Solver {
 		watches:  make([][]watcher, 2*nVars+2),
 		assign:   make([]tribool, nVars+1),
 		level:    make([]int, nVars+1),
-		reason:   make([]*clause, nVars+1),
+		reason:   make([]cref, nVars+1),
 		activity: make([]float64, nVars+1),
 		polarity: make([]bool, nVars+1),
 		varInc:   1.0,
 		ok:       true,
+	}
+	for i := range s.reason {
+		s.reason[i] = crefNil
 	}
 	s.order = newVarHeap(s.activity)
 	for v := 1; v <= nVars; v++ {
@@ -164,6 +174,9 @@ func (s *Solver) addClause(dimacs []int) error {
 	if !s.ok {
 		return nil // already UNSAT; further clauses are irrelevant
 	}
+	// Clauses may arrive between Solve calls; the two-watched-literal
+	// invariant only holds for clauses added at decision level 0.
+	s.cancelUntil(0)
 	// Normalize: drop duplicate literals and satisfied-at-level-0 clauses.
 	seen := make(map[int]bool, len(dimacs))
 	lits := make([]lit, 0, len(dimacs))
@@ -203,16 +216,15 @@ func (s *Solver) addClause(dimacs []int) error {
 		s.ok = false
 		return nil
 	case 1:
-		if !s.enqueue(lits[0], nil) {
+		if !s.enqueue(lits[0], crefNil) {
 			s.ok = false
-		} else if conf := s.propagate(); conf != nil {
+		} else if conf := s.propagate(); conf != crefNil {
 			s.ok = false
 		}
 		return nil
 	}
-	c := &clause{lits: lits}
-	s.clauses = append(s.clauses, c)
-	s.watch(c)
+	s.db = append(s.db, clause{lits: lits})
+	s.watch(cref(len(s.db) - 1))
 	return nil
 }
 
@@ -235,9 +247,17 @@ func (s *Solver) AddDIMACSVector(vec []int) error {
 	return nil
 }
 
-func (s *Solver) watch(c *clause) {
-	s.watches[c.lits[0].neg()] = append(s.watches[c.lits[0].neg()], watcher{c, c.lits[1]})
-	s.watches[c.lits[1].neg()] = append(s.watches[c.lits[1].neg()], watcher{c, c.lits[0]})
+func (s *Solver) watch(ci cref) {
+	c := &s.db[ci]
+	s.watches[c.lits[0].neg()] = append(s.watches[c.lits[0].neg()], watcher{ci, c.lits[1]})
+	s.watches[c.lits[1].neg()] = append(s.watches[c.lits[1].neg()], watcher{ci, c.lits[0]})
+	// Lazy heap entry: variables join the decision heap when a clause
+	// first watches them. Variables no clause ever watches need no
+	// decision — any clause over them would either find them as a watch
+	// (via migration, which also pushes) or be wholly decided by its
+	// watched literals.
+	s.order.pushIfAbsent(c.lits[0].varID())
+	s.order.pushIfAbsent(c.lits[1].varID())
 }
 
 func (s *Solver) valueLit(l lit) tribool {
@@ -254,7 +274,7 @@ func (s *Solver) valueLit(l lit) tribool {
 	return a
 }
 
-func (s *Solver) enqueue(l lit, from *clause) bool {
+func (s *Solver) enqueue(l lit, from cref) bool {
 	switch s.valueLit(l) {
 	case vTrue:
 		return true
@@ -275,17 +295,17 @@ func (s *Solver) enqueue(l lit, from *clause) bool {
 
 func (s *Solver) decisionLevel() int { return len(s.trailLi) }
 
-func (s *Solver) propagate() *clause {
+func (s *Solver) propagate() cref {
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
 		s.propag++
 		ws := s.watches[p]
 		kept := ws[:0]
-		var conflict *clause
+		conflict := crefNil
 		for i := 0; i < len(ws); i++ {
 			w := ws[i]
-			if conflict != nil {
+			if conflict != crefNil {
 				kept = append(kept, ws[i:]...)
 				break
 			}
@@ -293,7 +313,7 @@ func (s *Solver) propagate() *clause {
 				kept = append(kept, w)
 				continue
 			}
-			c := w.c
+			c := &s.db[w.c]
 			// Ensure the false literal (¬p) is at position 1.
 			np := p.neg()
 			if c.lits[0] == np {
@@ -301,7 +321,7 @@ func (s *Solver) propagate() *clause {
 			}
 			first := c.lits[0]
 			if first != w.blocker && s.valueLit(first) == vTrue {
-				kept = append(kept, watcher{c, first})
+				kept = append(kept, watcher{w.c, first})
 				continue
 			}
 			// Look for a new literal to watch.
@@ -309,7 +329,8 @@ func (s *Solver) propagate() *clause {
 			for k := 2; k < len(c.lits); k++ {
 				if s.valueLit(c.lits[k]) != vFalse {
 					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					s.watches[c.lits[1].neg()] = append(s.watches[c.lits[1].neg()], watcher{c, first})
+					s.watches[c.lits[1].neg()] = append(s.watches[c.lits[1].neg()], watcher{w.c, first})
+					s.order.pushIfAbsent(c.lits[1].varID())
 					found = true
 					break
 				}
@@ -318,21 +339,21 @@ func (s *Solver) propagate() *clause {
 				continue
 			}
 			// Clause is unit or conflicting.
-			kept = append(kept, watcher{c, first})
-			if !s.enqueue(first, c) {
-				conflict = c
+			kept = append(kept, watcher{w.c, first})
+			if !s.enqueue(first, w.c) {
+				conflict = w.c
 				s.qhead = len(s.trail)
 			}
 		}
 		s.watches[p] = kept
-		if conflict != nil {
+		if conflict != crefNil {
 			return conflict
 		}
 	}
-	return nil
+	return crefNil
 }
 
-func (s *Solver) analyze(confl *clause) (learnt []lit, backLevel int) {
+func (s *Solver) analyze(confl cref) (learnt []lit, backLevel int) {
 	seen := make([]bool, s.nVars+1)
 	counter := 0
 	var p lit
@@ -341,7 +362,7 @@ func (s *Solver) analyze(confl *clause) (learnt []lit, backLevel int) {
 	first := true
 
 	for {
-		for _, q := range confl.lits {
+		for _, q := range s.db[confl].lits {
 			if first || q != p {
 				v := q.varID()
 				if !seen[v] && s.level[v] > 0 {
@@ -396,7 +417,7 @@ func (s *Solver) cancelUntil(lvl int) {
 		v := s.trail[i].varID()
 		s.polarity[v] = s.assign[v] == vTrue
 		s.assign[v] = unassigned
-		s.reason[v] = nil
+		s.reason[v] = crefNil
 		s.order.pushIfAbsent(v)
 	}
 	s.trail = s.trail[:bound]
@@ -432,10 +453,15 @@ func luby(i int64) int64 {
 // Unsatisfiable, or Unknown when the conflict budget is exhausted.
 // The model maps variable v (1..NumVars) at index v; index 0 is unused.
 func (s *Solver) Solve() (Status, []bool) {
-	if !s.ok {
-		return Unsatisfiable, nil
-	}
-	if confl := s.propagate(); confl != nil {
+	return s.SolveAssuming()
+}
+
+// search is the CDCL main loop shared by Solve and SolveAssuming. The
+// assumption literals are served as the first decisions, one per level;
+// an assumption found false under propagation means the formula is UNSAT
+// under the assumptions (but not necessarily in itself).
+func (s *Solver) search(assume []lit) (Status, []bool) {
+	if confl := s.propagate(); confl != crefNil {
 		s.ok = false
 		return Unsatisfiable, nil
 	}
@@ -445,7 +471,7 @@ func (s *Solver) Solve() (Status, []bool) {
 
 	for {
 		confl := s.propagate()
-		if confl != nil {
+		if confl != crefNil {
 			s.conflicts++
 			conflCount++
 			if s.decisionLevel() == 0 {
@@ -455,12 +481,12 @@ func (s *Solver) Solve() (Status, []bool) {
 			learnt, back := s.analyze(confl)
 			s.cancelUntil(back)
 			if len(learnt) == 1 {
-				s.enqueue(learnt[0], nil)
+				s.enqueue(learnt[0], crefNil)
 			} else {
-				c := &clause{lits: learnt, learnt: true}
-				s.learnts = append(s.learnts, c)
-				s.watch(c)
-				s.enqueue(learnt[0], c)
+				s.db = append(s.db, clause{lits: learnt, learnt: true})
+				ci := cref(len(s.db) - 1)
+				s.watch(ci)
+				s.enqueue(learnt[0], ci)
 			}
 			s.varInc *= 1.0 / 0.95
 			if s.Budget > 0 && s.conflicts >= s.Budget {
@@ -469,11 +495,28 @@ func (s *Solver) Solve() (Status, []bool) {
 			continue
 		}
 		if conflCount >= conflBudget {
-			// Restart.
+			// Restart. Assumptions are re-served from level 0.
 			conflCount = 0
 			restart++
 			conflBudget = 32 * luby(restart)
 			s.cancelUntil(0)
+			continue
+		}
+		if s.decisionLevel() < len(assume) {
+			// Serve the next assumption as a decision.
+			p := assume[s.decisionLevel()]
+			switch s.valueLit(p) {
+			case vTrue:
+				// Already implied: open a dummy level so the level↔
+				// assumption indexing stays aligned.
+				s.trailLi = append(s.trailLi, len(s.trail))
+			case vFalse:
+				return Unsatisfiable, nil // conflicts with the assumptions
+			default:
+				s.decisions++
+				s.trailLi = append(s.trailLi, len(s.trail))
+				s.enqueue(p, crefNil)
+			}
 			continue
 		}
 		v := s.pickBranchVar()
@@ -493,7 +536,7 @@ func (s *Solver) Solve() (Status, []bool) {
 		} else {
 			l = l.neg()
 		}
-		s.enqueue(l, nil)
+		s.enqueue(l, crefNil)
 	}
 }
 

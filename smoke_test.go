@@ -1,0 +1,47 @@
+package repro_test
+
+// Top-level smoke test: one end-to-end probe-generation sweep through the
+// public layers (dataset → flowtable → probe engine), so `go test .` runs
+// an actual test rather than only benchmarks.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+
+	"monocle/internal/dataset"
+	"monocle/internal/flowtable"
+	"monocle/internal/header"
+	"monocle/internal/probe"
+)
+
+func TestSmokeBatchSweep(t *testing.T) {
+	p := dataset.Stanford()
+	p.Rules = 100
+	tb, rules := dataset.Generate(p)
+	gen := probe.NewGenerator(probe.Config{
+		Collect:       flowtable.MatchAll().WithExact(header.VlanID, 1),
+		ValidateModel: true,
+	})
+	results := gen.GenerateAll(context.Background(), tb, runtime.NumCPU())
+	if len(results) != len(rules) {
+		t.Fatalf("got %d results for %d rules", len(results), len(rules))
+	}
+	found := 0
+	for _, res := range results {
+		switch {
+		case res.Err == nil:
+			if res.Probe == nil || res.Probe.RuleID != res.Rule.ID {
+				t.Fatalf("rule %d: malformed result %+v", res.Rule.ID, res)
+			}
+			found++
+		case errors.Is(res.Err, probe.ErrUnmonitorable):
+		default:
+			t.Fatalf("rule %d: unexpected error %v", res.Rule.ID, res.Err)
+		}
+	}
+	if found < len(rules)*8/10 {
+		t.Fatalf("only %d/%d rules got probes", found, len(rules))
+	}
+}
