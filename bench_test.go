@@ -227,13 +227,129 @@ func BenchmarkProbeGenerationIncremental(b *testing.B) {
 }
 
 // BenchmarkProbeGenerationBatch is the steady-state sweep workload:
-// GenerateAll fans the incremental engine out over all CPUs.
+// GenerateAll fans the scope-clustered incremental engine (shared block
+// prefixes, learnt-clause/phase reuse within a cluster) out over all CPUs.
 func BenchmarkProbeGenerationBatch(b *testing.B) {
 	tb, _ := benchSweepTable()
 	gen := benchSweepGenerator()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		gen.GenerateAll(context.Background(), tb, 0)
+	}
+}
+
+// BenchmarkSweepClusteringOff ablates the scope clustering: the same
+// GenerateAll sweep, but rule-by-rule with an exact retract to base after
+// every rule (the PR 1 engine).
+func BenchmarkSweepClusteringOff(b *testing.B) {
+	tb, _ := benchSweepTable()
+	gen := probe.NewGenerator(probe.Config{
+		Collect:           flowtable.MatchAll().WithExact(header.VlanID, 1),
+		DisableClustering: true,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.GenerateAll(context.Background(), tb, 0)
+	}
+}
+
+// BenchmarkSweepLearntReuseOff ablates the learnt-clause/phase reuse while
+// keeping the clusters: shared prefixes stay attached, but the per-rule
+// retract drops learnt clauses, activities, and saved phases.
+func BenchmarkSweepLearntReuseOff(b *testing.B) {
+	tb, _ := benchSweepTable()
+	gen := probe.NewGenerator(probe.Config{
+		Collect:            flowtable.MatchAll().WithExact(header.VlanID, 1),
+		DisableLearntReuse: true,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.GenerateAll(context.Background(), tb, 0)
+	}
+}
+
+// benchChurn swaps one rule of the table per epoch (delete + reinsert a
+// fresh variant), modelling the Monitor's dynamic-update steady state.
+func benchChurn(tb *flowtable.Table, rules []*flowtable.Rule, i int) {
+	victim := rules[i%len(rules)]
+	_ = tb.Delete(victim.ID)
+	cp := victim.Clone()
+	cp.ID = victim.ID
+	_ = tb.Insert(cp)
+}
+
+// BenchmarkSessionCacheEpochSweep measures the Monitor-layer reuse: one
+// rule of the table churns per epoch and the whole table is re-swept
+// through the epoch-aware SessionCache, which recompiles only the churned
+// rule instead of the whole library.
+func BenchmarkSessionCacheEpochSweep(b *testing.B) {
+	p := dataset.Stanford()
+	p.Rules = 200
+	tb, rules := dataset.Generate(p)
+	gen := benchSweepGenerator()
+	cache := gen.NewSessionCache(tb)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchChurn(tb, rules, i)
+		cache.GenerateAll(context.Background(), uint64(i+1), 0)
+	}
+}
+
+// BenchmarkDynamicUpdateProbe measures the dynamic-monitoring path: one
+// rule churns per epoch and only that rule's probe is generated, through
+// the epoch-aware SessionCache (delta recompile of the churned rule).
+func BenchmarkDynamicUpdateProbe(b *testing.B) {
+	p := dataset.Stanford()
+	p.Rules = 200
+	tb, rules := dataset.Generate(p)
+	gen := benchSweepGenerator()
+	cache := gen.NewSessionCache(tb)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchChurn(tb, rules, i)
+		sess, err := cache.Session(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, _ := tb.Get(rules[i%len(rules)].ID)
+		_, _ = sess.Generate(r)
+	}
+}
+
+// BenchmarkDynamicUpdateProbeNoCache is the cache-off ablation of the
+// dynamic path: the one-shot generator re-encodes the constraints for the
+// churned rule from scratch (PR 1's dynamic path).
+func BenchmarkDynamicUpdateProbeNoCache(b *testing.B) {
+	p := dataset.Stanford()
+	p.Rules = 200
+	tb, rules := dataset.Generate(p)
+	gen := benchSweepGenerator()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchChurn(tb, rules, i)
+		r, _ := tb.Get(rules[i%len(rules)].ID)
+		_, _ = gen.Generate(tb, r)
+	}
+}
+
+// BenchmarkSessionCacheOffEpochSweep is the cache-off ablation: the same
+// churn-then-sweep workload, recompiling the table library from scratch
+// every epoch.
+func BenchmarkSessionCacheOffEpochSweep(b *testing.B) {
+	p := dataset.Stanford()
+	p.Rules = 200
+	tb, rules := dataset.Generate(p)
+	gen := benchSweepGenerator()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchChurn(tb, rules, i)
 		gen.GenerateAll(context.Background(), tb, 0)
 	}
 }

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -143,10 +144,12 @@ func toRule(jr jsonRule) (*flowtable.Rule, error) {
 
 func main() {
 	var (
-		in     = flag.String("in", "-", "JSON rule file ('-' = stdin)")
-		ruleID = flag.Uint64("rule", 0, "generate for this rule id only (0 = all)")
-		tag    = flag.Uint64("tag", 1, "probe tag value (Collect constraint on dl_vlan)")
-		miss   = flag.String("miss", "drop", "table-miss behaviour: drop|controller")
+		in      = flag.String("in", "-", "JSON rule file ('-' = stdin)")
+		ruleID  = flag.Uint64("rule", 0, "generate for this rule id only (0 = all)")
+		tag     = flag.Uint64("tag", 1, "probe tag value (Collect constraint on dl_vlan)")
+		miss    = flag.String("miss", "drop", "table-miss behaviour: drop|controller")
+		stats   = flag.Bool("stats", false, "sweep with the incremental clustered engine and report per-worker solver statistics")
+		workers = flag.Int("workers", 0, "worker count for -stats sweeps (0 = all CPUs)")
 	)
 	flag.Parse()
 
@@ -184,6 +187,13 @@ func main() {
 		Collect:       flowtable.MatchAll().WithExact(header.VlanID, *tag),
 		ValidateModel: true,
 	})
+	if *stats {
+		if *ruleID != 0 {
+			fatal(errors.New("-stats sweeps the whole table; drop -rule"))
+		}
+		sweepWithStats(gen, tb, *workers)
+		return
+	}
 	found, unmon := 0, 0
 	for _, r := range rules {
 		if *ruleID != 0 && r.ID != *ruleID {
@@ -201,13 +211,54 @@ func main() {
 			fatal(fmt.Errorf("rule %d: %w", r.ID, err))
 		}
 		found++
-		fmt.Printf("rule %d: probe %s\n", r.ID, p.Header)
-		fmt.Printf("         present: %s\n", describeOutcome(p.Present))
-		fmt.Printf("         absent:  %s\n", describeOutcome(p.Absent))
-		fmt.Printf("         vars=%d clauses=%d overlapping=%d time=%v\n",
-			p.Stats.Vars, p.Stats.Clauses, p.Stats.Overlapping, el.Round(time.Microsecond))
+		printProbe(r.ID, p)
+		fmt.Printf("         time=%v\n", el.Round(time.Microsecond))
 	}
 	fmt.Printf("probes found: %d, unmonitorable: %d\n", found, unmon)
+}
+
+// sweepWithStats runs the whole table through the incremental clustered
+// batch engine and reports what each worker's solver did.
+func sweepWithStats(gen *probe.Generator, tb *flowtable.Table, workers int) {
+	start := time.Now()
+	results, ws := gen.GenerateAllStats(context.Background(), tb, workers)
+	wall := time.Since(start)
+	found, unmon := 0, 0
+	for _, res := range results {
+		if errors.Is(res.Err, probe.ErrUnmonitorable) {
+			unmon++
+			fmt.Printf("rule %d: UNMONITORABLE\n", res.Rule.ID)
+			continue
+		}
+		if res.Err != nil {
+			fatal(fmt.Errorf("rule %d: %w", res.Rule.ID, res.Err))
+		}
+		found++
+		printProbe(res.Rule.ID, res.Probe)
+	}
+	fmt.Printf("probes found: %d, unmonitorable: %d, wall=%v\n", found, unmon, wall.Round(time.Microsecond))
+	fmt.Printf("%-8s %8s %10s %12s %14s %12s\n",
+		"worker", "rules", "clusters", "decisions", "propagations", "conflicts")
+	var tot probe.WorkerStats
+	for _, w := range ws {
+		fmt.Printf("%-8d %8d %10d %12d %14d %12d\n",
+			w.Worker, w.Rules, w.Clusters, w.Decisions, w.Propagations, w.Conflicts)
+		tot.Rules += w.Rules
+		tot.Clusters += w.Clusters
+		tot.Decisions += w.Decisions
+		tot.Propagations += w.Propagations
+		tot.Conflicts += w.Conflicts
+	}
+	fmt.Printf("%-8s %8d %10d %12d %14d %12d\n",
+		"total", tot.Rules, tot.Clusters, tot.Decisions, tot.Propagations, tot.Conflicts)
+}
+
+func printProbe(id uint64, p *probe.Probe) {
+	fmt.Printf("rule %d: probe %s\n", id, p.Header)
+	fmt.Printf("         present: %s\n", describeOutcome(p.Present))
+	fmt.Printf("         absent:  %s\n", describeOutcome(p.Absent))
+	fmt.Printf("         vars=%d clauses=%d overlapping=%d\n",
+		p.Stats.Vars, p.Stats.Clauses, p.Stats.Overlapping)
 }
 
 func describeOutcome(o probe.Outcome) string {

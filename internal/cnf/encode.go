@@ -5,14 +5,15 @@ package cnf
 // fresh definition variables are allocated above them. The output is the
 // one-dimensional 0-terminated DIMACS integer vector described in §7.
 type Encoder struct {
-	nProblem int
-	nextVar  int
-	out      []int
-	nClauses int
-	cache    map[*Formula]int
-	defs     []*Formula // cache keys in insertion order (for LIFO eviction on Reset)
-	trueVar  int        // lazily allocated variable asserted true, for constants
-	unsat    bool
+	nProblem   int
+	nextVar    int
+	out        []int
+	nClauses   int
+	cache      map[*Formula]int
+	defs       []*Formula // cache keys in insertion order (for LIFO eviction on Reset)
+	trueVar    int        // lazily allocated variable asserted true, for constants
+	unsat      bool
+	iteScratch []int // clause-assembly scratch for defineITEFlat
 
 	// MaxChain bounds the length of an encoded if-then-else chain before
 	// it is split by substituting the postfix with a fresh variable (the
@@ -197,8 +198,11 @@ func (e *Encoder) defineITE(conds, thens []*Formula, els *Formula) int {
 
 func (e *Encoder) defineITEFlat(conds, thens []*Formula, els *Formula) int {
 	n := len(conds)
-	is := make([]int, n)
-	ts := make([]int, n)
+	// One backing array for both literal vectors. The recursive litOf
+	// calls below may re-enter defineITEFlat (chain splitting, nested
+	// definitions), so these cannot live in a shared scratch buffer.
+	ia := make([]int, 2*n)
+	is, ts := ia[:n], ia[n:]
 	for k := 0; k < n; k++ {
 		is[k] = e.litOf(conds[k])
 		ts[k] = e.litOf(thens[k])
@@ -206,18 +210,24 @@ func (e *Encoder) defineITEFlat(conds, thens []*Formula, els *Formula) int {
 	el := e.litOf(els)
 	s := e.fresh()
 
-	// prefix holds i1 ... i_{k-1} (positive) for the k-th pair of clauses.
-	prefix := make([]int, 0, n+3)
+	// All litOf calls are done: from here on the clause scratch buffer is
+	// safe to use, and clause() copies it out immediately. buf holds the
+	// growing prefix i1 ... i_{k-1} (positive) with each clause's tail
+	// appended transiently.
+	buf := e.iteScratch[:0]
 	for k := 0; k < n; k++ {
-		c1 := append(append([]int{}, prefix...), -is[k], -ts[k], s)
-		c2 := append(append([]int{}, prefix...), -is[k], ts[k], -s)
-		e.clause(c1...)
-		e.clause(c2...)
-		prefix = append(prefix, is[k])
+		pl := len(buf)
+		buf = append(buf, -is[k], -ts[k], s)
+		e.clause(buf...)
+		buf = append(buf[:pl], -is[k], ts[k], -s)
+		e.clause(buf...)
+		buf = append(buf[:pl], is[k])
 	}
-	c1 := append(append([]int{}, prefix...), -el, s)
-	c2 := append(append([]int{}, prefix...), el, -s)
-	e.clause(c1...)
-	e.clause(c2...)
+	pl := len(buf)
+	buf = append(buf, -el, s)
+	e.clause(buf...)
+	buf = append(buf[:pl], el, -s)
+	e.clause(buf...)
+	e.iteScratch = buf[:0]
 	return s
 }

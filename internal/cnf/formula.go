@@ -11,7 +11,11 @@
 // allocating many small per-clause objects.
 package cnf
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
 
 // Kind discriminates formula AST nodes.
 type Kind int
@@ -64,12 +68,67 @@ func Bool(b bool) *Formula {
 	return falseF
 }
 
-// Lit returns the literal formula for a nonzero DIMACS literal.
+// litTable interns literal formulas: probe generation requests the same
+// few thousand literal nodes millions of times per sweep, and literal
+// nodes are stateless (the encoder never keys its definition cache on
+// them), so sharing is safe. Reads are one atomic load; growth copies the
+// table under a mutex.
+type litTable struct {
+	pos, neg []*Formula // indexed by variable
+}
+
+var (
+	litTab  atomic.Pointer[litTable]
+	litGrow sync.Mutex
+)
+
+func init() {
+	litTab.Store(&litTable{})
+}
+
+// Lit returns the literal formula for a nonzero DIMACS literal. The
+// returned node may be shared: literal formulas are immutable and
+// interned.
 func Lit(l int) *Formula {
 	if l == 0 {
 		panic("cnf: zero literal")
 	}
-	return &Formula{kind: KindLit, lit: l}
+	v := l
+	if v < 0 {
+		v = -v
+	}
+	t := litTab.Load()
+	if v < len(t.pos) {
+		if l > 0 {
+			return t.pos[v]
+		}
+		return t.neg[v]
+	}
+	litGrow.Lock()
+	defer litGrow.Unlock()
+	t = litTab.Load()
+	if v >= len(t.pos) {
+		n := 2 * v
+		if n < 256 {
+			n = 256
+		}
+		next := &litTable{pos: make([]*Formula, n), neg: make([]*Formula, n)}
+		copy(next.pos, t.pos)
+		copy(next.neg, t.neg)
+		for i := len(t.pos); i < n; i++ {
+			if i == 0 {
+				continue
+			}
+			next.pos[i] = &Formula{kind: KindLit, lit: i}
+			next.neg[i] = &Formula{kind: KindLit, lit: -i}
+		}
+		litTab.Store(next)
+		t = next
+	}
+	if l > 0 {
+		return t.pos[v]
+	}
+	return t.neg[v]
 }
 
 // IsConst reports whether f is a constant, and its value.

@@ -57,6 +57,12 @@ func (t *Table) Rules() []*Rule {
 	return out
 }
 
+// View returns the live rule slice in priority-descending order, without
+// copying. The caller must not modify it or hold it across table
+// mutations; it exists for read-only hot paths (probe generation scans
+// the table once per probed rule).
+func (t *Table) View() []*Rule { return t.rules }
+
 // Get returns the rule with the given ID.
 func (t *Table) Get(id uint64) (*Rule, bool) {
 	r, ok := t.byID[id]

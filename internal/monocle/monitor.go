@@ -138,6 +138,10 @@ type Monitor struct {
 
 	expected *flowtable.Table
 	gen      *probe.Generator
+	// cache keeps the compiled probe library alive across table changes:
+	// rule insertions/deletions recompile only the affected rules instead
+	// of rebuilding the whole library each epoch (keyed by updateEpoch).
+	cache *probe.SessionCache
 
 	// Dynamic monitoring state.
 	pending   map[uint64]*pendingUpdate // by rule ID
@@ -238,6 +242,7 @@ func New(s *sim.Sim, cfg Config) *Monitor {
 		nonce:    uint64(cfg.SwitchID)<<32 | 1,
 	}
 	m.gen = probe.NewGenerator(m.generatorConfig())
+	m.cache = m.gen.NewSessionCache(m.expected)
 	return m
 }
 
@@ -347,6 +352,18 @@ func (m *Monitor) invalidateAllCached() {
 	for _, cp := range m.steady.cache {
 		cp.dirty = true
 	}
+}
+
+// generateExpected generates a probe for a rule of the current expected
+// table through the epoch-aware session cache (steady-state probes,
+// addition and deletion probes — anything probing the table as-is). The
+// one-shot generator remains the fallback if no session can be built.
+func (m *Monitor) generateExpected(rule *flowtable.Rule) (*probe.Probe, error) {
+	sess, err := m.cache.Session(m.updateEpoch)
+	if err != nil {
+		return m.gen.Generate(m.expected, rule)
+	}
+	return sess.Generate(rule)
 }
 
 // errUnmonitorable marks generation failures in stats without alarming.

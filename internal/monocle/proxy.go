@@ -136,7 +136,9 @@ func (m *Monitor) addRule(fm *openflow.FlowMod, xid uint32, match flowtable.Matc
 	m.tableChanged(match)
 	m.forwardToSwitch(fm, xid)
 
-	p, err := m.gen.GenerateAddition(m.expected, rule)
+	// Addition probes target the expected table as-is, so they run through
+	// the epoch-aware session cache (only this rule gets recompiled).
+	p, err := m.generateExpected(rule)
 	if err != nil {
 		m.noteGenFailure(err)
 		// Unmonitorable: confirm optimistically so barriers don't hang
@@ -172,7 +174,7 @@ func (m *Monitor) addWithDropPostpone(fm *openflow.FlowMod, xid uint32) {
 	m.tableChanged(match)
 	m.forwardToSwitch(&markedFM, xid)
 
-	p, err := m.gen.GenerateAddition(m.expected, rule)
+	p, err := m.generateExpected(rule)
 	if err != nil {
 		m.noteGenFailure(err)
 		m.confirmWithoutProbe(rule.ID)
@@ -214,7 +216,9 @@ func (m *Monitor) deleteRule(fm *openflow.FlowMod, xid uint32, match flowtable.M
 	}
 	// Generate the probe while the rule is still in the expected table;
 	// deletion is confirmed when the Absent outcome is observed (§4.1).
-	p, err := m.gen.GenerateDeletion(m.expected, old)
+	// The rule is only dropped from the session cache's library on the
+	// epoch sync after the delete below.
+	p, err := m.generateExpected(old)
 	_ = m.expected.Delete(old.ID)
 	m.tableChanged(match)
 	m.forwardToSwitch(fm, xid)

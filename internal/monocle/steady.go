@@ -62,12 +62,14 @@ func (m *Monitor) StartSteadyState() {
 // lacks a fresh probe, using the incremental parallel engine: the whole
 // expected table is swept through persistent per-worker SAT sessions
 // instead of re-encoding each rule from scratch on its first cycle tick.
-// Generation costs no virtual time, so monitoring semantics are unchanged;
-// the sweep only moves the real-time cost off the per-tick path.
+// The sweep runs over the epoch-aware SessionCache, so repeated prewarms
+// across table changes recompile only the changed rules. Generation costs
+// no virtual time, so monitoring semantics are unchanged; the sweep only
+// moves the real-time cost off the per-tick path.
 func (m *Monitor) prewarmProbeCache() {
 	st := m.steady
 	stale := false
-	for _, r := range m.expected.Rules() {
+	for _, r := range m.expected.View() {
 		cp := st.cache[r.ID]
 		if cp == nil || cp.dirty {
 			stale = true
@@ -77,7 +79,7 @@ func (m *Monitor) prewarmProbeCache() {
 	if !stale {
 		return
 	}
-	for _, res := range m.gen.GenerateAll(context.Background(), m.expected, 0) {
+	for _, res := range m.cache.GenerateAll(context.Background(), m.updateEpoch, 0) {
 		cp := st.cache[res.Rule.ID]
 		if cp != nil && !cp.dirty {
 			continue // fresh entry; keep it (semantics of the lazy path)
@@ -139,7 +141,7 @@ func (m *Monitor) steadyTick() {
 		return
 	}
 	if cp == nil || cp.dirty {
-		p, err := m.gen.Generate(m.expected, rule)
+		p, err := m.generateExpected(rule)
 		if err != nil {
 			m.noteGenFailure(err)
 			st.cache[ruleID] = &cachedProbe{p: nil}

@@ -2,9 +2,14 @@ package probe
 
 // Batch probe generation: a worker pool of forked Sessions sweeping every
 // rule of a table, used by steady-state monitoring and the experiment
-// harnesses. Each rule's probe is generated from an identical solver state
-// (the shared table prefix), so the result set is deterministic regardless
-// of how many workers run or how rules are scheduled onto them.
+// harnesses. Work is scheduled cluster-by-cluster (see cluster.go): a
+// worker claims a whole scope cluster, attaches its shared block prefix
+// once, and solves the member rules back to back with learnt-clause,
+// phase, and activity reuse between them. Because clusters are planned
+// deterministically, processed atomically in member order, and always
+// start from an exactly-restored base state, the probe set is bit-
+// identical regardless of how many workers run or how clusters are
+// scheduled onto them.
 
 import (
 	"context"
@@ -26,6 +31,17 @@ type Result struct {
 	Err error
 }
 
+// WorkerStats aggregates one sweep worker's solver effort, for benchmarks
+// and cmd/probegen's -stats reporting.
+type WorkerStats struct {
+	Worker       int
+	Rules        int
+	Clusters     int
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+}
+
 // GenerateAll generates probes for every rule of the table, in the table's
 // priority order, fanning the work out over `parallelism` workers
 // (parallelism <= 0 means GOMAXPROCS). Each worker holds its own forked
@@ -33,60 +49,160 @@ type Result struct {
 // incrementally. Cancelling the context stops the sweep early; rules not
 // processed by then carry the context's error.
 func (g *Generator) GenerateAll(ctx context.Context, table *flowtable.Table, parallelism int) []Result {
+	res, _ := g.GenerateAllStats(ctx, table, parallelism)
+	return res
+}
+
+// GenerateAllStats is GenerateAll surfacing per-worker solver statistics
+// (decisions/propagations/conflicts and the cluster/rule split).
+func (g *Generator) GenerateAllStats(ctx context.Context, table *flowtable.Table, parallelism int) ([]Result, []WorkerStats) {
 	rules := table.Rules()
 	results := make([]Result, len(rules))
 	for i, r := range rules {
 		results[i].Rule = r
 	}
 	if len(rules) == 0 {
-		return results
+		return results, nil
 	}
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
-	if parallelism > len(rules) {
-		parallelism = len(rules)
-	}
-
 	root, err := g.NewSession(table)
 	if err != nil {
 		for i := range results {
 			results[i].Err = err
 		}
-		return results
+		return results, nil
 	}
-	sessions := make([]*Session, parallelism)
-	sessions[0] = root
-	for w := 1; w < parallelism; w++ {
-		fork, err := root.Fork()
-		if err != nil {
-			for i := range results {
-				results[i].Err = err
-			}
-			return results
+	stats, err := root.generateAllInto(ctx, results, parallelism)
+	if err != nil {
+		for i := range results {
+			results[i].Err = err
 		}
-		sessions[w] = fork
+	}
+	return results, stats
+}
+
+// generateAllInto runs the clustered sweep for the session's table,
+// writing into results (indexed like s.rules). The session itself serves
+// as worker 0 and is returned to its base state afterwards, so a cached
+// session (SessionCache) can sweep repeatedly.
+func (s *Session) generateAllInto(ctx context.Context, results []Result, parallelism int) ([]WorkerStats, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
 	}
 
+	if s.g.cfg.DisableClustering {
+		return s.sweepUnclustered(ctx, results, parallelism)
+	}
+
+	clusters := s.clusterPlan()
+	if parallelism > len(clusters) {
+		parallelism = len(clusters)
+	}
+	sessions, err := s.workerSessions(parallelism)
+	if err != nil {
+		return nil, err
+	}
+
+	stats := make([]WorkerStats, len(sessions))
 	var next atomic.Int64
 	var wg sync.WaitGroup
-	for _, sess := range sessions {
+	for w, sess := range sessions {
 		wg.Add(1)
-		go func(sess *Session) {
+		go func(w int, sess *Session) {
 			defer wg.Done()
+			ws := &stats[w]
+			ws.Worker = w
+			d0, p0, c0 := sess.solver.Stats()
+			for {
+				ci := int(next.Add(1)) - 1
+				if ci >= len(clusters) {
+					break
+				}
+				c := &clusters[ci]
+				if err := ctx.Err(); err != nil {
+					for _, m := range c.members {
+						results[m.idx].Err = err
+					}
+					continue
+				}
+				sess.beginCluster(c)
+				for mi := range c.members {
+					m := &c.members[mi]
+					if err := ctx.Err(); err != nil {
+						results[m.idx].Err = err
+						continue
+					}
+					if m.err != nil {
+						results[m.idx].Err = m.err
+						continue
+					}
+					results[m.idx].Probe, results[m.idx].Err = sess.generate(s.rules[m.idx], m.scope, m)
+					ws.Rules++
+				}
+				sess.endCluster()
+				ws.Clusters++
+			}
+			d1, p1, c1 := sess.solver.Stats()
+			ws.Decisions, ws.Propagations, ws.Conflicts = d1-d0, p1-p0, c1-c0
+		}(w, sess)
+	}
+	wg.Wait()
+	return stats, nil
+}
+
+// sweepUnclustered is the ablation path (DisableClustering): the PR-1
+// engine, one rule at a time through the classic Generate with an exact
+// retract to base after every rule.
+func (s *Session) sweepUnclustered(ctx context.Context, results []Result, parallelism int) ([]WorkerStats, error) {
+	if parallelism > len(s.rules) {
+		parallelism = len(s.rules)
+	}
+	sessions, err := s.workerSessions(parallelism)
+	if err != nil {
+		return nil, err
+	}
+	stats := make([]WorkerStats, len(sessions))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w, sess := range sessions {
+		wg.Add(1)
+		go func(w int, sess *Session) {
+			defer wg.Done()
+			ws := &stats[w]
+			ws.Worker = w
+			d0, p0, c0 := sess.solver.Stats()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(rules) {
-					return
+				if i >= len(s.rules) {
+					break
 				}
 				if err := ctx.Err(); err != nil {
 					results[i].Err = err
 					continue
 				}
-				results[i].Probe, results[i].Err = sess.Generate(rules[i])
+				results[i].Probe, results[i].Err = sess.Generate(s.rules[i])
+				ws.Rules++
 			}
-		}(sess)
+			d1, p1, c1 := sess.solver.Stats()
+			ws.Decisions, ws.Propagations, ws.Conflicts = d1-d0, p1-p0, c1-c0
+		}(w, sess)
 	}
 	wg.Wait()
-	return results
+	return stats, nil
+}
+
+// workerSessions returns n sessions with s itself first and n-1 forks.
+func (s *Session) workerSessions(n int) ([]*Session, error) {
+	if n < 1 {
+		n = 1
+	}
+	sessions := make([]*Session, n)
+	sessions[0] = s
+	for w := 1; w < n; w++ {
+		fork, err := s.Fork()
+		if err != nil {
+			return nil, err
+		}
+		sessions[w] = fork
+	}
+	return sessions, nil
 }

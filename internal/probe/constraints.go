@@ -74,73 +74,89 @@ func fieldEquals(f header.FieldID, v uint64) *cnf.Formula {
 	return cnf.And(lits...)
 }
 
-// portSet is a small helper over sorted forwarding sets.
-type portSet map[flowtable.PortID]bool
-
-func toSet(ports []flowtable.PortID) portSet {
-	s := make(portSet, len(ports))
-	for _, p := range ports {
-		s[p] = true
-	}
-	return s
+// fwdView caches a rule's forwarding analysis (sorted forwarding set and
+// ECMP-ness) so the O(rules²) Distinguish term construction of a sweep
+// does not rebuild it per rule pair. All port iteration runs over the
+// sorted slice, so every derived formula has deterministic term order.
+type fwdView struct {
+	ports []flowtable.PortID // sorted forwarding set
+	ecmp  bool
 }
 
-func setEqual(a, b portSet) bool {
-	if len(a) != len(b) {
+func newFwdView(r *flowtable.Rule) *fwdView {
+	return &fwdView{ports: r.ForwardingSet(), ecmp: r.IsECMP()}
+}
+
+// has reports membership in the sorted forwarding set (sets here have at
+// most a handful of ports; linear scan beats a map).
+func (v *fwdView) has(p flowtable.PortID) bool {
+	for _, q := range v.ports {
+		if q == p {
+			return true
+		}
+		if q > p {
+			return false
+		}
+	}
+	return false
+}
+
+func portsEqual(a, b *fwdView) bool {
+	if len(a.ports) != len(b.ports) {
 		return false
 	}
-	for p := range a {
-		if !b[p] {
+	for i := range a.ports {
+		if a.ports[i] != b.ports[i] {
 			return false
 		}
 	}
 	return true
 }
 
-func intersect(a, b portSet) []flowtable.PortID {
-	var out []flowtable.PortID
-	for p := range a {
-		if b[p] {
-			out = append(out, p)
+// countShared returns |a ∩ b| over the sorted port slices.
+func countShared(a, b *fwdView) int {
+	n, i, j := 0, 0, 0
+	for i < len(a.ports) && j < len(b.ports) {
+		switch {
+		case a.ports[i] == b.ports[j]:
+			n++
+			i++
+			j++
+		case a.ports[i] < b.ports[j]:
+			i++
+		default:
+			j++
 		}
 	}
-	return out
+	return n
 }
 
-func difference(a, b portSet) []flowtable.PortID {
-	var out []flowtable.PortID
-	for p := range a {
-		if !b[p] {
-			out = append(out, p)
-		}
-	}
-	return out
+// coveredBy reports a ⊆ b.
+func coveredBy(a, b *fwdView) bool {
+	return countShared(a, b) == len(a.ports)
 }
 
 // diffPorts implements the §3.4 DiffPorts case analysis. Drop and unicast
 // rules are multicast rules with zero / one element in their forwarding
 // set; a single-port ECMP group is likewise deterministic.
-func diffPorts(r1, r2 *flowtable.Rule, counting bool) bool {
-	f1 := toSet(r1.ForwardingSet())
-	f2 := toSet(r2.ForwardingSet())
-	e1, e2 := r1.IsECMP(), r2.IsECMP()
+func diffPorts(a, b *fwdView, counting bool) bool {
 	switch {
-	case !e1 && !e2: // both multicast-like (incl. unicast, drop)
-		return !setEqual(f1, f2)
-	case e1 && e2: // both ECMP
-		return len(intersect(f1, f2)) == 0
-	case !e1: // r1 multicast, r2 ECMP
-		if len(difference(f1, f2)) != 0 {
+	case !a.ecmp && !b.ecmp: // both multicast-like (incl. unicast, drop)
+		return !portsEqual(a, b)
+	case a.ecmp && b.ecmp: // both ECMP
+		return countShared(a, b) == 0
+	case !a.ecmp: // a multicast, b ECMP
+		if !coveredBy(a, b) {
 			return true
 		}
 		// Counting exception: an ECMP rule always emits exactly one
 		// probe; a multicast rule emits |F1| ≠ 1 of them.
-		return counting && len(f1) != 1
-	default: // r1 ECMP, r2 multicast
-		if len(difference(f2, f1)) != 0 {
+		return counting && len(a.ports) != 1
+	default: // a ECMP, b multicast
+		if !coveredBy(b, a) {
 			return true
 		}
-		return counting && len(f2) != 1
+		return counting && len(b.ports) != 1
 	}
 }
 
@@ -189,21 +205,23 @@ func bitDiffOnPort(r1, r2 *flowtable.Rule, p flowtable.PortID) *cnf.Formula {
 }
 
 // diffRewrite implements the §3.4 DiffRewrite case analysis over the ports
-// in F1 ∩ F2. Drop rules never output, so their rewrites are meaningless
-// and DiffRewrite is defined false (footnote 2).
-func diffRewrite(r1, r2 *flowtable.Rule) *cnf.Formula {
-	if r1.IsDrop() || r2.IsDrop() {
+// in F1 ∩ F2, in sorted port order (deterministic term order). Drop rules
+// never output, so their rewrites are meaningless and DiffRewrite is
+// defined false (footnote 2).
+func diffRewrite(r1, r2 *flowtable.Rule, v1, v2 *fwdView) *cnf.Formula {
+	if len(v1.ports) == 0 || len(v2.ports) == 0 {
+		return cnf.False() // a drop rule is involved
+	}
+	var terms []*cnf.Formula
+	for _, p := range v1.ports {
+		if v2.has(p) {
+			terms = append(terms, bitDiffOnPort(r1, r2, p))
+		}
+	}
+	if len(terms) == 0 {
 		return cnf.False()
 	}
-	common := intersect(toSet(r1.ForwardingSet()), toSet(r2.ForwardingSet()))
-	if len(common) == 0 {
-		return cnf.False()
-	}
-	terms := make([]*cnf.Formula, 0, len(common))
-	for _, p := range common {
-		terms = append(terms, bitDiffOnPort(r1, r2, p))
-	}
-	if !r1.IsECMP() && !r2.IsECMP() {
+	if !v1.ecmp && !v2.ecmp {
 		// Both deterministic: a single differing port suffices.
 		return cnf.Or(terms...)
 	}
@@ -216,8 +234,14 @@ func diffRewrite(r1, r2 *flowtable.Rule) *cnf.Formula {
 // DiffPorts depends only on the rules, so it folds to a constant before
 // SAT encoding (Appendix B note).
 func diffOutcome(r1, r2 *flowtable.Rule, counting bool) *cnf.Formula {
-	if diffPorts(r1, r2, counting) {
+	return diffOutcomeView(r1, r2, newFwdView(r1), newFwdView(r2), counting)
+}
+
+// diffOutcomeView is diffOutcome with the rules' forwarding views supplied
+// by the caller (sessions cache one per table rule).
+func diffOutcomeView(r1, r2 *flowtable.Rule, v1, v2 *fwdView, counting bool) *cnf.Formula {
+	if diffPorts(v1, v2, counting) {
 		return cnf.True()
 	}
-	return diffRewrite(r1, r2)
+	return diffRewrite(r1, r2, v1, v2)
 }

@@ -99,6 +99,16 @@ type Config struct {
 	// SkipOverlapFilter disables the §5.4 optimization and feeds every
 	// rule into the constraints (for the ablation benchmark).
 	SkipOverlapFilter bool
+	// DisableClustering makes GenerateAll sweep rule-by-rule with an exact
+	// retract to base after each rule (the PR-1 engine), instead of
+	// grouping rules into scope clusters with a shared attached prefix
+	// (for the ablation benchmark).
+	DisableClustering bool
+	// DisableLearntReuse keeps the scope clustering but retracts exactly
+	// (dropping learnt clauses, activities, and saved phases) between the
+	// rules of a cluster, isolating the learnt-reuse contribution from the
+	// shared-prefix one (for the ablation benchmark).
+	DisableLearntReuse bool
 	// ValidateModel double-checks the SAT model against the table
 	// semantics before returning (cheap; recommended).
 	ValidateModel bool
@@ -275,7 +285,7 @@ func (g *Generator) repairDomains(h header.Header, table *flowtable.Table, probe
 			continue
 		}
 		used := map[uint64]bool{}
-		for _, r := range table.Rules() {
+		for _, r := range table.View() {
 			t := r.Match[f]
 			if t.IsExact(f) {
 				used[t.Value] = true
@@ -348,7 +358,7 @@ func outcomeOf(r *flowtable.Rule, h header.Header) Outcome {
 // from the data plane: the highest-priority other matching rule, or the
 // table miss.
 func (g *Generator) absentOutcome(table *flowtable.Table, probed *flowtable.Rule, h header.Header) Outcome {
-	for _, r := range table.Rules() {
+	for _, r := range table.View() {
 		if r == probed || r.ID == probed.ID {
 			continue
 		}

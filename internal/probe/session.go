@@ -27,12 +27,27 @@ package probe
 // probe is identical no matter which session generates it or what was
 // generated before — the property GenerateAll's determinism rests on.
 //
+// The batch sweep path adds a second level of sharing on top: rules whose
+// overlap scopes attach mostly the same blocks are grouped into clusters
+// (see cluster.go). The shared block prefix stays attached for the whole
+// cluster behind a cluster checkpoint, and the per-rule retract keeps the
+// learnt clauses, activities, and saved phases that the cluster prefix
+// provably owns (sat.RetractToReuse), so consecutive rules skip both the
+// re-attach and the re-derivation of shared conflicts. Determinism is
+// keyed to the cluster: a cluster is processed atomically, in a fixed rule
+// order, from an exactly-restored base state, so the probe set is still
+// bit-identical for any worker count.
+//
 // A Session is bound to a snapshot of the table's rule set: it must not be
-// used after the table changes. It is not safe for concurrent use; Fork
-// creates independent copies for parallel workers (see GenerateAll).
+// used after the table changes (SessionCache rebuilds sessions across
+// table epochs, recompiling only changed rules). It is not safe for
+// concurrent use; Fork creates independent copies for parallel workers
+// (see GenerateAll).
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 
 	"monocle/internal/cnf"
@@ -42,52 +57,49 @@ import (
 )
 
 // tableLibrary is the immutable per-table compilation shared by a session
-// and all its forks.
+// and all its forks. (A libraryBuilder may still append to it; sessions
+// handed out before such an append must no longer be used.)
 type tableLibrary struct {
-	baseVec    []int          // Collect + domain clauses (the solver base)
-	baseVars   int            // variable count of the base encoder state
-	baseNC     int            // clause count of the base
-	matchLit   map[uint64]int // rule ID → definition literal of its match
-	blocks     []sat.Block    // compiled definition blocks (atoms and rules)
-	blockVars  []int32        // fresh variables introduced per block
-	libVars    int            // encoder variable count after the library
-	libClauses int            // encoder clause count after the library
+	baseVec   []int          // Collect + domain clauses (the solver base)
+	baseVars  int            // variable count of the base encoder state
+	baseNC    int            // clause count of the base
+	matchLit  map[uint64]int // rule ID → definition literal of its match
+	blocks    []sat.Block    // compiled definition blocks (atoms and rules)
+	blockVars []int32        // fresh variables introduced per block
 	// ruleBlocks lists, per rule ID, the non-empty blocks that must be
 	// attached before the rule's definition literal may be used.
 	ruleBlocks map[uint64][]int32
 }
 
-// Session generates probes for the rules of one table through a single
-// persistent solver instance.
-type Session struct {
-	g     *Generator
-	table *flowtable.Table
-	rules []*flowtable.Rule
-
-	lib     *tableLibrary
-	enc     *cnf.Encoder
-	libMark cnf.Mark // rewind point: everything past it is per-rule delta
-	solver  *sat.Solver
-	cp      sat.Checkpoint // the tiny base (Collect + domains)
-
-	// Block-dedup scratch: loaded[i] == epoch when block i is already
-	// attached for the current Generate call.
-	loaded []uint32
-	epoch  uint32
+// atomKey identifies one (field, ternary) match atom shared across rules.
+type atomKey struct {
+	f           header.FieldID
+	value, mask uint64
 }
 
-// NewSession compiles the table (Collect, domains, one definition block
-// per match atom and rule) and prepares the persistent solver.
-func (g *Generator) NewSession(table *flowtable.Table) (*Session, error) {
+// libraryBuilder compiles tableLibrary content incrementally: the base
+// region once, then one definition region per rule, appended in call
+// order. It owns the master encoder; sessions get forks of it, so the
+// builder can keep appending rule regions (delta recompiles for table
+// updates) without disturbing sessions already handed out.
+type libraryBuilder struct {
+	g       *Generator
+	enc     *cnf.Encoder
+	lib     *tableLibrary
+	atomIdx map[atomKey]int32
+	atomLit map[atomKey]int
+	removed int // rules dropped since the last full rebuild (garbage metric)
+}
+
+// newLibraryBuilder encodes the base region: Collect and the limited
+// domains (§5.2), iterated in field order so every builder for the same
+// config emits the identical clause sequence (determinism). The
+// constant-true variable is pinned here so later regions can reference it.
+func (g *Generator) newLibraryBuilder() *libraryBuilder {
 	enc := cnf.NewEncoder(header.TotalBits)
 	if g.cfg.MaxChain > 0 {
 		enc.MaxChain = g.cfg.MaxChain
 	}
-
-	// Base region: Collect and the limited domains (§5.2), iterated in
-	// field order so every session of the same table emits the identical
-	// clause sequence (determinism). The constant-true variable is
-	// pinned here so later regions can reference it.
 	enc.Assert(matchFormula(g.cfg.Collect))
 	fields := make([]header.FieldID, 0, len(g.cfg.Domains))
 	for f := range g.cfg.Domains {
@@ -113,85 +125,206 @@ func (g *Generator) NewSession(table *flowtable.Table) (*Session, error) {
 		matchLit:   make(map[uint64]int),
 		ruleBlocks: make(map[uint64][]int32),
 	}
-
-	// Library region: one definition per distinct (field, ternary) atom
-	// and one per rule, each compiled into a reusable block. Definition
-	// literals get fixed variable ids here, which is what lets a block
-	// compiled once be attached to any number of solves.
-	type atomKey struct {
-		f           header.FieldID
-		value, mask uint64
-	}
 	for _, x := range lib.baseVec {
 		if x == 0 {
 			lib.baseNC++
 		}
 	}
-	atomIdx := make(map[atomKey]int32)
-	atomLit := make(map[atomKey]int)
-	rules := table.Rules()
-	compile := func(m cnf.Mark, preVars int) (int32, error) {
-		blk, err := sat.CompileBlock(enc.VectorFrom(m))
-		if err != nil {
-			return -1, fmt.Errorf("probe: internal CNF error: %w", err)
-		}
-		lib.blocks = append(lib.blocks, blk)
-		lib.blockVars = append(lib.blockVars, int32(enc.NumVars()-preVars))
-		return int32(len(lib.blocks) - 1), nil
+	return &libraryBuilder{
+		g:       g,
+		enc:     enc,
+		lib:     lib,
+		atomIdx: make(map[atomKey]int32),
+		atomLit: make(map[atomKey]int),
 	}
-	for _, r := range rules {
-		var idxs []int32
-		var parts []*cnf.Formula
-		for f := header.FieldID(0); f < header.NumFields; f++ {
-			t := r.Match[f]
-			if t.IsWildcard() {
-				continue
-			}
-			k := atomKey{f, t.Value, t.Mask}
-			bi, ok := atomIdx[k]
-			if !ok {
-				m, pre := enc.Mark(), enc.NumVars()
-				atomLit[k] = enc.Define(cnf.And(ternaryLits(f, t)...))
-				var err error
-				if bi, err = compile(m, pre); err != nil {
-					return nil, err
-				}
-				atomIdx[k] = bi
-			}
-			parts = append(parts, cnf.Lit(atomLit[k]))
-			if !lib.blocks[bi].Empty() {
-				idxs = append(idxs, bi)
-			}
+}
+
+func (b *libraryBuilder) compile(m cnf.Mark, preVars int) (int32, error) {
+	blk, err := sat.CompileBlock(b.enc.VectorFrom(m))
+	if err != nil {
+		return -1, fmt.Errorf("probe: internal CNF error: %w", err)
+	}
+	b.lib.blocks = append(b.lib.blocks, blk)
+	b.lib.blockVars = append(b.lib.blockVars, int32(b.enc.NumVars()-preVars))
+	return int32(len(b.lib.blocks) - 1), nil
+}
+
+// addRule appends the definition region for one rule: one block per
+// distinct not-yet-compiled (field, ternary) atom plus one for the rule's
+// conjunction. Definition literals get fixed variable ids, which is what
+// lets a block compiled once be attached to any number of solves.
+func (b *libraryBuilder) addRule(r *flowtable.Rule) error {
+	if _, dup := b.lib.matchLit[r.ID]; dup {
+		return fmt.Errorf("probe: rule %d already compiled", r.ID)
+	}
+	var idxs []int32
+	var parts []*cnf.Formula
+	for f := header.FieldID(0); f < header.NumFields; f++ {
+		t := r.Match[f]
+		if t.IsWildcard() {
+			continue
 		}
-		m, pre := enc.Mark(), enc.NumVars()
-		lib.matchLit[r.ID] = enc.Define(cnf.And(parts...))
-		bi, err := compile(m, pre)
-		if err != nil {
-			return nil, err
+		k := atomKey{f, t.Value, t.Mask}
+		bi, ok := b.atomIdx[k]
+		if !ok {
+			m, pre := b.enc.Mark(), b.enc.NumVars()
+			b.atomLit[k] = b.enc.Define(cnf.And(ternaryLits(f, t)...))
+			var err error
+			if bi, err = b.compile(m, pre); err != nil {
+				return err
+			}
+			b.atomIdx[k] = bi
 		}
-		if !lib.blocks[bi].Empty() {
+		parts = append(parts, cnf.Lit(b.atomLit[k]))
+		if !b.lib.blocks[bi].Empty() {
 			idxs = append(idxs, bi)
 		}
-		lib.ruleBlocks[r.ID] = idxs
 	}
-	lib.libVars = enc.NumVars()
-	lib.libClauses = enc.NumClauses()
+	m, pre := b.enc.Mark(), b.enc.NumVars()
+	b.lib.matchLit[r.ID] = b.enc.Define(cnf.And(parts...))
+	bi, err := b.compile(m, pre)
+	if err != nil {
+		return err
+	}
+	if !b.lib.blocks[bi].Empty() {
+		idxs = append(idxs, bi)
+	}
+	b.lib.ruleBlocks[r.ID] = idxs
+	return nil
+}
 
-	solver := sat.New(lib.baseVars)
-	if err := solver.AddDIMACSVector(lib.baseVec); err != nil {
+// dropRule forgets a rule's definitions. Its blocks stay in the library as
+// garbage (atoms may be shared); SessionCache triggers a full rebuild once
+// too much garbage accumulates.
+func (b *libraryBuilder) dropRule(id uint64) {
+	if _, ok := b.lib.matchLit[id]; !ok {
+		return
+	}
+	delete(b.lib.matchLit, id)
+	delete(b.lib.ruleBlocks, id)
+	b.removed++
+}
+
+// newSession builds a Session over the builder's current library for the
+// given table snapshot. The session shares the builder's master encoder:
+// a generate's per-rule delta always rewinds to the library mark, so the
+// builder may append further rule regions later (SessionCache delta
+// recompiles), after which refreshLibrary re-anchors the session.
+func (b *libraryBuilder) newSession(table *flowtable.Table, rules []*flowtable.Rule) (*Session, error) {
+	solver := sat.New(b.lib.baseVars)
+	if err := solver.AddDIMACSVector(b.lib.baseVec); err != nil {
 		return nil, fmt.Errorf("probe: internal CNF error: %w", err)
 	}
-	return &Session{
-		g:       g,
-		table:   table,
-		rules:   rules,
-		lib:     lib,
-		enc:     enc,
-		libMark: enc.Mark(),
-		solver:  solver,
-		cp:      solver.Mark(),
-		loaded:  make([]uint32, len(lib.blocks)),
-	}, nil
+	sess := &Session{
+		g:          b.g,
+		table:      table,
+		rules:      rules,
+		lib:        b.lib,
+		enc:        b.enc,
+		libMark:    b.enc.Mark(),
+		libVars:    b.enc.NumVars(),
+		libClauses: b.enc.NumClauses(),
+		solver:     solver,
+		cp:         solver.Mark(),
+		loaded:     make([]uint32, len(b.lib.blocks)),
+	}
+	sess.buildViews()
+	return sess, nil
+}
+
+// refreshLibrary re-anchors a session after its builder appended new rule
+// regions to the shared library/encoder: new library mark, grown block
+// dedup scratch, fresh rule snapshot and forwarding views (a Table.Modify
+// changes actions in place, so views cannot be carried over), and a
+// dropped cluster plan. The persistent solver carries over untouched —
+// it only ever holds the tiny base.
+func (s *Session) refreshLibrary(table *flowtable.Table, rules []*flowtable.Rule) {
+	s.table = table
+	s.rules = rules
+	s.libMark = s.enc.Mark()
+	s.libVars = s.enc.NumVars()
+	s.libClauses = s.enc.NumClauses()
+	if len(s.loaded) < len(s.lib.blocks) {
+		s.loaded = append(s.loaded, make([]uint32, len(s.lib.blocks)-len(s.loaded))...)
+	}
+	s.plan = nil
+	s.buildViews()
+}
+
+// Session generates probes for the rules of one table through a single
+// persistent solver instance.
+type Session struct {
+	g     *Generator
+	table *flowtable.Table
+	rules []*flowtable.Rule
+
+	lib        *tableLibrary
+	enc        *cnf.Encoder
+	libMark    cnf.Mark // rewind point: everything past it is per-rule delta
+	libVars    int      // encoder variable count at the library mark
+	libClauses int      // encoder clause count at the library mark
+	solver     *sat.Solver
+	cp         sat.Checkpoint // the tiny base (Collect + domains)
+
+	// Block-dedup scratch: loaded[i] == epoch when block i is already
+	// attached for the current Generate call.
+	loaded []uint32
+	epoch  uint32
+
+	// Cluster state for the batch sweep (see cluster.go): while a cluster
+	// is open, the shared prefix blocks are attached behind clusterCp and
+	// per-rule work retracts back to it instead of the base.
+	clusterCp  sat.Checkpoint
+	prefixVars int // instance-size contribution of the attached prefix
+	prefixNC   int
+
+	plan     []cluster // lazily computed cluster plan (root sessions only)
+	sigStamp []uint32  // scope-signature dedup scratch (planning)
+	sigGen   uint32
+
+	// Per-generate scratch, reused across calls to keep the hot path off
+	// the allocator.
+	assumeScratch []int
+	lowerScratch  []*flowtable.Rule
+	condScratch   []*cnf.Formula
+	thenScratch   []*cnf.Formula
+
+	// Forwarding views of every table rule plus the synthetic miss rule,
+	// built once per session and shared read-only with forks.
+	views map[*flowtable.Rule]*fwdView
+	miss  *flowtable.Rule
+}
+
+// buildViews precomputes the forwarding views the Distinguish terms need.
+func (s *Session) buildViews() {
+	s.miss = missRule(s.table.Miss)
+	s.views = make(map[*flowtable.Rule]*fwdView, len(s.rules)+1)
+	for _, r := range s.rules {
+		s.views[r] = newFwdView(r)
+	}
+	s.views[s.miss] = newFwdView(s.miss)
+}
+
+// fwdViewOf returns the cached view, or a fresh one for rules outside the
+// session's table snapshot (never cached: the map is shared with forks).
+func (s *Session) fwdViewOf(r *flowtable.Rule) *fwdView {
+	if v, ok := s.views[r]; ok {
+		return v
+	}
+	return newFwdView(r)
+}
+
+// NewSession compiles the table (Collect, domains, one definition block
+// per match atom and rule) and prepares the persistent solver.
+func (g *Generator) NewSession(table *flowtable.Table) (*Session, error) {
+	b := g.newLibraryBuilder()
+	rules := table.Rules()
+	for _, r := range rules {
+		if err := b.addRule(r); err != nil {
+			return nil, err
+		}
+	}
+	return b.newSession(table, rules)
 }
 
 // Fork returns an independent Session over the same table, sharing the
@@ -205,32 +338,29 @@ func (s *Session) Fork() (*Session, error) {
 		return nil, fmt.Errorf("probe: internal CNF error: %w", err)
 	}
 	return &Session{
-		g:       s.g,
-		table:   s.table,
-		rules:   s.rules,
-		lib:     s.lib,
-		enc:     enc,
-		libMark: enc.Mark(),
-		solver:  solver,
-		cp:      solver.Mark(),
-		loaded:  make([]uint32, len(s.lib.blocks)),
+		g:          s.g,
+		table:      s.table,
+		rules:      s.rules,
+		lib:        s.lib,
+		enc:        enc,
+		libMark:    enc.Mark(),
+		libVars:    s.libVars,
+		libClauses: s.libClauses,
+		solver:     solver,
+		cp:         solver.Mark(),
+		loaded:     make([]uint32, len(s.lib.blocks)),
+		views:      s.views, // read-only after buildViews
+		miss:       s.miss,
 	}, nil
 }
 
-// Generate creates a probe for `probed` through the session's persistent
-// solver. It is equivalent to Generator.Generate over the session's table:
-// the same rules are monitorable, the returned probe satisfies the same
-// Hit/Distinguish/Collect constraints, and the same errors are reported
-// (the concrete header may differ — any witness of the constraints is a
-// valid probe).
-func (s *Session) Generate(probed *flowtable.Rule) (*Probe, error) {
-	g := s.g
-	if err := g.checkReserved(probed); err != nil {
+// scopeFor validates the probed rule and computes its overlap scope.
+func (s *Session) scopeFor(probed *flowtable.Rule) ([]*flowtable.Rule, error) {
+	if err := s.g.checkReserved(probed); err != nil {
 		return nil, err
 	}
-
 	var scope []*flowtable.Rule
-	if g.cfg.SkipOverlapFilter {
+	if s.g.cfg.SkipOverlapFilter {
 		for _, r := range s.rules {
 			if r != probed && r.ID != probed.ID {
 				scope = append(scope, r)
@@ -240,16 +370,41 @@ func (s *Session) Generate(probed *flowtable.Rule) (*Probe, error) {
 		scope = s.table.Overlapping(probed)
 	}
 	for _, r := range scope {
-		if err := g.checkReserved(r); err != nil {
+		if err := s.g.checkReserved(r); err != nil {
 			return nil, err
 		}
 	}
+	return scope, nil
+}
+
+// Generate creates a probe for `probed` through the session's persistent
+// solver. It is equivalent to Generator.Generate over the session's table:
+// the same rules are monitorable, the returned probe satisfies the same
+// Hit/Distinguish/Collect constraints, and the same errors are reported
+// (the concrete header may differ — any witness of the constraints is a
+// valid probe).
+func (s *Session) Generate(probed *flowtable.Rule) (*Probe, error) {
+	scope, err := s.scopeFor(probed)
+	if err != nil {
+		return nil, err
+	}
+	return s.generate(probed, scope, nil)
+}
+
+// generate is the shared solve core. member == nil is the classic path:
+// every scope block is attached and the solver retracts exactly to the
+// base afterwards. With a cluster member (batch sweep), the cluster prefix
+// is already attached, only the member's suffix blocks are added, and the
+// retract goes back to the cluster checkpoint, carrying reusable learnt
+// clauses and branching state unless the ablation knob disables it.
+func (s *Session) generate(probed *flowtable.Rule, scope []*flowtable.Rule, member *clusterMember) (*Probe, error) {
+	g := s.g
 
 	// Hit, as assumptions: the probed rule's constrained match bits, and
 	// ¬match for every higher-priority rule in scope via its definition
 	// literal.
-	assume := matchAssumptions(probed.Match)
-	var lower []*flowtable.Rule
+	assume := appendMatchAssumptions(s.assumeScratch[:0], probed.Match)
+	lower := s.lowerScratch[:0]
 	for _, r := range scope {
 		switch {
 		case r.Priority > probed.Priority:
@@ -267,47 +422,74 @@ func (s *Session) Generate(probed *flowtable.Rule) (*Probe, error) {
 		}
 	}
 
+	s.assumeScratch = assume
+	s.lowerScratch = lower
+
 	// Distinguish, as freshly encoded delta clauses: the Velev
 	// if-then-else chain (§5.3) whose conditions are the rules'
 	// definition literals.
-	sort.SliceStable(lower, func(i, j int) bool { return lower[i].Priority > lower[j].Priority })
-	miss := missRule(s.table.Miss)
-	conds := make([]*cnf.Formula, len(lower))
-	thens := make([]*cnf.Formula, len(lower))
+	slices.SortStableFunc(lower, func(a, b *flowtable.Rule) int { return cmp.Compare(b.Priority, a.Priority) })
+	miss := s.miss
+	probedView := s.fwdViewOf(probed)
+	if cap(s.condScratch) < len(lower) {
+		s.condScratch = make([]*cnf.Formula, len(lower))
+		s.thenScratch = make([]*cnf.Formula, len(lower))
+	}
+	conds := s.condScratch[:len(lower)]
+	thens := s.thenScratch[:len(lower)]
 	for i, r := range lower {
 		ml, ok := s.lib.matchLit[r.ID]
 		if !ok {
 			return nil, fmt.Errorf("probe: rule %d not part of the session table", r.ID)
 		}
 		conds[i] = cnf.Lit(ml)
-		thens[i] = diffOutcome(probed, r, g.cfg.Counting)
+		thens[i] = diffOutcomeView(probed, r, probedView, s.fwdViewOf(r), g.cfg.Counting)
 	}
 
 	defer func() {
-		s.solver.RetractTo(s.cp)
+		switch {
+		case member == nil:
+			s.solver.RetractTo(s.cp)
+		case g.cfg.DisableLearntReuse:
+			s.solver.RetractTo(s.clusterCp)
+		default:
+			s.solver.RetractToReuse(s.clusterCp)
+		}
 		s.enc.Reset(s.libMark)
 	}()
-	s.enc.Assert(cnf.ITEChain(conds, thens, diffOutcome(probed, miss, g.cfg.Counting)))
+	s.enc.Assert(cnf.ITEChain(conds, thens, diffOutcomeView(probed, miss, probedView, s.fwdViewOf(miss), g.cfg.Counting)))
 	if s.enc.Unsat() {
 		return nil, ErrUnmonitorable
 	}
 	s.solver.EnsureVars(s.enc.NumVars())
 
 	// Attach the definition blocks of every rule in scope, each at most
-	// once (shared atoms are deduplicated via the epoch stamp), tracking
-	// the size of the instance actually handed to the solver.
+	// once, tracking the size of the instance actually handed to the
+	// solver. On the cluster path the shared prefix is attached already
+	// and the member's suffix was precomputed; the classic path
+	// deduplicates shared atoms via the epoch stamp.
 	instVars := s.lib.baseVars
 	instClauses := s.lib.baseNC
-	s.epoch++
-	for _, r := range scope {
-		for _, bi := range s.lib.ruleBlocks[r.ID] {
-			if s.loaded[bi] == s.epoch {
-				continue
-			}
-			s.loaded[bi] = s.epoch
+	if member != nil {
+		instVars += s.prefixVars
+		instClauses += s.prefixNC
+		for _, bi := range member.suffix {
 			s.solver.AddBlock(&s.lib.blocks[bi])
 			instVars += int(s.lib.blockVars[bi])
 			instClauses += s.lib.blocks[bi].NumClauses()
+		}
+	} else {
+		s.epoch++
+		for _, r := range scope {
+			for _, bi := range s.lib.ruleBlocks[r.ID] {
+				if s.loaded[bi] == s.epoch {
+					continue
+				}
+				s.loaded[bi] = s.epoch
+				s.solver.AddBlock(&s.lib.blocks[bi])
+				instVars += int(s.lib.blockVars[bi])
+				instClauses += s.lib.blocks[bi].NumClauses()
+			}
 		}
 	}
 	// The Distinguish delta goes through the normalizing AddDIMACSVector
@@ -318,8 +500,8 @@ func (s *Session) Generate(probed *flowtable.Rule) (*Probe, error) {
 	if err := s.solver.AddDIMACSVector(s.enc.VectorFrom(s.libMark)); err != nil {
 		return nil, fmt.Errorf("probe: internal CNF error: %w", err)
 	}
-	instVars += s.enc.NumVars() - s.lib.libVars
-	instClauses += s.enc.NumClauses() - s.lib.libClauses
+	instVars += s.enc.NumVars() - s.libVars
+	instClauses += s.enc.NumClauses() - s.libClauses
 
 	d0, _, c0 := s.solver.Stats()
 	status, model := s.solver.SolveAssuming(assume...)
@@ -358,10 +540,37 @@ func (s *Session) Generate(probed *flowtable.Rule) (*Probe, error) {
 	return p, nil
 }
 
-// matchAssumptions returns the Table-3 match encoding as raw assumption
-// literals: one per constrained bit of m (cf. matchFormula).
-func matchAssumptions(m flowtable.Match) []int {
-	var lits []int
+// beginCluster attaches the cluster's shared block prefix on top of the
+// base and opens the cluster checkpoint the per-rule retracts return to.
+func (s *Session) beginCluster(c *cluster) {
+	maxVar := s.lib.baseVars
+	for _, bi := range c.prefix {
+		if mv := s.lib.blocks[bi].MaxVar(); mv > maxVar {
+			maxVar = mv
+		}
+	}
+	s.solver.EnsureVars(maxVar)
+	pv, pc := 0, 0
+	for _, bi := range c.prefix {
+		s.solver.AddBlock(&s.lib.blocks[bi])
+		pv += int(s.lib.blockVars[bi])
+		pc += s.lib.blocks[bi].NumClauses()
+	}
+	s.prefixVars, s.prefixNC = pv, pc
+	s.clusterCp = s.solver.Mark()
+}
+
+// endCluster drops the prefix, every retained learnt clause, and all
+// branching state with an exact restore of the base, so the next cluster
+// starts from solver state that is a pure function of the table — the
+// anchor of the cross-worker determinism contract.
+func (s *Session) endCluster() {
+	s.solver.RetractTo(s.cp)
+}
+
+// appendMatchAssumptions appends the Table-3 match encoding as raw
+// assumption literals: one per constrained bit of m (cf. matchFormula).
+func appendMatchAssumptions(lits []int, m flowtable.Match) []int {
 	for f := header.FieldID(0); f < header.NumFields; f++ {
 		t := m[f]
 		if t.IsWildcard() {

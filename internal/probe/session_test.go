@@ -177,8 +177,12 @@ func TestGenerateAllDeterministicAcrossParallelism(t *testing.T) {
 	}
 }
 
-// TestGenerateAllMatchesSequentialSession: batch results equal a plain
-// sequential session sweep (they share the engine; this pins the wiring).
+// TestGenerateAllMatchesSequentialSession: the clustered batch sweep must
+// classify every rule exactly like a plain sequential session sweep
+// (monitorable vs not). Headers may legitimately differ — the clustered
+// solve runs from different (cluster-shared) solver state and any witness
+// of the constraints is a valid probe — so probe validity is re-checked
+// against the table instead of pinning bytes.
 func TestGenerateAllMatchesSequentialSession(t *testing.T) {
 	tb, _ := miniTable()
 	g := NewGenerator(Config{ValidateModel: true})
@@ -192,8 +196,47 @@ func TestGenerateAllMatchesSequentialSession(t *testing.T) {
 		if (err == nil) != (res[i].Err == nil) {
 			t.Fatalf("rule %d: session err=%v batch err=%v", r.ID, err, res[i].Err)
 		}
-		if err == nil && p.Header != res[i].Probe.Header {
-			t.Fatalf("rule %d: session header %v != batch header %v", r.ID, p.Header, res[i].Probe.Header)
+		if errors.Is(err, ErrUnmonitorable) != errors.Is(res[i].Err, ErrUnmonitorable) {
+			t.Fatalf("rule %d: unmonitorable classification differs: %v vs %v", r.ID, err, res[i].Err)
+		}
+		if err != nil {
+			continue
+		}
+		_ = p
+		if hit := tb.Lookup(res[i].Probe.Header); hit == nil || hit.ID != r.ID {
+			t.Fatalf("rule %d: batch probe %v hits %v", r.ID, res[i].Probe.Header, hit)
+		}
+	}
+}
+
+// TestGenerateAllClusterAblations: every ablation combination (clustering
+// off, learnt reuse off) stays deterministic across worker counts and
+// classifies identically to the full configuration.
+func TestGenerateAllClusterAblations(t *testing.T) {
+	tb, _ := miniTable()
+	full := NewGenerator(Config{ValidateModel: true}).GenerateAll(context.Background(), tb, 2)
+	for _, cfg := range []Config{
+		{ValidateModel: true, DisableClustering: true},
+		{ValidateModel: true, DisableLearntReuse: true},
+	} {
+		g := NewGenerator(cfg)
+		ref := g.GenerateAll(context.Background(), tb, 1)
+		for _, par := range []int{3, runtime.NumCPU()} {
+			res := g.GenerateAll(context.Background(), tb, par)
+			for i := range res {
+				if (res[i].Err == nil) != (ref[i].Err == nil) {
+					t.Fatalf("cfg %+v par %d rule %d: err %v vs %v", cfg, par, i, res[i].Err, ref[i].Err)
+				}
+				if res[i].Err == nil && res[i].Probe.Header != ref[i].Probe.Header {
+					t.Fatalf("cfg %+v par %d rule %d: nondeterministic header", cfg, par, i)
+				}
+			}
+		}
+		for i := range ref {
+			if errors.Is(ref[i].Err, ErrUnmonitorable) != errors.Is(full[i].Err, ErrUnmonitorable) {
+				t.Fatalf("cfg %+v rule %d: classification differs from full config: %v vs %v",
+					cfg, i, ref[i].Err, full[i].Err)
+			}
 		}
 	}
 }

@@ -43,6 +43,25 @@ func (h *varHeap) reset(n int) {
 	}
 }
 
+// rebuild reconstructs the heap over variables 1..n under the *current*
+// (non-uniform) activities: every variable is entered and the array is
+// heapified bottom-up. Deterministic for a given activity vector, which is
+// what lets RetractToReuse keep activities across a retract.
+func (h *varHeap) rebuild(n int) {
+	h.pos = h.pos[:0]
+	for len(h.pos) < n+1 {
+		h.pos = append(h.pos, -1)
+	}
+	h.heap = h.heap[:0]
+	for v := 1; v <= n; v++ {
+		h.heap = append(h.heap, v)
+		h.pos[v] = v - 1
+	}
+	for i := len(h.heap)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
 func (h *varHeap) less(i, j int) bool { return h.act[h.heap[i]] > h.act[h.heap[j]] }
 
 func (h *varHeap) swap(i, j int) {

@@ -1,6 +1,9 @@
 package sat
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // This file implements the incremental interface used by the probe
 // generator's table sessions: solving under assumptions (à la MiniSat),
@@ -16,17 +19,20 @@ type Checkpoint struct {
 	dbLen    int
 	arenaLen int
 	trailLen int
+	depth    int32
 	ok       bool
 	// Search permutes clause literals and migrates watchers, so the
-	// checkpoint snapshots both: the concatenated literals of every
-	// retained clause, and every watch list flattened into one arena
-	// (offsets[l]..offsets[l+1] is the list of literal l). Restoring
-	// them — all pointer-free, so pure memmove — puts the solver in a
-	// state that depends only on the retained clause database, never on
-	// what was solved in between.
-	lits     []lit
-	watchers []watcher
-	offsets  []int32
+	// checkpoint snapshots both: the literal storage of every retained
+	// clause (arena-backed clauses as one arena image, owned clauses
+	// concatenated in database order), and every watch list flattened
+	// into one arena (offsets[l]..offsets[l+1] is the list of literal l).
+	// Restoring them — all pointer-free, so pure memmove — puts the
+	// solver in a state that depends only on the retained clause
+	// database, never on what was solved in between.
+	arenaSnap []lit
+	ownedLits []lit
+	watchers  []watcher
+	offsets   []int32
 }
 
 // Mark records the current clause database boundary. The solver is
@@ -39,16 +45,26 @@ func (s *Solver) Mark() Checkpoint {
 		dbLen:    len(s.db),
 		arenaLen: len(s.arena),
 		trailLen: len(s.trail),
+		depth:    s.depth,
 		ok:       s.ok,
 		offsets:  make([]int32, len(s.watches)+1),
 	}
+	// Everything added from here on belongs to a deeper scope, so learnt
+	// clauses derived purely from the checkpointed state are recognizable
+	// by their scope tag (see RetractToReuse).
+	s.depth++
+	cp.arenaSnap = append([]lit(nil), s.arena...)
 	n := 0
 	for i := range s.db {
-		n += len(s.db[i].lits)
+		if s.db[i].arenaOff < 0 {
+			n += len(s.db[i].lits)
+		}
 	}
-	cp.lits = make([]lit, 0, n)
+	cp.ownedLits = make([]lit, 0, n)
 	for i := range s.db {
-		cp.lits = append(cp.lits, s.db[i].lits...)
+		if s.db[i].arenaOff < 0 {
+			cp.ownedLits = append(cp.ownedLits, s.db[i].lits...)
+		}
 	}
 	n = 0
 	for _, ws := range s.watches {
@@ -60,6 +76,10 @@ func (s *Solver) Mark() Checkpoint {
 		cp.watchers = append(cp.watchers, ws...)
 	}
 	cp.offsets[len(s.watches)] = int32(len(cp.watchers))
+	// The solver state now equals the snapshot: watch-list dirty tracking
+	// restarts here, so a following RetractToReuse only needs to restore
+	// the lists actually touched since.
+	s.resetWatchDirty()
 	return cp
 }
 
@@ -76,6 +96,18 @@ func (s *Solver) Mark() Checkpoint {
 // pointer-free bulk copying and allocates only when a watch list grew past
 // its previous capacity.
 func (s *Solver) RetractTo(cp Checkpoint) {
+	s.restoreSnapshot(cp, false)
+	s.resetHeuristics()
+}
+
+// restoreSnapshot is the pointer-free bulk restore shared by RetractTo and
+// RetractToReuse: clause database, arena, trail prefix, variable space and
+// watch lists return to their exact state at Mark time. Branching
+// heuristics are the caller's business. When dirtyOnly is set, only the
+// watch lists touched since the last Mark (or reuse-retract) are restored
+// — valid exactly when cp is the most recently Marked checkpoint, because
+// that is what the dirty set is tracked against.
+func (s *Solver) restoreSnapshot(cp Checkpoint, dirtyOnly bool) {
 	s.cancelUntil(0)
 	s.db = s.db[:cp.dbLen]
 	s.arena = s.arena[:cp.arenaLen]
@@ -92,25 +124,219 @@ func (s *Solver) RetractTo(cp Checkpoint) {
 	s.trail = s.trail[:cp.trailLen]
 	s.qhead = cp.trailLen
 	s.ok = cp.ok
+	s.depth = cp.depth + 1
 
 	s.shrinkVars(cp.nVars)
 
+	// Literal storage: arena-backed clauses restore with one bulk copy
+	// (growArena keeps them bound to the current arena), owned clauses
+	// with a short loop.
+	copy(s.arena, cp.arenaSnap)
 	pos := 0
 	for i := range s.db {
 		c := &s.db[i]
-		copy(c.lits, cp.lits[pos:pos+len(c.lits)])
+		if c.arenaOff >= 0 {
+			continue
+		}
+		copy(c.lits, cp.ownedLits[pos:pos+len(c.lits)])
 		pos += len(c.lits)
 	}
-	for i := range s.watches {
-		snap := cp.watchers[cp.offsets[i]:cp.offsets[i+1]]
-		if cap(s.watches[i]) < len(snap) {
-			s.watches[i] = make([]watcher, len(snap))
-		} else {
-			s.watches[i] = s.watches[i][:len(snap)]
+
+	if dirtyOnly {
+		for _, l := range s.dirtyWatch {
+			if int(l) >= len(s.watches) {
+				continue // literal of a variable retracted away
+			}
+			s.restoreWatchList(cp, int(l))
 		}
-		copy(s.watches[i], snap)
+	} else {
+		for i := range s.watches {
+			s.restoreWatchList(cp, i)
+		}
 	}
-	s.resetHeuristics()
+	s.resetWatchDirty()
+}
+
+func (s *Solver) restoreWatchList(cp Checkpoint, i int) {
+	snap := cp.watchers[cp.offsets[i]:cp.offsets[i+1]]
+	if cap(s.watches[i]) < len(snap) {
+		s.watches[i] = make([]watcher, len(snap))
+	} else {
+		s.watches[i] = s.watches[i][:len(snap)]
+	}
+	copy(s.watches[i], snap)
+}
+
+// touchWatch records that the watch list of l diverged from the last
+// snapshot, so a dirty-only restore knows to roll it back.
+func (s *Solver) touchWatch(l lit) {
+	if s.watchStamp[l] != s.watchGen {
+		s.watchStamp[l] = s.watchGen
+		s.dirtyWatch = append(s.dirtyWatch, l)
+	}
+}
+
+// resetWatchDirty empties the dirty set: the current watch lists are (or
+// just became) exactly the snapshot state.
+func (s *Solver) resetWatchDirty() {
+	s.watchGen++
+	s.dirtyWatch = s.dirtyWatch[:0]
+}
+
+// defaultLearntCap bounds the learnt clauses RetractToReuse carries over
+// when the solver's LearntCap field is zero.
+const defaultLearntCap = 512
+
+// RetractToReuse removes the clauses added after the checkpoint like
+// RetractTo, but keeps the work worth keeping across solves that share the
+// checkpointed prefix:
+//
+//   - learnt clauses whose scope tag proves them to be consequences of the
+//     retained clause database alone survive (re-attached after the bulk
+//     restore, bounded by the ReduceDB pass);
+//   - variable activities, the activity increment, and saved phases carry
+//     over, so branching stays warm where the instances agree.
+//
+// Unlike RetractTo, the post-state is a function of the retained database
+// AND the solve history since Mark, so callers needing bit-exact
+// reproducibility (e.g. across differently-scheduled workers) must bracket
+// histories identically — the probe generator keys them to rule clusters —
+// or use RetractTo.
+func (s *Solver) RetractToReuse(cp Checkpoint) {
+	s.cancelUntil(0)
+
+	// Collect survivors before the restore truncates the database. Learnt
+	// literal storage is owned by the clause (never the arena), so the
+	// slices stay valid across the restore.
+	keep := s.keepScratch[:0]
+	for i := cp.dbLen; i < len(s.db); i++ {
+		c := &s.db[i]
+		if c.learnt && c.scope <= cp.depth {
+			keep = append(keep, *c)
+		}
+	}
+	keep = s.reduceDB(keep)
+	s.keepScratch = keep[:0] // recycle the backing array next time
+
+	// cp is the innermost checkpoint (documented requirement), so the
+	// watch-list dirty set is tracked against exactly its snapshot and
+	// only the touched lists need restoring.
+	s.restoreSnapshot(cp, true)
+
+	// Branching state: activities, varInc, and saved phases deliberately
+	// survive; only the decision heap is rebuilt over the surviving
+	// variable space.
+	s.order.grow(s.activity)
+	s.order.rebuild(s.nVars)
+
+	for i := range keep {
+		s.attachKept(keep[i])
+	}
+	if s.ok {
+		if s.propagate() != crefNil {
+			s.ok = false
+		}
+	}
+}
+
+// reduceDB is the activity-based learnt GC: when the survivor set exceeds
+// the cap, only the most active clauses are kept (ties resolved toward the
+// earlier derivation, so the pass is deterministic).
+func (s *Solver) reduceDB(keep []clause) []clause {
+	limit := s.LearntCap
+	if limit <= 0 {
+		limit = defaultLearntCap
+	}
+	if len(keep) <= limit {
+		return keep
+	}
+	idx := make([]int, len(keep))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if keep[idx[a]].act != keep[idx[b]].act {
+			return keep[idx[a]].act > keep[idx[b]].act
+		}
+		return idx[a] < idx[b]
+	})
+	idx = idx[:limit]
+	sort.Ints(idx) // re-attach in derivation order
+	out := make([]clause, limit)
+	for i, j := range idx {
+		out[i] = keep[j]
+	}
+	return out
+}
+
+// attachKept re-attaches one surviving learnt clause after a snapshot
+// restore, in the style of AddBlock: clauses satisfied at the top level are
+// dropped, unit clauses propagate, and the rest get two watchable literals.
+func (s *Solver) attachKept(c clause) {
+	if !s.ok {
+		return
+	}
+	cl := c.lits
+	i0, i1 := -1, -1
+	for i, l := range cl {
+		switch s.valueLit(l) {
+		case vTrue:
+			return // permanently satisfied under the retained facts
+		case unassigned:
+			if i0 < 0 {
+				i0 = i
+			} else if i1 < 0 {
+				i1 = i
+			}
+		}
+	}
+	if i0 < 0 {
+		s.ok = false // retained database is UNSAT and the learnt proves it
+		return
+	}
+	if i1 < 0 {
+		if !s.enqueue(cl[i0], crefNil) {
+			s.ok = false
+			return
+		}
+		// The fact is implied at the clause's own scope, not the current
+		// (deeper) one enqueue assumed.
+		s.factScope[cl[i0].varID()] = c.scope
+		return
+	}
+	// i1 > i0 >= 0, so the two swaps cannot interfere.
+	cl[0], cl[i0] = cl[i0], cl[0]
+	cl[1], cl[i1] = cl[i1], cl[1]
+	s.db = append(s.db, clause{lits: cl, learnt: true, scope: c.scope, act: c.act, arenaOff: -1})
+	s.watch(cref(len(s.db) - 1))
+}
+
+// NumLearnts reports how many learnt clauses the database currently holds
+// (diagnostics and tests for the retention/ReduceDB machinery).
+func (s *Solver) NumLearnts() int {
+	n := 0
+	for i := range s.db {
+		if s.db[i].learnt {
+			n++
+		}
+	}
+	return n
+}
+
+// growZeroed extends s to length n, zeroing the new tail. It reuses spare
+// capacity left behind by a previous shrink: grow/shrink cycles are the
+// steady state of a probe session, and a temporary slice allocation per
+// cycle per array would dominate it.
+func growZeroed[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		old := len(s)
+		s = s[:n]
+		clear(s[old:])
+		return s
+	}
+	out := make([]T, n)
+	copy(out, s)
+	return out
 }
 
 // EnsureVars grows the variable space to at least n variables. Existing
@@ -120,13 +346,17 @@ func (s *Solver) EnsureVars(n int) {
 	if n <= s.nVars {
 		return
 	}
-	grow := n - s.nVars
-	s.assign = append(s.assign, make([]tribool, grow)...)
-	s.level = append(s.level, make([]int, grow)...)
-	s.activity = append(s.activity, make([]float64, grow)...)
-	s.polarity = append(s.polarity, make([]bool, grow)...)
-	for v := s.nVars + 1; v <= n; v++ {
-		s.reason = append(s.reason, crefNil)
+	s.assign = growZeroed(s.assign, n+1)
+	s.level = growZeroed(s.level, n+1)
+	s.activity = growZeroed(s.activity, n+1)
+	s.polarity = growZeroed(s.polarity, n+1)
+	s.factScope = growZeroed(s.factScope, n+1)
+	s.litStamp = growZeroed(s.litStamp, 2*n+2)
+	s.watchStamp = growZeroed(s.watchStamp, 2*n+2)
+	oldReason := len(s.reason)
+	s.reason = growZeroed(s.reason, n+1)
+	for v := oldReason; v <= n; v++ {
+		s.reason[v] = crefNil
 	}
 	// Re-extend the watch-list table, reusing backing arrays retained
 	// across a previous shrink (grow/shrink cycles are the steady state
@@ -160,18 +390,24 @@ func (s *Solver) shrinkVars(n int) {
 	s.reason = s.reason[:n+1]
 	s.activity = s.activity[:n+1]
 	s.polarity = s.polarity[:n+1]
+	s.factScope = s.factScope[:n+1]
+	s.litStamp = s.litStamp[:2*n+2]
+	s.watchStamp = s.watchStamp[:2*n+2]
 	s.watches = s.watches[:2*n+2]
 	s.nVars = n
 }
 
-// resetHeuristics restores the deterministic initial branching state:
-// zero activities, default phases, and a freshly ordered decision heap.
+// resetHeuristics restores the deterministic initial branching state: zero
+// activities, default phases, unit activity increments (both the variable
+// and the clause one — leaving either drifting would let a long-running
+// session saturate bump values), and a freshly ordered decision heap.
 func (s *Solver) resetHeuristics() {
 	for v := 1; v <= s.nVars; v++ {
 		s.activity[v] = 0
 		s.polarity[v] = false
 	}
 	s.varInc = 1.0
+	s.claInc = 1.0
 	s.order.grow(s.activity) // rebind after possible slice reallocation
 	s.order.reset(s.nVars)
 }

@@ -1,0 +1,256 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// prefixWithConflict builds a solver whose clause set produces a learnt
+// clause purely from checkpointed state when solved under assumptions
+// a=1, b=2: a requires x1 ∨ x2, both of which imply x3, and b forbids x3 —
+// a genuine conflict (not mere assumption propagation), so analyze runs.
+func prefixWithConflict(t *testing.T) (*Solver, Checkpoint) {
+	t.Helper()
+	s := New(6)
+	for _, c := range [][]int{
+		{-1, 3, 4}, // a → x1 ∨ x2
+		{-3, 5},    // x1 → x3
+		{-4, 5},    // x2 → x3
+		{-2, -5},   // b → ¬x3
+	} {
+		if err := s.AddClause(c...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, s.Mark()
+}
+
+// TestRetractToReuseKeepsPrefixLearnts: a learnt clause derived only from
+// clauses below the checkpoint survives RetractToReuse, while the exact
+// RetractTo drops it.
+func TestRetractToReuseKeepsPrefixLearnts(t *testing.T) {
+	s, cp := prefixWithConflict(t)
+	if st, _ := s.SolveAssuming(1, 2); st != Unsatisfiable {
+		t.Fatal("a ∧ b should be UNSAT")
+	}
+	if s.NumLearnts() == 0 {
+		t.Fatal("conflict should have produced a learnt clause")
+	}
+	s.RetractToReuse(cp)
+	if got := s.NumLearnts(); got == 0 {
+		t.Fatal("prefix-scoped learnt clause was not retained across RetractToReuse")
+	}
+	// The retained learnt must not change satisfiability.
+	if st, _ := s.SolveAssuming(1); st != Satisfiable {
+		t.Fatal("assuming only a must stay SAT")
+	}
+	if st, _ := s.SolveAssuming(1, 2); st != Unsatisfiable {
+		t.Fatal("a ∧ b must stay UNSAT after reuse retract")
+	}
+	s.RetractTo(cp)
+	if got := s.NumLearnts(); got != 0 {
+		t.Fatalf("exact RetractTo kept %d learnt clauses, want 0", got)
+	}
+}
+
+// TestRetractToReuseDropsDeltaLearnts: a learnt clause whose derivation
+// involves clauses added after the checkpoint must NOT survive, even when
+// its literals all reference surviving variables.
+func TestRetractToReuseDropsDeltaLearnts(t *testing.T) {
+	s := New(6)
+	// Base constrains nothing by itself.
+	if err := s.AddClause(1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	cp := s.Mark()
+	// Delta clauses over BASE variables recreate the conflict shape of
+	// prefixWithConflict; the learnt mentions only base variables but is
+	// not a consequence of the base.
+	for _, c := range [][]int{{-1, 3, 4}, {-3, 5}, {-4, 5}, {-2, -5}} {
+		if err := s.AddClause(c...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st, _ := s.SolveAssuming(1, 2); st != Unsatisfiable {
+		t.Fatal("a ∧ b should be UNSAT with the delta attached")
+	}
+	s.RetractToReuse(cp)
+	if got := s.NumLearnts(); got != 0 {
+		t.Fatalf("delta-scoped learnt clauses retained: %d, want 0", got)
+	}
+	// Without the delta, a ∧ b is satisfiable again.
+	if st, _ := s.SolveAssuming(1, 2); st != Satisfiable {
+		t.Fatal("a ∧ b must be SAT once the delta is retracted")
+	}
+}
+
+// php builds the pigeonhole principle instance PHP(pigeons, holes) —
+// UNSAT when pigeons > holes, with a conflict-rich refutation.
+func php(t *testing.T, s *Solver, pigeons, holes int) {
+	t.Helper()
+	v := func(p, h int) int { return p*holes + h + 1 }
+	for p := 0; p < pigeons; p++ {
+		c := make([]int, holes)
+		for h := 0; h < holes; h++ {
+			c[h] = v(p, h)
+		}
+		if err := s.AddClause(c...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				if err := s.AddClause(-v(p1, h), -v(p2, h)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// TestReduceDBBoundsRetention: the ReduceDB pass caps the learnt clauses a
+// reuse retract carries over at LearntCap.
+func TestReduceDBBoundsRetention(t *testing.T) {
+	s := New(20)
+	php(t, s, 5, 4)
+	cp := s.Mark()
+	s.LearntCap = 3
+	if st, _ := s.Solve(); st != Unsatisfiable {
+		t.Fatal("PHP(5,4) must be UNSAT")
+	}
+	if s.NumLearnts() <= s.LearntCap {
+		t.Skipf("refutation produced only %d learnts; cap not exercised", s.NumLearnts())
+	}
+	s.RetractToReuse(cp)
+	if got := s.NumLearnts(); got > s.LearntCap {
+		t.Fatalf("retained %d learnt clauses, cap is %d", got, s.LearntCap)
+	}
+}
+
+// TestRetractToReuseAgainstFresh is the soundness fuzz for the reuse path:
+// random base + per-round delta + assumptions, with RetractToReuse between
+// rounds, must classify exactly like a fresh one-shot solver every round.
+// An unsound scope tag (keeping a learnt that is not implied by the
+// retained clauses) would surface as a status divergence.
+func TestRetractToReuseAgainstFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260727))
+	for iter := 0; iter < 120; iter++ {
+		nVars := 5 + rng.Intn(8)
+		mk := func(n int) [][]int {
+			var cs [][]int
+			for i := 0; i < n; i++ {
+				k := 1 + rng.Intn(3)
+				c := make([]int, k)
+				for j := range c {
+					c[j] = rng.Intn(nVars) + 1
+					if rng.Intn(2) == 0 {
+						c[j] = -c[j]
+					}
+				}
+				cs = append(cs, c)
+			}
+			return cs
+		}
+		base := mk(3 + rng.Intn(8))
+		s := New(nVars)
+		s.LearntCap = 1 + rng.Intn(8) // exercise the ReduceDB pass too
+		for _, c := range base {
+			_ = s.AddClause(c...)
+		}
+		cp := s.Mark()
+		for round := 0; round < 5; round++ {
+			delta := mk(rng.Intn(5))
+			for _, c := range delta {
+				_ = s.AddClause(c...)
+			}
+			var assume []int
+			for len(assume) < rng.Intn(4) {
+				a := rng.Intn(nVars) + 1
+				if rng.Intn(2) == 0 {
+					a = -a
+				}
+				assume = append(assume, a)
+			}
+			got, model := s.SolveAssuming(assume...)
+
+			fresh := New(nVars)
+			for _, c := range base {
+				_ = fresh.AddClause(c...)
+			}
+			for _, c := range delta {
+				_ = fresh.AddClause(c...)
+			}
+			for _, a := range assume {
+				_ = fresh.AddClause(a)
+			}
+			want, _ := fresh.Solve()
+			if got != want {
+				t.Fatalf("iter %d round %d: reuse=%v fresh=%v (base=%v delta=%v assume=%v)",
+					iter, round, got, want, base, delta, assume)
+			}
+			if got == Satisfiable {
+				checkModel(t, base, model)
+				checkModel(t, delta, model)
+				for _, a := range assume {
+					v := a
+					if v < 0 {
+						v = -v
+					}
+					if (a > 0) != model[v] {
+						t.Fatalf("assumption %d violated by model", a)
+					}
+				}
+			}
+			s.RetractToReuse(cp)
+		}
+	}
+}
+
+// TestStatsDeterminismAfterRetractCycles is the regression test for
+// resetHeuristics completeness: after an exact RetractTo, re-solving the
+// identical delta must cost exactly the same decisions, propagations, and
+// conflicts every cycle. Any heuristic state leaking across the retract
+// (activities, saved phases, varInc, claInc, heap order) shows up as a
+// drifting per-cycle delta.
+func TestStatsDeterminismAfterRetractCycles(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 20; iter++ {
+		nVars := 8 + rng.Intn(8)
+		s := New(nVars)
+		for i := 0; i < 6+rng.Intn(10); i++ {
+			c := []int{rng.Intn(nVars) + 1, rng.Intn(nVars) + 1, rng.Intn(nVars) + 1}
+			for j := range c {
+				if rng.Intn(2) == 0 {
+					c[j] = -c[j]
+				}
+			}
+			_ = s.AddClause(c...)
+		}
+		cp := s.Mark()
+		delta := [][]int{
+			{rng.Intn(nVars) + 1, -(rng.Intn(nVars) + 1)},
+			{-(rng.Intn(nVars) + 1), rng.Intn(nVars) + 1, rng.Intn(nVars) + 1},
+		}
+		assume := []int{rng.Intn(nVars) + 1, -(rng.Intn(nVars) + 1)}
+		type delta3 struct{ d, p, c int64 }
+		var want delta3
+		var wantStatus Status
+		for cycle := 0; cycle < 40; cycle++ {
+			for _, c := range delta {
+				_ = s.AddClause(c...)
+			}
+			d0, p0, c0 := s.Stats()
+			st, _ := s.SolveAssuming(assume...)
+			d1, p1, c1 := s.Stats()
+			got := delta3{d1 - d0, p1 - p0, c1 - c0}
+			if cycle == 0 {
+				want, wantStatus = got, st
+			} else if got != want || st != wantStatus {
+				t.Fatalf("iter %d cycle %d: stats delta %+v (status %v), want %+v (%v) — heuristic state leaked across RetractTo",
+					iter, cycle, got, st, want, wantStatus)
+			}
+			s.RetractTo(cp)
+		}
+	}
+}

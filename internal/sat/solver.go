@@ -84,6 +84,20 @@ const (
 type clause struct {
 	lits   []lit
 	learnt bool
+	// scope is the checkpoint depth the clause belongs to: problem clauses
+	// get the depth they were added at, learnt clauses the maximum depth of
+	// any clause or top-level fact used in their derivation. A learnt
+	// clause with scope ≤ d is a logical consequence of the clauses at
+	// depth ≤ d alone, so it may survive a retract to depth d.
+	scope int32
+	// arenaOff is the clause's literal offset in the solver arena, or -1
+	// when the literals are an owned allocation. Arena-backed clauses are
+	// restored by one bulk arena copy on retract and rebound when the
+	// arena's backing array grows (see growArena).
+	arenaOff int32
+	// act is the VSIDS-style clause activity driving the ReduceDB pass:
+	// learnt clauses are bumped whenever they participate in a conflict.
+	act float64
 }
 
 // cref indexes a clause in the solver's database. Watchers and antecedent
@@ -122,6 +136,24 @@ type Solver struct {
 	order    *varHeap
 	polarity []bool // phase saving
 
+	// Checkpoint-scope bookkeeping (see Mark/RetractTo/RetractToReuse).
+	depth     int32   // scope tag given to newly added clauses and facts
+	factScope []int32 // per-var scope tag of its top-level fact, if any
+	claInc    float64 // clause activity increment (ReduceDB heuristic)
+
+	seenScratch []bool   // conflict-analysis scratch, one slot per var
+	keepScratch []clause // RetractToReuse survivor scratch
+	litScratch  []lit    // addClause normalization scratch
+	litStamp    []uint32 // per-lit stamp for addClause dedup, indexed by lit
+	stampGen    uint32   // current addClause stamp generation
+
+	// Watch-list dirty tracking relative to the innermost checkpoint:
+	// every list mutated since the last Mark / retract is recorded once,
+	// so RetractToReuse restores only those instead of every list.
+	watchStamp []uint32 // per-lit generation stamp
+	dirtyWatch []lit
+	watchGen   uint32
+
 	ok        bool // false once a top-level conflict is found
 	conflicts int64
 	decisions int64
@@ -130,20 +162,29 @@ type Solver struct {
 	// Budget bounds the number of conflicts before Solve gives up with
 	// Unknown. Zero means no limit.
 	Budget int64
+	// LearntCap bounds the learnt clauses RetractToReuse carries across a
+	// retract (the ReduceDB pass keeps the most active ones). Zero uses
+	// defaultLearntCap.
+	LearntCap int
 }
 
 // New returns a solver prepared for nVars variables (1..nVars).
 func New(nVars int) *Solver {
 	s := &Solver{
-		nVars:    nVars,
-		watches:  make([][]watcher, 2*nVars+2),
-		assign:   make([]tribool, nVars+1),
-		level:    make([]int, nVars+1),
-		reason:   make([]cref, nVars+1),
-		activity: make([]float64, nVars+1),
-		polarity: make([]bool, nVars+1),
-		varInc:   1.0,
-		ok:       true,
+		nVars:      nVars,
+		watches:    make([][]watcher, 2*nVars+2),
+		assign:     make([]tribool, nVars+1),
+		level:      make([]int, nVars+1),
+		reason:     make([]cref, nVars+1),
+		activity:   make([]float64, nVars+1),
+		polarity:   make([]bool, nVars+1),
+		factScope:  make([]int32, nVars+1),
+		litStamp:   make([]uint32, 2*nVars+2),
+		watchStamp: make([]uint32, 2*nVars+2),
+		varInc:     1.0,
+		claInc:     1.0,
+		watchGen:   1,
+		ok:         true,
 	}
 	for i := range s.reason {
 		s.reason[i] = crefNil
@@ -178,8 +219,12 @@ func (s *Solver) addClause(dimacs []int) error {
 	// invariant only holds for clauses added at decision level 0.
 	s.cancelUntil(0)
 	// Normalize: drop duplicate literals and satisfied-at-level-0 clauses.
-	seen := make(map[int]bool, len(dimacs))
-	lits := make([]lit, 0, len(dimacs))
+	// Dedup runs through a per-literal stamp array (one generation per
+	// clause) instead of a map: this is the hot path of the per-rule
+	// Distinguish delta in probe generation.
+	s.stampGen++
+	gen := s.stampGen
+	lits := s.litScratch[:0]
 	for _, d := range dimacs {
 		if d == 0 {
 			return fmt.Errorf("%w: 0 inside clause", ErrBadLiteral)
@@ -191,17 +236,19 @@ func (s *Solver) addClause(dimacs []int) error {
 		if v > s.nVars {
 			return fmt.Errorf("%w: var %d > %d", ErrBadLiteral, v, s.nVars)
 		}
-		if seen[-d] {
+		l := toLit(d)
+		if s.litStamp[l.neg()] == gen {
+			s.litScratch = lits[:0]
 			return nil // clause contains x ∨ ¬x: tautology
 		}
-		if seen[d] {
+		if s.litStamp[l] == gen {
 			continue
 		}
-		seen[d] = true
-		l := toLit(d)
+		s.litStamp[l] = gen
 		switch s.valueLit(l) {
 		case vTrue:
 			if s.level[l.varID()] == 0 {
+				s.litScratch = lits[:0]
 				return nil // satisfied at top level
 			}
 		case vFalse:
@@ -211,6 +258,7 @@ func (s *Solver) addClause(dimacs []int) error {
 		}
 		lits = append(lits, l)
 	}
+	s.litScratch = lits[:0]
 	switch len(lits) {
 	case 0:
 		s.ok = false
@@ -223,7 +271,16 @@ func (s *Solver) addClause(dimacs []int) error {
 		}
 		return nil
 	}
-	s.db = append(s.db, clause{lits: lits})
+	// The clause literals live in the retractable arena (like AddBlock's):
+	// RetractTo reclaims the storage wholesale and restores surviving
+	// arena clauses with one bulk copy.
+	start := len(s.arena)
+	if start+len(lits) > cap(s.arena) {
+		s.growArena(start + len(lits))
+	}
+	s.arena = append(s.arena, lits...)
+	owned := s.arena[start:len(s.arena):len(s.arena)]
+	s.db = append(s.db, clause{lits: owned, scope: s.depth, arenaOff: int32(start)})
 	s.watch(cref(len(s.db) - 1))
 	return nil
 }
@@ -249,6 +306,8 @@ func (s *Solver) AddDIMACSVector(vec []int) error {
 
 func (s *Solver) watch(ci cref) {
 	c := &s.db[ci]
+	s.touchWatch(c.lits[0].neg())
+	s.touchWatch(c.lits[1].neg())
 	s.watches[c.lits[0].neg()] = append(s.watches[c.lits[0].neg()], watcher{ci, c.lits[1]})
 	s.watches[c.lits[1].neg()] = append(s.watches[c.lits[1].neg()], watcher{ci, c.lits[0]})
 	// Lazy heap entry: variables join the decision heap when a clause
@@ -289,6 +348,12 @@ func (s *Solver) enqueue(l lit, from cref) bool {
 	}
 	s.level[v] = s.decisionLevel()
 	s.reason[v] = from
+	if s.level[v] == 0 {
+		// Top-level fact: tag it with the current checkpoint depth (a safe
+		// upper bound on the depth of the clauses that imply it), so
+		// conflict analysis can scope learnt clauses that drop it.
+		s.factScope[v] = s.depth
+	}
 	s.trail = append(s.trail, l)
 	return true
 }
@@ -301,6 +366,9 @@ func (s *Solver) propagate() cref {
 		s.qhead++
 		s.propag++
 		ws := s.watches[p]
+		if len(ws) > 0 {
+			s.touchWatch(p) // the in-place compaction below rewrites it
+		}
 		kept := ws[:0]
 		conflict := crefNil
 		for i := 0; i < len(ws); i++ {
@@ -329,6 +397,7 @@ func (s *Solver) propagate() cref {
 			for k := 2; k < len(c.lits); k++ {
 				if s.valueLit(c.lits[k]) != vFalse {
 					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.touchWatch(c.lits[1].neg())
 					s.watches[c.lits[1].neg()] = append(s.watches[c.lits[1].neg()], watcher{w.c, first})
 					s.order.pushIfAbsent(c.lits[1].varID())
 					found = true
@@ -353,8 +422,16 @@ func (s *Solver) propagate() cref {
 	return crefNil
 }
 
-func (s *Solver) analyze(confl cref) (learnt []lit, backLevel int) {
-	seen := make([]bool, s.nVars+1)
+// analyze derives the first-UIP learnt clause for the conflict. Along the
+// way it computes the clause's checkpoint scope: the maximum scope of every
+// clause resolved on and of every top-level fact whose literal is dropped
+// from the resolvent — the smallest depth whose clause set provably implies
+// the learnt clause, which RetractToReuse uses for retention.
+func (s *Solver) analyze(confl cref) (learnt []lit, backLevel int, scope int32) {
+	if len(s.seenScratch) < s.nVars+1 {
+		s.seenScratch = make([]bool, s.nVars+1)
+	}
+	seen := s.seenScratch
 	counter := 0
 	var p lit
 	learnt = append(learnt, 0) // slot for the asserting literal
@@ -362,10 +439,20 @@ func (s *Solver) analyze(confl cref) (learnt []lit, backLevel int) {
 	first := true
 
 	for {
-		for _, q := range s.db[confl].lits {
+		c := &s.db[confl]
+		if c.scope > scope {
+			scope = c.scope
+		}
+		if c.learnt {
+			s.bumpClause(confl)
+		}
+		for _, q := range c.lits {
 			if first || q != p {
 				v := q.varID()
-				if !seen[v] && s.level[v] > 0 {
+				if seen[v] {
+					continue
+				}
+				if s.level[v] > 0 {
 					seen[v] = true
 					s.bumpVar(v)
 					if s.level[v] >= s.decisionLevel() {
@@ -376,6 +463,11 @@ func (s *Solver) analyze(confl cref) (learnt []lit, backLevel int) {
 							backLevel = s.level[v]
 						}
 					}
+				} else if s.factScope[v] > scope {
+					// The literal is false at level 0 and dropped from the
+					// resolvent, making the learnt clause depend on the
+					// fact's derivation.
+					scope = s.factScope[v]
 				}
 			}
 		}
@@ -394,7 +486,26 @@ func (s *Solver) analyze(confl cref) (learnt []lit, backLevel int) {
 		confl = s.reason[p.varID()]
 	}
 	learnt[0] = p.neg()
-	return learnt, backLevel
+	// Clear the remaining marks (lower-level literals kept in the learnt).
+	for _, q := range learnt[1:] {
+		seen[q.varID()] = false
+	}
+	return learnt, backLevel, scope
+}
+
+// bumpClause increases a learnt clause's activity, rescaling all clause
+// activities when they approach overflow.
+func (s *Solver) bumpClause(ci cref) {
+	c := &s.db[ci]
+	c.act += s.claInc
+	if c.act > 1e20 {
+		for i := range s.db {
+			if s.db[i].learnt {
+				s.db[i].act *= 1e-20
+			}
+		}
+		s.claInc *= 1e-20
+	}
 }
 
 func (s *Solver) bumpVar(v int) {
@@ -478,17 +589,23 @@ func (s *Solver) search(assume []lit) (Status, []bool) {
 				s.ok = false
 				return Unsatisfiable, nil
 			}
-			learnt, back := s.analyze(confl)
+			learnt, back, scope := s.analyze(confl)
 			s.cancelUntil(back)
 			if len(learnt) == 1 {
 				s.enqueue(learnt[0], crefNil)
+				if back == 0 {
+					// enqueue tagged the fact with the current depth; the
+					// analysis knows the exact (possibly lower) scope.
+					s.factScope[learnt[0].varID()] = scope
+				}
 			} else {
-				s.db = append(s.db, clause{lits: learnt, learnt: true})
+				s.db = append(s.db, clause{lits: learnt, learnt: true, scope: scope, arenaOff: -1})
 				ci := cref(len(s.db) - 1)
 				s.watch(ci)
 				s.enqueue(learnt[0], ci)
 			}
 			s.varInc *= 1.0 / 0.95
+			s.claInc *= 1.0 / 0.999
 			if s.Budget > 0 && s.conflicts >= s.Budget {
 				return Unknown, nil
 			}
