@@ -1,0 +1,156 @@
+package monocle_test
+
+// API lock: the exported surface of the public monocle package is pinned
+// to api_golden.txt. Any change to exported types, functions, methods,
+// constants, or variables fails this test until the golden file is
+// regenerated with
+//
+//	go test -run TestAPILock -update-api .
+//
+// making API changes deliberate, reviewed work instead of accidents.
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPI = flag.Bool("update-api", false, "rewrite api_golden.txt with the current exported surface")
+
+const goldenFile = "api_golden.txt"
+
+func TestAPILock(t *testing.T) {
+	got := renderAPI(t)
+	if *updateAPI {
+		if err := os.WriteFile(goldenFile, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d lines)", goldenFile, strings.Count(got, "\n"))
+		return
+	}
+	want, err := os.ReadFile(goldenFile)
+	if err != nil {
+		t.Fatalf("reading %s (regenerate with -update-api): %v", goldenFile, err)
+	}
+	if string(want) == got {
+		return
+	}
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(string(want), "\n")
+	seen := make(map[string]bool, len(wantLines))
+	for _, l := range wantLines {
+		seen[l] = true
+	}
+	for _, l := range gotLines {
+		if l != "" && !seen[l] {
+			t.Errorf("added to public API: %s", l)
+		}
+	}
+	seen = make(map[string]bool, len(gotLines))
+	for _, l := range gotLines {
+		seen[l] = true
+	}
+	for _, l := range wantLines {
+		if l != "" && !seen[l] {
+			t.Errorf("removed from public API: %s", l)
+		}
+	}
+	if t.Failed() {
+		t.Fatalf("public API surface changed; if intended, regenerate %s with -update-api", goldenFile)
+	}
+	t.Fatalf("public API surface reordered; regenerate %s with -update-api", goldenFile)
+}
+
+// renderAPI parses the root package (non-test files) and renders one line
+// per exported symbol, sorted.
+func renderAPI(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["monocle"]
+	if !ok {
+		t.Fatalf("root package monocle not found (got %v)", pkgs)
+	}
+
+	var lines []string
+	add := func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				recv := ""
+				if d.Recv != nil && len(d.Recv.List) == 1 {
+					rt := exprString(fset, d.Recv.List[0].Type)
+					base := strings.TrimPrefix(rt, "*")
+					if !ast.IsExported(base) {
+						continue
+					}
+					recv = "(" + rt + ") "
+				}
+				add("func %s%s%s", recv, d.Name.Name, signatureString(fset, d.Type))
+			case *ast.GenDecl:
+				switch d.Tok {
+				case token.TYPE:
+					for _, spec := range d.Specs {
+						ts := spec.(*ast.TypeSpec)
+						if !ts.Name.IsExported() {
+							continue
+						}
+						eq := ""
+						if ts.Assign != token.NoPos {
+							eq = "= "
+						}
+						add("type %s %s%s", ts.Name.Name, eq, exprString(fset, ts.Type))
+					}
+				case token.CONST, token.VAR:
+					kind := "const"
+					if d.Tok == token.VAR {
+						kind = "var"
+					}
+					for _, spec := range d.Specs {
+						vs := spec.(*ast.ValueSpec)
+						for _, name := range vs.Names {
+							if name.IsExported() {
+								add("%s %s", kind, name.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// signatureString renders a function type's parameter/result lists.
+func signatureString(fset *token.FileSet, ft *ast.FuncType) string {
+	s := exprString(fset, ft)
+	return strings.TrimPrefix(s, "func")
+}
+
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return fmt.Sprintf("<%v>", err)
+	}
+	return buf.String()
+}

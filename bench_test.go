@@ -6,14 +6,16 @@
 //
 // The benchmarks run reduced repetitions/sizes per iteration; the
 // cmd/experiments binary regenerates the full-size tables.
-package repro_test
+package monocle_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"testing"
 	"time"
 
+	"monocle"
 	"monocle/internal/cnf"
 	"monocle/internal/dataset"
 	"monocle/internal/experiments"
@@ -351,6 +353,73 @@ func BenchmarkSessionCacheOffEpochSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		benchChurn(tb, rules, i)
 		gen.GenerateAll(context.Background(), tb, 0)
+	}
+}
+
+// buildFleet assembles the BenchmarkFleetSweep workload: n switches with
+// `rules` ACL rules each (per-switch table variants), under one worker
+// budget.
+func buildFleet(b *testing.B, n, rules, workers int) *monocle.Fleet {
+	fleet := monocle.NewFleet(monocle.WithWorkers(workers))
+	p := dataset.Stanford()
+	p.Rules = rules
+	for id := uint32(1); id <= uint32(n); id++ {
+		pv := p
+		pv.Seed = int64(id) * 104729
+		v, err := fleet.AddSwitch(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, tableRules := dataset.Generate(pv)
+		if err := v.Install(tableRules...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return fleet
+}
+
+// BenchmarkFleetSweep is the sharded multi-switch sweep service workload:
+// 8 switches x 200 rules swept through one Fleet per iteration, for
+// several fleet-wide worker budgets (0 = all CPUs). The first sweep of an
+// iteration compiles each member's table library; steady-state re-sweeps
+// are measured by BenchmarkFleetResweep.
+func BenchmarkFleetSweep(b *testing.B) {
+	for _, workers := range []int{1, 4, 0} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				fleet := buildFleet(b, 8, 200, workers)
+				b.StartTimer()
+				if n := len(fleet.Sweep(context.Background())); n != 8*200 {
+					b.Fatalf("swept %d results", n)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFleetResweep measures the steady-state cadence of the sweep
+// service: tables already compiled, one rule of one member churning per
+// iteration, whole fleet re-swept through the epoch-aware caches.
+func BenchmarkFleetResweep(b *testing.B) {
+	fleet := buildFleet(b, 8, 200, 0)
+	fleet.Sweep(context.Background()) // compile + prewarm
+	victim, _ := fleet.Verifier(1)
+	rules := victim.Rules()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := rules[i%len(rules)]
+		if _, err := victim.Delete(r.ID); err != nil && !errors.Is(err, monocle.ErrUnmonitorable) {
+			b.Fatal(err)
+		}
+		if err := victim.Install(r); err != nil {
+			b.Fatal(err)
+		}
+		if n := len(fleet.Sweep(context.Background())); n != 8*200 {
+			b.Fatalf("swept %d results", n)
+		}
 	}
 }
 

@@ -1,20 +1,34 @@
-// Command monocle runs one Monocle Monitor proxy over real TCP OpenFlow
-// 1.0 connections, as in the paper's deployment: the SDN controller
-// connects to the proxy's listen address, the proxy dials the switch, and
-// every message is intercepted by the Monitor state machine — FlowMods
-// update the expected table and trigger dynamic probe monitoring; steady
-// state cycling can be enabled with -steady.
+// Command monocle runs Monocle proxy Monitors over real TCP OpenFlow 1.0
+// connections, as in the paper's deployment: for each monitored switch the
+// SDN controller connects to a proxy listen address, the proxy dials the
+// switch, and every message is intercepted by that switch's Monitor state
+// machine — FlowMods update the expected table and trigger dynamic probe
+// monitoring; steady-state cycling can be enabled with -steady.
 //
-// One proxy instance monitors one switch (§7: each Monocle proxy is
-// responsible for a single switch-controller connection). The probe tag
-// value and the peer map describing which switch id sits behind each port
-// come from flags.
+// Single-switch mode mirrors the paper's one-proxy-per-switch deployment
+// (§7):
 //
 //	monocle -listen :16653 -switch 10.0.0.5:6653 -id 3 \
 //	        -peers 1=5,2=7 -steady
+//
+// Fleet mode drives N switches through one monocle.Fleet in a single
+// process: every Monitor shares one event loop and one probe-routing
+// Multiplexer, so probes caught at any member switch are routed back to
+// their owner — which a process-per-switch deployment cannot do. Specs
+// are semicolon-separated; within a spec the peer map uses ':' pairs:
+//
+//	monocle -fleet "id=1,listen=:16653,switch=10.0.0.5:6653,peers=1:2 2:3;\
+//	                id=2,listen=:16654,switch=10.0.0.6:6653,peers=1:1" \
+//	        -steady -sweep 30s
+//
+// With -sweep, the fleet periodically sweeps every expected table through
+// the shared worker budget and emits one ResultRecord JSON line per rule
+// on stdout (the same stream format as `probegen -json`).
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -24,23 +38,21 @@ import (
 	"strings"
 	"time"
 
-	"monocle/internal/flowtable"
-	"monocle/internal/monocle"
-	"monocle/internal/openflow"
-	"monocle/internal/sim"
+	"monocle"
 )
 
-// rtLoop drives a sim.Sim in wall-clock time: external events are posted
-// through a channel, timers fire when their virtual due time passes. The
-// Monitor state machine itself stays single-threaded inside the loop.
+// rtLoop drives a monocle.Sim in wall-clock time: external events are
+// posted through a channel, timers fire when their virtual due time
+// passes. All Monitor state machines stay single-threaded inside the
+// loop, satisfying the Multiplexer's event-loop contract.
 type rtLoop struct {
-	s     *sim.Sim
+	s     *monocle.Sim
 	ch    chan func()
 	start time.Time
 }
 
 func newRTLoop() *rtLoop {
-	return &rtLoop{s: sim.New(), ch: make(chan func(), 1024), start: time.Now()}
+	return &rtLoop{s: monocle.NewSim(), ch: make(chan func(), 1024), start: time.Now()}
 }
 
 // post queues fn onto the loop thread.
@@ -69,45 +81,157 @@ func (l *rtLoop) run() {
 	}
 }
 
+// switchSpec is one monitored switch's configuration.
+type switchSpec struct {
+	id     uint32
+	listen string
+	swAddr string
+	peers  map[monocle.PortID]uint32
+	tag    uint64
+}
+
+// parsePeerPairs parses port/switchID pairs (one per element, split on
+// kvSep) into a peer map.
+func parsePeerPairs(pairs []string, kvSep string) (map[monocle.PortID]uint32, error) {
+	peers := map[monocle.PortID]uint32{}
+	for _, kv := range pairs {
+		parts := strings.SplitN(kv, kvSep, 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad peers entry %q", kv)
+		}
+		p, err1 := strconv.ParseUint(parts[0], 10, 16)
+		sw, err2 := strconv.ParseUint(parts[1], 10, 32)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad peers entry %q", kv)
+		}
+		peers[monocle.PortID(p)] = uint32(sw)
+	}
+	return peers, nil
+}
+
+// parsePeers parses the single-switch -peers flag (comma-separated
+// port=switchID pairs).
+func parsePeers(s string) (map[monocle.PortID]uint32, error) {
+	if s == "" {
+		return map[monocle.PortID]uint32{}, nil
+	}
+	return parsePeerPairs(strings.Split(s, ","), "=")
+}
+
+// parseFleet parses the -fleet spec list. Within one spec, fields are
+// comma-separated key=value pairs; the peers value holds space- or
+// colon-pair-separated port=switch entries (e.g. "peers=1:5 2:7" or
+// "peers=1:5").
+func parseFleet(s string) ([]switchSpec, error) {
+	var specs []switchSpec
+	for _, raw := range strings.Split(s, ";") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		spec := switchSpec{peers: map[monocle.PortID]uint32{}}
+		for _, kv := range strings.Split(raw, ",") {
+			parts := strings.SplitN(strings.TrimSpace(kv), "=", 2)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("bad fleet entry %q", kv)
+			}
+			key, val := parts[0], parts[1]
+			switch key {
+			case "id":
+				id, err := strconv.ParseUint(val, 10, 32)
+				if err != nil {
+					return nil, fmt.Errorf("bad fleet id %q", val)
+				}
+				spec.id = uint32(id)
+			case "listen":
+				spec.listen = val
+			case "switch":
+				spec.swAddr = val
+			case "tag":
+				tag, err := strconv.ParseUint(val, 10, 32)
+				if err != nil {
+					return nil, fmt.Errorf("bad fleet tag %q", val)
+				}
+				spec.tag = tag
+			case "peers":
+				pm, err := parsePeerPairs(strings.Fields(val), ":")
+				if err != nil {
+					return nil, fmt.Errorf("fleet %w", err)
+				}
+				for p, sw := range pm {
+					spec.peers[p] = sw
+				}
+			default:
+				return nil, fmt.Errorf("unknown fleet key %q", key)
+			}
+		}
+		if spec.id == 0 || spec.listen == "" || spec.swAddr == "" {
+			return nil, fmt.Errorf("fleet spec %q needs id, listen, and switch", raw)
+		}
+		specs = append(specs, spec)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("-fleet given but no specs parsed")
+	}
+	return specs, nil
+}
+
 func main() {
 	var (
-		listen   = flag.String("listen", ":16653", "controller-side listen address")
-		swAddr   = flag.String("switch", "127.0.0.1:6653", "switch address to dial")
-		id       = flag.Uint("id", 1, "this switch's Monocle identifier / probe tag")
+		listen   = flag.String("listen", ":16653", "controller-side listen address (single-switch mode)")
+		swAddr   = flag.String("switch", "127.0.0.1:6653", "switch address to dial (single-switch mode)")
+		id       = flag.Uint("id", 1, "this switch's Monocle identifier / probe tag (single-switch mode)")
 		peers    = flag.String("peers", "", "port=switchID map, e.g. 1=5,2=7 (ports without entries are treated as edge ports)")
+		fleet    = flag.String("fleet", "", "multi-switch specs 'id=..,listen=..,switch=..[,peers=p:s ...][,tag=..];...' (overrides the single-switch flags)")
 		steady   = flag.Bool("steady", false, "enable steady-state monitoring of all proxied rules")
 		rate     = flag.Float64("rate", 500, "steady-state probe rate (probes/s)")
+		sweep    = flag.Duration("sweep", 0, "fleet sweep interval; emits ResultRecord JSON lines on stdout (0 disables)")
+		workers  = flag.Int("workers", 0, "solver-worker budget shared by fleet sweeps (0 = all CPUs)")
 		reserved = flag.String("reserved", "", "comma-separated reserved tag values; prints the catching FlowMods for this switch and exits")
 	)
 	flag.Parse()
 
-	cfg := monocle.DefaultConfig(uint32(*id))
-	cfg.ProbeRate = *rate
-	cfg.PortPeer = map[flowtable.PortID]uint32{}
-	if *peers != "" {
-		for _, kv := range strings.Split(*peers, ",") {
-			parts := strings.SplitN(kv, "=", 2)
-			if len(parts) != 2 {
-				log.Fatalf("bad -peers entry %q", kv)
-			}
-			p, err1 := strconv.ParseUint(parts[0], 10, 16)
-			s, err2 := strconv.ParseUint(parts[1], 10, 32)
-			if err1 != nil || err2 != nil {
-				log.Fatalf("bad -peers entry %q", kv)
-			}
-			cfg.PortPeer[flowtable.PortID(p)] = uint32(s)
-			cfg.Ports = append(cfg.Ports, flowtable.PortID(p))
+	specs := []switchSpec{}
+	if *fleet != "" {
+		fs, err := parseFleet(*fleet)
+		if err != nil {
+			log.Fatalf("parsing -fleet: %v", err)
 		}
-	}
-	cfg.OnAlarm = func(ruleID uint64, at sim.Time) {
-		log.Printf("ALARM: rule %d misbehaving in the data plane (t=%v)", ruleID, at)
-	}
-	cfg.OnRuleConfirmed = func(ruleID uint64, at sim.Time) {
-		log.Printf("confirmed: rule %d is in the data plane (t=%v)", ruleID, at)
+		specs = fs
+	} else {
+		pm, err := parsePeers(*peers)
+		if err != nil {
+			log.Fatalf("parsing -peers: %v", err)
+		}
+		specs = append(specs, switchSpec{
+			id: uint32(*id), listen: *listen, swAddr: *swAddr, peers: pm,
+		})
 	}
 
 	loop := newRTLoop()
-	mon := monocle.New(loop.s, cfg)
+	fl := monocle.NewFleet(monocle.WithWorkers(*workers))
+	monitors := make([]*monocle.Monitor, len(specs))
+	for i, spec := range specs {
+		opts := []monocle.Option{
+			monocle.WithProbeRate(*rate),
+			monocle.WithPeers(spec.peers),
+		}
+		if spec.tag != 0 {
+			opts = append(opts, monocle.WithProbeTag(spec.tag))
+		}
+		cfg := monocle.NewMonitorConfig(spec.id, opts...)
+		cfg.OnAlarm = func(ruleID uint64, at monocle.Time) {
+			log.Printf("S%d ALARM: rule %d misbehaving in the data plane (t=%v)", spec.id, ruleID, at)
+		}
+		cfg.OnRuleConfirmed = func(ruleID uint64, at monocle.Time) {
+			log.Printf("S%d confirmed: rule %d is in the data plane (t=%v)", spec.id, ruleID, at)
+		}
+		mon, err := fl.AttachMonitor(loop.s, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		monitors[i] = mon
+	}
 
 	if *reserved != "" {
 		var vals []uint32
@@ -118,63 +242,98 @@ func main() {
 			}
 			vals = append(vals, uint32(x))
 		}
-		for _, r := range mon.CatchRules(vals) {
-			fmt.Printf("catch rule: %v\n", r)
+		for _, mon := range monitors {
+			for _, r := range mon.CatchRules(vals) {
+				fmt.Printf("S%d catch rule: %v\n", mon.Cfg.SwitchID, r)
+			}
 		}
 		os.Exit(0)
 	}
 
-	// Dial the switch.
-	swConn, err := net.Dial("tcp", *swAddr)
-	if err != nil {
-		log.Fatalf("dialing switch: %v", err)
+	// Each switch dials/accepts on its own goroutine (controllers may
+	// connect in any order); callback wiring is posted onto the event
+	// loop so Monitor state is only ever touched from the loop thread.
+	for i := range specs {
+		go wireSwitch(loop, specs[i], monitors[i], *steady)
 	}
-	log.Printf("connected to switch %s", *swAddr)
 
-	// Accept exactly one controller connection.
-	ln, err := net.Listen("tcp", *listen)
-	if err != nil {
-		log.Fatalf("listen: %v", err)
+	if *sweep > 0 {
+		startFleetSweeps(loop, fl, *sweep)
 	}
-	log.Printf("waiting for controller on %s", *listen)
+	loop.run()
+}
+
+// wireSwitch dials the switch, accepts the controller connection, and
+// wires the Monitor's message callbacks; reader goroutines post every
+// received message onto the shared event loop.
+func wireSwitch(loop *rtLoop, spec switchSpec, mon *monocle.Monitor, steady bool) {
+	swConn, err := net.Dial("tcp", spec.swAddr)
+	if err != nil {
+		log.Fatalf("S%d: dialing switch: %v", spec.id, err)
+	}
+	log.Printf("S%d: connected to switch %s", spec.id, spec.swAddr)
+
+	ln, err := net.Listen("tcp", spec.listen)
+	if err != nil {
+		log.Fatalf("S%d: listen: %v", spec.id, err)
+	}
+	log.Printf("S%d: waiting for controller on %s", spec.id, spec.listen)
 	ctrlConn, err := ln.Accept()
 	if err != nil {
-		log.Fatalf("accept: %v", err)
+		log.Fatalf("S%d: accept: %v", spec.id, err)
 	}
-	log.Printf("controller connected from %s", ctrlConn.RemoteAddr())
+	log.Printf("S%d: controller connected from %s", spec.id, ctrlConn.RemoteAddr())
 
-	mon.ToSwitch = func(msg openflow.Message, xid uint32) {
-		if err := openflow.WriteMessage(swConn, msg, xid); err != nil {
-			log.Fatalf("write to switch: %v", err)
+	loop.post(func() {
+		mon.ToSwitch = func(msg monocle.Message, xid uint32) {
+			if err := monocle.WriteMessage(swConn, msg, xid); err != nil {
+				log.Fatalf("S%d: write to switch: %v", spec.id, err)
+			}
 		}
-	}
-	mon.ToController = func(msg openflow.Message, xid uint32) {
-		if err := openflow.WriteMessage(ctrlConn, msg, xid); err != nil {
-			log.Fatalf("write to controller: %v", err)
+		mon.ToController = func(msg monocle.Message, xid uint32) {
+			if err := monocle.WriteMessage(ctrlConn, msg, xid); err != nil {
+				log.Fatalf("S%d: write to controller: %v", spec.id, err)
+			}
 		}
-	}
-	if *steady {
-		loop.post(mon.StartSteadyState)
-	}
+		if steady {
+			mon.StartSteadyState()
+		}
+	})
 
-	// Reader goroutines post into the event loop.
 	go func() {
 		for {
-			msg, xid, err := openflow.ReadMessage(ctrlConn)
+			msg, xid, err := monocle.ReadMessage(ctrlConn)
 			if err != nil {
-				log.Fatalf("controller read: %v", err)
+				log.Fatalf("S%d: controller read: %v", spec.id, err)
 			}
 			loop.post(func() { mon.OnControllerMessage(msg, xid) })
 		}
 	}()
 	go func() {
 		for {
-			msg, xid, err := openflow.ReadMessage(swConn)
+			msg, xid, err := monocle.ReadMessage(swConn)
 			if err != nil {
-				log.Fatalf("switch read: %v", err)
+				log.Fatalf("S%d: switch read: %v", spec.id, err)
 			}
 			loop.post(func() { mon.OnSwitchMessage(msg, xid) })
 		}
 	}()
-	loop.run()
+}
+
+// startFleetSweeps emits ResultRecord JSON lines for every member's
+// expected table at the given cadence. Sweeps run on the event-loop
+// thread (the monitors' single-threaded contract); the solver fan-out
+// inside each sweep still uses the fleet worker budget.
+func startFleetSweeps(loop *rtLoop, fl *monocle.Fleet, every time.Duration) {
+	enc := json.NewEncoder(os.Stdout)
+	var tick func()
+	tick = func() {
+		for _, ev := range fl.Sweep(context.Background()) {
+			if err := enc.Encode(ev.Record()); err != nil {
+				log.Fatalf("sweep encode: %v", err)
+			}
+		}
+		time.AfterFunc(every, func() { loop.post(tick) })
+	}
+	time.AfterFunc(every, func() { loop.post(tick) })
 }

@@ -1,7 +1,9 @@
 // Command probegen generates data plane probes offline: it loads a flow
 // table description from JSON, runs the Monocle probe generator for every
 // rule (or one selected rule), and prints the probe header, the expected
-// outcomes, and solver statistics.
+// outcomes, and solver statistics. With -json it emits one ResultRecord
+// object per line, the stream format the fleet sweep service and scripts
+// consume.
 //
 // JSON input format (array of rules):
 //
@@ -28,9 +30,7 @@ import (
 	"strings"
 	"time"
 
-	"monocle/internal/flowtable"
-	"monocle/internal/header"
-	"monocle/internal/probe"
+	"monocle"
 )
 
 type jsonAction struct {
@@ -47,22 +47,22 @@ type jsonRule struct {
 	Actions  []jsonAction      `json:"actions"`
 }
 
-var fieldByName = map[string]header.FieldID{}
+var fieldByName = map[string]monocle.FieldID{}
 
 func init() {
-	for f := header.FieldID(0); f < header.NumFields; f++ {
+	for f := monocle.FieldID(0); f < monocle.NumFields; f++ {
 		fieldByName[f.String()] = f
 	}
 }
 
-func parseMatch(m map[string]string) (flowtable.Match, error) {
-	out := flowtable.MatchAll()
+func parseMatch(m map[string]string) (monocle.Match, error) {
+	out := monocle.MatchAll()
 	for name, val := range m {
 		f, ok := fieldByName[name]
 		if !ok {
 			return out, fmt.Errorf("unknown field %q", name)
 		}
-		if (f == header.IPSrc || f == header.IPDst) && strings.Contains(val, "/") {
+		if (f == monocle.IPSrc || f == monocle.IPDst) && strings.Contains(val, "/") {
 			parts := strings.SplitN(val, "/", 2)
 			ip, err := parseIP(parts[0])
 			if err != nil {
@@ -72,7 +72,7 @@ func parseMatch(m map[string]string) (flowtable.Match, error) {
 			if err != nil {
 				return out, err
 			}
-			out = out.With(f, header.Prefix(f, ip, plen))
+			out = out.With(f, monocle.Prefix(f, ip, plen))
 			continue
 		}
 		var v uint64
@@ -113,28 +113,28 @@ func parseIP(s string) (uint64, error) {
 	return v, nil
 }
 
-func toRule(jr jsonRule) (*flowtable.Rule, error) {
+func toRule(jr jsonRule) (*monocle.Rule, error) {
 	m, err := parseMatch(jr.Match)
 	if err != nil {
 		return nil, err
 	}
-	r := &flowtable.Rule{ID: jr.ID, Priority: jr.Priority, Match: m}
+	r := &monocle.Rule{ID: jr.ID, Priority: jr.Priority, Match: m}
 	for _, a := range jr.Actions {
 		switch {
 		case a.Output != nil:
-			r.Actions = append(r.Actions, flowtable.Output(flowtable.PortID(*a.Output)))
+			r.Actions = append(r.Actions, monocle.Output(monocle.PortID(*a.Output)))
 		case len(a.ECMP) > 0:
-			ports := make([]flowtable.PortID, len(a.ECMP))
+			ports := make([]monocle.PortID, len(a.ECMP))
 			for i, p := range a.ECMP {
-				ports[i] = flowtable.PortID(p)
+				ports[i] = monocle.PortID(p)
 			}
-			r.Actions = append(r.Actions, flowtable.ECMP(ports...))
+			r.Actions = append(r.Actions, monocle.ECMP(ports...))
 		case a.Set != "":
 			f, ok := fieldByName[a.Set]
 			if !ok {
 				return nil, fmt.Errorf("unknown set field %q", a.Set)
 			}
-			r.Actions = append(r.Actions, flowtable.SetField(f, a.Value))
+			r.Actions = append(r.Actions, monocle.SetField(f, a.Value))
 		default:
 			return nil, fmt.Errorf("empty action entry")
 		}
@@ -144,12 +144,13 @@ func toRule(jr jsonRule) (*flowtable.Rule, error) {
 
 func main() {
 	var (
-		in      = flag.String("in", "-", "JSON rule file ('-' = stdin)")
-		ruleID  = flag.Uint64("rule", 0, "generate for this rule id only (0 = all)")
-		tag     = flag.Uint64("tag", 1, "probe tag value (Collect constraint on dl_vlan)")
-		miss    = flag.String("miss", "drop", "table-miss behaviour: drop|controller")
-		stats   = flag.Bool("stats", false, "sweep with the incremental clustered engine and report per-worker solver statistics")
-		workers = flag.Int("workers", 0, "worker count for -stats sweeps (0 = all CPUs)")
+		in       = flag.String("in", "-", "JSON rule file ('-' = stdin)")
+		ruleID   = flag.Uint64("rule", 0, "generate for this rule id only (0 = all)")
+		tag      = flag.Uint64("tag", 1, "probe tag value (Collect constraint on dl_vlan)")
+		miss     = flag.String("miss", "drop", "table-miss behaviour: drop|controller")
+		stats    = flag.Bool("stats", false, "sweep with the incremental clustered engine and report per-worker solver statistics")
+		workers  = flag.Int("workers", 0, "worker count for -stats/-json sweeps (0 = all CPUs)")
+		jsonMode = flag.Bool("json", false, "emit one ResultRecord JSON object per line (stream format of the fleet sweep service)")
 	)
 	flag.Parse()
 
@@ -167,42 +168,55 @@ func main() {
 	if err := json.Unmarshal(data, &jrs); err != nil {
 		fatal(fmt.Errorf("parsing rules: %w", err))
 	}
-	tb := flowtable.New()
-	if *miss == "controller" {
-		tb.Miss = flowtable.MissController
+
+	opts := []monocle.Option{
+		monocle.WithProbeTag(*tag),
+		monocle.WithWorkers(*workers),
 	}
-	var rules []*flowtable.Rule
+	if *miss == "controller" {
+		opts = append(opts, monocle.WithTableMiss(monocle.MissController))
+	}
+	v, err := monocle.NewVerifier(opts...)
+	if err != nil {
+		fatal(err)
+	}
+	var rules []*monocle.Rule
 	for i, jr := range jrs {
 		r, err := toRule(jr)
 		if err != nil {
 			fatal(fmt.Errorf("rule %d: %w", i, err))
 		}
-		if err := tb.Insert(r); err != nil {
+		if err := v.Install(r); err != nil {
 			fatal(err)
 		}
 		rules = append(rules, r)
 	}
 
-	gen := probe.NewGenerator(probe.Config{
-		Collect:       flowtable.MatchAll().WithExact(header.VlanID, *tag),
-		ValidateModel: true,
-	})
-	if *stats {
+	switch {
+	case *jsonMode:
+		sweepJSON(v, *ruleID)
+	case *stats:
 		if *ruleID != 0 {
 			fatal(errors.New("-stats sweeps the whole table; drop -rule"))
 		}
-		sweepWithStats(gen, tb, *workers)
-		return
+		sweepWithStats(v)
+	default:
+		perRule(v, rules, *ruleID)
 	}
+}
+
+// perRule is the classic human-readable mode: one generation per rule
+// through the verifier's cached session, with wall times.
+func perRule(v *monocle.Verifier, rules []*monocle.Rule, ruleID uint64) {
 	found, unmon := 0, 0
 	for _, r := range rules {
-		if *ruleID != 0 && r.ID != *ruleID {
+		if ruleID != 0 && r.ID != ruleID {
 			continue
 		}
 		start := time.Now()
-		p, err := gen.Generate(tb, r)
+		p, err := v.ProbeFor(r.ID)
 		el := time.Since(start)
-		if errors.Is(err, probe.ErrUnmonitorable) {
+		if errors.Is(err, monocle.ErrUnmonitorable) {
 			unmon++
 			fmt.Printf("rule %d: UNMONITORABLE (%v)\n", r.ID, el.Round(time.Microsecond))
 			continue
@@ -217,15 +231,49 @@ func main() {
 	fmt.Printf("probes found: %d, unmonitorable: %d\n", found, unmon)
 }
 
+// sweepJSON emits one ResultRecord per line for the whole table (or just
+// the selected rule), the stream format scripts and the fleet service
+// parse.
+func sweepJSON(v *monocle.Verifier, ruleID uint64) {
+	enc := json.NewEncoder(os.Stdout)
+	emit := func(res monocle.ProbeResult) {
+		if res.Err != nil && !errors.Is(res.Err, monocle.ErrUnmonitorable) {
+			fatal(fmt.Errorf("rule %d: %w", res.Rule.ID, res.Err))
+		}
+		if err := enc.Encode(monocle.NewResultRecord(0, 0, res)); err != nil {
+			fatal(err)
+		}
+	}
+	if ruleID != 0 {
+		// Single rule: one generation, not a whole-table sweep.
+		var rule *monocle.Rule
+		for _, r := range v.Rules() {
+			if r.ID == ruleID {
+				rule = r
+				break
+			}
+		}
+		if rule == nil {
+			fatal(fmt.Errorf("rule %d: %w", ruleID, monocle.ErrNotFound))
+		}
+		p, err := v.ProbeFor(ruleID)
+		emit(monocle.ProbeResult{Rule: rule, Probe: p, Err: err})
+		return
+	}
+	for _, res := range v.Sweep(context.Background()) {
+		emit(res)
+	}
+}
+
 // sweepWithStats runs the whole table through the incremental clustered
 // batch engine and reports what each worker's solver did.
-func sweepWithStats(gen *probe.Generator, tb *flowtable.Table, workers int) {
+func sweepWithStats(v *monocle.Verifier) {
 	start := time.Now()
-	results, ws := gen.GenerateAllStats(context.Background(), tb, workers)
+	results, ws := v.SweepStats(context.Background())
 	wall := time.Since(start)
 	found, unmon := 0, 0
 	for _, res := range results {
-		if errors.Is(res.Err, probe.ErrUnmonitorable) {
+		if errors.Is(res.Err, monocle.ErrUnmonitorable) {
 			unmon++
 			fmt.Printf("rule %d: UNMONITORABLE\n", res.Rule.ID)
 			continue
@@ -239,7 +287,7 @@ func sweepWithStats(gen *probe.Generator, tb *flowtable.Table, workers int) {
 	fmt.Printf("probes found: %d, unmonitorable: %d, wall=%v\n", found, unmon, wall.Round(time.Microsecond))
 	fmt.Printf("%-8s %8s %10s %12s %14s %12s\n",
 		"worker", "rules", "clusters", "decisions", "propagations", "conflicts")
-	var tot probe.WorkerStats
+	var tot monocle.WorkerStats
 	for _, w := range ws {
 		fmt.Printf("%-8d %8d %10d %12d %14d %12d\n",
 			w.Worker, w.Rules, w.Clusters, w.Decisions, w.Propagations, w.Conflicts)
@@ -253,7 +301,7 @@ func sweepWithStats(gen *probe.Generator, tb *flowtable.Table, workers int) {
 		"total", tot.Rules, tot.Clusters, tot.Decisions, tot.Propagations, tot.Conflicts)
 }
 
-func printProbe(id uint64, p *probe.Probe) {
+func printProbe(id uint64, p *monocle.Probe) {
 	fmt.Printf("rule %d: probe %s\n", id, p.Header)
 	fmt.Printf("         present: %s\n", describeOutcome(p.Present))
 	fmt.Printf("         absent:  %s\n", describeOutcome(p.Absent))
@@ -261,7 +309,7 @@ func printProbe(id uint64, p *probe.Probe) {
 		p.Stats.Vars, p.Stats.Clauses, p.Stats.Overlapping)
 }
 
-func describeOutcome(o probe.Outcome) string {
+func describeOutcome(o monocle.Outcome) string {
 	if o.Drop {
 		return "dropped (negative probing)"
 	}

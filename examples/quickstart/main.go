@@ -1,64 +1,56 @@
-// Quickstart: the smallest end-to-end Monocle scenario, all in-process.
+// Quickstart: the smallest end-to-end Monocle scenario, all in-process,
+// importing only the public `monocle` package.
 //
 // A monitored switch S2 sits between S1 and S3 (the catchers). A
 // controller installs three forwarding rules through the Monocle proxy,
-// each is verified in the data plane by SAT-generated probes, steady-state
-// monitoring starts, and then we silently remove one rule from the data
-// plane — the failure the control plane cannot see. Monocle raises an
-// alarm within its 150 ms detection timeout plus the probing-cycle
-// position.
+// each is verified in the data plane by SAT-generated probes
+// (single-switch dynamic-update verification), steady-state monitoring
+// starts, and then we silently remove one rule from the data plane — the
+// failure the control plane cannot see. Monocle raises an alarm within
+// its 150 ms detection timeout plus the probing-cycle position.
 package main
 
 import (
 	"fmt"
 	"time"
 
-	"monocle/internal/flowtable"
-	"monocle/internal/header"
-	"monocle/internal/monocle"
-	"monocle/internal/openflow"
-	"monocle/internal/sim"
-	"monocle/internal/switchsim"
+	"monocle"
 )
 
 func main() {
-	s := sim.New()
+	s := monocle.NewSim()
 	mux := monocle.NewMultiplexer()
 
 	// Line topology: S1 <-> S2 <-> S3.
-	sw := make([]*switchsim.Switch, 4) // 1-indexed
+	sw := make([]*monocle.SimSwitch, 4) // 1-indexed
 	for i := 1; i <= 3; i++ {
-		sw[i] = switchsim.New(uint32(i), s, switchsim.HP5406zl(), int64(i))
+		sw[i] = monocle.NewSimSwitch(uint32(i), s, monocle.ProfileHP5406zl(), int64(i))
 	}
-	switchsim.Connect(sw[1], 1, sw[2], 1, 100*time.Microsecond)
-	switchsim.Connect(sw[2], 2, sw[3], 1, 100*time.Microsecond)
+	monocle.ConnectSwitches(sw[1], 1, sw[2], 1, 100*time.Microsecond)
+	monocle.ConnectSwitches(sw[2], 2, sw[3], 1, 100*time.Microsecond)
 
 	// Monitors: every switch gets one (neighbours act as probe catchers).
 	mons := make([]*monocle.Monitor, 4)
-	peers := map[int]map[flowtable.PortID]uint32{
+	peers := map[int]map[monocle.PortID]uint32{
 		1: {1: 2}, 2: {1: 1, 2: 3}, 3: {1: 2},
 	}
 	for i := 1; i <= 3; i++ {
-		cfg := monocle.DefaultConfig(uint32(i))
-		cfg.PortPeer = peers[i]
-		for p := range peers[i] {
-			cfg.Ports = append(cfg.Ports, p)
-		}
+		cfg := monocle.NewMonitorConfig(uint32(i), monocle.WithPeers(peers[i]))
 		if i == 2 {
-			cfg.OnAlarm = func(ruleID uint64, at sim.Time) {
+			cfg.OnAlarm = func(ruleID uint64, at monocle.Time) {
 				fmt.Printf("[%8v] ALARM: rule %d missing from the data plane!\n", at.Round(time.Millisecond), ruleID)
 			}
-			cfg.OnRuleConfirmed = func(ruleID uint64, at sim.Time) {
+			cfg.OnRuleConfirmed = func(ruleID uint64, at monocle.Time) {
 				fmt.Printf("[%8v] confirmed: rule %d verified in the data plane\n", at.Round(time.Millisecond), ruleID)
 			}
 		}
-		mon := monocle.New(s, cfg)
+		mon := monocle.NewMonitor(s, cfg)
 		mux.Register(mon)
 		mons[i] = mon
 		this := sw[i]
-		mon.ToSwitch = func(msg openflow.Message, xid uint32) { this.FromController(msg, xid) }
-		this.ToController = func(msg openflow.Message, xid uint32) { mon.OnSwitchMessage(msg, xid) }
-		mon.ToController = func(openflow.Message, uint32) {}
+		mon.ToSwitch = func(msg monocle.Message, xid uint32) { this.FromController(msg, xid) }
+		this.ToController = func(msg monocle.Message, xid uint32) { mon.OnSwitchMessage(msg, xid) }
+		mon.ToController = func(monocle.Message, uint32) {}
 		// Catching rules (reserved tag values 1..3, one per switch).
 		for _, cr := range mon.CatchRules([]uint32{1, 2, 3}) {
 			if err := mon.Preinstall(cr); err != nil {
@@ -73,17 +65,17 @@ func main() {
 	// The "controller": install three flows on S2 through the proxy.
 	fmt.Println("installing 3 rules through the Monocle proxy...")
 	for i := 0; i < 3; i++ {
-		m := flowtable.MatchAll().
-			WithExact(header.EthType, header.EthTypeIPv4).
-			WithExact(header.IPSrc, uint64(10<<24|i+1))
-		wm, err := openflow.FromMatch(m)
+		m := monocle.MatchAll().
+			WithExact(monocle.EthType, monocle.EthTypeIPv4).
+			WithExact(monocle.IPSrc, uint64(10<<24|i+1))
+		wm, err := monocle.FromMatch(m)
 		if err != nil {
 			panic(err)
 		}
-		mons[2].OnControllerMessage(&openflow.FlowMod{
-			Match: wm, Cookie: uint64(100 + i), Command: openflow.FCAdd,
-			Priority: 10, BufferID: openflow.BufferNone, OutPort: openflow.PortNone,
-			Actions: []openflow.Action{openflow.OutputAction(2)},
+		mons[2].OnControllerMessage(&monocle.FlowMod{
+			Match: wm, Cookie: uint64(100 + i), Command: monocle.FCAdd,
+			Priority: 10, BufferID: monocle.BufferNone, OutPort: monocle.PortNone,
+			Actions: []monocle.WireAction{monocle.OutputAction(2)},
 		}, uint32(i))
 	}
 	s.RunUntil(2 * time.Second)

@@ -1,0 +1,269 @@
+package monocle
+
+// Fleet: the sharded multi-switch sweep service. The paper deploys one
+// Monocle proxy per switch-controller connection (§7); a production
+// deployment monitors a fleet. Fleet owns one Verifier per member switch,
+// shards a bounded solver-worker budget across concurrent per-switch
+// sweeps, and streams the per-rule results over a context-aware channel.
+// It can also host the proxy Monitors of a live deployment, wired through
+// one shared Multiplexer so probes caught at any member switch route back
+// to their owner.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	imon "monocle/internal/monocle"
+)
+
+// Fleet verifies a fleet of switches. Members are added with AddSwitch
+// (offline/sweep verification) or AttachMonitor (live proxy monitoring);
+// Sweep, Stream, and Serve run steady-state probe generation across every
+// member under the fleet-wide worker budget (WithWorkers).
+//
+// Fleet is safe for concurrent use, with one carve-out: members attached
+// via AttachMonitor are swept on the calling goroutine, which must be the
+// monitors' event-loop thread (see Multiplexer's contract).
+type Fleet struct {
+	set settings
+
+	mu      sync.Mutex
+	members []*fleetMember
+	byID    map[uint32]*fleetMember
+	mux     *imon.Multiplexer
+}
+
+// fleetMember is one monitored switch: verifier-backed (AddSwitch) or
+// monitor-backed (AttachMonitor).
+type fleetMember struct {
+	id  uint32
+	v   *Verifier
+	mon *imon.Monitor
+}
+
+// SweepEvent is one per-rule result streamed from a fleet sweep.
+type SweepEvent struct {
+	// SwitchID identifies the member switch the result belongs to.
+	SwitchID uint32
+	// Epoch is the member's table-change epoch the probe was generated
+	// against; results from superseded epochs can be discarded.
+	Epoch uint64
+	// Result carries the rule, the generated probe, and the error, if
+	// any (ErrUnmonitorable, a context error, or an internal failure).
+	Result ProbeResult
+}
+
+// NewFleet returns an empty fleet. WithWorkers bounds the total solver
+// budget its sweeps use; WithSteadyInterval paces Serve.
+func NewFleet(opts ...Option) *Fleet {
+	set := defaultSettings()
+	set.apply(opts)
+	return &Fleet{
+		set:  set,
+		byID: make(map[uint32]*fleetMember),
+		mux:  imon.NewMultiplexer(),
+	}
+}
+
+// AddSwitch registers switch id for sweep verification and returns its
+// Verifier. Per-switch options override the fleet-wide ones; by default
+// the switch's probe tag is its id (strategy 1, §6). Adding a duplicate
+// id fails.
+func (f *Fleet) AddSwitch(id uint32, opts ...Option) (*Verifier, error) {
+	v, err := newVerifier(id, &f.set, opts)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.byID[id]; dup {
+		return nil, fmt.Errorf("monocle: switch %d already in the fleet", id)
+	}
+	m := &fleetMember{id: id, v: v}
+	f.members = append(f.members, m)
+	f.byID[id] = m
+	return v, nil
+}
+
+// AttachMonitor registers a live proxy Monitor for cfg.SwitchID: the
+// monitor is created on the given virtual clock, wired into the fleet's
+// shared Multiplexer (probes caught at any attached switch route back to
+// their owner), and its expected table joins the fleet's sweeps. The
+// caller wires ToSwitch/ToController and drives the monitor from one
+// event-loop thread; fleet sweeps over attached monitors must run on that
+// same thread.
+func (f *Fleet) AttachMonitor(s *Sim, cfg MonitorConfig) (*Monitor, error) {
+	mon := imon.New(s, cfg)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.byID[cfg.SwitchID]; dup {
+		return nil, fmt.Errorf("monocle: switch %d already in the fleet", cfg.SwitchID)
+	}
+	f.mux.Register(mon)
+	m := &fleetMember{id: cfg.SwitchID, mon: mon}
+	f.members = append(f.members, m)
+	f.byID[cfg.SwitchID] = m
+	return mon, nil
+}
+
+// Multiplexer returns the fleet's shared probe-routing multiplexer.
+func (f *Fleet) Multiplexer() *Multiplexer { return f.mux }
+
+// Verifier returns the Verifier of a switch added with AddSwitch.
+func (f *Fleet) Verifier(id uint32) (*Verifier, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m, ok := f.byID[id]
+	if !ok || m.v == nil {
+		return nil, false
+	}
+	return m.v, true
+}
+
+// Switches returns the member switch ids in registration order.
+func (f *Fleet) Switches() []uint32 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]uint32, len(f.members))
+	for i, m := range f.members {
+		out[i] = m.id
+	}
+	return out
+}
+
+// Size returns the number of member switches.
+func (f *Fleet) Size() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.members)
+}
+
+// Sweep runs one steady-state sweep over every member switch and returns
+// the per-rule events grouped by member in registration order (rules in
+// table priority order within a member). Verifier-backed members sweep
+// concurrently under the fleet worker budget; each member's probe set is
+// bit-identical to a standalone sweep of its table regardless of the
+// budget or the sharding.
+func (f *Fleet) Sweep(ctx context.Context) []SweepEvent {
+	members := f.snapshot()
+	perMember := make([][]SweepEvent, len(members))
+	f.sweepInto(ctx, members, func(i int, evs []SweepEvent) { perMember[i] = evs })
+	var out []SweepEvent
+	for _, evs := range perMember {
+		out = append(out, evs...)
+	}
+	return out
+}
+
+// Stream runs one sweep like Sweep but streams events as each member
+// completes, over a channel that closes when the sweep finishes or the
+// context is cancelled. Fleets with attached Monitors should prefer the
+// synchronous Sweep from the monitors' event-loop thread.
+func (f *Fleet) Stream(ctx context.Context) <-chan SweepEvent {
+	ch := make(chan SweepEvent)
+	members := f.snapshot()
+	go func() {
+		defer close(ch)
+		f.sweepInto(ctx, members, func(_ int, evs []SweepEvent) {
+			for _, ev := range evs {
+				select {
+				case ch <- ev:
+				case <-ctx.Done():
+					return
+				}
+			}
+		})
+	}()
+	return ch
+}
+
+// Serve runs steady-state sweeps every WithSteadyInterval until the
+// context is cancelled, delivering every event to sink (called from
+// Serve's goroutine). It returns the context's error.
+func (f *Fleet) Serve(ctx context.Context, sink func(SweepEvent)) error {
+	ticker := time.NewTicker(f.set.steadyInterval)
+	defer ticker.Stop()
+	for {
+		for _, ev := range f.Sweep(ctx) {
+			sink(ev)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// snapshot copies the member list under the lock.
+func (f *Fleet) snapshot() []*fleetMember {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]*fleetMember(nil), f.members...)
+}
+
+// sweepInto sweeps every member, invoking done(i, events) once per member
+// (possibly concurrently for verifier-backed members). The worker budget
+// B is sharded: with K = min(B, members) member sweeps in flight, each
+// gets B/K solver workers, so the fleet never runs more than B solver
+// goroutines at once. Monitor-backed members sweep sequentially on the
+// calling goroutine with the full budget (their event-loop contract).
+func (f *Fleet) sweepInto(ctx context.Context, members []*fleetMember, done func(int, []SweepEvent)) {
+	budget := f.set.effectiveWorkers()
+
+	var vIdx []int
+	for i, m := range members {
+		if m.v != nil {
+			vIdx = append(vIdx, i)
+		}
+	}
+	if k := len(vIdx); k > 0 {
+		if k > budget {
+			k = budget
+		}
+		share := budget / k
+		if share < 1 {
+			share = 1
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < k; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					n := int(next.Add(1)) - 1
+					if n >= len(vIdx) {
+						return
+					}
+					i := vIdx[n]
+					m := members[i]
+					epoch, results := m.v.sweepShard(ctx, share)
+					done(i, memberEvents(m.id, epoch, results))
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	for i, m := range members {
+		if m.mon == nil {
+			continue
+		}
+		epoch := m.mon.Epoch()
+		results := m.mon.SweepExpected(ctx, budget)
+		done(i, memberEvents(m.id, epoch, results))
+	}
+}
+
+// memberEvents wraps one member's sweep results as events.
+func memberEvents(id uint32, epoch uint64, results []ProbeResult) []SweepEvent {
+	evs := make([]SweepEvent, len(results))
+	for i, res := range results {
+		evs[i] = SweepEvent{SwitchID: id, Epoch: epoch, Result: res}
+	}
+	return evs
+}

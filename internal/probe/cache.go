@@ -83,6 +83,13 @@ func (c *SessionCache) Session(epoch uint64) (*Session, error) {
 // rules. Errors building the session are reported per rule, mirroring
 // Generator.GenerateAll.
 func (c *SessionCache) GenerateAll(ctx context.Context, epoch uint64, parallelism int) []Result {
+	res, _ := c.GenerateAllStats(ctx, epoch, parallelism)
+	return res
+}
+
+// GenerateAllStats is GenerateAll surfacing per-worker solver statistics,
+// mirroring Generator.GenerateAllStats on the cached-library path.
+func (c *SessionCache) GenerateAllStats(ctx context.Context, epoch uint64, parallelism int) ([]Result, []WorkerStats) {
 	sess, err := c.Session(epoch)
 	if err != nil {
 		rules := c.table.Rules()
@@ -91,21 +98,22 @@ func (c *SessionCache) GenerateAll(ctx context.Context, epoch uint64, parallelis
 			results[i].Rule = r
 			results[i].Err = err
 		}
-		return results
+		return results, nil
 	}
 	results := make([]Result, len(sess.rules))
 	for i, r := range sess.rules {
 		results[i].Rule = r
 	}
 	if len(results) == 0 {
-		return results
+		return results, nil
 	}
-	if _, err := sess.generateAllInto(ctx, results, parallelism); err != nil {
+	stats, err := sess.generateAllInto(ctx, results, parallelism)
+	if err != nil {
 		for i := range results {
 			results[i].Err = err
 		}
 	}
-	return results
+	return results, stats
 }
 
 // rebuildThreshold: a full rebuild happens once the dropped-rule count

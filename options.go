@@ -1,0 +1,191 @@
+package monocle
+
+// Functional options shared by Verifier, Fleet, and the Monitor-config
+// helper. Options the receiving constructor does not use are ignored, so
+// one option list can parameterize a whole deployment.
+
+import (
+	"runtime"
+	"sort"
+	"time"
+
+	"monocle/internal/flowtable"
+	"monocle/internal/header"
+	"monocle/internal/probe"
+)
+
+// Option configures a Verifier, a Fleet, or a MonitorConfig built through
+// NewMonitorConfig.
+type Option func(*settings)
+
+// settings is the resolved option set.
+type settings struct {
+	probeField FieldID
+	probeTag   uint64
+	collect    *Match
+	ports      []PortID
+	peers      map[PortID]uint32
+
+	workers          int
+	steadyInterval   time.Duration
+	detectionTimeout time.Duration
+	probeRate        float64
+
+	clustering  bool
+	learntReuse bool
+	counting    bool
+	validate    bool
+	maxChain    int
+	miss        TableMiss
+}
+
+// defaultSettings returns the paper-default option values.
+func defaultSettings() settings {
+	return settings{
+		probeField:     VlanID,
+		steadyInterval: 2 * time.Second,
+		clustering:     true,
+		learntReuse:    true,
+		validate:       true,
+	}
+}
+
+func (s *settings) apply(opts []Option) {
+	for _, o := range opts {
+		o(s)
+	}
+}
+
+// effectiveWorkers resolves the solver-worker budget (0 = all CPUs).
+func (s *settings) effectiveWorkers() int {
+	if s.workers > 0 {
+		return s.workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// generatorConfig builds the internal probe-engine configuration for one
+// switch: the Collect constraint pins the probe tag so a downstream
+// catching rule intercepts the probe (strategy 1, §6), and in_port is
+// restricted to the switch's real ports.
+func (s *settings) generatorConfig(switchID uint32) probe.Config {
+	collect := MatchAll()
+	tag := s.probeTag
+	if tag == 0 {
+		tag = uint64(switchID)
+	}
+	if tag != 0 {
+		collect = collect.WithExact(s.probeField, tag)
+	}
+	if s.collect != nil {
+		collect = *s.collect
+	}
+	domains := header.DefaultDomains()
+	if len(s.ports) > 0 {
+		vals := make([]uint64, len(s.ports))
+		for i, p := range s.ports {
+			vals[i] = uint64(p)
+		}
+		domains[header.InPort] = header.Domain{Values: vals}
+	}
+	return probe.Config{
+		Collect:            collect,
+		Domains:            domains,
+		ReservedFields:     []header.FieldID{s.probeField},
+		Counting:           s.counting,
+		MaxChain:           s.maxChain,
+		DisableClustering:  !s.clustering,
+		DisableLearntReuse: !s.learntReuse,
+		ValidateModel:      s.validate,
+	}
+}
+
+// WithProbeField selects the header field reserved for probe tagging
+// (default dl_vlan).
+func WithProbeField(f FieldID) Option { return func(s *settings) { s.probeField = f } }
+
+// WithProbeTag pins the probe tag value S_i the switch stamps on its
+// probes (the Collect constraint). Zero (the default) uses the switch id.
+// The value must fit the probe field's width (12 usable bits for the
+// default dl_vlan) and, for Monitor-based deployments, 32 bits; wider
+// values are truncated.
+func WithProbeTag(v uint64) Option { return func(s *settings) { s.probeTag = v } }
+
+// WithCollect replaces the Collect constraint wholesale (advanced: §6
+// strategy-2 style multi-field collection). It overrides
+// WithProbeField/WithProbeTag for constraint purposes; the probe field
+// stays reserved against rewrites.
+func WithCollect(m Match) Option { return func(s *settings) { s.collect = &m } }
+
+// WithPorts restricts probe in_port values to the switch's usable ports.
+func WithPorts(ports ...PortID) Option {
+	return func(s *settings) { s.ports = append([]PortID(nil), ports...) }
+}
+
+// WithPeers maps each switch port to the switch id of the neighbour
+// reachable over it (the downstream probe catcher); ports without entries
+// are edge ports. Used by NewMonitorConfig; it also implies WithPorts
+// (ports sorted ascending, so probe generation stays deterministic no
+// matter the map's iteration order).
+func WithPeers(peers map[PortID]uint32) Option {
+	return func(s *settings) {
+		s.peers = make(map[PortID]uint32, len(peers))
+		s.ports = s.ports[:0]
+		for p, id := range peers {
+			s.peers[p] = id
+			s.ports = append(s.ports, p)
+		}
+		sort.Slice(s.ports, func(i, j int) bool { return s.ports[i] < s.ports[j] })
+	}
+}
+
+// WithWorkers bounds the solver-worker budget a sweep may use; a Fleet
+// shards this budget across its member switches. Zero (the default) means
+// all CPUs.
+func WithWorkers(n int) Option { return func(s *settings) { s.workers = n } }
+
+// WithSteadyInterval sets the cadence of Fleet.Serve steady-state sweeps
+// (default 2s).
+func WithSteadyInterval(d time.Duration) Option {
+	return func(s *settings) { s.steadyInterval = d }
+}
+
+// WithDetectionTimeout bounds how long a rule may stay unconfirmed before
+// the proxy Monitor raises an alarm (steady state) or reports an update as
+// stuck (dynamic). Zero keeps the paper's 150 ms steady-state default and
+// disables the dynamic deadline.
+func WithDetectionTimeout(d time.Duration) Option {
+	return func(s *settings) { s.detectionTimeout = d }
+}
+
+// WithProbeRate caps the proxy Monitor's steady-state probing rate in
+// probes/second (default 500/s, the paper's experiments).
+func WithProbeRate(rate float64) Option { return func(s *settings) { s.probeRate = rate } }
+
+// WithClustering toggles scope-similarity clustering in whole-table
+// sweeps (default true; false is the ablation/debug path).
+func WithClustering(on bool) Option { return func(s *settings) { s.clustering = on } }
+
+// WithLearntReuse toggles learnt-clause/phase reuse between the rules of a
+// sweep cluster (default true; false isolates the shared-prefix
+// contribution).
+func WithLearntReuse(on bool) Option { return func(s *settings) { s.learntReuse = on } }
+
+// WithCounting enables the probe-counting exception for multicast-vs-ECMP
+// distinction (§3.4).
+func WithCounting(on bool) Option { return func(s *settings) { s.counting = on } }
+
+// WithModelValidation toggles the post-solve cross-check of every probe
+// against the table semantics (default true; cheap and recommended).
+func WithModelValidation(on bool) Option { return func(s *settings) { s.validate = on } }
+
+// WithMaxChain bounds the Velev if-then-else chain length before
+// splitting; zero keeps the encoder default.
+func WithMaxChain(n int) Option { return func(s *settings) { s.maxChain = n } }
+
+// WithTableMiss sets the verifier table's miss behaviour (default
+// MissDrop).
+func WithTableMiss(miss TableMiss) Option { return func(s *settings) { s.miss = miss } }
+
+// monitorPeers converts the option peer map to the internal type.
+func (s *settings) monitorPeers() map[flowtable.PortID]uint32 { return s.peers }

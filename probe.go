@@ -1,0 +1,102 @@
+package monocle
+
+// Probe-engine surface: the generated probe packets, their outcomes, the
+// per-rule sweep results, solver statistics, and the verdict logic that
+// turns an observation into a confirmation.
+
+import (
+	imon "monocle/internal/monocle"
+	"monocle/internal/probe"
+)
+
+// Probe is a generated monitoring packet together with the two data plane
+// outcomes it discriminates between (rule present / rule absent).
+type Probe = probe.Probe
+
+// Outcome describes what the data plane does to a probe under one of the
+// two hypotheses.
+type Outcome = probe.Outcome
+
+// ProbeStats captures per-probe generation metrics (instance size and
+// solver effort).
+type ProbeStats = probe.Stats
+
+// ProbeResult is the outcome of generating a probe for one rule of a
+// table: the rule, the probe (nil on error), and the error, if any.
+type ProbeResult = probe.Result
+
+// WorkerStats aggregates one sweep worker's solver effort
+// (decisions/propagations/conflicts and the cluster/rule split).
+type WorkerStats = probe.WorkerStats
+
+// CacheStats counts session-cache activity across table epochs (hits,
+// delta recompiles, full rebuilds).
+type CacheStats = probe.CacheStats
+
+// Probe generation errors.
+var (
+	// ErrUnmonitorable reports that no probe packet can distinguish the
+	// rule's presence (hidden by higher-priority rules, or no observable
+	// behaviour change — §3.5 of the paper).
+	ErrUnmonitorable = probe.ErrUnmonitorable
+	// ErrRewritesProbeField reports a rule rewriting a reserved probing
+	// field, which would break probe collection (§3.2).
+	ErrRewritesProbeField = probe.ErrRewritesProbeField
+)
+
+// Verdict classifies one probe observation against the probe's expected
+// outcomes.
+type Verdict = imon.Verdict
+
+// Verdict values.
+const (
+	// VerdictConfirmed: the observation matches the Present outcome.
+	VerdictConfirmed = imon.VerdictConfirmed
+	// VerdictAbsent: the observation matches the Absent outcome (rule
+	// missing, or a deletion that took effect).
+	VerdictAbsent = imon.VerdictAbsent
+	// VerdictUnexpected: the observation matches neither outcome (rule
+	// misbehaving, or a stale probe).
+	VerdictUnexpected = imon.VerdictUnexpected
+)
+
+// Judge classifies an observed (port, header) pair against a probe's two
+// outcomes. For additions and modifications, VerdictConfirmed means the
+// update reached the data plane; for deletions, VerdictAbsent does (the
+// probe fell through to the underlying rule). VerdictUnexpected means the
+// observation matches neither hypothesis.
+func Judge(p *Probe, port PortID, obs Header) Verdict {
+	// The ingress port of the observing switch is not part of the
+	// emitted packet: compare with in_port masked on both sides, as the
+	// proxy Monitor does.
+	obs.Set(InPort, 0)
+	matchesPresent := outcomeMatches(p.Present, port, obs)
+	matchesAbsent := outcomeMatches(p.Absent, port, obs)
+	switch {
+	case matchesPresent && !matchesAbsent:
+		return VerdictConfirmed
+	case matchesAbsent && !matchesPresent:
+		return VerdictAbsent
+	default:
+		return VerdictUnexpected
+	}
+}
+
+// outcomeMatches checks one (port, header) observation against an expected
+// outcome, ignoring in_port.
+func outcomeMatches(o Outcome, port PortID, obs Header) bool {
+	if o.Drop {
+		return false
+	}
+	for _, e := range o.Emissions {
+		if e.Port != port {
+			continue
+		}
+		want := e.Header
+		want.Set(InPort, 0)
+		if want == obs {
+			return true
+		}
+	}
+	return false
+}

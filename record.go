@@ -1,0 +1,112 @@
+package monocle
+
+// Line-oriented JSON records for sweep output: cmd/probegen's -json mode
+// and fleet sweep consumers emit one ResultRecord per rule, so scripts
+// and the sweep service can stream-process results with any JSON tooling.
+
+import "errors"
+
+// ResultRecord is the JSON-friendly form of one probe-generation result.
+// Header fields are keyed by their OpenFlow 1.0 names (in_port, dl_vlan,
+// nw_src, ...) and omit zero-valued fields.
+type ResultRecord struct {
+	// Switch is the owning switch id (omitted for single-switch runs).
+	Switch uint32 `json:"switch,omitempty"`
+	// Epoch is the table-change epoch the probe was generated against
+	// (fleet sweeps only).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Rule is the probed rule's id.
+	Rule uint64 `json:"rule"`
+	// Unmonitorable reports that no probe can verify this rule (§3.5).
+	Unmonitorable bool `json:"unmonitorable,omitempty"`
+	// Error carries any other generation failure.
+	Error string `json:"error,omitempty"`
+	// Probe is the generated probe; nil when generation failed.
+	Probe *ProbeRecord `json:"probe,omitempty"`
+}
+
+// ProbeRecord is the JSON-friendly form of one generated probe.
+type ProbeRecord struct {
+	// Header is the probe packet, keyed by OpenFlow field names.
+	Header map[string]uint64 `json:"header"`
+	// Present is the expected behaviour with the rule installed.
+	Present OutcomeRecord `json:"present"`
+	// Absent is the behaviour with the rule missing.
+	Absent OutcomeRecord `json:"absent"`
+	// Negative marks drop-rule probes confirmed by silence (§3.3).
+	Negative bool `json:"negative,omitempty"`
+	// Vars/Clauses/Overlapping describe the solver instance.
+	Vars        int `json:"vars"`
+	Clauses     int `json:"clauses"`
+	Overlapping int `json:"overlapping"`
+}
+
+// OutcomeRecord is the JSON-friendly form of one probe outcome.
+type OutcomeRecord struct {
+	// Drop reports the probe is not emitted anywhere.
+	Drop bool `json:"drop,omitempty"`
+	// ECMP reports exactly one of Emissions occurs (switch's choice).
+	ECMP bool `json:"ecmp,omitempty"`
+	// Emissions lists the (port, rewritten header) pairs.
+	Emissions []EmissionRecord `json:"emissions,omitempty"`
+}
+
+// EmissionRecord is one (port, rewritten header) pair.
+type EmissionRecord struct {
+	Port   uint16            `json:"port"`
+	Header map[string]uint64 `json:"header"`
+}
+
+// NewResultRecord converts one sweep result for switch switchID at table
+// epoch epoch; switchID/epoch zero values are omitted from the JSON.
+func NewResultRecord(switchID uint32, epoch uint64, res ProbeResult) ResultRecord {
+	rec := ResultRecord{Switch: switchID, Epoch: epoch, Rule: res.Rule.ID}
+	switch {
+	case errors.Is(res.Err, ErrUnmonitorable):
+		rec.Unmonitorable = true
+	case res.Err != nil:
+		rec.Error = res.Err.Error()
+	case res.Probe != nil:
+		rec.Probe = newProbeRecord(res.Probe)
+	}
+	return rec
+}
+
+// Record converts a fleet sweep event to its JSON line form.
+func (e SweepEvent) Record() ResultRecord {
+	return NewResultRecord(e.SwitchID, e.Epoch, e.Result)
+}
+
+func newProbeRecord(p *Probe) *ProbeRecord {
+	return &ProbeRecord{
+		Header:      headerMap(p.Header),
+		Present:     newOutcomeRecord(p.Present),
+		Absent:      newOutcomeRecord(p.Absent),
+		Negative:    p.Negative,
+		Vars:        p.Stats.Vars,
+		Clauses:     p.Stats.Clauses,
+		Overlapping: p.Stats.Overlapping,
+	}
+}
+
+func newOutcomeRecord(o Outcome) OutcomeRecord {
+	rec := OutcomeRecord{Drop: o.Drop, ECMP: o.ECMP}
+	for _, e := range o.Emissions {
+		rec.Emissions = append(rec.Emissions, EmissionRecord{
+			Port:   uint16(e.Port),
+			Header: headerMap(e.Header),
+		})
+	}
+	return rec
+}
+
+// headerMap renders a header with zero-valued fields omitted.
+func headerMap(h Header) map[string]uint64 {
+	out := make(map[string]uint64)
+	for f := FieldID(0); f < NumFields; f++ {
+		if v := h.Get(f); v != 0 {
+			out[f.String()] = v
+		}
+	}
+	return out
+}

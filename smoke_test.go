@@ -1,4 +1,4 @@
-package repro_test
+package monocle_test
 
 // Top-level smoke test: one end-to-end probe-generation sweep through the
 // public layers (dataset → flowtable → probe engine), so `go test .` runs

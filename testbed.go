@@ -1,0 +1,72 @@
+package monocle
+
+// Simulated-testbed re-exports: the behavioural OpenFlow switch model
+// (control-channel service times, commit pipelines, failure injection)
+// used by the examples, the experiments, and integration tests to run
+// full Monocle deployments in-process on a virtual clock.
+
+import (
+	"time"
+
+	"monocle/internal/switchsim"
+)
+
+// SimSwitch is a simulated OpenFlow 1.0 switch with a profiled control
+// plane and an instantly-forwarding data plane.
+type SimSwitch = switchsim.Switch
+
+// SwitchProfile captures one hardware model's measured control-plane
+// behaviour (§8's switch characterization).
+type SwitchProfile = switchsim.Profile
+
+// SwitchStats counts one simulated switch's activity.
+type SwitchStats = switchsim.Stats
+
+// Frame is a raw packet travelling the simulated data plane.
+type Frame = switchsim.Frame
+
+// Link is one simulated inter-switch (or switch-host) link; it can fail
+// and heal.
+type Link = switchsim.Link
+
+// NewSimSwitch creates a simulated switch with the given id, clock,
+// profile, and deterministic seed.
+func NewSimSwitch(id uint32, s *Sim, profile SwitchProfile, seed int64) *SimSwitch {
+	return switchsim.New(id, s, profile, seed)
+}
+
+// ConnectSwitches joins port pa of sa to port pb of sb with the given
+// one-way latency.
+func ConnectSwitches(sa *SimSwitch, pa PortID, sb *SimSwitch, pb PortID, latency time.Duration) *Link {
+	return switchsim.Connect(sa, pa, sb, pb, latency)
+}
+
+// ConnectHost attaches a host-facing port: frames emitted there are
+// handed to deliver after the latency.
+func ConnectHost(sw *SimSwitch, p PortID, latency time.Duration, deliver func(f Frame)) *Link {
+	return switchsim.ConnectHost(sw, p, latency, deliver)
+}
+
+// ProfileHP5406zl models the HP ProCurve 5406zl (the paper's primary
+// hardware switch).
+func ProfileHP5406zl() SwitchProfile { return switchsim.HP5406zl() }
+
+// ProfilePica8 models the Pica8 P-3290, whose barriers acknowledge rules
+// before they reach the data plane.
+func ProfilePica8() SwitchProfile { return switchsim.Pica8() }
+
+// ProfileHonestPica8 is Pica8 with honest barrier semantics (the
+// what-if baseline of §8.1.2).
+func ProfileHonestPica8() SwitchProfile { return switchsim.HonestPica8() }
+
+// ProfileDellS4810 models the Dell Force10 S4810.
+func ProfileDellS4810() SwitchProfile { return switchsim.DellS4810() }
+
+// ProfileDell8132F models the Dell PowerConnect 8132F.
+func ProfileDell8132F() SwitchProfile { return switchsim.Dell8132F() }
+
+// ProfileOVS models Open vSwitch (software fast path).
+func ProfileOVS() SwitchProfile { return switchsim.OVS() }
+
+// ProfileIdeal is an idealized instant switch (unit tests, upper bounds).
+func ProfileIdeal() SwitchProfile { return switchsim.Ideal() }
