@@ -321,17 +321,30 @@ func wireSwitch(loop *rtLoop, spec switchSpec, mon *monocle.Monitor, steady bool
 }
 
 // startFleetSweeps emits ResultRecord JSON lines for every member's
-// expected table at the given cadence. Sweeps run on the event-loop
-// thread (the monitors' single-threaded contract); the solver fan-out
-// inside each sweep still uses the fleet worker budget.
+// expected table at the given cadence, and folds every round through the
+// cross-epoch diff engine: a rule that stops being generatable (newly
+// hidden or erroring), recovers, or flaps across epochs — or a switch
+// that stops contributing results — is logged as a typed alert on stderr.
+// Sweeps run on the event-loop thread (the monitors' single-threaded
+// contract); the solver fan-out inside each sweep still uses the fleet
+// worker budget.
 func startFleetSweeps(loop *rtLoop, fl *monocle.Fleet, every time.Duration) {
 	enc := json.NewEncoder(os.Stdout)
+	differ := monocle.NewDiffer()
 	var tick func()
 	tick = func() {
 		for _, ev := range fl.Sweep(context.Background()) {
+			differ.Observe(ev)
 			if err := enc.Encode(ev.Record()); err != nil {
 				log.Fatalf("sweep encode: %v", err)
 			}
+		}
+		for _, a := range differ.EndSweep() {
+			b, err := json.Marshal(a)
+			if err != nil {
+				log.Fatalf("alert encode: %v", err)
+			}
+			log.Printf("ALERT %s", b)
 		}
 		time.AfterFunc(every, func() { loop.post(tick) })
 	}

@@ -1,0 +1,72 @@
+// Command monocled is the long-running Monocle fleet service: an HTTP
+// control surface over a monocle.Fleet with a simulated per-switch data
+// plane and the cross-epoch diff engine turning every sweep into alerts.
+//
+//	monocled -listen :8866 -interval 2s -debounce 2
+//
+// Lifecycle (see the README's "Running monocled" section for a full curl
+// session):
+//
+//	curl -X POST :8866/switches -d '{"id":1}'
+//	curl -X POST :8866/switches/1/rules -d '{"op":"add","rule":{...}}'
+//	curl -X POST :8866/switches/1/rules \
+//	     -d '{"op":"delete","id":7,"dataplane":"actual"}'   # break hardware
+//	curl :8866/alerts                                       # watch it surface
+//
+// On SIGINT/SIGTERM the service drains: the in-flight sweep round
+// completes, /healthz reports draining, and the HTTP server shuts down
+// gracefully.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"monocle"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":8866", "HTTP listen address")
+		interval = flag.Duration("interval", 2*time.Second, "steady-state sweep interval")
+		workers  = flag.Int("workers", 0, "fleet-wide solver-worker budget (0 = all CPUs)")
+		debounce = flag.Int("debounce", 1, "consecutive failing sweeps before a rule alert")
+		stall    = flag.Int("stall", 3, "missed sweep rounds before a switch-stalled alert")
+		flapWin  = flag.Int("flap-window", 6, "sweep window for verdict-flap detection")
+		flapN    = flag.Int("flap-flips", 3, "status flips inside the window that count as flapping")
+	)
+	flag.Parse()
+
+	svc := monocle.NewService(
+		monocle.WithWorkers(*workers),
+		monocle.WithSteadyInterval(*interval),
+		monocle.WithDebounce(*debounce),
+		monocle.WithStallThreshold(*stall),
+		monocle.WithFlapWindow(*flapWin, *flapN),
+	)
+	srv := &http.Server{Addr: *listen, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	go func() {
+		log.Printf("monocled listening on %s (sweep interval %v)", *listen, *interval)
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("monocled: %v", err)
+		}
+	}()
+
+	err := svc.Run(ctx)
+	log.Printf("monocled draining: %v", err)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("monocled shutdown: %v", err)
+	}
+}

@@ -1,0 +1,491 @@
+package monocle
+
+// Cross-epoch diff/alert engine. A Differ folds the SweepEvent stream of a
+// fleet into per-switch epoch snapshots and diffs consecutive snapshots,
+// turning raw per-rule sweep results into typed, debounced Alerts: a rule
+// newly diverging from the controller's view, a rule recovering, a switch
+// that stopped contributing sweep results, and a rule whose verdict keeps
+// flapping. The paper's promise is *continuous* monitoring (§7): the alert
+// stream, not the individual probe result, is what an operator watches.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// RuleStatus classifies one rule's state in one sweep snapshot.
+type RuleStatus uint8
+
+// Rule statuses, ordered from healthy to broken.
+const (
+	// StatusOK: a probe was generated and, when judged against the data
+	// plane, confirmed the rule.
+	StatusOK RuleStatus = iota
+	// StatusUnmonitorable: no probe can verify this rule (§3.5); the
+	// diff engine treats it as neutral, not failing.
+	StatusUnmonitorable
+	// StatusFailing: the probe's data plane observation matched the
+	// rule-absent hypothesis or neither hypothesis — hardware and
+	// controller state have diverged.
+	StatusFailing
+	// StatusError: probe generation itself failed (internal error or a
+	// cancelled sweep).
+	StatusError
+)
+
+// bad reports whether the status should count toward failing-rule alerts.
+func (s RuleStatus) bad() bool { return s == StatusFailing || s == StatusError }
+
+// String names the status.
+func (s RuleStatus) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusUnmonitorable:
+		return "unmonitorable"
+	case StatusFailing:
+		return "failing"
+	case StatusError:
+		return "error"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// MarshalJSON renders the status as its string name.
+func (s RuleStatus) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON parses the string name form (API clients and tests).
+func (s *RuleStatus) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	for c := StatusOK; c <= StatusError; c++ {
+		if c.String() == name {
+			*s = c
+			return nil
+		}
+	}
+	return fmt.Errorf("monocle: unknown rule status %q", name)
+}
+
+// AlertType classifies one Alert.
+type AlertType uint8
+
+// Alert types.
+const (
+	// AlertRuleFailing: a rule moved into a bad status and stayed there
+	// for the debounce threshold (WithDebounce) of consecutive sweeps.
+	AlertRuleFailing AlertType = iota
+	// AlertRuleRecovered: a rule with an outstanding failing alert
+	// produced a good status again.
+	AlertRuleRecovered
+	// AlertSwitchStalled: a switch that had been sweeping produced no
+	// events for WithStallThreshold consecutive sweep rounds.
+	AlertSwitchStalled
+	// AlertVerdictFlapping: a rule's good/bad state flipped at least the
+	// configured number of times inside the flap window (WithFlapWindow).
+	AlertVerdictFlapping
+)
+
+// String names the alert type.
+func (t AlertType) String() string {
+	switch t {
+	case AlertRuleFailing:
+		return "rule_failing"
+	case AlertRuleRecovered:
+		return "rule_recovered"
+	case AlertSwitchStalled:
+		return "switch_stalled"
+	case AlertVerdictFlapping:
+		return "verdict_flapping"
+	default:
+		return fmt.Sprintf("alert(%d)", uint8(t))
+	}
+}
+
+// MarshalJSON renders the alert type as its string name.
+func (t AlertType) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + t.String() + `"`), nil
+}
+
+// UnmarshalJSON parses the string name form (API clients and tests).
+func (t *AlertType) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	for c := AlertRuleFailing; c <= AlertVerdictFlapping; c++ {
+		if c.String() == name {
+			*t = c
+			return nil
+		}
+	}
+	return fmt.Errorf("monocle: unknown alert type %q", name)
+}
+
+// Alert is one typed cross-epoch finding. Alerts marshal to single JSON
+// lines; rule-level alerts carry the triggering sweep result as a
+// ResultRecord.
+type Alert struct {
+	// Type classifies the alert.
+	Type AlertType `json:"type"`
+	// SwitchID is the member switch the alert concerns.
+	SwitchID uint32 `json:"switch"`
+	// Rule is the rule id for rule-level alerts (failing/recovered/
+	// flapping); rule ids may legitimately be zero, so the field is
+	// always emitted and only meaningful for rule-level alert types.
+	Rule uint64 `json:"rule"`
+	// Epoch is the table-change epoch of the snapshot that raised the
+	// alert.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Status is the rule's status in that snapshot.
+	Status RuleStatus `json:"status,omitempty"`
+	// Streak counts consecutive bad sweeps (failing alerts), flips in
+	// the flap window (flapping alerts), or missed rounds (stall
+	// alerts).
+	Streak int `json:"streak,omitempty"`
+	// Detail is a human-readable one-liner.
+	Detail string `json:"detail,omitempty"`
+	// Record is the sweep result that triggered a rule-level alert.
+	Record *ResultRecord `json:"record,omitempty"`
+}
+
+// observation is one rule's result within the accumulating snapshot.
+type observation struct {
+	status RuleStatus
+	rec    ResultRecord
+}
+
+// ruleDiff is the folded cross-epoch state of one rule.
+type ruleDiff struct {
+	streak  int    // consecutive bad sweeps
+	alerted bool   // failing alert outstanding, awaiting recovery
+	hist    []bool // last flapWindow bad-bits, oldest first
+	flapped bool   // flapping alert outstanding for the current window
+}
+
+// switchDiff is the folded cross-epoch state of one switch.
+type switchDiff struct {
+	epoch   uint64
+	seen    bool // events observed in the current round
+	ever    bool // at least one round completed with events
+	cur     map[uint64]*observation
+	rules   map[uint64]*ruleDiff
+	missed  int // consecutive rounds with no events
+	stalled bool
+}
+
+// Differ folds a SweepEvent stream into per-switch epoch snapshots and
+// diffs consecutive snapshots into Alerts. Feed every event of a sweep
+// round through Observe (or ObserveVerdict when the probe was judged
+// against the data plane), then call EndSweep once per round to finalize
+// the snapshots and collect the round's alerts. Events carrying an epoch
+// older than the switch's current snapshot epoch are discarded.
+//
+// A Differ is safe for concurrent use; alert order within a round is
+// deterministic (switches, then rules, ascending by id).
+type Differ struct {
+	set settings
+
+	mu       sync.Mutex
+	switches map[uint32]*switchDiff
+	rounds   uint64
+}
+
+// NewDiffer returns an empty diff engine. WithDebounce, WithStallThreshold,
+// and WithFlapWindow tune the alerting thresholds.
+func NewDiffer(opts ...Option) *Differ {
+	set := defaultSettings()
+	set.apply(opts)
+	return &Differ{set: set, switches: make(map[uint32]*switchDiff)}
+}
+
+// Observe folds one sweep event into the current round's snapshot using
+// the generation result alone: rules with probes are StatusOK, rules that
+// cannot be probed StatusUnmonitorable, generation failures StatusError.
+// Consumers that inject probes and judge the observations should use
+// ObserveVerdict instead.
+func (d *Differ) Observe(ev SweepEvent) {
+	d.observe(ev, statusFromResult(ev.Result))
+}
+
+// ObserveVerdict folds one sweep event whose probe was judged against the
+// data plane: VerdictConfirmed keeps the rule StatusOK, while
+// VerdictAbsent and VerdictUnexpected mark it StatusFailing — the moment
+// hardware diverges from the controller's view.
+func (d *Differ) ObserveVerdict(ev SweepEvent, v Verdict) {
+	st := statusFromResult(ev.Result)
+	if st == StatusOK && v != VerdictConfirmed {
+		st = StatusFailing
+	}
+	d.observe(ev, st)
+}
+
+// statusFromResult classifies a generation result without a verdict.
+// Both no-probe-exists sentinels are structural properties of the table,
+// not divergence: a rule hidden by higher-priority rules (§3.5) and a
+// rule rewriting the reserved probe field (§3.2) are unverifiable by
+// construction and must not raise failing alerts.
+func statusFromResult(res ProbeResult) RuleStatus {
+	switch {
+	case errors.Is(res.Err, ErrUnmonitorable), errors.Is(res.Err, ErrRewritesProbeField):
+		return StatusUnmonitorable
+	case res.Err != nil:
+		return StatusError
+	default:
+		return StatusOK
+	}
+}
+
+func (d *Differ) observe(ev SweepEvent, st RuleStatus) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sw := d.switches[ev.SwitchID]
+	if sw == nil {
+		sw = &switchDiff{
+			cur:   make(map[uint64]*observation),
+			rules: make(map[uint64]*ruleDiff),
+		}
+		d.switches[ev.SwitchID] = sw
+	}
+	if ev.Epoch < sw.epoch {
+		return // superseded epoch: the table changed under the sweep
+	}
+	sw.epoch = ev.Epoch
+	sw.seen = true
+	sw.cur[ev.Result.Rule.ID] = &observation{
+		status: st,
+		rec:    NewResultRecord(ev.SwitchID, ev.Epoch, ev.Result),
+	}
+}
+
+// EndSweep finalizes the current round: every switch's accumulated
+// snapshot is diffed against its folded history, debounce/flap/stall
+// state advances, and the round's alerts are returned (nil when quiet).
+// Rules that left the expected table simply stop being tracked — an
+// intentional controller change is not a divergence.
+func (d *Differ) EndSweep() []Alert {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.rounds++
+
+	var alerts []Alert
+	ids := make([]uint32, 0, len(d.switches))
+	for id := range d.switches {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	for _, id := range ids {
+		sw := d.switches[id]
+		if !sw.seen {
+			if !sw.ever {
+				continue
+			}
+			sw.missed++
+			if !sw.stalled && sw.missed >= d.set.stallSweeps {
+				sw.stalled = true
+				alerts = append(alerts, Alert{
+					Type:     AlertSwitchStalled,
+					SwitchID: id,
+					Epoch:    sw.epoch,
+					Streak:   sw.missed,
+					Detail:   fmt.Sprintf("switch %d missed %d consecutive sweeps", id, sw.missed),
+				})
+			}
+			continue
+		}
+		sw.ever = true
+		sw.missed = 0
+		sw.stalled = false
+
+		rids := make([]uint64, 0, len(sw.cur))
+		for rid := range sw.cur {
+			rids = append(rids, rid)
+		}
+		sort.Slice(rids, func(i, j int) bool { return rids[i] < rids[j] })
+
+		for _, rid := range rids {
+			o := sw.cur[rid]
+			r := sw.rules[rid]
+			if r == nil {
+				r = &ruleDiff{}
+				sw.rules[rid] = r
+			}
+			bad := o.status.bad()
+			if bad {
+				r.streak++
+			} else {
+				r.streak = 0
+			}
+
+			if bad && !r.alerted && r.streak >= d.set.debounce {
+				r.alerted = true
+				rec := o.rec
+				alerts = append(alerts, Alert{
+					Type:     AlertRuleFailing,
+					SwitchID: id,
+					Rule:     rid,
+					Epoch:    sw.epoch,
+					Status:   o.status,
+					Streak:   r.streak,
+					Detail:   fmt.Sprintf("rule %d on switch %d %s for %d consecutive sweeps", rid, id, o.status, r.streak),
+					Record:   &rec,
+				})
+			}
+			if !bad && r.alerted {
+				r.alerted = false
+				rec := o.rec
+				alerts = append(alerts, Alert{
+					Type:     AlertRuleRecovered,
+					SwitchID: id,
+					Rule:     rid,
+					Epoch:    sw.epoch,
+					Status:   o.status,
+					Detail:   fmt.Sprintf("rule %d on switch %d recovered", rid, id),
+					Record:   &rec,
+				})
+			}
+
+			// Flap detection over the last flapWindow sweeps.
+			r.hist = append(r.hist, bad)
+			if len(r.hist) > d.set.flapWindow {
+				r.hist = r.hist[1:]
+			}
+			flips := 0
+			for i := 1; i < len(r.hist); i++ {
+				if r.hist[i] != r.hist[i-1] {
+					flips++
+				}
+			}
+			if flips >= d.set.flapFlips {
+				if !r.flapped {
+					r.flapped = true
+					rec := o.rec
+					alerts = append(alerts, Alert{
+						Type:     AlertVerdictFlapping,
+						SwitchID: id,
+						Rule:     rid,
+						Epoch:    sw.epoch,
+						Status:   o.status,
+						Streak:   flips,
+						Detail:   fmt.Sprintf("rule %d on switch %d flipped %d times in the last %d sweeps", rid, id, flips, len(r.hist)),
+						Record:   &rec,
+					})
+				}
+			} else {
+				r.flapped = false
+			}
+		}
+
+		// Rules absent from the snapshot left the expected table.
+		for rid := range sw.rules {
+			if _, ok := sw.cur[rid]; !ok {
+				delete(sw.rules, rid)
+			}
+		}
+		sw.cur = make(map[uint64]*observation)
+		sw.seen = false
+	}
+	return alerts
+}
+
+// Rounds returns the number of completed sweep rounds.
+func (d *Differ) Rounds() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.rounds
+}
+
+// EvaluateProbe judges a generated probe against an actual data-plane
+// table, simulating its injection: the probe packet is looked up in
+// actual, the matched rule's emissions are observed, and the observation
+// set is classified against the probe's two hypotheses. It is how the
+// monocled service (and any consumer holding a model of the hardware
+// state) turns sweep probes into verdicts without a live switch.
+func EvaluateProbe(p *Probe, actual *Table) Verdict {
+	ems := tableEmissions(actual, p.Header)
+	present := outcomeConsistent(p.Present, ems)
+	absent := outcomeConsistent(p.Absent, ems)
+	switch {
+	case present && !absent:
+		return VerdictConfirmed
+	case absent && !present:
+		return VerdictAbsent
+	default:
+		return VerdictUnexpected
+	}
+}
+
+// tableEmissions computes what the table's data plane emits for packet h.
+func tableEmissions(t *Table, h Header) []Emission {
+	r := t.Lookup(h)
+	if r == nil {
+		if t.Miss == MissController {
+			return []Emission{{Port: PortController, Header: h}}
+		}
+		return nil
+	}
+	return r.Apply(h, func(int) int { return 0 })
+}
+
+// outcomeConsistent reports whether an observed emission set is consistent
+// with one expected outcome. The ingress port is not part of an emitted
+// packet, so in_port is masked on both sides (as Judge does).
+func outcomeConsistent(o Outcome, ems []Emission) bool {
+	if o.Drop {
+		return len(ems) == 0
+	}
+	if o.ECMP {
+		return len(ems) == 1 && emissionExpected(o.Emissions, ems[0])
+	}
+	if len(ems) != len(o.Emissions) {
+		return false
+	}
+	used := make([]bool, len(o.Emissions))
+	for _, e := range ems {
+		found := false
+		for i, want := range o.Emissions {
+			if used[i] {
+				continue
+			}
+			if emissionEqual(want, e) {
+				used[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// emissionExpected reports whether e matches any expected emission.
+func emissionExpected(want []Emission, e Emission) bool {
+	for _, w := range want {
+		if emissionEqual(w, e) {
+			return true
+		}
+	}
+	return false
+}
+
+// emissionEqual compares two emissions ignoring in_port.
+func emissionEqual(a, b Emission) bool {
+	if a.Port != b.Port {
+		return false
+	}
+	ha, hb := a.Header, b.Header
+	ha.Set(InPort, 0)
+	hb.Set(InPort, 0)
+	return ha == hb
+}

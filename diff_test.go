@@ -1,0 +1,343 @@
+package monocle_test
+
+// Diff-engine tests: the differential/property test (K random data-plane
+// mutations injected across random epochs must surface as exactly the
+// injected alert set — no false positives, no misses — for several fleet
+// worker budgets), plus focused unit tests for the debounce, stall, and
+// flap thresholds.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"monocle"
+	"monocle/internal/dataset"
+)
+
+// diffFleet builds a fleet plus per-switch data-plane clones of the
+// expected tables.
+func diffFleet(t *testing.T, nSwitches, nRules, budget int) (*monocle.Fleet, map[uint32]*monocle.Table) {
+	t.Helper()
+	fleet := monocle.NewFleet(monocle.WithWorkers(budget))
+	actual := map[uint32]*monocle.Table{}
+	for id := uint32(1); id <= uint32(nSwitches); id++ {
+		v, err := fleet.AddSwitch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, rules := dataset.Generate(fleetProfile(id, nRules))
+		if err := v.Install(rules...); err != nil {
+			t.Fatal(err)
+		}
+		tbl := monocle.NewTable()
+		for _, r := range rules {
+			if err := tbl.Insert(r.Clone()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		actual[id] = tbl
+	}
+	return fleet, actual
+}
+
+// sweepRound runs one fleet sweep through the diff engine, judging every
+// probe against the data-plane tables.
+func sweepRound(fleet *monocle.Fleet, actual map[uint32]*monocle.Table, differ *monocle.Differ) []monocle.Alert {
+	for _, ev := range fleet.Sweep(context.Background()) {
+		if ev.Result.Probe != nil {
+			differ.ObserveVerdict(ev, monocle.EvaluateProbe(ev.Result.Probe, actual[ev.SwitchID]))
+		} else {
+			differ.Observe(ev)
+		}
+	}
+	return differ.EndSweep()
+}
+
+// mutation is one injected hardware divergence: switch sw loses or
+// corrupts rule at round.
+type mutation struct {
+	sw     uint32
+	rule   uint64
+	round  int
+	delete bool // false: corrupt the action list instead
+}
+
+// TestDifferDetectsInjectedMutations is the differential/property test:
+// K random data-plane mutations injected at random rounds must produce
+// exactly K rule-failing alerts (the injected set, nothing else), then —
+// after the hardware heals — exactly K recovery alerts, identically for
+// worker budgets 1, 2, and 8.
+func TestDifferDetectsInjectedMutations(t *testing.T) {
+	const (
+		nSwitches = 5
+		nRules    = 30
+		healRound = 5
+		lastRound = 7
+	)
+	rng := rand.New(rand.NewSource(20260727))
+
+	// Build the mutation schedule once, against a reference fleet: one
+	// mutation per switch (so injected faults cannot mask each other's
+	// probes), on a random monitorable rule, at a random round.
+	refFleet, _ := diffFleet(t, nSwitches, nRules, 1)
+	probed := map[uint32][]uint64{}
+	for _, ev := range refFleet.Sweep(context.Background()) {
+		if ev.Result.Probe != nil {
+			probed[ev.SwitchID] = append(probed[ev.SwitchID], ev.Result.Rule.ID)
+		}
+	}
+	var schedule []mutation
+	for id := uint32(1); id <= nSwitches; id++ {
+		rules := probed[id]
+		if len(rules) == 0 {
+			t.Fatalf("switch %d has no monitorable rules", id)
+		}
+		schedule = append(schedule, mutation{
+			sw:     id,
+			rule:   rules[rng.Intn(len(rules))],
+			round:  1 + rng.Intn(3), // rounds 1..3; heal at 5 keeps flap quiet
+			delete: rng.Intn(2) == 0,
+		})
+	}
+
+	key := func(sw uint32, rule uint64) string { return fmt.Sprintf("%d/%d", sw, rule) }
+	injected := map[string]bool{}
+	for _, m := range schedule {
+		injected[key(m.sw, m.rule)] = true
+	}
+
+	var alertJSON []string
+	for _, budget := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", budget), func(t *testing.T) {
+			fleet, actual := diffFleet(t, nSwitches, nRules, budget)
+			// Saved rules so healed hardware restores the exact state.
+			saved := map[string]*monocle.Rule{}
+			for _, m := range schedule {
+				r, ok := actual[m.sw].Get(m.rule)
+				if !ok {
+					t.Fatalf("scheduled rule %d missing from switch %d", m.rule, m.sw)
+				}
+				saved[key(m.sw, m.rule)] = r.Clone()
+			}
+
+			differ := monocle.NewDiffer(monocle.WithStallThreshold(1 << 20))
+			failing := map[string]int{}
+			recovered := map[string]int{}
+			var stream []monocle.Alert
+			for round := 0; round <= lastRound; round++ {
+				for _, m := range schedule {
+					if m.round != round {
+						continue
+					}
+					if m.delete {
+						if err := actual[m.sw].Delete(m.rule); err != nil {
+							t.Fatal(err)
+						}
+					} else {
+						// Corrupt: hardware forwards to a port no rule in
+						// the dataset uses.
+						if err := actual[m.sw].Modify(m.rule, []monocle.Action{monocle.Output(4000)}); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				if round == healRound {
+					for _, m := range schedule {
+						k := key(m.sw, m.rule)
+						if m.delete {
+							if err := actual[m.sw].Delete(m.rule); err == nil {
+								t.Fatalf("healing %s: rule resurrected before heal", k)
+							}
+							if err := actual[m.sw].Insert(saved[k]); err != nil {
+								t.Fatal(err)
+							}
+						} else {
+							if err := actual[m.sw].Modify(m.rule, saved[k].Actions); err != nil {
+								t.Fatal(err)
+							}
+						}
+					}
+				}
+				for _, a := range sweepRound(fleet, actual, differ) {
+					stream = append(stream, a)
+					switch a.Type {
+					case monocle.AlertRuleFailing:
+						failing[key(a.SwitchID, a.Rule)]++
+					case monocle.AlertRuleRecovered:
+						recovered[key(a.SwitchID, a.Rule)]++
+					default:
+						t.Fatalf("unexpected alert type %v: %+v", a.Type, a)
+					}
+				}
+			}
+
+			// No misses: every injected mutation alerted exactly once,
+			// then recovered exactly once.
+			for k := range injected {
+				if failing[k] != 1 {
+					t.Errorf("mutation %s: %d failing alerts, want exactly 1", k, failing[k])
+				}
+				if recovered[k] != 1 {
+					t.Errorf("mutation %s: %d recovery alerts, want exactly 1", k, recovered[k])
+				}
+			}
+			// No false positives: nothing outside the injected set.
+			for k, n := range failing {
+				if !injected[k] {
+					t.Errorf("false positive: %s failed %d times without an injected mutation", k, n)
+				}
+			}
+			for k := range recovered {
+				if !injected[k] {
+					t.Errorf("false positive recovery for %s", k)
+				}
+			}
+
+			// The alert stream must be identical across worker budgets
+			// (the diff engine inherits the fleet's determinism).
+			b, err := json.Marshal(stream)
+			if err != nil {
+				t.Fatal(err)
+			}
+			alertJSON = append(alertJSON, string(b))
+		})
+	}
+	for i := 1; i < len(alertJSON); i++ {
+		if alertJSON[i] != alertJSON[0] {
+			t.Fatalf("alert stream diverged between worker budgets:\n%s\n%s", alertJSON[0], alertJSON[i])
+		}
+	}
+}
+
+// synthetic builds a sweep event for hand-driven differ tests.
+func synthetic(sw uint32, epoch uint64, rule uint64) monocle.SweepEvent {
+	return monocle.SweepEvent{
+		SwitchID: sw,
+		Epoch:    epoch,
+		Result:   monocle.ProbeResult{Rule: &monocle.Rule{ID: rule}},
+	}
+}
+
+// TestDifferDebounceAndRecovery: a rule must stay bad for the debounce
+// threshold before alerting, alert exactly once while bad, and raise one
+// recovery alert when it heals.
+func TestDifferDebounceAndRecovery(t *testing.T) {
+	d := monocle.NewDiffer(monocle.WithDebounce(3))
+	drive := func(verdict monocle.Verdict) []monocle.Alert {
+		d.ObserveVerdict(synthetic(1, 1, 7), verdict)
+		return d.EndSweep()
+	}
+	if as := drive(monocle.VerdictConfirmed); len(as) != 0 {
+		t.Fatalf("healthy round alerted: %+v", as)
+	}
+	for i := 0; i < 2; i++ {
+		if as := drive(monocle.VerdictAbsent); len(as) != 0 {
+			t.Fatalf("alert before debounce threshold (round %d): %+v", i+1, as)
+		}
+	}
+	as := drive(monocle.VerdictAbsent)
+	if len(as) != 1 || as[0].Type != monocle.AlertRuleFailing || as[0].Rule != 7 || as[0].Streak != 3 {
+		t.Fatalf("want one failing alert at streak 3, got %+v", as)
+	}
+	if as[0].Status != monocle.StatusFailing {
+		t.Fatalf("alert status = %v, want failing", as[0].Status)
+	}
+	for i := 0; i < 3; i++ {
+		if as := drive(monocle.VerdictAbsent); len(as) != 0 {
+			t.Fatalf("still-failing rule re-alerted: %+v", as)
+		}
+	}
+	as = drive(monocle.VerdictConfirmed)
+	if len(as) != 1 || as[0].Type != monocle.AlertRuleRecovered {
+		t.Fatalf("want one recovery alert, got %+v", as)
+	}
+	if as := drive(monocle.VerdictConfirmed); len(as) != 0 {
+		t.Fatalf("healthy rule alerted after recovery: %+v", as)
+	}
+}
+
+// TestDifferStalledSwitch: a switch that stops contributing events raises
+// one stall alert at the threshold, and resumes cleanly.
+func TestDifferStalledSwitch(t *testing.T) {
+	d := monocle.NewDiffer(monocle.WithStallThreshold(3))
+	for i := 0; i < 2; i++ {
+		d.ObserveVerdict(synthetic(9, 1, 1), monocle.VerdictConfirmed)
+		if as := d.EndSweep(); len(as) != 0 {
+			t.Fatalf("healthy round alerted: %+v", as)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if as := d.EndSweep(); len(as) != 0 {
+			t.Fatalf("stall alert before threshold (missed %d): %+v", i+1, as)
+		}
+	}
+	as := d.EndSweep()
+	if len(as) != 1 || as[0].Type != monocle.AlertSwitchStalled || as[0].SwitchID != 9 || as[0].Streak != 3 {
+		t.Fatalf("want one stall alert at 3 missed rounds, got %+v", as)
+	}
+	if as := d.EndSweep(); len(as) != 0 {
+		t.Fatalf("stalled switch re-alerted: %+v", as)
+	}
+	// Resume: no alert, and a fresh stall counts from zero again.
+	d.ObserveVerdict(synthetic(9, 1, 1), monocle.VerdictConfirmed)
+	if as := d.EndSweep(); len(as) != 0 {
+		t.Fatalf("resumed switch alerted: %+v", as)
+	}
+	d.EndSweep()
+	d.EndSweep()
+	as = d.EndSweep()
+	if len(as) != 1 || as[0].Type != monocle.AlertSwitchStalled {
+		t.Fatalf("want a second stall alert after re-stalling, got %+v", as)
+	}
+}
+
+// TestDifferVerdictFlapping: a rule toggling between good and bad inside
+// the flap window raises one flapping alert, which re-arms once the rule
+// settles.
+func TestDifferVerdictFlapping(t *testing.T) {
+	// Debounce high enough that failing alerts stay out of the way.
+	d := monocle.NewDiffer(monocle.WithDebounce(100), monocle.WithFlapWindow(4, 3))
+	drive := func(verdict monocle.Verdict) []monocle.Alert {
+		d.ObserveVerdict(synthetic(2, 1, 5), verdict)
+		return d.EndSweep()
+	}
+	verdicts := []monocle.Verdict{monocle.VerdictConfirmed, monocle.VerdictAbsent, monocle.VerdictConfirmed}
+	for i, v := range verdicts {
+		if as := drive(v); len(as) != 0 {
+			t.Fatalf("flap alert before threshold (round %d): %+v", i, as)
+		}
+	}
+	as := drive(monocle.VerdictAbsent) // history g,b,g,b -> 3 flips
+	if len(as) != 1 || as[0].Type != monocle.AlertVerdictFlapping || as[0].Rule != 5 || as[0].Streak != 3 {
+		t.Fatalf("want one flapping alert with 3 flips, got %+v", as)
+	}
+	if as := drive(monocle.VerdictConfirmed); len(as) != 0 { // still flapping: latched
+		t.Fatalf("flapping re-alerted while latched: %+v", as)
+	}
+	// Settle for a full window, then flap again: the alert re-arms.
+	for i := 0; i < 4; i++ {
+		if as := drive(monocle.VerdictConfirmed); len(as) != 0 {
+			t.Fatalf("settled rule alerted (round %d): %+v", i, as)
+		}
+	}
+	drive(monocle.VerdictAbsent)
+	drive(monocle.VerdictConfirmed)
+	as = drive(monocle.VerdictAbsent)
+	if len(as) != 1 || as[0].Type != monocle.AlertVerdictFlapping {
+		t.Fatalf("want a re-armed flapping alert, got %+v", as)
+	}
+}
+
+// TestDifferDiscardsStaleEpochs: events from a superseded epoch must not
+// overwrite the snapshot of a newer one.
+func TestDifferDiscardsStaleEpochs(t *testing.T) {
+	d := monocle.NewDiffer()
+	d.ObserveVerdict(synthetic(1, 5, 1), monocle.VerdictConfirmed)
+	d.ObserveVerdict(synthetic(1, 4, 1), monocle.VerdictAbsent) // stale: discarded
+	if as := d.EndSweep(); len(as) != 0 {
+		t.Fatalf("stale event alerted: %+v", as)
+	}
+}

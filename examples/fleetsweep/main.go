@@ -1,9 +1,13 @@
-// Fleetsweep runs the sharded multi-switch sweep service: 8 switches,
-// each holding a few hundred ACL rules, verified concurrently through one
-// monocle.Fleet under a bounded solver-worker budget. Events stream over
-// a context-aware channel as each switch's sweep completes; -json emits
-// the same one-record-per-line format as `probegen -json`, and a second
-// sweep after a rule change shows the epoch-aware recompilation at work.
+// Fleetsweep runs the sharded multi-switch sweep service with the
+// cross-epoch diff engine in the loop: 8 switches, each holding a few
+// hundred ACL rules, verified concurrently through one monocle.Fleet
+// under a bounded solver-worker budget. Every generated probe is judged
+// against a simulated per-switch data plane, the Differ folds the rounds
+// into alerts, and the demo shows the three cases that matter: a healthy
+// fleet (no alerts), a hardware divergence injected behind the verifier's
+// back (exactly one alert), and an intentional controller change (no
+// alert, only a delta recompile). -json emits the same
+// one-record-per-line format as `probegen -json`.
 package main
 
 import (
@@ -47,12 +51,29 @@ func main() {
 		}
 	}
 
+	// The simulated data planes: each switch's hardware state starts as an
+	// exact copy of its expected table. Sweep probes are judged against
+	// these through the diff engine.
+	actual := map[uint32]*monocle.Table{}
+	for _, id := range fleet.Switches() {
+		v, _ := fleet.Verifier(id)
+		t := monocle.NewTable()
+		for _, r := range v.Rules() {
+			if err := t.Insert(r.Clone()); err != nil {
+				panic(err)
+			}
+		}
+		actual[id] = t
+	}
+	differ := monocle.NewDiffer()
+
 	fmt.Printf("sweeping %d switches x %d rules (worker budget %d)...\n",
 		*switches, *rules, *workers)
 	enc := json.NewEncoder(os.Stdout)
 	start := time.Now()
 	perSwitch := map[uint32]int{}
 	unmon := 0
+	victims := map[uint32]uint64{} // first monitorable rule per switch
 	for ev := range fleet.Stream(context.Background()) {
 		if ev.Result.Err != nil && !errors.Is(ev.Result.Err, monocle.ErrUnmonitorable) {
 			panic(ev.Result.Err)
@@ -61,28 +82,89 @@ func main() {
 		if errors.Is(ev.Result.Err, monocle.ErrUnmonitorable) {
 			unmon++
 		}
+		if ev.Result.Probe != nil {
+			if _, ok := victims[ev.SwitchID]; !ok {
+				victims[ev.SwitchID] = ev.Result.Rule.ID
+			}
+			differ.ObserveVerdict(ev, monocle.EvaluateProbe(ev.Result.Probe, actual[ev.SwitchID]))
+		} else {
+			differ.Observe(ev)
+		}
 		if *jsonOut {
 			if err := enc.Encode(ev.Record()); err != nil {
 				panic(err)
 			}
 		}
 	}
+	alerts := differ.EndSweep()
 	total := 0
 	for id := uint32(1); id <= uint32(*switches); id++ {
 		total += perSwitch[id]
 	}
-	fmt.Printf("swept %d rules across %d switches in %v (%d unmonitorable)\n",
-		total, len(perSwitch), time.Since(start).Round(time.Millisecond), unmon)
+	fmt.Printf("swept %d rules across %d switches in %v (%d unmonitorable, %d alerts)\n",
+		total, len(perSwitch), time.Since(start).Round(time.Millisecond), unmon, len(alerts))
 
-	// Dynamic update on one member: only the changed rule recompiles.
+	// round sweeps once more and reports the diff engine's alerts.
+	round := func() []monocle.Alert {
+		for _, ev := range fleet.Sweep(context.Background()) {
+			if ev.Result.Probe != nil {
+				differ.ObserveVerdict(ev, monocle.EvaluateProbe(ev.Result.Probe, actual[ev.SwitchID]))
+			} else {
+				differ.Observe(ev)
+			}
+		}
+		return differ.EndSweep()
+	}
+
+	// Hardware divergence: one switch silently loses a rule from its data
+	// plane — the controller's view is unchanged, so the next sweep's
+	// probe for that rule is judged against diverged hardware and the
+	// diff engine raises exactly one alert. Pick the last member that had
+	// a monitorable rule (any fleet size works).
+	var badSwitch uint32
+	for _, id := range fleet.Switches() {
+		if _, ok := victims[id]; ok {
+			badSwitch = id
+		}
+	}
+	if badSwitch == 0 {
+		panic("no switch produced a monitorable rule")
+	}
+	if err := actual[badSwitch].Delete(victims[badSwitch]); err != nil {
+		panic(err)
+	}
+	for _, a := range round() {
+		b, _ := json.Marshal(a)
+		fmt.Printf("ALERT %s\n", b)
+	}
+
+	// Intentional controller change on switch 1: the expected table and
+	// the data plane move together, so the diff engine stays quiet and
+	// only the changed rule recompiles (epoch-aware session cache). Skip
+	// the rule the divergence demo already removed from the hardware.
 	v, _ := fleet.Verifier(1)
 	victim := v.Rules()[0]
+	divergedCollision := badSwitch == 1 && victim.ID == victims[1]
+	if divergedCollision && v.Len() > 1 {
+		victim = v.Rules()[1]
+		divergedCollision = false
+	}
 	if _, err := v.Delete(victim.ID); err != nil && !errors.Is(err, monocle.ErrUnmonitorable) {
+		panic(err)
+	}
+	// A one-rule fleet reuses the diverged rule: the hardware already
+	// dropped it, so only the controller-side delete remains.
+	if err := actual[1].Delete(victim.ID); err != nil && !divergedCollision {
 		panic(err)
 	}
 	start = time.Now()
 	n := len(fleet.Sweep(context.Background()))
 	stats := v.CacheStats()
-	fmt.Printf("re-swept %d rules after one deletion in %v (S1 cache: %d delta recompiles, %d rebuilds)\n",
+	fmt.Printf("re-swept %d rules after one intentional deletion in %v (S1 cache: %d delta recompiles, %d rebuilds)\n",
 		n, time.Since(start).Round(time.Millisecond), stats.DeltaRules, stats.Rebuilds)
+	if extra := round(); len(extra) > 0 {
+		fmt.Printf("unexpected alerts after an intentional change: %d\n", len(extra))
+	} else {
+		fmt.Println("intentional change raised no alerts (hardware recovered, controller view updated)")
+	}
 }

@@ -11,6 +11,7 @@ package monocle
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -18,6 +19,10 @@ import (
 
 	imon "monocle/internal/monocle"
 )
+
+// ErrDuplicateSwitch reports an AddSwitch/AttachMonitor id already
+// registered in the fleet.
+var ErrDuplicateSwitch = errors.New("monocle: switch already in the fleet")
 
 // Fleet verifies a fleet of switches. Members are added with AddSwitch
 // (offline/sweep verification) or AttachMonitor (live proxy monitoring);
@@ -80,7 +85,7 @@ func (f *Fleet) AddSwitch(id uint32, opts ...Option) (*Verifier, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if _, dup := f.byID[id]; dup {
-		return nil, fmt.Errorf("monocle: switch %d already in the fleet", id)
+		return nil, fmt.Errorf("%w: %d", ErrDuplicateSwitch, id)
 	}
 	m := &fleetMember{id: id, v: v}
 	f.members = append(f.members, m)
@@ -100,7 +105,7 @@ func (f *Fleet) AttachMonitor(s *Sim, cfg MonitorConfig) (*Monitor, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if _, dup := f.byID[cfg.SwitchID]; dup {
-		return nil, fmt.Errorf("monocle: switch %d already in the fleet", cfg.SwitchID)
+		return nil, fmt.Errorf("%w: %d", ErrDuplicateSwitch, cfg.SwitchID)
 	}
 	f.mux.Register(mon)
 	m := &fleetMember{id: cfg.SwitchID, mon: mon}
@@ -162,22 +167,66 @@ func (f *Fleet) Sweep(ctx context.Context) []SweepEvent {
 // completes, over a channel that closes when the sweep finishes or the
 // context is cancelled. Fleets with attached Monitors should prefer the
 // synchronous Sweep from the monitors' event-loop thread.
+//
+// Cancellation is deterministic: once the context is cancelled the sweep
+// stops claiming members, delivery halts, and the channel closes promptly
+// whether or not the consumer keeps draining. At most the single event
+// already offered to the consumer at cancellation time is still
+// delivered; everything after it is dropped, never a random subset.
 func (f *Fleet) Stream(ctx context.Context) <-chan SweepEvent {
-	ch := make(chan SweepEvent)
+	out := make(chan SweepEvent)
+	inner := make(chan SweepEvent)
 	members := f.snapshot()
 	go func() {
-		defer close(ch)
+		defer close(inner)
 		f.sweepInto(ctx, members, func(_ int, evs []SweepEvent) {
 			for _, ev := range evs {
 				select {
-				case ch <- ev:
+				case inner <- ev:
 				case <-ctx.Done():
 					return
 				}
 			}
 		})
 	}()
-	return ch
+	go func() {
+		defer close(out)
+		// drain unblocks the producer side after cancellation so the
+		// sweep goroutines always exit, draining consumer or not.
+		drain := func() {
+			for range inner {
+			}
+		}
+		for {
+			// Poll cancellation first: a ready ctx.Done must win over a
+			// ready inner event, or a post-cancel drain would receive a
+			// nondeterministic subset of the in-flight events.
+			if ctx.Err() != nil {
+				drain()
+				return
+			}
+			select {
+			case <-ctx.Done():
+				drain()
+				return
+			case ev, ok := <-inner:
+				if !ok {
+					return
+				}
+				if ctx.Err() != nil {
+					drain()
+					return
+				}
+				select {
+				case out <- ev:
+				case <-ctx.Done():
+					drain()
+					return
+				}
+			}
+		}
+	}()
+	return out
 }
 
 // Serve runs steady-state sweeps every WithSteadyInterval until the
@@ -235,6 +284,11 @@ func (f *Fleet) sweepInto(ctx context.Context, members []*fleetMember, done func
 			go func() {
 				defer wg.Done()
 				for {
+					// A cancelled sweep stops claiming members; rules of
+					// already-claimed members carry the context error.
+					if ctx.Err() != nil {
+						return
+					}
 					n := int(next.Add(1)) - 1
 					if n >= len(vIdx) {
 						return

@@ -125,6 +125,20 @@ const (
 	VerdictUnexpected
 )
 
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictConfirmed:
+		return "confirmed"
+	case VerdictAbsent:
+		return "absent"
+	case VerdictUnexpected:
+		return "unexpected"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
 // Monitor proxies one controller↔switch session and monitors that switch.
 type Monitor struct {
 	Cfg Config

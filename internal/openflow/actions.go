@@ -84,7 +84,14 @@ func decodeActions(b []byte) ([]Action, error) {
 		}
 		typ := binary.BigEndian.Uint16(b[0:2])
 		ln := int(binary.BigEndian.Uint16(b[2:4]))
-		if ln < 8 || ln%8 != 0 || len(b) < ln {
+		// ofp_action_dl_addr is 16 bytes; every other supported action is
+		// 8. Enforcing the per-type minimum keeps the body reads below in
+		// bounds on crafted inputs.
+		want := 8
+		if typ == atSetDLSrc || typ == atSetDLDst {
+			want = 16
+		}
+		if ln < want || ln%8 != 0 || len(b) < ln {
 			return nil, fmt.Errorf("%w: action length %d", ErrMalformed, ln)
 		}
 		body := b[4:ln]

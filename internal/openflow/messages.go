@@ -196,7 +196,10 @@ func (m *FeaturesReply) decodeBody(b []byte) error {
 	m.Ports = nil
 	for len(rest) >= 48 {
 		p := PhyPort{PortNo: binary.BigEndian.Uint16(rest[0:2])}
-		name := rest[8:24]
+		// Names carry at most 15 bytes on the wire (byte 16 is the
+		// forced NUL terminator); reading only 15 keeps decode(encode(x))
+		// stable even when the terminator byte holds junk.
+		name := rest[8:23]
 		for i, c := range name {
 			if c == 0 {
 				name = name[:i]

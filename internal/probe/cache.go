@@ -43,16 +43,17 @@ type SessionCache struct {
 	Stats CacheStats
 }
 
-// CacheStats counts SessionCache activity.
+// CacheStats counts SessionCache activity. The JSON form feeds the
+// monocled /metrics endpoint.
 type CacheStats struct {
 	// Hits are Session calls answered with the cached session.
-	Hits int
+	Hits int `json:"hits"`
 	// Syncs are epoch changes that re-synced the library.
-	Syncs int
+	Syncs int `json:"syncs"`
 	// DeltaRules counts rules (re)compiled incrementally across syncs.
-	DeltaRules int
+	DeltaRules int `json:"delta_rules"`
 	// Rebuilds counts full library rebuilds (garbage compaction).
-	Rebuilds int
+	Rebuilds int `json:"rebuilds"`
 }
 
 // NewSessionCache creates a cache bound to the given (live) table. The

@@ -37,6 +37,11 @@ type settings struct {
 	validate    bool
 	maxChain    int
 	miss        TableMiss
+
+	debounce    int
+	stallSweeps int
+	flapWindow  int
+	flapFlips   int
 }
 
 // defaultSettings returns the paper-default option values.
@@ -47,6 +52,10 @@ func defaultSettings() settings {
 		clustering:     true,
 		learntReuse:    true,
 		validate:       true,
+		debounce:       1,
+		stallSweeps:    3,
+		flapWindow:     6,
+		flapFlips:      3,
 	}
 }
 
@@ -186,6 +195,31 @@ func WithMaxChain(n int) Option { return func(s *settings) { s.maxChain = n } }
 // WithTableMiss sets the verifier table's miss behaviour (default
 // MissDrop).
 func WithTableMiss(miss TableMiss) Option { return func(s *settings) { s.miss = miss } }
+
+// WithDebounce makes the diff engine wait until a rule has been in a bad
+// status for n consecutive sweeps before raising AlertRuleFailing
+// (default 1: alert on the first bad sweep). Values below 1 are clamped
+// to 1.
+func WithDebounce(n int) Option {
+	return func(s *settings) { s.debounce = max(n, 1) }
+}
+
+// WithStallThreshold raises AlertSwitchStalled after a previously-sweeping
+// switch contributes no events for n consecutive sweep rounds (default 3).
+// Values below 1 are clamped to 1.
+func WithStallThreshold(n int) Option {
+	return func(s *settings) { s.stallSweeps = max(n, 1) }
+}
+
+// WithFlapWindow raises AlertVerdictFlapping when a rule's good/bad state
+// flips at least flips times within its last window sweeps (defaults 6
+// and 3). Values below 2 (window) and 1 (flips) are clamped.
+func WithFlapWindow(window, flips int) Option {
+	return func(s *settings) {
+		s.flapWindow = max(window, 2)
+		s.flapFlips = max(flips, 1)
+	}
+}
 
 // monitorPeers converts the option peer map to the internal type.
 func (s *settings) monitorPeers() map[flowtable.PortID]uint32 { return s.peers }

@@ -1,0 +1,666 @@
+package monocle
+
+// The monocled service layer: a long-running HTTP control surface over a
+// Fleet plus a simulated per-switch data plane, with the cross-epoch diff
+// engine folding every sweep into alerts. The service owns the sweep loop
+// (Run), evaluates every generated probe against the switch's data-plane
+// table, and exposes the whole lifecycle over net/http: switches are
+// added, rules installed/modified/deleted (driving the dynamic-update
+// confirmation path), sweeps and alerts read back as JSON lines, and
+// health/metrics polled. Rule operations can target the expected table,
+// the data plane, or both — mutating only the data plane is exactly the
+// "hardware diverged behind the controller's back" fault the paper's
+// monitoring exists to catch.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"context"
+)
+
+// maxServiceAlerts bounds the retained alert log (oldest dropped first).
+const maxServiceAlerts = 4096
+
+// Service is the long-running monocled fleet service. Build one with
+// NewService, mount Handler on an HTTP server, and drive the sweep loop
+// with Run; or call SweepRound directly for externally-paced sweeps.
+type Service struct {
+	set    settings
+	fleet  *Fleet
+	differ *Differ
+
+	mu        sync.Mutex
+	actual    map[uint32]*Table
+	lastSweep []ResultRecord
+	alerts    []Alert
+	metrics   ServiceMetrics
+	draining  bool
+}
+
+// ServiceMetrics is the GET /metrics payload.
+type ServiceMetrics struct {
+	// Rounds counts completed sweep rounds.
+	Rounds uint64 `json:"rounds"`
+	// RulesSwept counts per-rule results across all rounds.
+	RulesSwept uint64 `json:"rules_swept"`
+	// AlertsTotal counts alerts raised across all rounds.
+	AlertsTotal uint64 `json:"alerts_total"`
+	// LastRoundRules is the result count of the most recent round.
+	LastRoundRules int `json:"last_round_rules"`
+	// LastRoundMicros is the most recent round's wall time in µs.
+	LastRoundMicros int64 `json:"last_round_micros"`
+	// LastRoundMicrosPerRule is the most recent round's per-rule cost.
+	LastRoundMicrosPerRule float64 `json:"last_round_us_per_rule"`
+	// Switches carries the per-switch epoch and cache snapshots.
+	Switches []SwitchMetrics `json:"switches,omitempty"`
+}
+
+// SwitchMetrics is one switch's slice of GET /metrics.
+type SwitchMetrics struct {
+	Switch uint32     `json:"switch"`
+	Epoch  uint64     `json:"epoch"`
+	Rules  int        `json:"rules"`
+	Cache  CacheStats `json:"cache"`
+}
+
+// SwitchSpec is the POST /switches request body.
+type SwitchSpec struct {
+	// ID is the switch id (required, non-zero).
+	ID uint32 `json:"id"`
+	// Tag pins the probe tag (default: the switch id).
+	Tag uint64 `json:"tag,omitempty"`
+	// Ports restricts probe in_port values to the switch's real ports.
+	Ports []uint16 `json:"ports,omitempty"`
+	// Miss is the table-miss behaviour: "drop" (default) or "controller".
+	Miss string `json:"miss,omitempty"`
+}
+
+// RuleSpec is the JSON form of one rule in rule operations.
+type RuleSpec struct {
+	ID       uint64 `json:"id"`
+	Priority int    `json:"priority"`
+	// Match maps OpenFlow 1.0 field names (dl_type, nw_src, ...) to
+	// values: decimal or 0x-hex integers, dotted quads, and
+	// value/prefixlen prefixes (nw_src/nw_dst style).
+	Match   map[string]string `json:"match,omitempty"`
+	Actions []ActionSpec      `json:"actions,omitempty"`
+}
+
+// ActionSpec is the JSON form of one rule action: exactly one of Output,
+// ECMP, or Set is used. An empty Actions list on a RuleSpec drops.
+type ActionSpec struct {
+	Output uint16        `json:"output,omitempty"`
+	ECMP   []uint16      `json:"ecmp,omitempty"`
+	Set    *SetFieldSpec `json:"set,omitempty"`
+}
+
+// SetFieldSpec is the JSON form of a set-field rewrite action.
+type SetFieldSpec struct {
+	Field string `json:"field"`
+	Value uint64 `json:"value"`
+}
+
+// RuleOp is the POST /switches/{id}/rules request body.
+type RuleOp struct {
+	// Op is "add", "modify", or "delete".
+	Op string `json:"op"`
+	// Rule is the rule to add (op=add).
+	Rule *RuleSpec `json:"rule,omitempty"`
+	// ID selects the rule to modify/delete.
+	ID uint64 `json:"id,omitempty"`
+	// Actions is the replacement action list (op=modify).
+	Actions []ActionSpec `json:"actions,omitempty"`
+	// Dataplane targets the operation: "both" (default — the normal
+	// controller path: expected table and data plane move together),
+	// "expected" (the controller believes the change happened but the
+	// hardware never applied it), or "actual" (the hardware changed
+	// behind the verifier's back). The last two are the fault-injection
+	// hooks continuous monitoring exists to catch.
+	Dataplane string `json:"dataplane,omitempty"`
+}
+
+// UpdateReply is the POST /switches/{id}/rules response body.
+type UpdateReply struct {
+	Switch uint32 `json:"switch"`
+	Rule   uint64 `json:"rule"`
+	Op     string `json:"op"`
+	// Verdict is the dynamic-update confirmation probe's judgement
+	// against the data plane ("confirmed"/"absent"/"unexpected"), or
+	// "unmonitorable"/"none" when no probe exists. For deletions,
+	// "absent" is the success verdict — the probe fell through.
+	Verdict string `json:"verdict,omitempty"`
+	// Record is the confirmation probe's result record, when one exists.
+	Record *ResultRecord `json:"record,omitempty"`
+}
+
+// NewService returns an empty fleet service. The options parameterize the
+// embedded Fleet (WithWorkers, WithSteadyInterval, per-switch defaults)
+// and the diff engine (WithDebounce, WithStallThreshold, WithFlapWindow).
+func NewService(opts ...Option) *Service {
+	set := defaultSettings()
+	set.apply(opts)
+	return &Service{
+		set:    set,
+		fleet:  NewFleet(opts...),
+		differ: NewDiffer(opts...),
+		actual: make(map[uint32]*Table),
+	}
+}
+
+// Fleet returns the service's underlying fleet (programmatic access from
+// the same process; the HTTP surface is a thin layer over it).
+func (s *Service) Fleet() *Fleet { return s.fleet }
+
+// Differ returns the service's diff engine.
+func (s *Service) Differ() *Differ { return s.differ }
+
+// AddSwitch registers a switch with the service: a fleet Verifier for the
+// expected table plus a simulated data-plane table that sweeps are judged
+// against. The HTTP POST /switches endpoint calls this.
+func (s *Service) AddSwitch(spec SwitchSpec) (*Verifier, error) {
+	if spec.ID == 0 {
+		return nil, fmt.Errorf("monocle: switch id must be non-zero")
+	}
+	// Default to the service-level option (WithTableMiss), not MissDrop.
+	miss := s.set.miss
+	switch spec.Miss {
+	case "":
+	case "drop":
+		miss = MissDrop
+	case "controller":
+		miss = MissController
+	default:
+		return nil, fmt.Errorf("monocle: unknown miss behaviour %q", spec.Miss)
+	}
+	var opts []Option
+	opts = append(opts, WithTableMiss(miss))
+	if spec.Tag != 0 {
+		opts = append(opts, WithProbeTag(spec.Tag))
+	}
+	if len(spec.Ports) > 0 {
+		ports := make([]PortID, len(spec.Ports))
+		for i, p := range spec.Ports {
+			ports[i] = PortID(p)
+		}
+		opts = append(opts, WithPorts(ports...))
+	}
+	v, err := s.fleet.AddSwitch(spec.ID, opts...)
+	if err != nil {
+		return nil, err
+	}
+	actual := NewTable()
+	actual.Miss = miss
+	s.mu.Lock()
+	s.actual[spec.ID] = actual
+	s.mu.Unlock()
+	return v, nil
+}
+
+// ApplyRule executes one rule operation against switch id, updating the
+// expected table and/or the data plane per op.Dataplane, and judges the
+// dynamic-update confirmation probe against the data plane.
+func (s *Service) ApplyRule(id uint32, op RuleOp) (UpdateReply, error) {
+	v, ok := s.fleet.Verifier(id)
+	if !ok {
+		return UpdateReply{}, ErrNotFound
+	}
+	expected := op.Dataplane == "" || op.Dataplane == "both" || op.Dataplane == "expected"
+	dataplane := op.Dataplane == "" || op.Dataplane == "both" || op.Dataplane == "actual"
+	if !expected && !dataplane {
+		return UpdateReply{}, fmt.Errorf("monocle: unknown dataplane target %q", op.Dataplane)
+	}
+	s.mu.Lock()
+	actual := s.actual[id]
+	s.mu.Unlock()
+	// Switches registered directly on the underlying Fleet have no
+	// data-plane model; a mutation targeting it cannot be applied.
+	if dataplane && actual == nil {
+		return UpdateReply{}, fmt.Errorf("monocle: switch %d has no data-plane model (registered outside the service); use dataplane:\"expected\"", id)
+	}
+
+	// unprobeable reports genErr is a structural no-probe-exists sentinel:
+	// the table mutation itself succeeded, so the operation must not turn
+	// into an HTTP error (the state did change) — it surfaces as an
+	// "unmonitorable" verdict instead.
+	unprobeable := func(err error) bool {
+		return errors.Is(err, ErrUnmonitorable) || errors.Is(err, ErrRewritesProbeField)
+	}
+	var (
+		p      *Probe
+		genErr error
+		ruleID uint64
+	)
+	switch op.Op {
+	case "add":
+		if op.Rule == nil {
+			return UpdateReply{}, fmt.Errorf("monocle: add needs a rule")
+		}
+		r, err := op.Rule.rule()
+		if err != nil {
+			return UpdateReply{}, err
+		}
+		ruleID = r.ID
+		// Update the data plane first so the confirmation probe is
+		// judged against post-update hardware state (the normal path).
+		if dataplane {
+			s.mu.Lock()
+			err = actual.Insert(r.Clone())
+			s.mu.Unlock()
+			if err != nil {
+				return UpdateReply{}, err
+			}
+		}
+		if expected {
+			p, genErr = v.Add(r)
+			if genErr != nil && !unprobeable(genErr) {
+				return UpdateReply{}, genErr
+			}
+		}
+	case "modify":
+		actions, err := actionList(op.Actions)
+		if err != nil {
+			return UpdateReply{}, err
+		}
+		ruleID = op.ID
+		if dataplane {
+			s.mu.Lock()
+			err = actual.Modify(op.ID, cloneActions(actions))
+			s.mu.Unlock()
+			if err != nil {
+				return UpdateReply{}, err
+			}
+		}
+		if expected {
+			p, genErr = v.Modify(op.ID, actions)
+			if genErr != nil && !unprobeable(genErr) {
+				return UpdateReply{}, genErr
+			}
+		}
+	case "delete":
+		ruleID = op.ID
+		if expected {
+			p, genErr = v.Delete(op.ID)
+			if genErr != nil && !unprobeable(genErr) {
+				return UpdateReply{}, genErr
+			}
+		}
+		if dataplane {
+			s.mu.Lock()
+			err := actual.Delete(op.ID)
+			s.mu.Unlock()
+			if err != nil {
+				return UpdateReply{}, err
+			}
+		}
+	default:
+		return UpdateReply{}, fmt.Errorf("monocle: unknown op %q", op.Op)
+	}
+
+	reply := UpdateReply{Switch: id, Rule: ruleID, Op: op.Op, Verdict: "none"}
+	switch {
+	case unprobeable(genErr):
+		reply.Verdict = "unmonitorable"
+	case p != nil && actual != nil:
+		s.mu.Lock()
+		verdict := EvaluateProbe(p, actual)
+		s.mu.Unlock()
+		reply.Verdict = verdict.String()
+		rec := NewResultRecord(id, v.Epoch(), ProbeResult{Rule: &Rule{ID: ruleID}, Probe: p})
+		reply.Record = &rec
+	}
+	return reply, nil
+}
+
+// SweepRound runs one fleet sweep, judges every generated probe against
+// its switch's data plane, feeds the diff engine, finalizes the round,
+// and returns the alerts it raised. Run calls this on the steady
+// interval; tests and externally-paced deployments call it directly (or
+// through POST /sweep).
+func (s *Service) SweepRound(ctx context.Context) []Alert {
+	start := time.Now()
+	evs := s.fleet.Sweep(ctx)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	recs := make([]ResultRecord, 0, len(evs))
+	for _, ev := range evs {
+		if actual := s.actual[ev.SwitchID]; actual != nil && ev.Result.Probe != nil {
+			s.differ.ObserveVerdict(ev, EvaluateProbe(ev.Result.Probe, actual))
+		} else {
+			s.differ.Observe(ev)
+		}
+		recs = append(recs, ev.Record())
+	}
+	alerts := s.differ.EndSweep()
+
+	s.lastSweep = recs
+	s.alerts = append(s.alerts, alerts...)
+	if n := len(s.alerts); n > maxServiceAlerts {
+		s.alerts = append([]Alert(nil), s.alerts[n-maxServiceAlerts:]...)
+	}
+	s.metrics.Rounds++
+	s.metrics.RulesSwept += uint64(len(recs))
+	s.metrics.AlertsTotal += uint64(len(alerts))
+	s.metrics.LastRoundRules = len(recs)
+	s.metrics.LastRoundMicros = time.Since(start).Microseconds()
+	if len(recs) > 0 {
+		s.metrics.LastRoundMicrosPerRule = float64(s.metrics.LastRoundMicros) / float64(len(recs))
+	} else {
+		s.metrics.LastRoundMicrosPerRule = 0
+	}
+	return alerts
+}
+
+// Run drives steady-state sweep rounds every WithSteadyInterval until the
+// context is cancelled, then drains gracefully: the in-flight round
+// completes (rounds run under their own context, so cancellation never
+// truncates one mid-sweep), the service is marked draining for /healthz,
+// and the context's error is returned.
+func (s *Service) Run(ctx context.Context) error {
+	ticker := time.NewTicker(s.set.steadyInterval)
+	defer ticker.Stop()
+	s.SweepRound(context.Background())
+	for {
+		select {
+		case <-ctx.Done():
+			s.mu.Lock()
+			s.draining = true
+			s.mu.Unlock()
+			return ctx.Err()
+		case <-ticker.C:
+			s.SweepRound(context.Background())
+		}
+	}
+}
+
+// Alerts returns a snapshot of the retained alert log (oldest first).
+func (s *Service) Alerts() []Alert {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Alert(nil), s.alerts...)
+}
+
+// Metrics returns a snapshot of the service counters with per-switch
+// epoch and cache detail attached.
+func (s *Service) Metrics() ServiceMetrics {
+	s.mu.Lock()
+	m := s.metrics
+	s.mu.Unlock()
+	for _, id := range s.fleet.Switches() {
+		v, ok := s.fleet.Verifier(id)
+		if !ok {
+			continue
+		}
+		m.Switches = append(m.Switches, SwitchMetrics{
+			Switch: id,
+			Epoch:  v.Epoch(),
+			Rules:  v.Len(),
+			Cache:  v.CacheStats(),
+		})
+	}
+	return m
+}
+
+// Handler returns the monocled HTTP control surface:
+//
+//	POST /switches            add a switch (SwitchSpec)
+//	GET  /switches            list switches with epochs and rule counts
+//	POST /switches/{id}/rules apply a RuleOp, returns UpdateReply
+//	POST /sweep               run one sweep round now, returns its alerts
+//	GET  /sweeps              last round's ResultRecords, one JSON line each
+//	GET  /alerts              retained alerts, one JSON line each
+//	GET  /healthz             liveness and drain state
+//	GET  /metrics             ServiceMetrics
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /switches", s.handleAddSwitch)
+	mux.HandleFunc("GET /switches", s.handleListSwitches)
+	mux.HandleFunc("POST /switches/{id}/rules", s.handleRules)
+	mux.HandleFunc("POST /sweep", s.handleSweepNow)
+	mux.HandleFunc("GET /sweeps", s.handleSweeps)
+	mux.HandleFunc("GET /alerts", s.handleAlerts)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Service) handleAddSwitch(w http.ResponseWriter, r *http.Request) {
+	var spec SwitchSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if _, err := s.AddSwitch(spec); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrDuplicateSwitch) {
+			status = http.StatusConflict
+		}
+		httpError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"switch": spec.ID})
+}
+
+func (s *Service) handleListSwitches(w http.ResponseWriter, _ *http.Request) {
+	var out []SwitchMetrics
+	for _, id := range s.fleet.Switches() {
+		if v, ok := s.fleet.Verifier(id); ok {
+			out = append(out, SwitchMetrics{Switch: id, Epoch: v.Epoch(), Rules: v.Len(), Cache: v.CacheStats()})
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Service) handleRules(w http.ResponseWriter, r *http.Request) {
+	id64, err := strconv.ParseUint(r.PathValue("id"), 10, 32)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad switch id: %w", err))
+		return
+	}
+	var op RuleOp
+	if err := json.NewDecoder(r.Body).Decode(&op); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	reply, err := s.ApplyRule(uint32(id64), op)
+	if err != nil {
+		status := http.StatusBadRequest
+		switch {
+		case errors.Is(err, ErrNotFound):
+			status = http.StatusNotFound
+		case errors.Is(err, ErrDuplicateID), errors.Is(err, ErrSamePriorityOverlap):
+			status = http.StatusConflict
+		}
+		httpError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+func (s *Service) handleSweepNow(w http.ResponseWriter, _ *http.Request) {
+	// Deliberately not the request context: a client disconnect mid-sweep
+	// would cancel the round and turn every unswept rule into a false
+	// StatusError failing alert (Run's loop avoids this the same way).
+	alerts := s.SweepRound(context.Background())
+	s.mu.Lock()
+	round := s.metrics.Rounds
+	rules := s.metrics.LastRoundRules
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"round": round, "rules": rules, "alerts": alerts,
+	})
+}
+
+func (s *Service) handleSweeps(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	recs := append([]ResultRecord(nil), s.lastSweep...)
+	s.mu.Unlock()
+	writeJSONLines(w, len(recs), func(enc *json.Encoder, i int) error {
+		return enc.Encode(recs[i])
+	})
+}
+
+func (s *Service) handleAlerts(w http.ResponseWriter, _ *http.Request) {
+	alerts := s.Alerts()
+	writeJSONLines(w, len(alerts), func(enc *json.Encoder, i int) error {
+		return enc.Encode(alerts[i])
+	})
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	rounds := s.metrics.Rounds
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":       true,
+		"draining": draining,
+		"switches": s.fleet.Size(),
+		"rounds":   rounds,
+	})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// httpError writes a JSON error body.
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// writeJSON writes one JSON document.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeJSONLines writes n JSON lines (ndjson).
+func writeJSONLines(w http.ResponseWriter, n int, line func(*json.Encoder, int) error) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for i := 0; i < n; i++ {
+		if err := line(enc, i); err != nil {
+			return
+		}
+	}
+}
+
+// fieldIDs maps OpenFlow 1.0 field names to FieldIDs.
+var fieldIDs = func() map[string]FieldID {
+	m := make(map[string]FieldID, NumFields)
+	for f := FieldID(0); f < NumFields; f++ {
+		m[f.String()] = f
+	}
+	return m
+}()
+
+// rule builds the flow rule a RuleSpec describes.
+func (rs *RuleSpec) rule() (*Rule, error) {
+	m := MatchAll()
+	for name, val := range rs.Match {
+		f, ok := fieldIDs[name]
+		if !ok {
+			return nil, fmt.Errorf("monocle: unknown match field %q", name)
+		}
+		t, err := parseTernary(f, val)
+		if err != nil {
+			return nil, err
+		}
+		m = m.With(f, t)
+	}
+	actions, err := actionList(rs.Actions)
+	if err != nil {
+		return nil, err
+	}
+	r := &Rule{ID: rs.ID, Priority: rs.Priority, Match: m, Actions: actions}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// actionList builds a rule action list from specs.
+func actionList(specs []ActionSpec) ([]Action, error) {
+	var out []Action
+	for _, a := range specs {
+		switch {
+		case a.Set != nil:
+			f, ok := fieldIDs[a.Set.Field]
+			if !ok {
+				return nil, fmt.Errorf("monocle: unknown set field %q", a.Set.Field)
+			}
+			out = append(out, SetField(f, a.Set.Value))
+		case len(a.ECMP) > 0:
+			ports := make([]PortID, len(a.ECMP))
+			for i, p := range a.ECMP {
+				ports[i] = PortID(p)
+			}
+			out = append(out, ECMP(ports...))
+		case a.Output != 0:
+			out = append(out, Output(PortID(a.Output)))
+		default:
+			return nil, fmt.Errorf("monocle: action needs output, ecmp, or set")
+		}
+	}
+	return out, nil
+}
+
+// cloneActions copies an action list so the expected and actual tables
+// never share Action slices.
+func cloneActions(actions []Action) []Action {
+	out := make([]Action, len(actions))
+	copy(out, actions)
+	for i := range out {
+		if len(out[i].Ports) > 0 {
+			out[i].Ports = append([]PortID(nil), out[i].Ports...)
+		}
+	}
+	return out
+}
+
+// parseTernary parses one match value: "5", "0x800", "10.0.0.0",
+// "10.0.0.0/8", or "value/prefixlen".
+func parseTernary(f FieldID, s string) (Ternary, error) {
+	valPart, plenPart, hasPlen := strings.Cut(s, "/")
+	v, err := parseFieldValue(valPart)
+	if err != nil {
+		return Ternary{}, fmt.Errorf("monocle: field %s: %w", f, err)
+	}
+	if !hasPlen {
+		return Exact(f, v), nil
+	}
+	plen, err := strconv.Atoi(plenPart)
+	if err != nil || plen < 0 || plen > FieldWidth(f) {
+		return Ternary{}, fmt.Errorf("monocle: field %s: bad prefix length %q", f, plenPart)
+	}
+	return Prefix(f, v, plen), nil
+}
+
+// parseFieldValue parses a decimal/0x-hex integer or an IPv4 dotted quad.
+func parseFieldValue(s string) (uint64, error) {
+	if strings.Contains(s, ".") {
+		parts := strings.Split(s, ".")
+		if len(parts) != 4 {
+			return 0, fmt.Errorf("bad dotted quad %q", s)
+		}
+		var v uint64
+		for _, p := range parts {
+			o, err := strconv.ParseUint(p, 10, 8)
+			if err != nil {
+				return 0, fmt.Errorf("bad dotted quad %q", s)
+			}
+			v = v<<8 | o
+		}
+		return v, nil
+	}
+	return strconv.ParseUint(s, 0, 64)
+}
