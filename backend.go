@@ -1,0 +1,302 @@
+package monocle
+
+// The switch-backend driver seam. A Backend is how the verification stack
+// (Verifier, Fleet, Service) reaches one switch's data plane: connect and
+// close the driver's transport, apply rule operations to the hardware
+// side, inject generated probes and observe what the data plane did to
+// them, and watch the driver's lifecycle events. Everything above this
+// seam is backend-agnostic — the same Service fronts a simulated data
+// plane (SimBackend) or a live TCP OpenFlow 1.0 switch (ProxyBackend),
+// and every future driver (record/replay, multi-controller) plugs in
+// behind the same interface.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrBackendClosed reports an operation on a Backend after Close.
+var ErrBackendClosed = errors.New("monocle: backend closed")
+
+// Backend drives one switch's data plane on behalf of the verification
+// stack. Implementations must be safe for concurrent use.
+type Backend interface {
+	// SwitchID identifies the switch this backend drives.
+	SwitchID() uint32
+	// Connect establishes the driver's transport (a no-op for simulated
+	// drivers). It must be called before Apply/Observe.
+	Connect(ctx context.Context) error
+	// Close releases the transport and ends the Events stream. Close is
+	// idempotent.
+	Close() error
+	// Apply applies one resolved rule operation to the switch's data
+	// plane — the hardware side of an update. It does not touch any
+	// expected table; the caller owns that bookkeeping.
+	Apply(op BackendOp) error
+	// Observe injects probe p into the data plane and judges the
+	// response against the probe's two hypotheses: VerdictConfirmed for
+	// the rule-present outcome, VerdictAbsent for rule-absent,
+	// VerdictUnexpected for neither. Live drivers re-inject until a catch
+	// settles the expectation or their observation timeout elapses.
+	Observe(ctx context.Context, p *Probe, expect Expectation) (Verdict, error)
+	// Epoch reports the driver's view of the switch's data-plane change
+	// epoch (bumped on every Apply).
+	Epoch() uint64
+	// Events returns the driver's lifecycle event stream. The channel is
+	// buffered and never blocks the driver: events overflowing the
+	// buffer are dropped. It is closed by Close.
+	Events() <-chan BackendEvent
+}
+
+// Sweeper is the optional Backend extension for drivers that track their
+// switch's expected flow table themselves — a live proxy driver learning
+// it from the FlowMods it forwards. Fleet.AttachBackend requires it:
+// such members are swept through the driver instead of a facade Verifier.
+type Sweeper interface {
+	// SweepExpected generates the steady-state probe set of the driver's
+	// expected table under the given worker budget, returning the
+	// table-change epoch the sweep ran at.
+	SweepExpected(ctx context.Context, workers int) (uint64, []ProbeResult)
+}
+
+// BackendOp is one resolved rule operation crossing the driver seam. The
+// facade layers translate transport-level operations (HTTP RuleOps: ids,
+// JSON field maps) into concrete rules before handing them to a Backend.
+type BackendOp struct {
+	// Op is "add", "modify", or "delete".
+	Op string
+	// ID selects the rule for modify and delete.
+	ID uint64
+	// Rule is the rule to add, or the resolved pre-image of the rule
+	// being modified or deleted — nil when the caller could not resolve
+	// the id to a rule. Drivers addressing rules by id alone (SimBackend)
+	// work without it; drivers that must build wire operations from the
+	// rule's match and priority (ProxyBackend) reject unresolved modify
+	// and delete ops rather than guess (a guessed match could address
+	// the wrong flows on a live switch).
+	Rule *Rule
+	// Actions is the replacement action list for modify.
+	Actions []Action
+}
+
+// BackendEventType classifies one driver lifecycle event.
+type BackendEventType uint8
+
+// Backend event types.
+const (
+	// BackendConnected: the driver's transport is up.
+	BackendConnected BackendEventType = iota
+	// BackendControllerConnected: a controller attached to the driver's
+	// controller-side listener (proxy drivers).
+	BackendControllerConnected
+	// BackendDisconnected: the transport failed; Err carries the cause.
+	BackendDisconnected
+	// BackendRuleConfirmed: the driver's own monitoring confirmed a rule
+	// in the data plane (proxy drivers proxying a live controller).
+	BackendRuleConfirmed
+	// BackendAlarm: the driver's own monitoring concluded a rule is
+	// misbehaving in the data plane.
+	BackendAlarm
+	// BackendClosed: Close ran; the event stream ends after this.
+	BackendClosed
+)
+
+// String names the event type.
+func (t BackendEventType) String() string {
+	switch t {
+	case BackendConnected:
+		return "connected"
+	case BackendControllerConnected:
+		return "controller_connected"
+	case BackendDisconnected:
+		return "disconnected"
+	case BackendRuleConfirmed:
+		return "rule_confirmed"
+	case BackendAlarm:
+		return "alarm"
+	case BackendClosed:
+		return "closed"
+	default:
+		return fmt.Sprintf("backend_event(%d)", uint8(t))
+	}
+}
+
+// BackendEvent is one driver lifecycle event.
+type BackendEvent struct {
+	// Type classifies the event.
+	Type BackendEventType
+	// SwitchID is the switch the driver fronts.
+	SwitchID uint32
+	// Rule is the rule id for rule-level events.
+	Rule uint64
+	// Err carries the failure cause for disconnect events.
+	Err error
+	// Detail is a human-readable one-liner.
+	Detail string
+}
+
+// eventRing is the shared non-blocking event plumbing of the built-in
+// backends: sends never block the driver, overflow is dropped, and Close
+// ends the stream exactly once.
+type eventRing struct {
+	mu     sync.Mutex
+	ch     chan BackendEvent
+	closed bool
+}
+
+func newEventRing() *eventRing {
+	return &eventRing{ch: make(chan BackendEvent, 64)}
+}
+
+func (r *eventRing) emit(ev BackendEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	select {
+	case r.ch <- ev:
+	default: // overflow: drop rather than block the driver
+	}
+}
+
+// close ends the stream; it reports whether this call closed it.
+func (r *eventRing) close() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return false
+	}
+	r.closed = true
+	close(r.ch)
+	return true
+}
+
+// SimBackend is the simulated switch driver: the data plane is an
+// in-memory flow table with TCAM lookup semantics on a private virtual
+// clock. Apply mutates the table, Observe evaluates probes against it
+// (EvaluateProbe), and mutating the table through Apply with a different
+// targeting than the expected table is exactly the hardware-diverged
+// fault the monitoring exists to catch. It preserves the behaviour the
+// Service had when its data planes were hard-wired tables.
+type SimBackend struct {
+	id     uint32
+	clock  *Sim
+	events *eventRing
+
+	mu     sync.Mutex
+	table  *Table
+	epoch  uint64
+	closed bool
+}
+
+// NewSimBackend returns a simulated driver for switch id with an empty
+// data-plane table. WithTableMiss sets the table's miss behaviour.
+func NewSimBackend(id uint32, opts ...Option) *SimBackend {
+	set := defaultSettings()
+	set.apply(opts)
+	table := NewTable()
+	table.Miss = set.miss
+	return &SimBackend{
+		id:     id,
+		clock:  NewSim(),
+		events: newEventRing(),
+		table:  table,
+	}
+}
+
+// SwitchID implements Backend.
+func (b *SimBackend) SwitchID() uint32 { return b.id }
+
+// Clock returns the driver's virtual clock.
+func (b *SimBackend) Clock() *Sim { return b.clock }
+
+// Table returns the simulated data-plane table. It is the test and
+// fault-injection hook; mutate it only between sweeps (Apply and Observe
+// serialize on the driver's own lock, direct table access does not).
+func (b *SimBackend) Table() *Table {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.table
+}
+
+// Connect implements Backend (simulated transport: nothing to dial).
+func (b *SimBackend) Connect(ctx context.Context) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrBackendClosed
+	}
+	b.events.emit(BackendEvent{Type: BackendConnected, SwitchID: b.id})
+	return nil
+}
+
+// Close implements Backend.
+func (b *SimBackend) Close() error {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	b.events.emit(BackendEvent{Type: BackendClosed, SwitchID: b.id})
+	b.events.close()
+	return nil
+}
+
+// Apply implements Backend: the operation mutates the simulated
+// data-plane table. Modify and delete address the rule by op.ID alone,
+// so unresolved pre-images are fine here.
+func (b *SimBackend) Apply(op BackendOp) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrBackendClosed
+	}
+	var err error
+	switch op.Op {
+	case "add":
+		if op.Rule == nil {
+			return fmt.Errorf("monocle: backend op %q needs a rule", op.Op)
+		}
+		err = b.table.Insert(op.Rule.Clone())
+	case "modify":
+		err = b.table.Modify(op.ID, cloneActions(op.Actions))
+	case "delete":
+		err = b.table.Delete(op.ID)
+	default:
+		return fmt.Errorf("monocle: unknown backend op %q", op.Op)
+	}
+	if err != nil {
+		return err
+	}
+	b.epoch++
+	return nil
+}
+
+// Observe implements Backend by evaluating the probe against the
+// simulated table; the data plane is deterministic, so no retries are
+// needed and expect is not consulted.
+func (b *SimBackend) Observe(ctx context.Context, p *Probe, expect Expectation) (Verdict, error) {
+	if err := ctx.Err(); err != nil {
+		return VerdictUnexpected, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return VerdictUnexpected, ErrBackendClosed
+	}
+	return EvaluateProbe(p, b.table), nil
+}
+
+// Epoch implements Backend.
+func (b *SimBackend) Epoch() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.epoch
+}
+
+// Events implements Backend.
+func (b *SimBackend) Events() <-chan BackendEvent { return b.events.ch }
+
+// String identifies the driver in logs.
+func (b *SimBackend) String() string { return fmt.Sprintf("sim-backend(S%d)", b.id) }

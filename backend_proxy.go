@@ -1,0 +1,615 @@
+package monocle
+
+// ProxyBackend: the live-switch driver. It is cmd/monocle's TCP proxy
+// event loop lifted into the library — the proxy dials the switch, a
+// controller can dial the proxy, reader goroutines post every OpenFlow
+// message onto one event-loop thread, and the single-threaded Monitor
+// state machine intercepts the session exactly as the paper deploys it
+// (§7: one proxy per switch-controller connection). On top of the proxy
+// loop it implements the Backend seam: Apply writes FlowMods to the
+// switch, Observe injects probes through the control channel and judges
+// the catches, and SweepExpected sweeps the Monitor's proxied table — so
+// a Fleet or the monocled Service can front real OpenFlow 1.0 hardware
+// through the same facade it uses for simulated data planes.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	imon "monocle/internal/monocle"
+)
+
+// ProxyGroup shares one event-loop thread, one virtual clock, and one
+// probe-routing Multiplexer among the ProxyBackends of a deployment.
+// Backends in one group can catch each other's probes (cross-switch
+// routing, which a process-per-switch deployment cannot do); every
+// Monitor of the group runs on the group's single loop thread, satisfying
+// the Multiplexer's contract. A nil ProxyConfig.Group gives each backend
+// a private group.
+type ProxyGroup struct {
+	clock *Sim
+	mux   *Multiplexer
+
+	mu      sync.Mutex
+	ch      chan func()
+	started bool
+	stopped bool
+	refs    int
+	done    chan struct{}
+	start   time.Time
+}
+
+// NewProxyGroup returns an empty proxy group. Its event loop starts when
+// the first member backend connects and stops when the last one closes.
+func NewProxyGroup() *ProxyGroup {
+	return &ProxyGroup{
+		clock: NewSim(),
+		mux:   NewMultiplexer(),
+		ch:    make(chan func(), 1024),
+		done:  make(chan struct{}),
+	}
+}
+
+// Multiplexer returns the group's shared probe-routing multiplexer.
+func (g *ProxyGroup) Multiplexer() *Multiplexer { return g.mux }
+
+// Clock returns the group's virtual clock (driven against wall time by
+// the group loop).
+func (g *ProxyGroup) Clock() *Sim { return g.clock }
+
+// retain counts one member in and (re)starts the loop if needed: a group
+// whose loop stopped after its last member closed comes back for a newly
+// connecting member.
+func (g *ProxyGroup) retain() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.refs++
+	if g.stopped {
+		g.stopped = false
+		g.started = false
+		g.done = make(chan struct{})
+	}
+	if g.started {
+		return
+	}
+	g.started = true
+	g.start = time.Now()
+	go g.run(g.done)
+}
+
+// release counts one member out; the last release stops the loop.
+func (g *ProxyGroup) release() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.refs > 0 {
+		g.refs--
+	}
+	if g.refs == 0 && g.started && !g.stopped {
+		g.stopped = true
+		close(g.done)
+	}
+}
+
+// doneCh snapshots the current stop channel (replaced on restart).
+func (g *ProxyGroup) doneCh() chan struct{} {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.done
+}
+
+// post queues fn onto the loop thread. Before the loop first starts
+// (wiring, CatchRules at setup time) fn runs inline — setup is
+// single-threaded by construction. While the loop is stopped, fn is
+// dropped and post reports false.
+func (g *ProxyGroup) post(fn func()) bool {
+	g.mu.Lock()
+	started, stopped, done := g.started, g.stopped, g.done
+	g.mu.Unlock()
+	if !started {
+		if stopped {
+			return false
+		}
+		fn()
+		return true
+	}
+	select {
+	case g.ch <- fn:
+		return true
+	case <-done:
+		return false
+	}
+}
+
+// call runs fn on the loop thread and waits for it to finish. If the
+// loop stops while the call is queued (the last backend closing
+// mid-operation), the stopping loop drains its queue, so the wait still
+// resolves; a short grace period covers the enqueue/stop race.
+func (g *ProxyGroup) call(fn func()) bool {
+	doneCh := make(chan struct{})
+	if !g.post(func() { fn(); close(doneCh) }) {
+		return false
+	}
+	select {
+	case <-doneCh:
+		return true
+	case <-g.doneCh():
+		select {
+		case <-doneCh:
+			return true
+		case <-time.After(time.Second):
+			return false
+		}
+	}
+}
+
+// run drives the virtual clock against wall time: external events are
+// posted through the channel, timers fire when their virtual due time
+// passes. All Monitor state machines of the group stay single-threaded
+// inside this loop.
+func (g *ProxyGroup) run(done chan struct{}) {
+	for {
+		now := time.Since(g.start)
+		g.clock.RunUntil(Time(now))
+		var wait time.Duration = 50 * time.Millisecond
+		if at, ok := g.clock.NextEventAt(); ok {
+			if d := at - g.clock.Now(); d < wait {
+				wait = time.Duration(d)
+			}
+		}
+		if wait < time.Millisecond {
+			wait = time.Millisecond
+		}
+		select {
+		case <-done:
+			// Drain queued work so no post-and-wait caller hangs on a
+			// function that will never run.
+			for {
+				select {
+				case fn := <-g.ch:
+					fn()
+				default:
+					return
+				}
+			}
+		case fn := <-g.ch:
+			g.clock.RunUntil(Time(time.Since(g.start)))
+			fn()
+		case <-time.After(wait):
+		}
+	}
+}
+
+// ProxyConfig configures one ProxyBackend.
+type ProxyConfig struct {
+	// SwitchID is the monitored switch's Monocle identifier (and default
+	// probe tag).
+	SwitchID uint32
+	// SwitchAddr is the TCP address of the OpenFlow 1.0 switch to dial.
+	SwitchAddr string
+	// Listen is the controller-side listen address. Empty disables the
+	// controller side: the backend's owner is the only controller.
+	Listen string
+	// Steady starts the Monitor's steady-state probing cycle on connect.
+	Steady bool
+	// ObserveTimeout bounds one Observe round trip (default 2s).
+	ObserveTimeout time.Duration
+	// RetryInterval paces probe re-injection within Observe (default:
+	// the Monitor's dynamic retry interval, 3ms).
+	RetryInterval time.Duration
+	// Group shares an event loop and probe-routing Multiplexer with
+	// other backends (nil: a private group).
+	Group *ProxyGroup
+}
+
+// ProxyBackend fronts one live OpenFlow 1.0 switch over TCP. Construct it
+// with NewProxyBackend, call Connect, and register it in a Fleet (or let
+// the Service do all of this from a SwitchSpec with backend "proxy").
+type ProxyBackend struct {
+	cfg   ProxyConfig
+	group *ProxyGroup
+	mon   *Monitor
+	ev    *eventRing
+
+	// connectMu serializes Connect calls (check-then-dial must be
+	// atomic with respect to concurrent Connects).
+	connectMu sync.Mutex
+
+	mu        sync.Mutex
+	swConn    net.Conn
+	ctrlLn    net.Listener
+	ctrlConn  net.Conn
+	connected bool
+	retained  bool // holds one reference on the group's loop
+	closed    bool
+	epoch     uint64
+	nextXID   uint32
+}
+
+// NewProxyBackend builds the TCP proxy driver for cfg. The options
+// parameterize the embedded Monitor exactly like NewMonitorConfig:
+// WithProbeTag/WithProbeField set the probe tagging, WithPeers the
+// port-to-catcher map, WithPorts the in_port domain, WithProbeRate the
+// steady-state rate, WithDetectionTimeout the monitoring deadlines.
+func NewProxyBackend(cfg ProxyConfig, opts ...Option) *ProxyBackend {
+	if cfg.ObserveTimeout <= 0 {
+		cfg.ObserveTimeout = 2 * time.Second
+	}
+	group := cfg.Group
+	if group == nil {
+		group = NewProxyGroup()
+	}
+	pb := &ProxyBackend{
+		cfg:   cfg,
+		group: group,
+		ev:    newEventRing(),
+	}
+	mcfg := NewMonitorConfig(cfg.SwitchID, opts...)
+	mcfg.OnAlarm = func(ruleID uint64, at Time) {
+		pb.ev.emit(BackendEvent{Type: BackendAlarm, SwitchID: cfg.SwitchID, Rule: ruleID,
+			Detail: fmt.Sprintf("rule %d misbehaving in the data plane (t=%v)", ruleID, at)})
+	}
+	mcfg.OnRuleConfirmed = func(ruleID uint64, at Time) {
+		pb.ev.emit(BackendEvent{Type: BackendRuleConfirmed, SwitchID: cfg.SwitchID, Rule: ruleID,
+			Detail: fmt.Sprintf("rule %d confirmed in the data plane (t=%v)", ruleID, at)})
+	}
+	pb.mon = imon.New(group.clock, mcfg)
+	// Register before any loop delivery can happen (the Multiplexer's
+	// register-before-start contract).
+	pb.mon.Mux = group.mux
+	group.mux.Register(pb.mon)
+	return pb
+}
+
+// SwitchID implements Backend.
+func (pb *ProxyBackend) SwitchID() uint32 { return pb.cfg.SwitchID }
+
+// Monitor returns the embedded proxy Monitor. Touch its state only from
+// the group's event-loop thread.
+func (pb *ProxyBackend) Monitor() *Monitor { return pb.mon }
+
+// ControllerAddr returns the resolved controller-side listen address
+// ("" before Connect or without a Listen configuration) — the address an
+// SDN controller dials to reach the monitored switch through this proxy.
+func (pb *ProxyBackend) ControllerAddr() string {
+	pb.mu.Lock()
+	defer pb.mu.Unlock()
+	if pb.ctrlLn == nil {
+		return ""
+	}
+	return pb.ctrlLn.Addr().String()
+}
+
+// Connect implements Backend: it dials the switch, starts the group's
+// event loop and the reader goroutines, and (with a Listen address)
+// starts accepting the controller side.
+func (pb *ProxyBackend) Connect(ctx context.Context) error {
+	pb.connectMu.Lock()
+	defer pb.connectMu.Unlock()
+	pb.mu.Lock()
+	if pb.closed {
+		pb.mu.Unlock()
+		return ErrBackendClosed
+	}
+	if pb.connected {
+		pb.mu.Unlock()
+		return nil
+	}
+	pb.mu.Unlock()
+
+	var d net.Dialer
+	swConn, err := d.DialContext(ctx, "tcp", pb.cfg.SwitchAddr)
+	if err != nil {
+		return fmt.Errorf("monocle: proxy backend S%d: dialing switch: %w", pb.cfg.SwitchID, err)
+	}
+	var ctrlLn net.Listener
+	if pb.cfg.Listen != "" {
+		ctrlLn, err = net.Listen("tcp", pb.cfg.Listen)
+		if err != nil {
+			swConn.Close()
+			return fmt.Errorf("monocle: proxy backend S%d: listen: %w", pb.cfg.SwitchID, err)
+		}
+	}
+
+	pb.mu.Lock()
+	if pb.closed {
+		pb.mu.Unlock()
+		swConn.Close()
+		if ctrlLn != nil {
+			ctrlLn.Close()
+		}
+		return ErrBackendClosed
+	}
+	pb.swConn = swConn
+	pb.ctrlLn = ctrlLn
+	pb.connected = true
+	pb.retained = true
+	pb.mu.Unlock()
+
+	pb.group.retain()
+	pb.group.call(func() {
+		pb.mon.ToSwitch = func(msg Message, xid uint32) {
+			if err := WriteMessage(swConn, msg, xid); err != nil {
+				pb.transportFailed(fmt.Errorf("write to switch: %w", err))
+			}
+		}
+		pb.mon.ToController = func(msg Message, xid uint32) {
+			pb.mu.Lock()
+			conn := pb.ctrlConn
+			pb.mu.Unlock()
+			if conn == nil {
+				return // no controller attached: drop the pass-through
+			}
+			if err := WriteMessage(conn, msg, xid); err != nil {
+				pb.transportFailed(fmt.Errorf("write to controller: %w", err))
+			}
+		}
+		if pb.cfg.Steady {
+			pb.mon.StartSteadyState()
+		}
+	})
+
+	go pb.readSwitch(swConn)
+	if ctrlLn != nil {
+		go pb.acceptControllers(ctrlLn)
+	}
+	pb.ev.emit(BackendEvent{Type: BackendConnected, SwitchID: pb.cfg.SwitchID,
+		Detail: fmt.Sprintf("connected to switch %s", pb.cfg.SwitchAddr)})
+	return nil
+}
+
+// readSwitch pumps switch→proxy messages onto the event loop.
+func (pb *ProxyBackend) readSwitch(conn net.Conn) {
+	for {
+		msg, xid, err := ReadMessage(conn)
+		if err != nil {
+			pb.transportFailed(fmt.Errorf("switch read: %w", err))
+			return
+		}
+		if !pb.group.post(func() { pb.mon.OnSwitchMessage(msg, xid) }) {
+			return
+		}
+	}
+}
+
+// acceptControllers serves the controller-side listener: each accepted
+// connection becomes the current controller (replacing any previous one)
+// and its messages are pumped onto the event loop.
+func (pb *ProxyBackend) acceptControllers(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		pb.mu.Lock()
+		if pb.closed {
+			pb.mu.Unlock()
+			conn.Close()
+			return
+		}
+		if prev := pb.ctrlConn; prev != nil {
+			prev.Close()
+		}
+		pb.ctrlConn = conn
+		pb.mu.Unlock()
+		pb.ev.emit(BackendEvent{Type: BackendControllerConnected, SwitchID: pb.cfg.SwitchID,
+			Detail: fmt.Sprintf("controller connected from %s", conn.RemoteAddr())})
+		go pb.readController(conn)
+	}
+}
+
+// readController pumps controller→proxy messages onto the event loop.
+func (pb *ProxyBackend) readController(conn net.Conn) {
+	for {
+		msg, xid, err := ReadMessage(conn)
+		if err != nil {
+			pb.mu.Lock()
+			if pb.ctrlConn == conn {
+				pb.ctrlConn = nil
+			}
+			pb.mu.Unlock()
+			return // controller went away; the switch side stays up
+		}
+		if !pb.group.post(func() { pb.mon.OnControllerMessage(msg, xid) }) {
+			return
+		}
+	}
+}
+
+// transportFailed records a broken transport once.
+func (pb *ProxyBackend) transportFailed(err error) {
+	pb.mu.Lock()
+	wasConnected := pb.connected
+	pb.connected = false
+	pb.mu.Unlock()
+	if wasConnected {
+		pb.ev.emit(BackendEvent{Type: BackendDisconnected, SwitchID: pb.cfg.SwitchID, Err: err,
+			Detail: err.Error()})
+	}
+}
+
+// Close implements Backend.
+func (pb *ProxyBackend) Close() error {
+	pb.mu.Lock()
+	if pb.closed {
+		pb.mu.Unlock()
+		return nil
+	}
+	pb.closed = true
+	pb.connected = false
+	retained := pb.retained
+	pb.retained = false
+	swConn, ctrlLn, ctrlConn := pb.swConn, pb.ctrlLn, pb.ctrlConn
+	pb.swConn, pb.ctrlLn, pb.ctrlConn = nil, nil, nil
+	pb.mu.Unlock()
+
+	if swConn != nil {
+		swConn.Close()
+	}
+	if ctrlLn != nil {
+		ctrlLn.Close()
+	}
+	if ctrlConn != nil {
+		ctrlConn.Close()
+	}
+	pb.ev.emit(BackendEvent{Type: BackendClosed, SwitchID: pb.cfg.SwitchID})
+	pb.ev.close()
+	if retained {
+		pb.group.release()
+	}
+	return nil
+}
+
+// Apply implements Backend: the operation becomes an OpenFlow 1.0 FlowMod
+// written to the switch, bypassing the Monitor's expected table — the
+// caller (Service, tests) owns the expected-state bookkeeping, and a
+// mutation applied here without a matching expected-side update is
+// exactly a hardware-diverged-behind-the-controller's-back fault.
+func (pb *ProxyBackend) Apply(op BackendOp) error {
+	// Wire operations are built from the rule's match and priority, and
+	// modify/delete go out strict (exact match + priority) so they can
+	// only address the one rule they name. An unresolved pre-image would
+	// force a guessed match — on a live switch a wildcard guess could
+	// modify or delete every flow — so it is rejected instead.
+	if op.Rule == nil {
+		if op.Op == "add" {
+			return fmt.Errorf("monocle: backend op %q needs a rule", op.Op)
+		}
+		return fmt.Errorf("monocle: %s of rule %d: pre-image not resolved (rule unknown to the expected table); a live driver cannot address it safely", op.Op, op.ID)
+	}
+	var cmd uint16
+	actions := op.Rule.Actions
+	switch op.Op {
+	case "add":
+		cmd = FCAdd
+	case "modify":
+		cmd = FCModifyStrict
+		actions = op.Actions
+	case "delete":
+		cmd = FCDeleteStrict
+		actions = nil
+	default:
+		return fmt.Errorf("monocle: unknown backend op %q", op.Op)
+	}
+	wm, err := FromMatch(op.Rule.Match)
+	if err != nil {
+		return err
+	}
+	wireActs, err := FromActions(actions)
+	if err != nil {
+		return err
+	}
+	fm := &FlowMod{
+		Match:    wm,
+		Cookie:   op.Rule.ID,
+		Command:  cmd,
+		Priority: uint16(op.Rule.Priority),
+		BufferID: BufferNone,
+		OutPort:  PortNone,
+		Actions:  wireActs,
+	}
+
+	pb.mu.Lock()
+	if pb.closed || !pb.connected {
+		pb.mu.Unlock()
+		return ErrBackendClosed
+	}
+	pb.nextXID++
+	xid := 0x4e000000 | pb.nextXID&0xffffff
+	pb.epoch++
+	pb.mu.Unlock()
+
+	var writeErr error
+	ok := pb.group.call(func() {
+		if pb.mon.ToSwitch == nil {
+			writeErr = ErrBackendClosed
+			return
+		}
+		pb.mon.ToSwitch(fm, xid)
+	})
+	if !ok {
+		return ErrBackendClosed
+	}
+	return writeErr
+}
+
+// Observe implements Backend: the probe is injected through the switch's
+// control channel (PacketOut to OFPP_TABLE) and re-injected on the retry
+// interval until a catch settles the expectation or ObserveTimeout
+// elapses; with no catch at all, silence itself is judged (a probe whose
+// expected outcome is uncatchable confirms by silence).
+func (pb *ProxyBackend) Observe(ctx context.Context, p *Probe, expect Expectation) (Verdict, error) {
+	pb.mu.Lock()
+	if pb.closed || !pb.connected {
+		pb.mu.Unlock()
+		return VerdictUnexpected, ErrBackendClosed
+	}
+	pb.mu.Unlock()
+
+	ch := make(chan Verdict, 1)
+	ok := pb.group.post(func() {
+		pb.mon.ObserveProbe(p, expect, pb.cfg.RetryInterval, pb.cfg.ObserveTimeout, func(v Verdict) {
+			ch <- v
+		})
+	})
+	if !ok {
+		return VerdictUnexpected, ErrBackendClosed
+	}
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return VerdictUnexpected, ctx.Err()
+	case <-pb.group.doneCh():
+		// The group's loop stopped under us (last backend closed). A
+		// verdict that raced the stop still counts.
+		select {
+		case v := <-ch:
+			return v, nil
+		default:
+			return VerdictUnexpected, ErrBackendClosed
+		}
+	}
+}
+
+// SweepExpected implements Sweeper: it sweeps the Monitor's proxied
+// expected table on the event-loop thread (any goroutine may call this;
+// the marshalling satisfies the Monitor's single-threaded contract). The
+// loop is busy for the duration of the sweep.
+func (pb *ProxyBackend) SweepExpected(ctx context.Context, workers int) (uint64, []ProbeResult) {
+	var (
+		epoch   uint64
+		results []ProbeResult
+	)
+	pb.group.call(func() {
+		epoch = pb.mon.Epoch()
+		results = pb.mon.SweepExpected(ctx, workers)
+	})
+	return epoch, results
+}
+
+// Epoch implements Backend: the driver's count of Apply operations.
+func (pb *ProxyBackend) Epoch() uint64 {
+	pb.mu.Lock()
+	defer pb.mu.Unlock()
+	return pb.epoch
+}
+
+// Events implements Backend.
+func (pb *ProxyBackend) Events() <-chan BackendEvent { return pb.ev.ch }
+
+// CatchRules returns the catching rules this switch must carry for its
+// neighbours' probes (strategy 1, §6), given the deployment's reserved
+// tag values.
+func (pb *ProxyBackend) CatchRules(reserved []uint32) []*Rule {
+	var out []*Rule
+	pb.group.call(func() { out = pb.mon.CatchRules(reserved) })
+	return out
+}
+
+// String identifies the driver in logs.
+func (pb *ProxyBackend) String() string {
+	return fmt.Sprintf("proxy-backend(S%d→%s)", pb.cfg.SwitchID, pb.cfg.SwitchAddr)
+}

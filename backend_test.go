@@ -1,0 +1,458 @@
+package monocle_test
+
+// Backend-seam tests: the differential proof that a Service fleet of
+// SimBackends produces bit-identical sweep records and alerts to the
+// pre-redesign path (a bare Fleet of Verifiers, hand-held data-plane
+// tables, EvaluateProbe, and a Differ), plus unit coverage of the
+// SimBackend driver, the alert sinks, and the Prometheus metrics
+// exposition.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"monocle"
+)
+
+// refPath is the pre-redesign service semantics, reimplemented verbatim:
+// one Verifier per switch, one plain Table as the data plane, probes
+// judged with EvaluateProbe, rounds folded through a Differ.
+type refPath struct {
+	fleet  *monocle.Fleet
+	actual map[uint32]*monocle.Table
+	differ *monocle.Differ
+}
+
+func newRefPath(opts ...monocle.Option) *refPath {
+	return &refPath{
+		fleet:  monocle.NewFleet(opts...),
+		actual: map[uint32]*monocle.Table{},
+		differ: monocle.NewDiffer(opts...),
+	}
+}
+
+func (r *refPath) addSwitch(t *testing.T, id uint32, rules []*monocle.Rule) {
+	t.Helper()
+	v, err := r.fleet.AddSwitch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Install(rules...); err != nil {
+		t.Fatal(err)
+	}
+	actual := monocle.NewTable()
+	for _, rule := range rules {
+		if err := actual.Insert(rule.Clone()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.actual[id] = actual
+}
+
+func (r *refPath) round(ctx context.Context) ([]monocle.ResultRecord, []monocle.Alert) {
+	var recs []monocle.ResultRecord
+	for _, ev := range r.fleet.Sweep(ctx) {
+		if actual := r.actual[ev.SwitchID]; actual != nil && ev.Result.Probe != nil {
+			r.differ.ObserveVerdict(ev, monocle.EvaluateProbe(ev.Result.Probe, actual))
+		} else {
+			r.differ.Observe(ev)
+		}
+		recs = append(recs, ev.Record())
+	}
+	return recs, r.differ.EndSweep()
+}
+
+// datasetRules builds a per-switch rule table variant.
+func datasetRules(n int, seed int64) []*monocle.Rule {
+	p := monocle.StanfordDataset()
+	p.Rules = n
+	p.Seed = seed
+	_, rules := monocle.GenerateDataset(p)
+	return rules
+}
+
+// TestSimBackendDifferential drives the redesigned Service (Fleet of
+// SimBackends behind the Backend seam) and the pre-redesign path through
+// the same five-round script — healthy, behind-the-back divergence,
+// latched, recovery, intentional change — and requires bit-identical
+// sweep records and alerts every round, for multiple worker budgets.
+func TestSimBackendDifferential(t *testing.T) {
+	const (
+		nSwitches = 3
+		nRules    = 12
+	)
+	ctx := context.Background()
+
+	type roundOutput struct {
+		recs   string
+		alerts string
+	}
+	var outputs [][]roundOutput // per budget, per round
+
+	for _, budget := range []int{1, 3} {
+		opts := []monocle.Option{monocle.WithWorkers(budget), monocle.WithDebounce(2)}
+		ref := newRefPath(opts...)
+		svc := monocle.NewService(opts...)
+		defer svc.Close()
+
+		for id := uint32(1); id <= nSwitches; id++ {
+			rules := datasetRules(nRules, int64(id))
+			ref.addSwitch(t, id, rules)
+			if _, err := svc.AddSwitch(monocle.SwitchSpec{ID: id}); err != nil {
+				t.Fatal(err)
+			}
+			if err := svc.InstallRules(id, datasetRules(nRules, int64(id))...); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Locate the divergence victim: switch 2's first monitorable rule.
+		v2, _ := ref.fleet.Verifier(2)
+		var victim *monocle.Rule
+		for _, r := range v2.Rules() {
+			if len(r.Actions) != 1 || r.Actions[0].Port == 0 || len(r.Actions[0].Ports) != 0 {
+				continue
+			}
+			if _, err := v2.ProbeFor(r.ID); err != nil {
+				continue // hidden or otherwise unmonitorable
+			}
+			victim = r.Clone()
+			break
+		}
+		if victim == nil {
+			t.Fatal("no monitorable plain-output rule to diverge")
+		}
+		wrong := []monocle.Action{monocle.Output(monocle.PortID(63))}
+
+		mutate := [5]func(){
+			0: func() {}, // healthy baseline
+			1: func() { // hardware silently rewrites the victim's port
+				if err := ref.actual[2].Modify(victim.ID, wrong); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := svc.ApplyRule(2, monocle.RuleOp{
+					Op: "modify", ID: victim.ID, Dataplane: "actual",
+					Actions: []monocle.ActionSpec{{Output: 63}},
+				}); err != nil {
+					t.Fatal(err)
+				}
+			},
+			2: func() {}, // divergence latched: debounced alert fires here
+			3: func() { // hardware recovers
+				if err := ref.actual[2].Modify(victim.ID, victim.Actions); err != nil {
+					t.Fatal(err)
+				}
+				specs := make([]monocle.ActionSpec, len(victim.Actions))
+				for i, a := range victim.Actions {
+					specs[i] = monocle.ActionSpec{Output: uint16(a.Port)}
+				}
+				if _, err := svc.ApplyRule(2, monocle.RuleOp{
+					Op: "modify", ID: victim.ID, Dataplane: "actual", Actions: specs,
+				}); err != nil {
+					t.Fatal(err)
+				}
+			},
+			4: func() { // intentional change: both sides move together
+				add := &monocle.Rule{ID: 9001, Priority: 20000,
+					Match: monocle.MatchAll().
+						WithExact(monocle.EthType, monocle.EthTypeIPv4).
+						WithExact(monocle.IPSrc, 10<<24|77),
+					Actions: []monocle.Action{monocle.Output(2)},
+				}
+				if err := ref.actual[1].Insert(add.Clone()); err != nil {
+					t.Fatal(err)
+				}
+				v1, _ := ref.fleet.Verifier(1)
+				if _, err := v1.Add(add.Clone()); err != nil && !errors.Is(err, monocle.ErrUnmonitorable) {
+					t.Fatal(err)
+				}
+				if _, err := svc.ApplyRule(1, monocle.RuleOp{Op: "add", Rule: &monocle.RuleSpec{
+					ID: 9001, Priority: 20000,
+					Match:   map[string]string{"dl_type": "0x800", "nw_src": "10.0.0.77"},
+					Actions: []monocle.ActionSpec{{Output: 2}},
+				}}); err != nil {
+					t.Fatal(err)
+				}
+			},
+		}
+
+		var rounds []roundOutput
+		for i, m := range mutate {
+			m()
+			wantRecs, wantAlerts := ref.round(ctx)
+			gotAlerts := svc.SweepRound(ctx)
+			gotRecs := svc.LastSweep()
+
+			wr, _ := json.Marshal(wantRecs)
+			gr, _ := json.Marshal(gotRecs)
+			if string(wr) != string(gr) {
+				t.Fatalf("budget %d round %d: sweep records diverge\nref: %s\nsvc: %s", budget, i, wr, gr)
+			}
+			wa, _ := json.Marshal(wantAlerts)
+			ga, _ := json.Marshal(gotAlerts)
+			if string(wa) != string(ga) {
+				t.Fatalf("budget %d round %d: alerts diverge\nref: %s\nsvc: %s", budget, i, wa, ga)
+			}
+			rounds = append(rounds, roundOutput{recs: string(gr), alerts: string(ga)})
+		}
+
+		// The script must actually exercise the alert path.
+		if !strings.Contains(rounds[2].alerts, "rule_failing") {
+			t.Fatalf("round 2 raised no failing alert: %s", rounds[2].alerts)
+		}
+		if !strings.Contains(rounds[3].alerts, "rule_recovered") {
+			t.Fatalf("round 3 raised no recovery alert: %s", rounds[3].alerts)
+		}
+		if rounds[4].alerts != "null" && rounds[4].alerts != "[]" {
+			t.Fatalf("intentional change raised alerts: %s", rounds[4].alerts)
+		}
+		outputs = append(outputs, rounds)
+	}
+
+	// Bit-identical across worker budgets too.
+	if !reflect.DeepEqual(outputs[0], outputs[1]) {
+		t.Fatal("sweep outputs differ across worker budgets")
+	}
+}
+
+func TestSimBackendDriver(t *testing.T) {
+	be := monocle.NewSimBackend(7, monocle.WithTableMiss(monocle.MissController))
+	if be.SwitchID() != 7 {
+		t.Fatalf("SwitchID = %d", be.SwitchID())
+	}
+	if err := be.Connect(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rule := &monocle.Rule{ID: 1, Priority: 10,
+		Match: monocle.MatchAll().
+			WithExact(monocle.EthType, monocle.EthTypeIPv4).
+			WithExact(monocle.IPSrc, 10<<24|1),
+		Actions: []monocle.Action{monocle.Output(2)},
+	}
+	if err := be.Apply(monocle.BackendOp{Op: "add", Rule: rule}); err != nil {
+		t.Fatal(err)
+	}
+	if got := be.Epoch(); got != 1 {
+		t.Fatalf("epoch after add = %d", got)
+	}
+	if err := be.Apply(monocle.BackendOp{Op: "frobnicate", Rule: rule}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if err := be.Apply(monocle.BackendOp{Op: "add"}); err == nil {
+		t.Fatal("add without a rule accepted")
+	}
+	if err := be.Apply(monocle.BackendOp{Op: "delete", ID: 404}); !errors.Is(err, monocle.ErrNotFound) {
+		t.Fatalf("deleting an unknown id = %v", err)
+	}
+
+	// A probe for the rule judges confirmed against the table, absent
+	// after the rule is deleted from it.
+	v, err := monocle.NewVerifier(monocle.WithProbeTag(7), monocle.WithTableMiss(monocle.MissController))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := v.Add(rule.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := be.Observe(context.Background(), p, monocle.ExpectPresent); err != nil || got != monocle.VerdictConfirmed {
+		t.Fatalf("Observe with rule installed = %v, %v", got, err)
+	}
+	if err := be.Apply(monocle.BackendOp{Op: "delete", ID: rule.ID, Rule: rule}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := be.Observe(context.Background(), p, monocle.ExpectPresent); err != nil || got != monocle.VerdictAbsent {
+		t.Fatalf("Observe with rule deleted = %v, %v", got, err)
+	}
+
+	// Close ends the event stream and fails further operations.
+	if err := be.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := be.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	var last []monocle.BackendEvent
+	for ev := range be.Events() {
+		last = append(last, ev)
+	}
+	if len(last) < 2 || last[0].Type != monocle.BackendConnected || last[len(last)-1].Type != monocle.BackendClosed {
+		t.Fatalf("event stream = %+v", last)
+	}
+	if err := be.Apply(monocle.BackendOp{Op: "add", Rule: rule}); !errors.Is(err, monocle.ErrBackendClosed) {
+		t.Fatalf("Apply after Close = %v", err)
+	}
+	if _, err := be.Observe(context.Background(), p, monocle.ExpectPresent); !errors.Is(err, monocle.ErrBackendClosed) {
+		t.Fatalf("Observe after Close = %v", err)
+	}
+}
+
+func TestRingSinkRetention(t *testing.T) {
+	ring := monocle.NewRingSink(3)
+	for i := 0; i < 5; i++ {
+		if err := ring.Deliver(context.Background(), []monocle.Alert{{SwitchID: uint32(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := ring.Alerts()
+	if len(got) != 3 || got[0].SwitchID != 2 || got[2].SwitchID != 4 {
+		t.Fatalf("ring retained %+v", got)
+	}
+	if ring.Len() != 3 {
+		t.Fatalf("Len = %d", ring.Len())
+	}
+}
+
+func TestWebhookSink(t *testing.T) {
+	var bodies []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		bodies = append(bodies, string(b))
+		if strings.Contains(string(b), `"switch":13`) {
+			http.Error(w, "no thanks", http.StatusBadGateway)
+		}
+	}))
+	defer srv.Close()
+
+	sink := monocle.NewWebhookSink(srv.URL, srv.Client())
+	defer sink.Close()
+	if err := sink.Deliver(context.Background(), []monocle.Alert{{Type: monocle.AlertRuleFailing, SwitchID: 5, Rule: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(bodies) != 1 || !strings.Contains(bodies[0], `"rule_failing"`) {
+		t.Fatalf("webhook bodies = %q", bodies)
+	}
+	var arr []monocle.Alert
+	if err := json.Unmarshal([]byte(bodies[0]), &arr); err != nil || len(arr) != 1 || arr[0].SwitchID != 5 {
+		t.Fatalf("webhook payload is not an alert array: %q (%v)", bodies[0], err)
+	}
+	if err := sink.Deliver(context.Background(), []monocle.Alert{{SwitchID: 13}}); err == nil {
+		t.Fatal("non-2xx response did not error")
+	}
+}
+
+// TestServiceSinksAndPrometheus wires a webhook sink plus an explicit
+// ring into a Service, injects a divergence, and checks the fan-out, the
+// sink-error counter, and both /metrics representations.
+func TestServiceSinksAndPrometheus(t *testing.T) {
+	var hookBodies []string
+	fail := false
+	hook := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		hookBodies = append(hookBodies, string(b))
+		if fail {
+			http.Error(w, "down", http.StatusInternalServerError)
+		}
+	}))
+	defer hook.Close()
+
+	ring := monocle.NewRingSink(8)
+	svc := monocle.NewService(
+		monocle.WithWorkers(1),
+		monocle.WithAlertSink(ring),
+		monocle.WithAlertSink(monocle.NewWebhookSink(hook.URL, hook.Client())),
+	)
+	defer svc.Close()
+	if _, err := svc.AddSwitch(monocle.SwitchSpec{ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	rs := monocle.RuleSpec{ID: 1, Priority: 5,
+		Match:   map[string]string{"dl_type": "0x800", "nw_src": "10.0.0.0/8"},
+		Actions: []monocle.ActionSpec{{Output: 3}}}
+	if _, err := svc.ApplyRule(1, monocle.RuleOp{Op: "add", Rule: &rs}); err != nil {
+		t.Fatal(err)
+	}
+	svc.SweepRound(context.Background())
+	if len(hookBodies) != 0 {
+		t.Fatalf("healthy round hit the webhook: %q", hookBodies)
+	}
+
+	// Hardware loses the rule: the round's alert fans out to both sinks.
+	if _, err := svc.ApplyRule(1, monocle.RuleOp{Op: "delete", ID: 1, Dataplane: "actual"}); err != nil {
+		t.Fatal(err)
+	}
+	alerts := svc.SweepRound(context.Background())
+	if len(alerts) != 1 || alerts[0].Type != monocle.AlertRuleFailing {
+		t.Fatalf("alerts = %+v", alerts)
+	}
+	if len(hookBodies) != 1 || !strings.Contains(hookBodies[0], `"rule_failing"`) {
+		t.Fatalf("webhook bodies = %q", hookBodies)
+	}
+	if got := ring.Alerts(); len(got) != 1 || got[0].Type != monocle.AlertRuleFailing {
+		t.Fatalf("explicit ring missed the alert: %+v", got)
+	}
+	// The explicit ring replaced the default one behind Service.Alerts.
+	if got := svc.Alerts(); len(got) != 1 {
+		t.Fatalf("Service.Alerts = %+v", got)
+	}
+
+	// A failing webhook is counted, not fatal: hardware recovers, the
+	// recovery alert still reaches the ring while the webhook 500s.
+	fail = true
+	if _, err := svc.ApplyRule(1, monocle.RuleOp{Op: "add", Dataplane: "actual", Rule: &rs}); err != nil {
+		t.Fatal(err)
+	}
+	alerts = svc.SweepRound(context.Background())
+	if len(alerts) != 1 || alerts[0].Type != monocle.AlertRuleRecovered {
+		t.Fatalf("recovery alerts = %+v", alerts)
+	}
+	m := svc.Metrics()
+	if m.SinkErrors != 1 {
+		t.Fatalf("SinkErrors = %d", m.SinkErrors)
+	}
+	if m.AlertsByType["rule_failing"] != 1 || m.AlertsByType["rule_recovered"] != 1 {
+		t.Fatalf("AlertsByType = %+v", m.AlertsByType)
+	}
+
+	// Content negotiation: JSON by default, Prometheus text on demand.
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("default /metrics content type = %q", ct)
+	}
+	var jm monocle.ServiceMetrics
+	if err := json.Unmarshal(body, &jm); err != nil || jm.Rounds != 3 {
+		t.Fatalf("JSON metrics = %s (%v)", body, err)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("prometheus content type = %q", ct)
+	}
+	text := string(body)
+	for _, w := range []string{
+		"monocle_sweep_rounds_total 3",
+		`monocle_alerts_total{type="rule_failing"} 1`,
+		`monocle_alerts_total{type="rule_recovered"} 1`,
+		`monocle_alerts_total{type="switch_stalled"} 0`,
+		"monocle_sink_errors_total 1",
+		`monocle_switch_epoch{switch="1"}`,
+		`monocle_switch_rules{switch="1"} 1`,
+		"monocle_last_round_us_per_rule",
+		"# TYPE monocle_sweep_rounds_total counter",
+	} {
+		if !strings.Contains(text, w) {
+			t.Fatalf("prometheus exposition missing %q:\n%s", w, text)
+		}
+	}
+}

@@ -5,25 +5,29 @@
 // machine — FlowMods update the expected table and trigger dynamic probe
 // monitoring; steady-state cycling can be enabled with -steady.
 //
-// Single-switch mode mirrors the paper's one-proxy-per-switch deployment
-// (§7):
+// The proxy loop itself lives in the library (monocle.ProxyBackend): this
+// command is flag parsing over that driver. Single-switch mode mirrors the
+// paper's one-proxy-per-switch deployment (§7):
 //
 //	monocle -listen :16653 -switch 10.0.0.5:6653 -id 3 \
 //	        -peers 1=5,2=7 -steady
 //
 // Fleet mode drives N switches through one monocle.Fleet in a single
-// process: every Monitor shares one event loop and one probe-routing
-// Multiplexer, so probes caught at any member switch are routed back to
-// their owner — which a process-per-switch deployment cannot do. Specs
-// are semicolon-separated; within a spec the peer map uses ':' pairs:
+// process: every ProxyBackend shares one monocle.ProxyGroup (one event
+// loop, one probe-routing Multiplexer), so probes caught at any member
+// switch are routed back to their owner — which a process-per-switch
+// deployment cannot do. Specs are semicolon-separated; within a spec the
+// peer map uses ':' pairs:
 //
 //	monocle -fleet "id=1,listen=:16653,switch=10.0.0.5:6653,peers=1:2 2:3;\
 //	                id=2,listen=:16654,switch=10.0.0.6:6653,peers=1:1" \
 //	        -steady -sweep 30s
 //
-// With -sweep, the fleet periodically sweeps every expected table through
-// the shared worker budget and emits one ResultRecord JSON line per rule
-// on stdout (the same stream format as `probegen -json`).
+// With -sweep, the fleet periodically sweeps every proxied expected table
+// through the shared worker budget, emits one ResultRecord JSON line per
+// rule on stdout (the same stream format as `probegen -json`), and folds
+// every round through the cross-epoch diff engine, logging typed alerts
+// on stderr through a monocle.LogSink.
 package main
 
 import (
@@ -32,7 +36,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net"
 	"os"
 	"strconv"
 	"strings"
@@ -40,46 +43,6 @@ import (
 
 	"monocle"
 )
-
-// rtLoop drives a monocle.Sim in wall-clock time: external events are
-// posted through a channel, timers fire when their virtual due time
-// passes. All Monitor state machines stay single-threaded inside the
-// loop, satisfying the Multiplexer's event-loop contract.
-type rtLoop struct {
-	s     *monocle.Sim
-	ch    chan func()
-	start time.Time
-}
-
-func newRTLoop() *rtLoop {
-	return &rtLoop{s: monocle.NewSim(), ch: make(chan func(), 1024), start: time.Now()}
-}
-
-// post queues fn onto the loop thread.
-func (l *rtLoop) post(fn func()) { l.ch <- fn }
-
-// run is the loop body (blocks forever).
-func (l *rtLoop) run() {
-	for {
-		now := time.Since(l.start)
-		l.s.RunUntil(now)
-		var wait time.Duration = 50 * time.Millisecond
-		if at, ok := l.s.NextEventAt(); ok {
-			if d := at - l.s.Now(); d < wait {
-				wait = d
-			}
-		}
-		if wait < time.Millisecond {
-			wait = time.Millisecond
-		}
-		select {
-		case fn := <-l.ch:
-			l.s.RunUntil(time.Since(l.start))
-			fn()
-		case <-time.After(wait):
-		}
-	}
-}
 
 // switchSpec is one monitored switch's configuration.
 type switchSpec struct {
@@ -208,9 +171,11 @@ func main() {
 		})
 	}
 
-	loop := newRTLoop()
+	// One shared group: one event loop, one Multiplexer, cross-switch
+	// probe routing.
+	group := monocle.NewProxyGroup()
 	fl := monocle.NewFleet(monocle.WithWorkers(*workers))
-	monitors := make([]*monocle.Monitor, len(specs))
+	backends := make([]*monocle.ProxyBackend, len(specs))
 	for i, spec := range specs {
 		opts := []monocle.Option{
 			monocle.WithProbeRate(*rate),
@@ -219,18 +184,13 @@ func main() {
 		if spec.tag != 0 {
 			opts = append(opts, monocle.WithProbeTag(spec.tag))
 		}
-		cfg := monocle.NewMonitorConfig(spec.id, opts...)
-		cfg.OnAlarm = func(ruleID uint64, at monocle.Time) {
-			log.Printf("S%d ALARM: rule %d misbehaving in the data plane (t=%v)", spec.id, ruleID, at)
-		}
-		cfg.OnRuleConfirmed = func(ruleID uint64, at monocle.Time) {
-			log.Printf("S%d confirmed: rule %d is in the data plane (t=%v)", spec.id, ruleID, at)
-		}
-		mon, err := fl.AttachMonitor(loop.s, cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		monitors[i] = mon
+		backends[i] = monocle.NewProxyBackend(monocle.ProxyConfig{
+			SwitchID:   spec.id,
+			SwitchAddr: spec.swAddr,
+			Listen:     spec.listen,
+			Steady:     *steady,
+			Group:      group,
+		}, opts...)
 	}
 
 	if *reserved != "" {
@@ -242,111 +202,69 @@ func main() {
 			}
 			vals = append(vals, uint32(x))
 		}
-		for _, mon := range monitors {
-			for _, r := range mon.CatchRules(vals) {
-				fmt.Printf("S%d catch rule: %v\n", mon.Cfg.SwitchID, r)
+		for _, be := range backends {
+			for _, r := range be.CatchRules(vals) {
+				fmt.Printf("S%d catch rule: %v\n", be.SwitchID(), r)
 			}
 		}
 		os.Exit(0)
 	}
 
-	// Each switch dials/accepts on its own goroutine (controllers may
-	// connect in any order); callback wiring is posted onto the event
-	// loop so Monitor state is only ever touched from the loop thread.
-	for i := range specs {
-		go wireSwitch(loop, specs[i], monitors[i], *steady)
+	for _, be := range backends {
+		if err := be.Connect(context.Background()); err != nil {
+			log.Fatal(err)
+		}
+		if err := fl.AttachBackend(be); err != nil {
+			log.Fatal(err)
+		}
+		go logEvents(be)
 	}
 
 	if *sweep > 0 {
-		startFleetSweeps(loop, fl, *sweep)
+		go sweepLoop(fl, *sweep)
 	}
-	loop.run()
+	select {} // the proxy runs until killed
 }
 
-// wireSwitch dials the switch, accepts the controller connection, and
-// wires the Monitor's message callbacks; reader goroutines post every
-// received message onto the shared event loop.
-func wireSwitch(loop *rtLoop, spec switchSpec, mon *monocle.Monitor, steady bool) {
-	swConn, err := net.Dial("tcp", spec.swAddr)
-	if err != nil {
-		log.Fatalf("S%d: dialing switch: %v", spec.id, err)
+// logEvents mirrors one backend's lifecycle events to the log: connects,
+// disconnects, and the Monitor's own confirmations and alarms.
+func logEvents(be *monocle.ProxyBackend) {
+	for ev := range be.Events() {
+		switch ev.Type {
+		case monocle.BackendAlarm:
+			log.Printf("S%d ALARM: %s", ev.SwitchID, ev.Detail)
+		case monocle.BackendDisconnected:
+			log.Fatalf("S%d: %s", ev.SwitchID, ev.Detail)
+		default:
+			log.Printf("S%d %s: %s", ev.SwitchID, ev.Type, ev.Detail)
+		}
 	}
-	log.Printf("S%d: connected to switch %s", spec.id, spec.swAddr)
-
-	ln, err := net.Listen("tcp", spec.listen)
-	if err != nil {
-		log.Fatalf("S%d: listen: %v", spec.id, err)
-	}
-	log.Printf("S%d: waiting for controller on %s", spec.id, spec.listen)
-	ctrlConn, err := ln.Accept()
-	if err != nil {
-		log.Fatalf("S%d: accept: %v", spec.id, err)
-	}
-	log.Printf("S%d: controller connected from %s", spec.id, ctrlConn.RemoteAddr())
-
-	loop.post(func() {
-		mon.ToSwitch = func(msg monocle.Message, xid uint32) {
-			if err := monocle.WriteMessage(swConn, msg, xid); err != nil {
-				log.Fatalf("S%d: write to switch: %v", spec.id, err)
-			}
-		}
-		mon.ToController = func(msg monocle.Message, xid uint32) {
-			if err := monocle.WriteMessage(ctrlConn, msg, xid); err != nil {
-				log.Fatalf("S%d: write to controller: %v", spec.id, err)
-			}
-		}
-		if steady {
-			mon.StartSteadyState()
-		}
-	})
-
-	go func() {
-		for {
-			msg, xid, err := monocle.ReadMessage(ctrlConn)
-			if err != nil {
-				log.Fatalf("S%d: controller read: %v", spec.id, err)
-			}
-			loop.post(func() { mon.OnControllerMessage(msg, xid) })
-		}
-	}()
-	go func() {
-		for {
-			msg, xid, err := monocle.ReadMessage(swConn)
-			if err != nil {
-				log.Fatalf("S%d: switch read: %v", spec.id, err)
-			}
-			loop.post(func() { mon.OnSwitchMessage(msg, xid) })
-		}
-	}()
 }
 
-// startFleetSweeps emits ResultRecord JSON lines for every member's
+// sweepLoop emits ResultRecord JSON lines for every member's proxied
 // expected table at the given cadence, and folds every round through the
 // cross-epoch diff engine: a rule that stops being generatable (newly
 // hidden or erroring), recovers, or flaps across epochs — or a switch
-// that stops contributing results — is logged as a typed alert on stderr.
-// Sweeps run on the event-loop thread (the monitors' single-threaded
-// contract); the solver fan-out inside each sweep still uses the fleet
-// worker budget.
-func startFleetSweeps(loop *rtLoop, fl *monocle.Fleet, every time.Duration) {
+// that stops contributing results — is logged as a typed alert on stderr
+// through a LogSink. ProxyBackend sweeps marshal onto the group's event
+// loop internally, so this loop runs on a plain goroutine.
+func sweepLoop(fl *monocle.Fleet, every time.Duration) {
 	enc := json.NewEncoder(os.Stdout)
 	differ := monocle.NewDiffer()
-	var tick func()
-	tick = func() {
+	alerts := monocle.NewLogSink(log.New(os.Stderr, "", log.LstdFlags))
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for range ticker.C {
 		for _, ev := range fl.Sweep(context.Background()) {
 			differ.Observe(ev)
 			if err := enc.Encode(ev.Record()); err != nil {
 				log.Fatalf("sweep encode: %v", err)
 			}
 		}
-		for _, a := range differ.EndSweep() {
-			b, err := json.Marshal(a)
-			if err != nil {
-				log.Fatalf("alert encode: %v", err)
+		if as := differ.EndSweep(); len(as) > 0 {
+			if err := alerts.Deliver(context.Background(), as); err != nil {
+				log.Printf("alert sink: %v", err)
 			}
-			log.Printf("ALERT %s", b)
 		}
-		time.AfterFunc(every, func() { loop.post(tick) })
 	}
-	time.AfterFunc(every, func() { loop.post(tick) })
 }

@@ -1,17 +1,25 @@
 // Command monocled is the long-running Monocle fleet service: an HTTP
-// control surface over a monocle.Fleet with a simulated per-switch data
-// plane and the cross-epoch diff engine turning every sweep into alerts.
+// control surface over a monocle.Fleet of switch Backends — simulated
+// data planes (backend "sim") or live TCP OpenFlow 1.0 switches fronted
+// by the library's proxy driver (backend "proxy") — with the cross-epoch
+// diff engine turning every sweep into alerts, delivered through
+// pluggable sinks (-alert-webhook, -alert-log, the in-memory ring behind
+// GET /alerts).
 //
-//	monocled -listen :8866 -interval 2s -debounce 2
+//	monocled -listen :8866 -interval 2s -debounce 2 \
+//	         -alert-webhook http://pager.example/hook
 //
 // Lifecycle (see the README's "Running monocled" section for a full curl
 // session):
 //
 //	curl -X POST :8866/switches -d '{"id":1}'
+//	curl -X POST :8866/switches -d \
+//	     '{"id":2,"backend":"proxy","address":"10.0.0.5:6653"}'  # live switch
 //	curl -X POST :8866/switches/1/rules -d '{"op":"add","rule":{...}}'
 //	curl -X POST :8866/switches/1/rules \
 //	     -d '{"op":"delete","id":7,"dataplane":"actual"}'   # break hardware
 //	curl :8866/alerts                                       # watch it surface
+//	curl -H 'Accept: text/plain' :8866/metrics              # Prometheus scrape
 //
 // On SIGINT/SIGTERM the service drains: the in-flight sweep round
 // completes, /healthz reports draining, and the HTTP server shuts down
@@ -40,16 +48,28 @@ func main() {
 		stall    = flag.Int("stall", 3, "missed sweep rounds before a switch-stalled alert")
 		flapWin  = flag.Int("flap-window", 6, "sweep window for verdict-flap detection")
 		flapN    = flag.Int("flap-flips", 3, "status flips inside the window that count as flapping")
+		ring     = flag.Int("alert-ring", 4096, "alerts retained in memory for GET /alerts")
+		webhook  = flag.String("alert-webhook", "", "POST each round's alerts as a JSON array to this URL")
+		alertLog = flag.Bool("alert-log", false, "log one ALERT line per alert on stderr")
 	)
 	flag.Parse()
 
-	svc := monocle.NewService(
+	opts := []monocle.Option{
 		monocle.WithWorkers(*workers),
 		monocle.WithSteadyInterval(*interval),
 		monocle.WithDebounce(*debounce),
 		monocle.WithStallThreshold(*stall),
 		monocle.WithFlapWindow(*flapWin, *flapN),
-	)
+		monocle.WithAlertSink(monocle.NewRingSink(*ring)),
+	}
+	if *webhook != "" {
+		opts = append(opts, monocle.WithAlertSink(monocle.NewWebhookSink(*webhook, nil)))
+	}
+	if *alertLog {
+		opts = append(opts, monocle.WithAlertSink(monocle.NewLogSink(nil)))
+	}
+	svc := monocle.NewService(opts...)
+	defer svc.Close()
 	srv := &http.Server{Addr: *listen, Handler: svc.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

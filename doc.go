@@ -5,7 +5,7 @@
 // one importable package; the internal/ packages underneath are private
 // implementation detail and may change without notice.
 //
-// The two entry points are:
+// The entry points are:
 //
 //   - Verifier: single-switch verification. Compile a flow table once,
 //     generate a probe for any rule (steady-state monitoring), and build
@@ -17,10 +17,24 @@
 //   - Fleet: multi-switch deployment. Fleet shards its member switches
 //     across a bounded solver-worker budget, runs concurrent steady-state
 //     sweeps (each switch through its own Verifier session cache), and
-//     streams ProbeResult events over a context-aware channel. It can also
-//     host the proxy Monitors of a live deployment, wired through one
-//     shared Multiplexer so probes caught at any member switch are routed
-//     back to their owner.
+//     streams ProbeResult events over a context-aware channel. Members
+//     pair a Verifier with a Backend driver (AddBackend), attach
+//     self-sweeping drivers (AttachBackend), or host raw proxy Monitors
+//     wired through one shared Multiplexer (AttachMonitor).
+//
+//   - Backend: the switch-driver seam — connect/close the transport,
+//     apply rule operations to the data plane, inject and observe probes,
+//     and watch lifecycle events. SimBackend drives an in-memory simulated
+//     data plane; ProxyBackend is the paper's live deployment, a TCP
+//     OpenFlow 1.0 proxy whose Monitor intercepts the controller-switch
+//     session (share an event loop and probe routing between backends
+//     with a ProxyGroup). Everything above the seam is driver-agnostic.
+//
+//   - Service: the long-running monocled fleet service. A Fleet of
+//     Backends, the cross-epoch diff engine (Differ) folding every sweep
+//     round into typed debounced Alerts, and pluggable alert delivery
+//     (Sink: RingSink, LogSink, WebhookSink via WithAlertSink) behind a
+//     net/http control surface with JSON and Prometheus metrics.
 //
 // Quickstart — verify one rule and sweep an 8-switch fleet:
 //

@@ -1,13 +1,15 @@
-// Fleetsweep runs the sharded multi-switch sweep service with the
-// cross-epoch diff engine in the loop: 8 switches, each holding a few
-// hundred ACL rules, verified concurrently through one monocle.Fleet
-// under a bounded solver-worker budget. Every generated probe is judged
-// against a simulated per-switch data plane, the Differ folds the rounds
-// into alerts, and the demo shows the three cases that matter: a healthy
-// fleet (no alerts), a hardware divergence injected behind the verifier's
-// back (exactly one alert), and an intentional controller change (no
-// alert, only a delta recompile). -json emits the same
-// one-record-per-line format as `probegen -json`.
+// Fleetsweep runs the monocled service layer in-process: 8 switches, each
+// holding a few hundred ACL rules, fronted by simulated data-plane
+// backends (monocle.SimBackend) and verified concurrently under a bounded
+// solver-worker budget. Every generated probe is judged against its
+// switch's backend through the Backend seam, the service's diff engine
+// folds the rounds into alerts, and alert delivery runs through pluggable
+// sinks — an in-memory ring plus a stderr log sink here; a production
+// deployment would add monocle.NewWebhookSink. The demo shows the three
+// cases that matter: a healthy fleet (no alerts), a hardware divergence
+// injected behind the verifier's back (exactly one alert), and an
+// intentional controller change (no alert, only a delta recompile).
+// -json emits the same one-record-per-line format as `probegen -json`.
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"time"
 
@@ -31,98 +34,70 @@ func main() {
 	)
 	flag.Parse()
 
-	fleet := monocle.NewFleet(
+	// The service: fleet + backends + diff engine + sinks behind one
+	// facade. The ring retains alerts for inspection; the log sink
+	// mirrors them to stderr the moment they fire.
+	ring := monocle.NewRingSink(256)
+	svc := monocle.NewService(
 		monocle.WithWorkers(*workers),
-		monocle.WithSteadyInterval(2*time.Second),
+		monocle.WithAlertSink(ring),
+		monocle.WithAlertSink(monocle.NewLogSink(log.New(os.Stderr, "", 0))),
 	)
+	defer svc.Close()
+
 	profile := monocle.StanfordDataset()
 	profile.Rules = *rules
 	for id := uint32(1); id <= uint32(*switches); id++ {
 		// Each switch gets its own table variant and its id as probe tag.
 		p := profile
 		p.Seed = int64(id)
-		v, err := fleet.AddSwitch(id)
-		if err != nil {
+		if _, err := svc.AddSwitch(monocle.SwitchSpec{ID: id}); err != nil {
 			panic(err)
 		}
 		_, tableRules := monocle.GenerateDataset(p)
-		if err := v.Install(tableRules...); err != nil {
+		// InstallRules loads the expected table and the backend data
+		// plane together: pre-existing state, no confirmation probes.
+		if err := svc.InstallRules(id, tableRules...); err != nil {
 			panic(err)
 		}
 	}
 
-	// The simulated data planes: each switch's hardware state starts as an
-	// exact copy of its expected table. Sweep probes are judged against
-	// these through the diff engine.
-	actual := map[uint32]*monocle.Table{}
-	for _, id := range fleet.Switches() {
-		v, _ := fleet.Verifier(id)
-		t := monocle.NewTable()
-		for _, r := range v.Rules() {
-			if err := t.Insert(r.Clone()); err != nil {
-				panic(err)
-			}
-		}
-		actual[id] = t
-	}
-	differ := monocle.NewDiffer()
-
 	fmt.Printf("sweeping %d switches x %d rules (worker budget %d)...\n",
 		*switches, *rules, *workers)
-	enc := json.NewEncoder(os.Stdout)
 	start := time.Now()
-	perSwitch := map[uint32]int{}
+	alerts := svc.SweepRound(context.Background())
+	recs := svc.LastSweep()
 	unmon := 0
 	victims := map[uint32]uint64{} // first monitorable rule per switch
-	for ev := range fleet.Stream(context.Background()) {
-		if ev.Result.Err != nil && !errors.Is(ev.Result.Err, monocle.ErrUnmonitorable) {
-			panic(ev.Result.Err)
-		}
-		perSwitch[ev.SwitchID]++
-		if errors.Is(ev.Result.Err, monocle.ErrUnmonitorable) {
+	perSwitch := map[uint32]int{}
+	enc := json.NewEncoder(os.Stdout)
+	for _, rec := range recs {
+		perSwitch[rec.Switch]++
+		if rec.Unmonitorable {
 			unmon++
 		}
-		if ev.Result.Probe != nil {
-			if _, ok := victims[ev.SwitchID]; !ok {
-				victims[ev.SwitchID] = ev.Result.Rule.ID
+		if rec.Probe != nil {
+			if _, ok := victims[rec.Switch]; !ok {
+				victims[rec.Switch] = rec.Rule
 			}
-			differ.ObserveVerdict(ev, monocle.EvaluateProbe(ev.Result.Probe, actual[ev.SwitchID]))
-		} else {
-			differ.Observe(ev)
 		}
 		if *jsonOut {
-			if err := enc.Encode(ev.Record()); err != nil {
+			if err := enc.Encode(rec); err != nil {
 				panic(err)
 			}
 		}
 	}
-	alerts := differ.EndSweep()
-	total := 0
-	for id := uint32(1); id <= uint32(*switches); id++ {
-		total += perSwitch[id]
-	}
 	fmt.Printf("swept %d rules across %d switches in %v (%d unmonitorable, %d alerts)\n",
-		total, len(perSwitch), time.Since(start).Round(time.Millisecond), unmon, len(alerts))
-
-	// round sweeps once more and reports the diff engine's alerts.
-	round := func() []monocle.Alert {
-		for _, ev := range fleet.Sweep(context.Background()) {
-			if ev.Result.Probe != nil {
-				differ.ObserveVerdict(ev, monocle.EvaluateProbe(ev.Result.Probe, actual[ev.SwitchID]))
-			} else {
-				differ.Observe(ev)
-			}
-		}
-		return differ.EndSweep()
-	}
+		len(recs), len(perSwitch), time.Since(start).Round(time.Millisecond), unmon, len(alerts))
 
 	// Hardware divergence: one switch silently loses a rule from its data
-	// plane — the controller's view is unchanged, so the next sweep's
-	// probe for that rule is judged against diverged hardware and the
-	// diff engine raises exactly one alert. Pick the last member that had
-	// a monitorable rule (any fleet size works).
+	// plane — a rule op targeting dataplane:"actual" goes through the
+	// Backend driver only, the controller's view is unchanged — so the
+	// next sweep's probe is judged against diverged hardware and the diff
+	// engine raises exactly one alert. Pick the last member that had a
+	// monitorable rule (any fleet size works).
 	var badSwitch uint32
-	for _, id := range fleet.Switches() {
+	for _, id := range svc.Fleet().Switches() {
 		if _, ok := victims[id]; ok {
 			badSwitch = id
 		}
@@ -130,40 +105,47 @@ func main() {
 	if badSwitch == 0 {
 		panic("no switch produced a monitorable rule")
 	}
-	if err := actual[badSwitch].Delete(victims[badSwitch]); err != nil {
+	if _, err := svc.ApplyRule(badSwitch, monocle.RuleOp{
+		Op: "delete", ID: victims[badSwitch], Dataplane: "actual",
+	}); err != nil {
 		panic(err)
 	}
-	for _, a := range round() {
+	svc.SweepRound(context.Background())
+	for _, a := range ring.Alerts() {
 		b, _ := json.Marshal(a)
-		fmt.Printf("ALERT %s\n", b)
+		fmt.Printf("ring retained: %s\n", b)
 	}
 
 	// Intentional controller change on switch 1: the expected table and
-	// the data plane move together, so the diff engine stays quiet and
-	// only the changed rule recompiles (epoch-aware session cache). Skip
-	// the rule the divergence demo already removed from the hardware.
-	v, _ := fleet.Verifier(1)
+	// the data plane move together (the default dataplane:"both"), so the
+	// diff engine stays quiet and only the changed rule recompiles
+	// (epoch-aware session cache). Skip the rule the divergence demo
+	// already removed from the hardware.
+	v, _ := svc.Fleet().Verifier(1)
 	victim := v.Rules()[0]
 	divergedCollision := badSwitch == 1 && victim.ID == victims[1]
 	if divergedCollision && v.Len() > 1 {
 		victim = v.Rules()[1]
 		divergedCollision = false
 	}
-	if _, err := v.Delete(victim.ID); err != nil && !errors.Is(err, monocle.ErrUnmonitorable) {
+	op := monocle.RuleOp{Op: "delete", ID: victim.ID}
+	if divergedCollision {
+		// A one-rule fleet reuses the diverged rule: the hardware already
+		// dropped it, so only the controller-side delete remains.
+		op.Dataplane = "expected"
+	}
+	if _, err := svc.ApplyRule(1, op); err != nil &&
+		!errors.Is(err, monocle.ErrUnmonitorable) {
 		panic(err)
 	}
-	// A one-rule fleet reuses the diverged rule: the hardware already
-	// dropped it, so only the controller-side delete remains.
-	if err := actual[1].Delete(victim.ID); err != nil && !divergedCollision {
-		panic(err)
-	}
+	before := ring.Len()
 	start = time.Now()
-	n := len(fleet.Sweep(context.Background()))
+	svc.SweepRound(context.Background())
 	stats := v.CacheStats()
 	fmt.Printf("re-swept %d rules after one intentional deletion in %v (S1 cache: %d delta recompiles, %d rebuilds)\n",
-		n, time.Since(start).Round(time.Millisecond), stats.DeltaRules, stats.Rebuilds)
-	if extra := round(); len(extra) > 0 {
-		fmt.Printf("unexpected alerts after an intentional change: %d\n", len(extra))
+		len(svc.LastSweep()), time.Since(start).Round(time.Millisecond), stats.DeltaRules, stats.Rebuilds)
+	if extra := ring.Len() - before; extra > 0 {
+		fmt.Printf("unexpected alerts after an intentional change: %d\n", extra)
 	} else {
 		fmt.Println("intentional change raised no alerts (hardware recovered, controller view updated)")
 	}

@@ -41,12 +41,15 @@ type Fleet struct {
 	mux     *imon.Multiplexer
 }
 
-// fleetMember is one monitored switch: verifier-backed (AddSwitch) or
-// monitor-backed (AttachMonitor).
+// fleetMember is one monitored switch: verifier-backed (AddSwitch,
+// AddBackend), self-sweeping backend-backed (AttachBackend), or
+// monitor-backed (AttachMonitor). be, when set, is the data-plane driver
+// paired with the member.
 type fleetMember struct {
 	id  uint32
 	v   *Verifier
 	mon *imon.Monitor
+	be  Backend
 }
 
 // SweepEvent is one per-rule result streamed from a fleet sweep.
@@ -112,6 +115,62 @@ func (f *Fleet) AttachMonitor(s *Sim, cfg MonitorConfig) (*Monitor, error) {
 	f.members = append(f.members, m)
 	f.byID[cfg.SwitchID] = m
 	return mon, nil
+}
+
+// AddBackend registers switch backend be for sweep verification: the
+// member gets a facade Verifier for its expected table (like AddSwitch)
+// paired with be as its data-plane driver, so consumers — the monocled
+// Service above all — can judge every generated probe against the data
+// plane through the Backend seam. Per-switch options override the
+// fleet-wide ones. The caller connects and closes the backend.
+func (f *Fleet) AddBackend(be Backend, opts ...Option) (*Verifier, error) {
+	id := be.SwitchID()
+	v, err := newVerifier(id, &f.set, opts)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.byID[id]; dup {
+		return nil, fmt.Errorf("%w: %d", ErrDuplicateSwitch, id)
+	}
+	m := &fleetMember{id: id, v: v, be: be}
+	f.members = append(f.members, m)
+	f.byID[id] = m
+	return v, nil
+}
+
+// AttachBackend registers a self-sweeping backend: one that owns its
+// switch's expected flow table (a live ProxyBackend learning it from the
+// FlowMods it proxies) and therefore implements Sweeper. Such members are
+// swept through the driver itself, concurrently with verifier-backed
+// members under the fleet worker budget. The caller connects and closes
+// the backend.
+func (f *Fleet) AttachBackend(be Backend) error {
+	if _, ok := be.(Sweeper); !ok {
+		return fmt.Errorf("monocle: backend for switch %d does not sweep its own expected table (no Sweeper); use AddBackend with a Verifier instead", be.SwitchID())
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.byID[be.SwitchID()]; dup {
+		return fmt.Errorf("%w: %d", ErrDuplicateSwitch, be.SwitchID())
+	}
+	m := &fleetMember{id: be.SwitchID(), be: be}
+	f.members = append(f.members, m)
+	f.byID[be.SwitchID()] = m
+	return nil
+}
+
+// Backend returns the data-plane driver of a switch registered with
+// AddBackend or AttachBackend.
+func (f *Fleet) Backend(id uint32) (Backend, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m, ok := f.byID[id]
+	if !ok || m.be == nil {
+		return nil, false
+	}
+	return m.be, true
 }
 
 // Multiplexer returns the fleet's shared probe-routing multiplexer.
@@ -255,17 +314,23 @@ func (f *Fleet) snapshot() []*fleetMember {
 }
 
 // sweepInto sweeps every member, invoking done(i, events) once per member
-// (possibly concurrently for verifier-backed members). The worker budget
-// B is sharded: with K = min(B, members) member sweeps in flight, each
-// gets B/K solver workers, so the fleet never runs more than B solver
-// goroutines at once. Monitor-backed members sweep sequentially on the
-// calling goroutine with the full budget (their event-loop contract).
+// (possibly concurrently for verifier- and sweeper-backend-backed
+// members). The worker budget B is sharded: with K = min(B, members)
+// member sweeps in flight, each gets B/K solver workers, so the fleet
+// never runs more than B solver goroutines at once. Monitor-backed
+// members sweep sequentially on the calling goroutine with the full
+// budget (their event-loop contract); self-sweeping backends marshal onto
+// their own loops internally, so they join the concurrent pool.
 func (f *Fleet) sweepInto(ctx context.Context, members []*fleetMember, done func(int, []SweepEvent)) {
 	budget := f.set.effectiveWorkers()
 
 	var vIdx []int
 	for i, m := range members {
 		if m.v != nil {
+			vIdx = append(vIdx, i)
+			continue
+		}
+		if _, ok := m.be.(Sweeper); ok {
 			vIdx = append(vIdx, i)
 		}
 	}
@@ -295,7 +360,15 @@ func (f *Fleet) sweepInto(ctx context.Context, members []*fleetMember, done func
 					}
 					i := vIdx[n]
 					m := members[i]
-					epoch, results := m.v.sweepShard(ctx, share)
+					var (
+						epoch   uint64
+						results []ProbeResult
+					)
+					if m.v != nil {
+						epoch, results = m.v.sweepShard(ctx, share)
+					} else {
+						epoch, results = m.be.(Sweeper).SweepExpected(ctx, share)
+					}
 					done(i, memberEvents(m.id, epoch, results))
 				}
 			}()

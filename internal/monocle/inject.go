@@ -236,6 +236,10 @@ func (m *Monitor) OnProbeCaught(meta packet.Metadata, catcher uint32, obs header
 	}
 	delete(m.inflight, meta.Seq)
 
+	if fl.observer != nil {
+		m.observerCatch(fl.observer, catcher, obs)
+		return
+	}
 	if fl.dynamic {
 		pu := m.pending[fl.ruleID]
 		if pu == nil {

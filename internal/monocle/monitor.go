@@ -231,13 +231,15 @@ type pendingBarrier struct {
 	waitingRules map[uint64]bool
 }
 
-// inflightProbe tracks one injected steady-state or dynamic probe.
+// inflightProbe tracks one injected steady-state, dynamic, or observed
+// probe.
 type inflightProbe struct {
-	seq     uint64
-	ruleID  uint64
-	dynamic bool
-	epoch   uint64
-	attempt *attempt // steady-state attempt this probe belongs to
+	seq      uint64
+	ruleID   uint64
+	dynamic  bool
+	epoch    uint64
+	attempt  *attempt       // steady-state attempt this probe belongs to
+	observer *probeObserver // ObserveProbe request this probe belongs to
 }
 
 // New creates a Monitor. Wire ToSwitch/ToController/Mux before use.

@@ -1,0 +1,135 @@
+package monocle
+
+// One-shot probe observation: ObserveProbe injects a probe into the
+// monitored switch's data plane and reports the verdict of the response,
+// independent of the dynamic-update and steady-state machinery. It is the
+// primitive the library's switch backends (the TCP proxy driver) use to
+// judge externally generated probes — a facade Verifier's sweep or
+// confirmation probe — against live hardware.
+
+import (
+	"time"
+
+	"monocle/internal/header"
+	"monocle/internal/packet"
+	"monocle/internal/probe"
+	"monocle/internal/sim"
+)
+
+// defaultObserveTimeout bounds one ObserveProbe round when the caller
+// passes no timeout.
+const defaultObserveTimeout = 2 * time.Second
+
+// probeObserver tracks one ObserveProbe request across injections.
+type probeObserver struct {
+	probe    *probe.Probe
+	expect   packet.Expectation
+	done     func(Verdict)
+	finished bool
+	caught   bool
+	last     Verdict
+	retry    *sim.Timer
+	deadline *sim.Timer
+}
+
+// ObserveProbe injects probe p and reports, through done, the verdict of
+// the data plane's response: the probe is re-injected every retry interval
+// until a catch settles the expectation (Present evidence for additions
+// and modifications, Absent evidence for deletions) or the timeout
+// elapses. On timeout the last observed verdict is reported; with no catch
+// at all the silence itself is judged — a probe whose expected outcome is
+// uncatchable (a drop, or every emission exiting toward hosts) confirms by
+// silence, anything else is VerdictUnexpected. Like every Monitor method,
+// it must run on the event-loop thread; done fires on that thread too.
+func (m *Monitor) ObserveProbe(p *probe.Probe, expect packet.Expectation, retry, timeout time.Duration, done func(Verdict)) {
+	if retry <= 0 {
+		retry = m.retryInterval()
+	}
+	if timeout <= 0 {
+		timeout = defaultObserveTimeout
+	}
+	ob := &probeObserver{probe: p, expect: expect, done: done}
+	ob.deadline = m.Sim.After(timeout, func() {
+		m.finishObserver(ob, m.timeoutVerdict(ob))
+	})
+	var tick func()
+	tick = func() {
+		if ob.finished {
+			return
+		}
+		m.injectForObserver(ob)
+		if !ob.finished {
+			ob.retry = m.Sim.After(retry, tick)
+		}
+	}
+	tick()
+}
+
+// injectForObserver sends one probe copy and tags its inflight entry with
+// the observer so the catch routes back here.
+func (m *Monitor) injectForObserver(ob *probeObserver) {
+	seq := m.injectProbe(ob.probe, false, ob.expect)
+	if seq == 0 {
+		// The probe packet cannot be crafted onto the wire (non-IPv4
+		// header): a live driver cannot verify this rule.
+		m.finishObserver(ob, VerdictUnexpected)
+		return
+	}
+	m.inflight[seq].observer = ob
+}
+
+// observerCatch judges a caught probe owned by an observer. Evidence that
+// settles the expectation finishes the observation; anything else keeps
+// the retries going (the update may not have committed yet).
+func (m *Monitor) observerCatch(ob *probeObserver, catcher uint32, obs header.Header) {
+	if ob.finished {
+		return
+	}
+	v := m.judge(ob.probe, catcher, obs)
+	ob.caught = true
+	ob.last = v
+	if judgeForKind(ob.expect, v) == VerdictConfirmed {
+		m.finishObserver(ob, v)
+	}
+}
+
+// timeoutVerdict resolves an observation window that ended without a
+// settling catch.
+func (m *Monitor) timeoutVerdict(ob *probeObserver) Verdict {
+	if ob.caught {
+		return ob.last
+	}
+	presentSilent := m.outcomeSilent(ob.probe.Present)
+	absentSilent := m.outcomeSilent(ob.probe.Absent)
+	switch {
+	case presentSilent && !absentSilent:
+		return VerdictConfirmed
+	case absentSilent && !presentSilent:
+		return VerdictAbsent
+	default:
+		return VerdictUnexpected
+	}
+}
+
+// finishObserver reports the verdict once and releases the observer's
+// timers and inflight entries.
+func (m *Monitor) finishObserver(ob *probeObserver, v Verdict) {
+	if ob.finished {
+		return
+	}
+	ob.finished = true
+	if ob.retry != nil {
+		ob.retry.Cancel()
+	}
+	if ob.deadline != nil {
+		ob.deadline.Cancel()
+	}
+	for seq, fl := range m.inflight {
+		if fl.observer == ob {
+			delete(m.inflight, seq)
+		}
+	}
+	if ob.done != nil {
+		ob.done(v)
+	}
+}

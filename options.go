@@ -42,6 +42,8 @@ type settings struct {
 	stallSweeps int
 	flapWindow  int
 	flapFlips   int
+
+	sinks []Sink
 }
 
 // defaultSettings returns the paper-default option values.
@@ -219,6 +221,14 @@ func WithFlapWindow(window, flips int) Option {
 		s.flapWindow = max(window, 2)
 		s.flapFlips = max(flips, 1)
 	}
+}
+
+// WithAlertSink attaches an alert sink to the Service: every sweep round
+// that raises alerts delivers them to each attached sink. A *RingSink
+// attached here replaces the service's default in-memory ring (and backs
+// GET /alerts); other sink types are added alongside it.
+func WithAlertSink(sink Sink) Option {
+	return func(s *settings) { s.sinks = append(s.sinks, sink) }
 }
 
 // monitorPeers converts the option peer map to the internal type.

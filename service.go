@@ -1,22 +1,25 @@
 package monocle
 
 // The monocled service layer: a long-running HTTP control surface over a
-// Fleet plus a simulated per-switch data plane, with the cross-epoch diff
-// engine folding every sweep into alerts. The service owns the sweep loop
-// (Run), evaluates every generated probe against the switch's data-plane
-// table, and exposes the whole lifecycle over net/http: switches are
-// added, rules installed/modified/deleted (driving the dynamic-update
-// confirmation path), sweeps and alerts read back as JSON lines, and
-// health/metrics polled. Rule operations can target the expected table,
-// the data plane, or both — mutating only the data plane is exactly the
-// "hardware diverged behind the controller's back" fault the paper's
-// monitoring exists to catch.
+// Fleet of switch Backends, with the cross-epoch diff engine folding
+// every sweep into alerts delivered through pluggable Sinks. The service
+// owns the sweep loop (Run), judges every generated probe against the
+// switch's data plane through its Backend driver (a simulated table for
+// backend "sim", a live TCP OpenFlow 1.0 switch for backend "proxy"), and
+// exposes the whole lifecycle over net/http: switches are added, rules
+// installed/modified/deleted (driving the dynamic-update confirmation
+// path), sweeps and alerts read back as JSON lines, and health/metrics
+// polled (JSON or Prometheus text, content-negotiated). Rule operations
+// can target the expected table, the data plane, or both — mutating only
+// the data plane is exactly the "hardware diverged behind the
+// controller's back" fault the paper's monitoring exists to catch.
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -25,23 +28,32 @@ import (
 	"context"
 )
 
-// maxServiceAlerts bounds the retained alert log (oldest dropped first).
-const maxServiceAlerts = 4096
-
 // Service is the long-running monocled fleet service. Build one with
 // NewService, mount Handler on an HTTP server, and drive the sweep loop
 // with Run; or call SweepRound directly for externally-paced sweeps.
+// Close shuts the switch backends and alert sinks down.
 type Service struct {
 	set    settings
 	fleet  *Fleet
 	differ *Differ
+	ring   *RingSink
+	sinks  []Sink
 
-	mu        sync.Mutex
-	actual    map[uint32]*Table
-	lastSweep []ResultRecord
-	alerts    []Alert
-	metrics   ServiceMetrics
-	draining  bool
+	// sweepMu serializes sweep rounds (Run's loop and POST /sweep), so
+	// concurrent rounds cannot interleave their diff-engine folds.
+	sweepMu sync.Mutex
+
+	// proxyGroup is the one event loop + probe-routing Multiplexer all
+	// of this service's proxy backends share, so probes caught at any
+	// member switch route back to their owner (created on first use).
+	groupMu    sync.Mutex
+	proxyGroup *ProxyGroup
+
+	mu           sync.Mutex
+	lastSweep    []ResultRecord
+	metrics      ServiceMetrics
+	alertsByType map[string]uint64
+	draining     bool
 }
 
 // ServiceMetrics is the GET /metrics payload.
@@ -58,6 +70,10 @@ type ServiceMetrics struct {
 	LastRoundMicros int64 `json:"last_round_micros"`
 	// LastRoundMicrosPerRule is the most recent round's per-rule cost.
 	LastRoundMicrosPerRule float64 `json:"last_round_us_per_rule"`
+	// AlertsByType breaks AlertsTotal down by alert type name.
+	AlertsByType map[string]uint64 `json:"alerts_by_type,omitempty"`
+	// SinkErrors counts failed alert-sink deliveries.
+	SinkErrors uint64 `json:"sink_errors,omitempty"`
 	// Switches carries the per-switch epoch and cache snapshots.
 	Switches []SwitchMetrics `json:"switches,omitempty"`
 }
@@ -80,6 +96,18 @@ type SwitchSpec struct {
 	Ports []uint16 `json:"ports,omitempty"`
 	// Miss is the table-miss behaviour: "drop" (default) or "controller".
 	Miss string `json:"miss,omitempty"`
+	// Backend selects the switch driver: "sim" (default — a simulated
+	// in-memory data plane) or "proxy" (a live TCP OpenFlow 1.0 switch
+	// fronted by the library's proxy driver).
+	Backend string `json:"backend,omitempty"`
+	// Address is the switch's TCP address (backend "proxy").
+	Address string `json:"address,omitempty"`
+	// Listen is the controller-side proxy listen address (backend
+	// "proxy", optional: empty means the service is the only controller).
+	Listen string `json:"listen,omitempty"`
+	// Peers maps switch ports to the neighbour switch id reachable over
+	// them — the downstream probe catchers (backend "proxy").
+	Peers map[uint16]uint32 `json:"peers,omitempty"`
 }
 
 // RuleSpec is the JSON form of one rule in rule operations.
@@ -133,25 +161,41 @@ type UpdateReply struct {
 	Op     string `json:"op"`
 	// Verdict is the dynamic-update confirmation probe's judgement
 	// against the data plane ("confirmed"/"absent"/"unexpected"), or
-	// "unmonitorable"/"none" when no probe exists. For deletions,
-	// "absent" is the success verdict — the probe fell through.
+	// "unmonitorable"/"none" when no probe exists, or "unobserved" when
+	// the mutation committed but the confirmation probe could not be
+	// observed (backend closed or disconnected mid-window). For
+	// deletions, "absent" is the success verdict — the probe fell
+	// through.
 	Verdict string `json:"verdict,omitempty"`
 	// Record is the confirmation probe's result record, when one exists.
 	Record *ResultRecord `json:"record,omitempty"`
 }
 
 // NewService returns an empty fleet service. The options parameterize the
-// embedded Fleet (WithWorkers, WithSteadyInterval, per-switch defaults)
-// and the diff engine (WithDebounce, WithStallThreshold, WithFlapWindow).
+// embedded Fleet (WithWorkers, WithSteadyInterval, per-switch defaults),
+// the diff engine (WithDebounce, WithStallThreshold, WithFlapWindow), and
+// alert delivery (WithAlertSink). Without an explicit *RingSink, a
+// default in-memory ring of 4096 alerts backs GET /alerts.
 func NewService(opts ...Option) *Service {
 	set := defaultSettings()
 	set.apply(opts)
-	return &Service{
-		set:    set,
-		fleet:  NewFleet(opts...),
-		differ: NewDiffer(opts...),
-		actual: make(map[uint32]*Table),
+	s := &Service{
+		set:          set,
+		fleet:        NewFleet(opts...),
+		differ:       NewDiffer(opts...),
+		alertsByType: make(map[string]uint64),
 	}
+	for _, sink := range set.sinks {
+		if ring, ok := sink.(*RingSink); ok {
+			s.ring = ring
+		}
+	}
+	if s.ring == nil {
+		s.ring = NewRingSink(0)
+		s.sinks = append(s.sinks, s.ring)
+	}
+	s.sinks = append(s.sinks, set.sinks...)
+	return s
 }
 
 // Fleet returns the service's underlying fleet (programmatic access from
@@ -162,8 +206,10 @@ func (s *Service) Fleet() *Fleet { return s.fleet }
 func (s *Service) Differ() *Differ { return s.differ }
 
 // AddSwitch registers a switch with the service: a fleet Verifier for the
-// expected table plus a simulated data-plane table that sweeps are judged
-// against. The HTTP POST /switches endpoint calls this.
+// expected table plus the Backend driver sweeps are judged against — a
+// simulated data-plane table (backend "sim", the default) or the live TCP
+// proxy driver dialing spec.Address (backend "proxy"). The HTTP
+// POST /switches endpoint calls this.
 func (s *Service) AddSwitch(spec SwitchSpec) (*Verifier, error) {
 	if spec.ID == 0 {
 		return nil, fmt.Errorf("monocle: switch id must be non-zero")
@@ -191,21 +237,73 @@ func (s *Service) AddSwitch(spec SwitchSpec) (*Verifier, error) {
 		}
 		opts = append(opts, WithPorts(ports...))
 	}
-	v, err := s.fleet.AddSwitch(spec.ID, opts...)
-	if err != nil {
+	if len(spec.Peers) > 0 {
+		peers := make(map[PortID]uint32, len(spec.Peers))
+		for p, id := range spec.Peers {
+			peers[PortID(p)] = id
+		}
+		opts = append(opts, WithPeers(peers))
+	}
+
+	var be Backend
+	switch spec.Backend {
+	case "", "sim":
+		be = NewSimBackend(spec.ID, WithTableMiss(miss))
+	case "proxy":
+		if spec.Address == "" {
+			return nil, fmt.Errorf("monocle: backend \"proxy\" needs an address")
+		}
+		s.groupMu.Lock()
+		if s.proxyGroup == nil {
+			s.proxyGroup = NewProxyGroup()
+		}
+		group := s.proxyGroup
+		s.groupMu.Unlock()
+		be = NewProxyBackend(ProxyConfig{
+			SwitchID:       spec.ID,
+			SwitchAddr:     spec.Address,
+			Listen:         spec.Listen,
+			ObserveTimeout: s.set.detectionTimeout,
+			Group:          group,
+		}, opts...)
+	default:
+		return nil, fmt.Errorf("monocle: unknown backend %q", spec.Backend)
+	}
+	if err := be.Connect(context.Background()); err != nil {
+		be.Close()
 		return nil, err
 	}
-	actual := NewTable()
-	actual.Miss = miss
-	s.mu.Lock()
-	s.actual[spec.ID] = actual
-	s.mu.Unlock()
+	v, err := s.fleet.AddBackend(be, opts...)
+	if err != nil {
+		be.Close()
+		return nil, err
+	}
 	return v, nil
 }
 
+// InstallRules loads pre-existing rules into switch id: the expected
+// table and the backend data plane move together, without confirmation
+// probes (bulk loads, catching rules, state already on the switch).
+func (s *Service) InstallRules(id uint32, rules ...*Rule) error {
+	v, ok := s.fleet.Verifier(id)
+	if !ok {
+		return ErrNotFound
+	}
+	be, hasBE := s.fleet.Backend(id)
+	for _, r := range rules {
+		if hasBE {
+			if err := be.Apply(BackendOp{Op: "add", Rule: r}); err != nil {
+				return err
+			}
+		}
+	}
+	return v.Install(rules...)
+}
+
 // ApplyRule executes one rule operation against switch id, updating the
-// expected table and/or the data plane per op.Dataplane, and judges the
-// dynamic-update confirmation probe against the data plane.
+// expected table and/or the data plane (through the switch's Backend
+// driver) per op.Dataplane, and judges the dynamic-update confirmation
+// probe against the data plane.
 func (s *Service) ApplyRule(id uint32, op RuleOp) (UpdateReply, error) {
 	v, ok := s.fleet.Verifier(id)
 	if !ok {
@@ -216,13 +314,22 @@ func (s *Service) ApplyRule(id uint32, op RuleOp) (UpdateReply, error) {
 	if !expected && !dataplane {
 		return UpdateReply{}, fmt.Errorf("monocle: unknown dataplane target %q", op.Dataplane)
 	}
-	s.mu.Lock()
-	actual := s.actual[id]
-	s.mu.Unlock()
+	be, hasBE := s.fleet.Backend(id)
 	// Switches registered directly on the underlying Fleet have no
-	// data-plane model; a mutation targeting it cannot be applied.
-	if dataplane && actual == nil {
-		return UpdateReply{}, fmt.Errorf("monocle: switch %d has no data-plane model (registered outside the service); use dataplane:\"expected\"", id)
+	// data-plane driver; a mutation targeting it cannot be applied.
+	if dataplane && !hasBE {
+		return UpdateReply{}, fmt.Errorf("monocle: switch %d has no data-plane backend (registered outside the service); use dataplane:\"expected\"", id)
+	}
+
+	// preImage resolves the rule an op with a bare id refers to, so the
+	// driver sees its match and priority (wire operations need them).
+	// Nil when the id is unknown to the expected table: id-addressed
+	// drivers proceed, wire drivers refuse (see BackendOp.Rule).
+	preImage := func(ruleID uint64) *Rule {
+		if r, ok := v.Rule(ruleID); ok {
+			return r
+		}
+		return nil
 	}
 
 	// unprobeable reports genErr is a structural no-probe-exists sentinel:
@@ -236,6 +343,7 @@ func (s *Service) ApplyRule(id uint32, op RuleOp) (UpdateReply, error) {
 		p      *Probe
 		genErr error
 		ruleID uint64
+		expect Expectation
 	)
 	switch op.Op {
 	case "add":
@@ -247,13 +355,11 @@ func (s *Service) ApplyRule(id uint32, op RuleOp) (UpdateReply, error) {
 			return UpdateReply{}, err
 		}
 		ruleID = r.ID
+		expect = ExpectPresent
 		// Update the data plane first so the confirmation probe is
 		// judged against post-update hardware state (the normal path).
 		if dataplane {
-			s.mu.Lock()
-			err = actual.Insert(r.Clone())
-			s.mu.Unlock()
-			if err != nil {
+			if err := be.Apply(BackendOp{Op: "add", Rule: r}); err != nil {
 				return UpdateReply{}, err
 			}
 		}
@@ -269,11 +375,9 @@ func (s *Service) ApplyRule(id uint32, op RuleOp) (UpdateReply, error) {
 			return UpdateReply{}, err
 		}
 		ruleID = op.ID
+		expect = ExpectModified
 		if dataplane {
-			s.mu.Lock()
-			err = actual.Modify(op.ID, cloneActions(actions))
-			s.mu.Unlock()
-			if err != nil {
+			if err := be.Apply(BackendOp{Op: "modify", ID: op.ID, Rule: preImage(op.ID), Actions: actions}); err != nil {
 				return UpdateReply{}, err
 			}
 		}
@@ -285,6 +389,8 @@ func (s *Service) ApplyRule(id uint32, op RuleOp) (UpdateReply, error) {
 		}
 	case "delete":
 		ruleID = op.ID
+		expect = ExpectAbsent
+		pre := preImage(op.ID)
 		if expected {
 			p, genErr = v.Delete(op.ID)
 			if genErr != nil && !unprobeable(genErr) {
@@ -292,10 +398,7 @@ func (s *Service) ApplyRule(id uint32, op RuleOp) (UpdateReply, error) {
 			}
 		}
 		if dataplane {
-			s.mu.Lock()
-			err := actual.Delete(op.ID)
-			s.mu.Unlock()
-			if err != nil {
+			if err := be.Apply(BackendOp{Op: "delete", ID: op.ID, Rule: pre}); err != nil {
 				return UpdateReply{}, err
 			}
 		}
@@ -307,32 +410,49 @@ func (s *Service) ApplyRule(id uint32, op RuleOp) (UpdateReply, error) {
 	switch {
 	case unprobeable(genErr):
 		reply.Verdict = "unmonitorable"
-	case p != nil && actual != nil:
-		s.mu.Lock()
-		verdict := EvaluateProbe(p, actual)
-		s.mu.Unlock()
-		reply.Verdict = verdict.String()
+	case p != nil && hasBE:
 		rec := NewResultRecord(id, v.Epoch(), ProbeResult{Rule: &Rule{ID: ruleID}, Probe: p})
 		reply.Record = &rec
+		verdict, err := be.Observe(context.Background(), p, expect)
+		if err != nil {
+			// The table mutation already committed on both sides; only
+			// the confirmation observation failed (backend closed or
+			// disconnected mid-window). The operation must not turn into
+			// an HTTP error — a retry would re-apply a committed change.
+			reply.Verdict = "unobserved"
+			break
+		}
+		reply.Verdict = verdict.String()
 	}
 	return reply, nil
 }
 
 // SweepRound runs one fleet sweep, judges every generated probe against
-// its switch's data plane, feeds the diff engine, finalizes the round,
-// and returns the alerts it raised. Run calls this on the steady
+// its switch's data plane through the Backend seam, feeds the diff
+// engine, finalizes the round, delivers the round's alerts to the
+// attached sinks, and returns them. Run calls this on the steady
 // interval; tests and externally-paced deployments call it directly (or
 // through POST /sweep).
 func (s *Service) SweepRound(ctx context.Context) []Alert {
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
 	start := time.Now()
 	evs := s.fleet.Sweep(ctx)
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	recs := make([]ResultRecord, 0, len(evs))
 	for _, ev := range evs {
-		if actual := s.actual[ev.SwitchID]; actual != nil && ev.Result.Probe != nil {
-			s.differ.ObserveVerdict(ev, EvaluateProbe(ev.Result.Probe, actual))
+		be, hasBE := s.fleet.Backend(ev.SwitchID)
+		if hasBE && ev.Result.Probe != nil {
+			verdict, err := be.Observe(ctx, ev.Result.Probe, ExpectPresent)
+			if err != nil {
+				// The probe was never observed (cancelled round, backend
+				// closed or disconnected): fold the generation result
+				// unjudged rather than manufacture a failing verdict —
+				// a drain or a flaky transport must not page anyone.
+				s.differ.Observe(ev)
+			} else {
+				s.differ.ObserveVerdict(ev, verdict)
+			}
 		} else {
 			s.differ.Observe(ev)
 		}
@@ -340,14 +460,25 @@ func (s *Service) SweepRound(ctx context.Context) []Alert {
 	}
 	alerts := s.differ.EndSweep()
 
-	s.lastSweep = recs
-	s.alerts = append(s.alerts, alerts...)
-	if n := len(s.alerts); n > maxServiceAlerts {
-		s.alerts = append([]Alert(nil), s.alerts[n-maxServiceAlerts:]...)
+	var sinkErrs uint64
+	if len(alerts) > 0 {
+		for _, sink := range s.sinks {
+			if err := sink.Deliver(ctx, alerts); err != nil {
+				sinkErrs++
+			}
+		}
 	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lastSweep = recs
 	s.metrics.Rounds++
 	s.metrics.RulesSwept += uint64(len(recs))
 	s.metrics.AlertsTotal += uint64(len(alerts))
+	s.metrics.SinkErrors += sinkErrs
+	for _, a := range alerts {
+		s.alertsByType[a.Type.String()]++
+	}
 	s.metrics.LastRoundRules = len(recs)
 	s.metrics.LastRoundMicros = time.Since(start).Microseconds()
 	if len(recs) > 0 {
@@ -380,11 +511,34 @@ func (s *Service) Run(ctx context.Context) error {
 	}
 }
 
-// Alerts returns a snapshot of the retained alert log (oldest first).
-func (s *Service) Alerts() []Alert {
+// Alerts returns a snapshot of the alert ring (oldest first).
+func (s *Service) Alerts() []Alert { return s.ring.Alerts() }
+
+// LastSweep returns the most recent round's per-rule records.
+func (s *Service) LastSweep() []ResultRecord {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return append([]Alert(nil), s.alerts...)
+	return append([]ResultRecord(nil), s.lastSweep...)
+}
+
+// Close shuts the service down: every switch backend and every alert sink
+// is closed. It does not stop a concurrently running Run loop — cancel
+// its context first.
+func (s *Service) Close() error {
+	var firstErr error
+	for _, id := range s.fleet.Switches() {
+		if be, ok := s.fleet.Backend(id); ok {
+			if err := be.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	for _, sink := range s.sinks {
+		if err := sink.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // Metrics returns a snapshot of the service counters with per-switch
@@ -392,6 +546,12 @@ func (s *Service) Alerts() []Alert {
 func (s *Service) Metrics() ServiceMetrics {
 	s.mu.Lock()
 	m := s.metrics
+	if len(s.alertsByType) > 0 {
+		m.AlertsByType = make(map[string]uint64, len(s.alertsByType))
+		for k, v := range s.alertsByType {
+			m.AlertsByType[k] = v
+		}
+	}
 	s.mu.Unlock()
 	for _, id := range s.fleet.Switches() {
 		v, ok := s.fleet.Verifier(id)
@@ -417,7 +577,8 @@ func (s *Service) Metrics() ServiceMetrics {
 //	GET  /sweeps              last round's ResultRecords, one JSON line each
 //	GET  /alerts              retained alerts, one JSON line each
 //	GET  /healthz             liveness and drain state
-//	GET  /metrics             ServiceMetrics
+//	GET  /metrics             ServiceMetrics (JSON; Prometheus text with
+//	                          Accept: text/plain)
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /switches", s.handleAddSwitch)
@@ -527,8 +688,68 @@ func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r.Header.Get("Accept")) {
+		s.writePrometheus(w)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// wantsPrometheus reports whether the Accept header asks for the
+// Prometheus text exposition format. JSON stays the default; scrapers
+// sending text/plain or OpenMetrics media types get the text format.
+func wantsPrometheus(accept string) bool {
+	if strings.Contains(accept, "application/json") {
+		return false
+	}
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
+}
+
+// writePrometheus renders the service counters in the Prometheus text
+// exposition format (version 0.0.4): sweep-round totals, alert counts by
+// type, the last round's per-rule cost, and per-switch epoch/rule/cache
+// gauges.
+func (s *Service) writePrometheus(w http.ResponseWriter) {
+	m := s.Metrics()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("monocle_sweep_rounds_total", "Completed sweep rounds.", m.Rounds)
+	counter("monocle_rules_swept_total", "Per-rule results across all rounds.", m.RulesSwept)
+	counter("monocle_sink_errors_total", "Failed alert-sink deliveries.", m.SinkErrors)
+
+	fmt.Fprintf(&b, "# HELP monocle_alerts_total Alerts raised, by type.\n# TYPE monocle_alerts_total counter\n")
+	for t := AlertRuleFailing; t <= AlertVerdictFlapping; t++ {
+		fmt.Fprintf(&b, "monocle_alerts_total{type=%q} %d\n", t.String(), m.AlertsByType[t.String()])
+	}
+
+	fmt.Fprintf(&b, "# HELP monocle_last_round_rules Result count of the most recent round.\n# TYPE monocle_last_round_rules gauge\nmonocle_last_round_rules %d\n", m.LastRoundRules)
+	fmt.Fprintf(&b, "# HELP monocle_last_round_us_per_rule Per-rule cost of the most recent round in microseconds.\n# TYPE monocle_last_round_us_per_rule gauge\nmonocle_last_round_us_per_rule %g\n", m.LastRoundMicrosPerRule)
+
+	sort.Slice(m.Switches, func(i, j int) bool { return m.Switches[i].Switch < m.Switches[j].Switch })
+	perSwitch := func(name, help, kind string, value func(SwitchMetrics) int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+		for _, sw := range m.Switches {
+			fmt.Fprintf(&b, "%s{switch=\"%d\"} %d\n", name, sw.Switch, value(sw))
+		}
+	}
+	perSwitch("monocle_switch_epoch", "Table-change epoch per switch.", "gauge",
+		func(sw SwitchMetrics) int64 { return int64(sw.Epoch) })
+	perSwitch("monocle_switch_rules", "Installed rules per switch.", "gauge",
+		func(sw SwitchMetrics) int64 { return int64(sw.Rules) })
+	perSwitch("monocle_switch_cache_hits_total", "Session-cache hits per switch.", "counter",
+		func(sw SwitchMetrics) int64 { return int64(sw.Cache.Hits) })
+	perSwitch("monocle_switch_cache_syncs_total", "Session-cache epoch syncs per switch.", "counter",
+		func(sw SwitchMetrics) int64 { return int64(sw.Cache.Syncs) })
+	perSwitch("monocle_switch_cache_delta_rules_total", "Incrementally recompiled rules per switch.", "counter",
+		func(sw SwitchMetrics) int64 { return int64(sw.Cache.DeltaRules) })
+	perSwitch("monocle_switch_cache_rebuilds_total", "Full library rebuilds per switch.", "counter",
+		func(sw SwitchMetrics) int64 { return int64(sw.Cache.Rebuilds) })
+	w.Write([]byte(b.String()))
 }
 
 // httpError writes a JSON error body.

@@ -1,0 +1,153 @@
+package monocle
+
+// Pluggable alert delivery. The Service's diff engine turns every sweep
+// round into typed Alerts; a Sink is where those alerts go. The built-in
+// sinks cover the three deployment shapes: RingSink retains them in
+// memory (what GET /alerts serves), LogSink writes one JSON line per
+// alert to a logger, and WebhookSink POSTs each round's batch to an HTTP
+// endpoint. Wire them with WithAlertSink; any number can be attached and
+// every round fans out to all of them.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Sink consumes the alert stream of a Service. Deliver is called once per
+// sweep round that raised alerts (never with an empty batch), from the
+// sweeping goroutine; implementations must be safe for concurrent use and
+// must not block indefinitely.
+type Sink interface {
+	// Deliver consumes one round's alerts.
+	Deliver(ctx context.Context, alerts []Alert) error
+	// Close releases sink resources; no Deliver follows it.
+	Close() error
+}
+
+// defaultRingCapacity is the retained-alert bound when none is given
+// (the service's historical hard-coded ring size).
+const defaultRingCapacity = 4096
+
+// RingSink retains the most recent alerts in memory, oldest dropped
+// first. It backs the Service's GET /alerts endpoint.
+type RingSink struct {
+	mu     sync.Mutex
+	cap    int
+	alerts []Alert
+}
+
+// NewRingSink returns a ring retaining the last capacity alerts
+// (capacity <= 0 uses the default, 4096).
+func NewRingSink(capacity int) *RingSink {
+	if capacity <= 0 {
+		capacity = defaultRingCapacity
+	}
+	return &RingSink{cap: capacity}
+}
+
+// Deliver implements Sink.
+func (r *RingSink) Deliver(_ context.Context, alerts []Alert) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.alerts = append(r.alerts, alerts...)
+	if n := len(r.alerts); n > r.cap {
+		r.alerts = append([]Alert(nil), r.alerts[n-r.cap:]...)
+	}
+	return nil
+}
+
+// Alerts returns a snapshot of the retained alerts, oldest first.
+func (r *RingSink) Alerts() []Alert {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Alert(nil), r.alerts...)
+}
+
+// Len returns the number of retained alerts.
+func (r *RingSink) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.alerts)
+}
+
+// Close implements Sink.
+func (r *RingSink) Close() error { return nil }
+
+// LogSink writes one "ALERT {json}" line per alert to a logger.
+type LogSink struct {
+	logger *log.Logger
+}
+
+// NewLogSink returns a sink logging through l (nil: the standard logger).
+func NewLogSink(l *log.Logger) *LogSink {
+	if l == nil {
+		l = log.Default()
+	}
+	return &LogSink{logger: l}
+}
+
+// Deliver implements Sink.
+func (s *LogSink) Deliver(_ context.Context, alerts []Alert) error {
+	for _, a := range alerts {
+		b, err := json.Marshal(a)
+		if err != nil {
+			return err
+		}
+		s.logger.Printf("ALERT %s", b)
+	}
+	return nil
+}
+
+// Close implements Sink.
+func (s *LogSink) Close() error { return nil }
+
+// WebhookSink POSTs each round's alerts as one JSON array to a URL
+// (Content-Type application/json). Non-2xx responses are errors; the
+// Service counts them in its sink_errors metric but keeps sweeping.
+type WebhookSink struct {
+	url    string
+	client *http.Client
+}
+
+// NewWebhookSink returns a webhook sink for url. client nil uses a
+// private client with a 10s timeout.
+func NewWebhookSink(url string, client *http.Client) *WebhookSink {
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &WebhookSink{url: url, client: client}
+}
+
+// Deliver implements Sink.
+func (s *WebhookSink) Deliver(ctx context.Context, alerts []Alert) error {
+	body, err := json.Marshal(alerts)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("monocle: webhook %s: status %s", s.url, resp.Status)
+	}
+	return nil
+}
+
+// Close implements Sink.
+func (s *WebhookSink) Close() error {
+	s.client.CloseIdleConnections()
+	return nil
+}

@@ -190,6 +190,17 @@ func (v *Verifier) sweepShard(ctx context.Context, workers int) (uint64, []Probe
 	return v.epoch, res
 }
 
+// Rule returns a copy of installed rule id, if present.
+func (v *Verifier) Rule(id uint64) (*Rule, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	r, ok := v.table.Get(id)
+	if !ok {
+		return nil, false
+	}
+	return r.Clone(), true
+}
+
 // Rules returns the installed rules in table priority order.
 func (v *Verifier) Rules() []*Rule {
 	v.mu.Lock()

@@ -50,6 +50,15 @@ const (
 	FCDeleteStrict = openflow.FCDeleteStrict
 )
 
+// PacketIn reasons.
+const (
+	// ReasonNoMatch marks a PacketIn punted by a table miss.
+	ReasonNoMatch = openflow.ReasonNoMatch
+	// ReasonAction marks a PacketIn produced by an output-to-controller
+	// action (how caught probes surface).
+	ReasonAction = openflow.ReasonAction
+)
+
 // Wire-protocol sentinels.
 const (
 	// BufferNone marks a PacketOut/FlowMod carrying its own payload.
