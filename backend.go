@@ -20,6 +20,13 @@ import (
 // ErrBackendClosed reports an operation on a Backend after Close.
 var ErrBackendClosed = errors.New("monocle: backend closed")
 
+// ErrBackendDisconnected reports an operation on a live Backend whose
+// transport is currently down. Unlike ErrBackendClosed this is a
+// transient state: drivers with reconnect enabled keep retrying with
+// backoff, and the operation can be retried once a BackendReconnected
+// event fires.
+var ErrBackendDisconnected = errors.New("monocle: backend disconnected")
+
 // Backend drives one switch's data plane on behalf of the verification
 // stack. Implementations must be safe for concurrent use.
 type Backend interface {
@@ -92,7 +99,12 @@ const (
 	// controller-side listener (proxy drivers).
 	BackendControllerConnected
 	// BackendDisconnected: the transport failed; Err carries the cause.
+	// Drivers with reconnect enabled begin backoff retries after this.
 	BackendDisconnected
+	// BackendReconnected: a driver re-established its transport after a
+	// BackendDisconnected; in-flight work that resolved as unobserved
+	// during the outage can be retried.
+	BackendReconnected
 	// BackendRuleConfirmed: the driver's own monitoring confirmed a rule
 	// in the data plane (proxy drivers proxying a live controller).
 	BackendRuleConfirmed
@@ -112,6 +124,8 @@ func (t BackendEventType) String() string {
 		return "controller_connected"
 	case BackendDisconnected:
 		return "disconnected"
+	case BackendReconnected:
+		return "reconnected"
 	case BackendRuleConfirmed:
 		return "rule_confirmed"
 	case BackendAlarm:

@@ -15,11 +15,13 @@ package monocle
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
 
 	imon "monocle/internal/monocle"
+	"monocle/internal/netx"
 )
 
 // ProxyGroup shares one event-loop thread, one virtual clock, and one
@@ -136,13 +138,27 @@ func (g *ProxyGroup) call(fn func()) bool {
 	case <-doneCh:
 		return true
 	case <-g.doneCh():
+		grace := time.NewTimer(time.Second)
+		defer grace.Stop()
 		select {
 		case <-doneCh:
 			return true
-		case <-time.After(time.Second):
+		case <-grace.C:
 			return false
 		}
 	}
+}
+
+// resetTimer re-arms a loop-owned timer whose channel only this goroutine
+// receives from: stop, drain a stale tick if one is pending, re-arm.
+func resetTimer(t *time.Timer, d time.Duration) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	t.Reset(d)
 }
 
 // run drives the virtual clock against wall time: external events are
@@ -150,6 +166,12 @@ func (g *ProxyGroup) call(fn func()) bool {
 // passes. All Monitor state machines of the group stay single-threaded
 // inside this loop.
 func (g *ProxyGroup) run(done chan struct{}) {
+	// One timer reused across iterations: time.After here would allocate
+	// a timer per loop turn that lives until it fires — with a ~1ms floor
+	// under load that is a steady allocation churn for the lifetime of
+	// the deployment.
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
 	for {
 		now := time.Since(g.start)
 		g.clock.RunUntil(Time(now))
@@ -162,6 +184,7 @@ func (g *ProxyGroup) run(done chan struct{}) {
 		if wait < time.Millisecond {
 			wait = time.Millisecond
 		}
+		resetTimer(timer, wait)
 		select {
 		case <-done:
 			// Drain queued work so no post-and-wait caller hangs on a
@@ -177,7 +200,7 @@ func (g *ProxyGroup) run(done chan struct{}) {
 		case fn := <-g.ch:
 			g.clock.RunUntil(Time(time.Since(g.start)))
 			fn()
-		case <-time.After(wait):
+		case <-timer.C:
 		}
 	}
 }
@@ -202,6 +225,17 @@ type ProxyConfig struct {
 	// Group shares an event loop and probe-routing Multiplexer with
 	// other backends (nil: a private group).
 	Group *ProxyGroup
+	// ReconnectMin is the first reconnect backoff delay after a
+	// switch-side transport failure (default 100ms). Each failed redial
+	// doubles the delay up to ReconnectMax, and every delay is jittered
+	// over [d/2, d] so a fleet-wide outage does not thunder back in sync.
+	ReconnectMin time.Duration
+	// ReconnectMax caps the reconnect backoff delay (default 15s).
+	ReconnectMax time.Duration
+	// DisableReconnect turns automatic reconnection off: a switch-side
+	// transport failure then permanently disconnects the backend (the
+	// pre-reconnect behaviour; useful for tests and one-shot tools).
+	DisableReconnect bool
 }
 
 // ProxyBackend fronts one live OpenFlow 1.0 switch over TCP. Construct it
@@ -217,15 +251,30 @@ type ProxyBackend struct {
 	// atomic with respect to concurrent Connects).
 	connectMu sync.Mutex
 
+	// closedCh is closed by Close: it aborts reconnect backoff sleeps
+	// and resolves in-flight Observe waits.
+	closedCh chan struct{}
+
 	mu        sync.Mutex
+	started   bool // Connect completed once; reconnects reuse its wiring
 	swConn    net.Conn
 	ctrlLn    net.Listener
 	ctrlConn  net.Conn
 	connected bool
-	retained  bool // holds one reference on the group's loop
-	closed    bool
-	epoch     uint64
-	nextXID   uint32
+	// connGen numbers switch-side transports; readers and writers of a
+	// replaced transport carry a stale generation and cannot tear down
+	// its successor.
+	connGen uint64
+	// connLost is closed when the current transport fails (replaced on
+	// reconnect); in-flight Observe calls select on it so a drop
+	// resolves them as unobserved instead of letting them hang out the
+	// full observation timeout.
+	connLost     chan struct{}
+	reconnecting bool
+	retained     bool // holds one reference on the group's loop
+	closed       bool
+	epoch        uint64
+	nextXID      uint32
 }
 
 // NewProxyBackend builds the TCP proxy driver for cfg. The options
@@ -237,14 +286,25 @@ func NewProxyBackend(cfg ProxyConfig, opts ...Option) *ProxyBackend {
 	if cfg.ObserveTimeout <= 0 {
 		cfg.ObserveTimeout = 2 * time.Second
 	}
+	if cfg.ReconnectMin <= 0 {
+		cfg.ReconnectMin = 100 * time.Millisecond
+	}
+	if cfg.ReconnectMax <= 0 {
+		cfg.ReconnectMax = 15 * time.Second
+	}
+	if cfg.ReconnectMax < cfg.ReconnectMin {
+		cfg.ReconnectMax = cfg.ReconnectMin
+	}
 	group := cfg.Group
 	if group == nil {
 		group = NewProxyGroup()
 	}
 	pb := &ProxyBackend{
-		cfg:   cfg,
-		group: group,
-		ev:    newEventRing(),
+		cfg:      cfg,
+		group:    group,
+		ev:       newEventRing(),
+		closedCh: make(chan struct{}),
+		connLost: make(chan struct{}),
 	}
 	mcfg := NewMonitorConfig(cfg.SwitchID, opts...)
 	mcfg.OnAlarm = func(ruleID uint64, at Time) {
@@ -293,14 +353,13 @@ func (pb *ProxyBackend) Connect(ctx context.Context) error {
 		pb.mu.Unlock()
 		return ErrBackendClosed
 	}
-	if pb.connected {
+	if pb.started {
 		pb.mu.Unlock()
 		return nil
 	}
 	pb.mu.Unlock()
 
-	var d net.Dialer
-	swConn, err := d.DialContext(ctx, "tcp", pb.cfg.SwitchAddr)
+	swConn, err := netx.Dial(ctx, "tcp", pb.cfg.SwitchAddr)
 	if err != nil {
 		return fmt.Errorf("monocle: proxy backend S%d: dialing switch: %w", pb.cfg.SwitchID, err)
 	}
@@ -322,36 +381,25 @@ func (pb *ProxyBackend) Connect(ctx context.Context) error {
 		}
 		return ErrBackendClosed
 	}
+	pb.started = true
 	pb.swConn = swConn
 	pb.ctrlLn = ctrlLn
 	pb.connected = true
+	pb.connGen = 1
+	gen := pb.connGen
 	pb.retained = true
 	pb.mu.Unlock()
 
 	pb.group.retain()
 	pb.group.call(func() {
-		pb.mon.ToSwitch = func(msg Message, xid uint32) {
-			if err := WriteMessage(swConn, msg, xid); err != nil {
-				pb.transportFailed(fmt.Errorf("write to switch: %w", err))
-			}
-		}
-		pb.mon.ToController = func(msg Message, xid uint32) {
-			pb.mu.Lock()
-			conn := pb.ctrlConn
-			pb.mu.Unlock()
-			if conn == nil {
-				return // no controller attached: drop the pass-through
-			}
-			if err := WriteMessage(conn, msg, xid); err != nil {
-				pb.transportFailed(fmt.Errorf("write to controller: %w", err))
-			}
-		}
+		pb.mon.ToSwitch = pb.writeSwitch
+		pb.mon.ToController = pb.writeController
 		if pb.cfg.Steady {
 			pb.mon.StartSteadyState()
 		}
 	})
 
-	go pb.readSwitch(swConn)
+	go pb.readSwitch(swConn, gen)
 	if ctrlLn != nil {
 		go pb.acceptControllers(ctrlLn)
 	}
@@ -360,12 +408,50 @@ func (pb *ProxyBackend) Connect(ctx context.Context) error {
 	return nil
 }
 
-// readSwitch pumps switch→proxy messages onto the event loop.
-func (pb *ProxyBackend) readSwitch(conn net.Conn) {
+// writeSwitch is the Monitor's switch-side sink. While the transport is
+// down the write is dropped — the Monitor's own timers re-drive probing
+// and detection once the transport comes back — and a write error tears
+// down only the transport generation it happened on.
+func (pb *ProxyBackend) writeSwitch(msg Message, xid uint32) {
+	pb.mu.Lock()
+	conn, gen, up := pb.swConn, pb.connGen, pb.connected && !pb.closed
+	pb.mu.Unlock()
+	if !up || conn == nil {
+		return
+	}
+	if err := WriteMessage(conn, msg, xid); err != nil {
+		pb.transportFailed(gen, fmt.Errorf("write to switch: %w", err))
+	}
+}
+
+// writeController is the Monitor's controller-side sink. A controller
+// that fails mid-write is dropped and replaced by the next one to attach;
+// a controller-side failure never tears down the switch side.
+func (pb *ProxyBackend) writeController(msg Message, xid uint32) {
+	pb.mu.Lock()
+	conn := pb.ctrlConn
+	pb.mu.Unlock()
+	if conn == nil {
+		return // no controller attached: drop the pass-through
+	}
+	if err := WriteMessage(conn, msg, xid); err != nil {
+		pb.mu.Lock()
+		if pb.ctrlConn == conn {
+			pb.ctrlConn = nil
+		}
+		pb.mu.Unlock()
+		conn.Close()
+	}
+}
+
+// readSwitch pumps switch→proxy messages onto the event loop. gen tags
+// the transport this reader serves: after a reconnect the stale reader's
+// failure report cannot tear down the replacement transport.
+func (pb *ProxyBackend) readSwitch(conn net.Conn, gen uint64) {
 	for {
 		msg, xid, err := ReadMessage(conn)
 		if err != nil {
-			pb.transportFailed(fmt.Errorf("switch read: %w", err))
+			pb.transportFailed(gen, fmt.Errorf("switch read: %w", err))
 			return
 		}
 		if !pb.group.post(func() { pb.mon.OnSwitchMessage(msg, xid) }) {
@@ -418,16 +504,98 @@ func (pb *ProxyBackend) readController(conn net.Conn) {
 	}
 }
 
-// transportFailed records a broken transport once.
-func (pb *ProxyBackend) transportFailed(err error) {
+// transportFailed records a broken switch-side transport once per
+// generation and, unless reconnect is disabled, starts the backoff redial
+// loop. Reports from a generation already replaced by a reconnect are
+// stale and ignored.
+func (pb *ProxyBackend) transportFailed(gen uint64, err error) {
 	pb.mu.Lock()
-	wasConnected := pb.connected
-	pb.connected = false
-	pb.mu.Unlock()
-	if wasConnected {
-		pb.ev.emit(BackendEvent{Type: BackendDisconnected, SwitchID: pb.cfg.SwitchID, Err: err,
-			Detail: err.Error()})
+	if pb.closed || gen != pb.connGen || !pb.connected {
+		pb.mu.Unlock()
+		return
 	}
+	pb.connected = false
+	close(pb.connLost)
+	conn := pb.swConn
+	pb.swConn = nil
+	startLoop := !pb.cfg.DisableReconnect && !pb.reconnecting
+	if startLoop {
+		pb.reconnecting = true
+	}
+	pb.mu.Unlock()
+
+	if conn != nil {
+		conn.Close()
+	}
+	pb.ev.emit(BackendEvent{Type: BackendDisconnected, SwitchID: pb.cfg.SwitchID, Err: err,
+		Detail: err.Error()})
+	if startLoop {
+		go pb.reconnectLoop()
+	}
+}
+
+// reconnectLoop redials the switch with jittered exponential backoff
+// until it succeeds or the backend closes. On success it installs the new
+// transport under the next generation, restarts the reader, and emits
+// BackendReconnected; the Monitor's state machine is untouched — its
+// expected table and epoch survive the outage, so the member re-enters
+// the sweep pool exactly where it left off.
+func (pb *ProxyBackend) reconnectLoop() {
+	// Deterministic per-switch jitter source: spreads a fleet-wide outage
+	// without global rand contention.
+	rng := rand.New(rand.NewSource(int64(pb.cfg.SwitchID)*2654435761 + 1))
+	delay := pb.cfg.ReconnectMin
+	timer := time.NewTimer(jitterDelay(rng, delay))
+	defer timer.Stop()
+	for attempt := 1; ; attempt++ {
+		select {
+		case <-pb.closedCh:
+			return
+		case <-timer.C:
+		}
+		dialTimeout := pb.cfg.ReconnectMax
+		if dialTimeout < time.Second {
+			dialTimeout = time.Second
+		}
+		dialCtx, cancel := context.WithTimeout(context.Background(), dialTimeout)
+		conn, err := netx.Dial(dialCtx, "tcp", pb.cfg.SwitchAddr)
+		cancel()
+		if err != nil {
+			delay *= 2
+			if delay > pb.cfg.ReconnectMax {
+				delay = pb.cfg.ReconnectMax
+			}
+			resetTimer(timer, jitterDelay(rng, delay))
+			continue
+		}
+		pb.mu.Lock()
+		if pb.closed {
+			pb.mu.Unlock()
+			conn.Close()
+			return
+		}
+		pb.connGen++
+		gen := pb.connGen
+		pb.swConn = conn
+		pb.connected = true
+		pb.connLost = make(chan struct{})
+		pb.reconnecting = false
+		pb.mu.Unlock()
+
+		go pb.readSwitch(conn, gen)
+		pb.ev.emit(BackendEvent{Type: BackendReconnected, SwitchID: pb.cfg.SwitchID,
+			Detail: fmt.Sprintf("reconnected to switch %s after %d attempt(s)", pb.cfg.SwitchAddr, attempt)})
+		return
+	}
+}
+
+// jitterDelay spreads one backoff delay over [d/2, d].
+func jitterDelay(rng *rand.Rand, d time.Duration) time.Duration {
+	if d <= time.Millisecond {
+		return d
+	}
+	half := int64(d / 2)
+	return time.Duration(half + rng.Int63n(half+1))
 }
 
 // Close implements Backend.
@@ -443,6 +611,7 @@ func (pb *ProxyBackend) Close() error {
 	pb.retained = false
 	swConn, ctrlLn, ctrlConn := pb.swConn, pb.ctrlLn, pb.ctrlConn
 	pb.swConn, pb.ctrlLn, pb.ctrlConn = nil, nil, nil
+	close(pb.closedCh) // aborts reconnect backoff and in-flight Observes
 	pb.mu.Unlock()
 
 	if swConn != nil {
@@ -512,22 +681,36 @@ func (pb *ProxyBackend) Apply(op BackendOp) error {
 	}
 
 	pb.mu.Lock()
-	if pb.closed || !pb.connected {
+	if pb.closed {
 		pb.mu.Unlock()
 		return ErrBackendClosed
+	}
+	if !pb.connected {
+		pb.mu.Unlock()
+		return ErrBackendDisconnected
 	}
 	pb.nextXID++
 	xid := 0x4e000000 | pb.nextXID&0xffffff
 	pb.epoch++
 	pb.mu.Unlock()
 
+	// Write on the loop thread (one writer per conn), but directly rather
+	// than through the Monitor's ToSwitch sink: the sink silently drops
+	// writes while disconnected, and Apply must report that, not pretend
+	// the FlowMod reached the switch.
 	var writeErr error
 	ok := pb.group.call(func() {
-		if pb.mon.ToSwitch == nil {
-			writeErr = ErrBackendClosed
+		pb.mu.Lock()
+		conn, gen, up := pb.swConn, pb.connGen, pb.connected && !pb.closed
+		pb.mu.Unlock()
+		if !up || conn == nil {
+			writeErr = ErrBackendDisconnected
 			return
 		}
-		pb.mon.ToSwitch(fm, xid)
+		if err := WriteMessage(conn, fm, xid); err != nil {
+			pb.transportFailed(gen, fmt.Errorf("write to switch: %w", err))
+			writeErr = fmt.Errorf("monocle: proxy backend S%d: %w", pb.cfg.SwitchID, err)
+		}
 	})
 	if !ok {
 		return ErrBackendClosed
@@ -542,10 +725,15 @@ func (pb *ProxyBackend) Apply(op BackendOp) error {
 // expected outcome is uncatchable confirms by silence).
 func (pb *ProxyBackend) Observe(ctx context.Context, p *Probe, expect Expectation) (Verdict, error) {
 	pb.mu.Lock()
-	if pb.closed || !pb.connected {
+	if pb.closed {
 		pb.mu.Unlock()
 		return VerdictUnexpected, ErrBackendClosed
 	}
+	if !pb.connected {
+		pb.mu.Unlock()
+		return VerdictUnexpected, ErrBackendDisconnected
+	}
+	connLost := pb.connLost
 	pb.mu.Unlock()
 
 	ch := make(chan Verdict, 1)
@@ -562,6 +750,25 @@ func (pb *ProxyBackend) Observe(ctx context.Context, p *Probe, expect Expectatio
 		return v, nil
 	case <-ctx.Done():
 		return VerdictUnexpected, ctx.Err()
+	case <-connLost:
+		// The transport dropped under this observation: resolve it as
+		// unobserved now instead of letting it hang out the observation
+		// timeout against a dead switch. (The Monitor's own deadline
+		// still cleans up the in-flight probe state.) A verdict that
+		// raced the drop still counts.
+		select {
+		case v := <-ch:
+			return v, nil
+		default:
+			return VerdictUnexpected, ErrBackendDisconnected
+		}
+	case <-pb.closedCh:
+		select {
+		case v := <-ch:
+			return v, nil
+		default:
+			return VerdictUnexpected, ErrBackendClosed
+		}
 	case <-pb.group.doneCh():
 		// The group's loop stopped under us (last backend closed). A
 		// verdict that raced the stop still counts.

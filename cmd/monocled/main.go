@@ -51,6 +51,9 @@ func main() {
 		ring     = flag.Int("alert-ring", 4096, "alerts retained in memory for GET /alerts")
 		webhook  = flag.String("alert-webhook", "", "POST each round's alerts as a JSON array to this URL")
 		alertLog = flag.Bool("alert-log", false, "log one ALERT line per alert on stderr")
+		stateDir = flag.String("state-dir", "", "persist switches, epoch snapshots, and alerts in this directory and resume from it on start")
+		reconMin = flag.Duration("reconnect-min", 100*time.Millisecond, "first proxy-backend reconnect backoff delay")
+		reconMax = flag.Duration("reconnect-max", 15*time.Second, "proxy-backend reconnect backoff cap")
 	)
 	flag.Parse()
 
@@ -61,6 +64,7 @@ func main() {
 		monocle.WithStallThreshold(*stall),
 		monocle.WithFlapWindow(*flapWin, *flapN),
 		monocle.WithAlertSink(monocle.NewRingSink(*ring)),
+		monocle.WithReconnectBackoff(*reconMin, *reconMax),
 	}
 	if *webhook != "" {
 		opts = append(opts, monocle.WithAlertSink(monocle.NewWebhookSink(*webhook, nil)))
@@ -68,8 +72,16 @@ func main() {
 	if *alertLog {
 		opts = append(opts, monocle.WithAlertSink(monocle.NewLogSink(nil)))
 	}
+	if *stateDir != "" {
+		opts = append(opts, monocle.WithStateDir(*stateDir))
+	}
 	svc := monocle.NewService(opts...)
 	defer svc.Close()
+	if *stateDir != "" {
+		if err := svc.Resume(context.Background()); err != nil {
+			log.Printf("monocled resume (continuing): %v", err)
+		}
+	}
 	srv := &http.Server{Addr: *listen, Handler: svc.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

@@ -404,6 +404,109 @@ func (d *Differ) Rounds() uint64 {
 	return d.rounds
 }
 
+// RuleDiffState is the serializable fold state of one rule: everything the
+// diff engine needs to keep its debounce, recovery, and flap decisions
+// coherent across a process restart.
+type RuleDiffState struct {
+	// Streak counts consecutive bad sweeps.
+	Streak int `json:"streak,omitempty"`
+	// Alerted marks an outstanding rule_failing alert awaiting recovery.
+	Alerted bool `json:"alerted,omitempty"`
+	// Hist is the flap window's bad-bit history, oldest first.
+	Hist []bool `json:"hist,omitempty"`
+	// Flapped marks an outstanding verdict_flapping alert.
+	Flapped bool `json:"flapped,omitempty"`
+}
+
+// SwitchDiffState is the serializable fold state of one switch.
+type SwitchDiffState struct {
+	// Epoch is the table-change epoch of the last finalized snapshot.
+	Epoch uint64 `json:"epoch"`
+	// Ever records that at least one round completed with events (stall
+	// detection only arms after that).
+	Ever bool `json:"ever,omitempty"`
+	// Missed counts consecutive rounds with no events.
+	Missed int `json:"missed,omitempty"`
+	// Stalled marks an outstanding switch_stalled alert.
+	Stalled bool `json:"stalled,omitempty"`
+	// Rules is the per-rule fold state.
+	Rules map[uint64]RuleDiffState `json:"rules,omitempty"`
+}
+
+// DifferState is the full serializable fold state of a Differ — what a
+// Store persists so a restarted process resumes diffing from the last
+// completed round instead of re-learning every rule's state (and paging
+// the operator with false rule_recovered alerts while it does).
+type DifferState struct {
+	// Rounds is the completed sweep-round count.
+	Rounds uint64 `json:"rounds,omitempty"`
+	// Switches is the per-switch fold state.
+	Switches map[uint32]SwitchDiffState `json:"switches,omitempty"`
+}
+
+// State snapshots the engine's folded cross-epoch state. Call it between
+// rounds (after EndSweep): the in-progress snapshot of a half-fed round is
+// not part of the state.
+func (d *Differ) State() DifferState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := DifferState{Rounds: d.rounds}
+	if len(d.switches) > 0 {
+		st.Switches = make(map[uint32]SwitchDiffState, len(d.switches))
+	}
+	for id, sw := range d.switches {
+		s := SwitchDiffState{
+			Epoch:   sw.epoch,
+			Ever:    sw.ever,
+			Missed:  sw.missed,
+			Stalled: sw.stalled,
+		}
+		if len(sw.rules) > 0 {
+			s.Rules = make(map[uint64]RuleDiffState, len(sw.rules))
+		}
+		for rid, r := range sw.rules {
+			s.Rules[rid] = RuleDiffState{
+				Streak:  r.streak,
+				Alerted: r.alerted,
+				Hist:    append([]bool(nil), r.hist...),
+				Flapped: r.flapped,
+			}
+		}
+		st.Switches[id] = s
+	}
+	return st
+}
+
+// Restore replaces the engine's folded state with a previously captured
+// State snapshot, discarding any in-progress round. After Restore the next
+// sweep round diffs against the restored history exactly as if the process
+// had never restarted.
+func (d *Differ) Restore(st DifferState) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.rounds = st.Rounds
+	d.switches = make(map[uint32]*switchDiff, len(st.Switches))
+	for id, s := range st.Switches {
+		sw := &switchDiff{
+			epoch:   s.Epoch,
+			ever:    s.Ever,
+			missed:  s.Missed,
+			stalled: s.Stalled,
+			cur:     make(map[uint64]*observation),
+			rules:   make(map[uint64]*ruleDiff, len(s.Rules)),
+		}
+		for rid, r := range s.Rules {
+			sw.rules[rid] = &ruleDiff{
+				streak:  r.Streak,
+				alerted: r.Alerted,
+				hist:    append([]bool(nil), r.Hist...),
+				flapped: r.Flapped,
+			}
+		}
+		d.switches[id] = sw
+	}
+}
+
 // EvaluateProbe judges a generated probe against an actual data-plane
 // table, simulating its injection: the probe packet is looked up in
 // actual, the matched rule's emissions are observed, and the observation

@@ -1,0 +1,50 @@
+// Package netx is the fault-injectable transport seam of the live switch
+// drivers. Production code dials through Dial, which defaults to a plain
+// net.Dialer; tests install a hook with SetDialHook to fail dials, delay
+// them, or wrap the returned connections so transport faults (a switch
+// dropping its TCP session mid-sweep, a flaky link during reconnect
+// backoff) can be injected deterministically without touching the driver
+// code under test.
+package netx
+
+import (
+	"context"
+	"net"
+	"sync"
+)
+
+// DialFunc is the signature of the switch-side dial.
+type DialFunc func(ctx context.Context, network, addr string) (net.Conn, error)
+
+var (
+	mu   sync.Mutex
+	hook DialFunc
+)
+
+// SetDialHook installs h as the dial used by Dial (nil restores the
+// default net.Dialer). It returns a function restoring the previous hook,
+// so tests can defer the cleanup.
+func SetDialHook(h DialFunc) (restore func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	prev := hook
+	hook = h
+	return func() {
+		mu.Lock()
+		defer mu.Unlock()
+		hook = prev
+	}
+}
+
+// Dial opens a transport connection through the installed hook, or a
+// plain net.Dialer when none is installed.
+func Dial(ctx context.Context, network, addr string) (net.Conn, error) {
+	mu.Lock()
+	h := hook
+	mu.Unlock()
+	if h != nil {
+		return h(ctx, network, addr)
+	}
+	var d net.Dialer
+	return d.DialContext(ctx, network, addr)
+}

@@ -1,0 +1,137 @@
+package monocle_test
+
+// Restart-lifecycle and sink-robustness regression tests: a webhook
+// endpoint that stalls forever must not wedge alert delivery, and the
+// drain flag must be read under the lock and reset when a new Run begins
+// (a restarted service must not report draining forever). Run under -race
+// in CI.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"monocle"
+)
+
+// TestWebhookSinkStallingServer pins the per-POST deadline: a server that
+// accepts the connection and then never answers must fail the delivery
+// within the sink's timeout instead of blocking the sweep goroutine
+// forever (sweeps deliver with a background context, so the sink's own
+// deadline is the only bound there is).
+func TestWebhookSinkStallingServer(t *testing.T) {
+	release := make(chan struct{})
+	stalled := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	}))
+	defer stalled.Close()
+	// Unblock the handler before the deferred Close (LIFO), which waits
+	// for outstanding requests.
+	defer close(release)
+
+	sink := monocle.NewWebhookSink(stalled.URL, nil).SetTimeout(50 * time.Millisecond)
+	defer sink.Close()
+	start := time.Now()
+	err := sink.Deliver(context.Background(), []monocle.Alert{{Type: monocle.AlertRuleFailing, SwitchID: 1, Rule: 7}})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("delivery to a stalling endpoint reported success")
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("delivery blocked for %v — the per-POST timeout is not bounding the request", elapsed)
+	}
+}
+
+// TestServiceDrainLifecycle drives the Run/drain/restart cycle while
+// hammering /healthz concurrently: the draining flag must be visible as
+// true after a drain, must reset to false when a new Run starts (the
+// restart-lifecycle bug this release fixes), and every read must be
+// data-race-free under -race.
+func TestServiceDrainLifecycle(t *testing.T) {
+	svc := monocle.NewService(
+		monocle.WithWorkers(1),
+		monocle.WithSteadyInterval(2*time.Millisecond),
+	)
+	defer svc.Close()
+	if _, err := svc.AddSwitch(monocle.SwitchSpec{ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	healthz := func() (draining bool) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out struct {
+			OK       bool `json:"ok"`
+			Draining bool `json:"draining"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		if !out.OK {
+			t.Fatal("healthz not ok")
+		}
+		return out.Draining
+	}
+
+	runOnce := func() {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			svc.Run(ctx)
+		}()
+
+		// Concurrent healthz reads race the drain transition on purpose.
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+						healthz()
+					}
+				}
+			}()
+		}
+
+		// While Run is live the service must not report draining.
+		deadline := time.Now().Add(10 * time.Second)
+		for healthz() {
+			if time.Now().After(deadline) {
+				t.Fatal("service still draining after Run started")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		time.Sleep(10 * time.Millisecond) // let sweeps and readers overlap
+		cancel()
+		<-done
+		close(stop)
+		wg.Wait()
+		if !healthz() {
+			t.Fatal("service does not report draining after Run returned")
+		}
+	}
+
+	// Two full cycles: the second would fail without the draining reset at
+	// the top of Run.
+	runOnce()
+	runOnce()
+}

@@ -44,6 +44,11 @@ type settings struct {
 	flapFlips   int
 
 	sinks []Sink
+
+	store        Store
+	stateDir     string
+	reconnectMin time.Duration
+	reconnectMax time.Duration
 }
 
 // defaultSettings returns the paper-default option values.
@@ -229,6 +234,30 @@ func WithFlapWindow(window, flips int) Option {
 // GET /alerts); other sink types are added alongside it.
 func WithAlertSink(sink Sink) Option {
 	return func(s *settings) { s.sinks = append(s.sinks, sink) }
+}
+
+// WithStore attaches a persistence Store to the Service: switch
+// registrations, expected-table snapshots, diff-engine state, and alerts
+// are written through it, and Service.Resume restores them after a
+// restart. Store write failures never fail the operation that triggered
+// them; they are counted in ServiceMetrics.StoreErrors.
+func WithStore(st Store) Option { return func(s *settings) { s.store = st } }
+
+// WithStateDir is WithStore with the built-in FileStore opened on the
+// given state directory (created if needed). An open failure surfaces on
+// the service's first persisted operation as a StoreErrors count, not a
+// construction error — a bad disk must not keep the monitor from running.
+func WithStateDir(dir string) Option { return func(s *settings) { s.stateDir = dir } }
+
+// WithReconnectBackoff tunes the proxy drivers' reconnect backoff window:
+// min is the first redial delay after a switch-side transport failure,
+// max caps the exponential growth (defaults 100ms and 15s). Applies to
+// backends the Service creates from SwitchSpecs with backend "proxy".
+func WithReconnectBackoff(min, max time.Duration) Option {
+	return func(s *settings) {
+		s.reconnectMin = min
+		s.reconnectMax = max
+	}
 }
 
 // monitorPeers converts the option peer map to the internal type.

@@ -35,8 +35,10 @@ import (
 type tcpSimSwitch struct {
 	t     *testing.T
 	ln    net.Listener
-	done  chan struct{}
-	fail  chan uint64 // rule ids to delete from the data plane only
+	done     chan struct{}
+	fail     chan uint64 // rule ids to delete from the data plane only
+	heal     chan uint64 // rule ids whose injected failure is lifted
+	healDone chan struct{}
 	addr  string
 	ports []monocle.PortID
 	// deliver receives every frame the data plane emits on a physical
@@ -56,8 +58,10 @@ func startTCPSimSwitch(t *testing.T, id uint32, ports []monocle.PortID) *tcpSimS
 	s := &tcpSimSwitch{
 		t:     t,
 		ln:    ln,
-		done:  make(chan struct{}),
-		fail:  make(chan uint64, 4),
+		done:     make(chan struct{}),
+		fail:     make(chan uint64, 4),
+		heal:     make(chan uint64),
+		healDone: make(chan struct{}),
 		addr:  ln.Addr().String(),
 		ports: ports,
 	}
@@ -72,6 +76,8 @@ func (s *tcpSimSwitch) stop() {
 
 // write sends one message up this switch's control channel; safe from
 // any goroutine (cross-switch deliveries race the switch's own loop).
+// A write error means the proxy side dropped: the connection is shed and
+// the switch waits for a re-dial.
 func (s *tcpSimSwitch) write(msg monocle.Message, xid uint32) {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
@@ -79,7 +85,29 @@ func (s *tcpSimSwitch) write(msg monocle.Message, xid uint32) {
 		return
 	}
 	if err := monocle.WriteMessage(s.conn, msg, xid); err != nil {
-		s.ln.Close()
+		s.conn.Close()
+		s.conn = nil
+	}
+}
+
+// healRule lifts an injected rule failure and returns once the switch's
+// event loop has processed it, so a follow-up re-install cannot race the
+// still-armed suppression.
+func (s *tcpSimSwitch) healRule(id uint64) {
+	s.heal <- id
+	<-s.healDone
+}
+
+// drop forcibly closes the current proxy connection — a switch-side TCP
+// drop mid-flight. The switch keeps its data plane and listener, so a
+// reconnecting driver finds the same switch state on re-dial.
+func (s *tcpSimSwitch) drop() {
+	s.wmu.Lock()
+	conn := s.conn
+	s.conn = nil
+	s.wmu.Unlock()
+	if conn != nil {
+		conn.Close()
 	}
 }
 
@@ -94,20 +122,14 @@ func (s *tcpSimSwitch) catchFrame(port monocle.PortID, f monocle.Frame) {
 	}, 0)
 }
 
-// serve accepts one proxy connection and runs the switch's event loop on
-// a single goroutine: network messages are posted through a channel, the
-// virtual clock is driven against wall time, and all switchsim state
-// stays single-threaded.
+// serve runs the switch's event loop on a single goroutine: network
+// messages are posted through a channel, the virtual clock is driven
+// against wall time, and all switchsim state stays single-threaded. The
+// listener keeps accepting — a proxy that drops its connection (or a
+// restarted monocled re-dialing the same switch) gets the same simulated
+// switch back, data-plane faults and all, exactly like real hardware
+// surviving a monitor restart.
 func (s *tcpSimSwitch) serve(id uint32) {
-	conn, err := s.ln.Accept()
-	if err != nil {
-		return
-	}
-	defer conn.Close()
-	s.wmu.Lock()
-	s.conn = conn
-	s.wmu.Unlock()
-
 	clock := monocle.NewSim()
 	sw := monocle.NewSimSwitch(id, clock, monocle.ProfileIdeal(), int64(id))
 	sw.ToController = func(msg monocle.Message, xid uint32) { s.write(msg, xid) }
@@ -127,34 +149,76 @@ func (s *tcpSimSwitch) serve(id uint32) {
 	}
 
 	msgs := make(chan func(), 64)
+	conns := make(chan net.Conn)
 	go func() {
 		for {
-			msg, xid, err := monocle.ReadMessage(conn)
+			conn, err := s.ln.Accept()
 			if err != nil {
-				close(msgs)
+				close(conns)
 				return
 			}
-			msgs <- func() { sw.FromController(msg, xid) }
+			select {
+			case conns <- conn:
+			case <-s.done:
+				conn.Close()
+				return
+			}
 		}
 	}()
 
+	var cur net.Conn
+	defer func() {
+		if cur != nil {
+			cur.Close()
+		}
+	}()
 	start := time.Now()
 	for {
 		clock.RunUntil(monocle.Time(time.Since(start)))
 		select {
 		case <-s.done:
 			return
+		case conn, ok := <-conns:
+			if !ok {
+				return
+			}
+			if cur != nil {
+				cur.Close()
+			}
+			cur = conn
+			s.wmu.Lock()
+			s.conn = conn
+			s.wmu.Unlock()
+			go s.readConn(conn, sw, msgs)
 		case id := <-s.fail:
 			// Behind-the-scenes hardware fault: the data plane loses the
 			// rule, every control-plane view stays intact.
 			sw.FailRule(id)
-		case fn, ok := <-msgs:
-			if !ok {
-				return
-			}
+		case id := <-s.heal:
+			// Lift the injected failure so a control-plane re-install can
+			// land again (switchsim suppresses commits of failed ids).
+			sw.HealRule(id)
+			s.healDone <- struct{}{}
+		case fn := <-msgs:
 			clock.RunUntil(monocle.Time(time.Since(start)))
 			fn()
 		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// readConn pumps one proxy connection's messages onto the event loop,
+// returning (without tearing anything down) when the connection drops.
+func (s *tcpSimSwitch) readConn(conn net.Conn, sw *monocle.SimSwitch, msgs chan func()) {
+	for {
+		msg, xid, err := monocle.ReadMessage(conn)
+		if err != nil {
+			return
+		}
+		select {
+		case msgs <- func() { sw.FromController(msg, xid) }:
+		case <-s.done:
+			return
 		}
 	}
 }

@@ -26,6 +26,8 @@ import (
 	"time"
 
 	"context"
+
+	"monocle/internal/header"
 )
 
 // Service is the long-running monocled fleet service. Build one with
@@ -38,6 +40,7 @@ type Service struct {
 	differ *Differ
 	ring   *RingSink
 	sinks  []Sink
+	store  Store
 
 	// sweepMu serializes sweep rounds (Run's loop and POST /sweep), so
 	// concurrent rounds cannot interleave their diff-engine folds.
@@ -74,6 +77,9 @@ type ServiceMetrics struct {
 	AlertsByType map[string]uint64 `json:"alerts_by_type,omitempty"`
 	// SinkErrors counts failed alert-sink deliveries.
 	SinkErrors uint64 `json:"sink_errors,omitempty"`
+	// StoreErrors counts failed persistence-store writes (the service
+	// keeps monitoring through them; a bad disk must not stop sweeps).
+	StoreErrors uint64 `json:"store_errors,omitempty"`
 	// Switches carries the per-switch epoch and cache snapshots.
 	Switches []SwitchMetrics `json:"switches,omitempty"`
 }
@@ -195,7 +201,38 @@ func NewService(opts ...Option) *Service {
 		s.sinks = append(s.sinks, s.ring)
 	}
 	s.sinks = append(s.sinks, set.sinks...)
+	switch {
+	case set.store != nil:
+		s.store = set.store
+	case set.stateDir != "":
+		if st, err := OpenFileStore(set.stateDir); err == nil {
+			s.store = st
+		} else {
+			s.metrics.StoreErrors++
+		}
+	}
 	return s
+}
+
+// Store returns the service's persistence store (nil without WithStore /
+// WithStateDir).
+func (s *Service) Store() Store { return s.store }
+
+// noteStoreErr counts one failed store write.
+func (s *Service) noteStoreErr() {
+	s.mu.Lock()
+	s.metrics.StoreErrors++
+	s.mu.Unlock()
+}
+
+// persistRules snapshots switch id's expected table to the store.
+func (s *Service) persistRules(id uint32, v *Verifier) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.SaveRules(id, v.Epoch(), ruleSpecs(v.Rules())); err != nil {
+		s.noteStoreErr()
+	}
 }
 
 // Fleet returns the service's underlying fleet (programmatic access from
@@ -265,6 +302,8 @@ func (s *Service) AddSwitch(spec SwitchSpec) (*Verifier, error) {
 			Listen:         spec.Listen,
 			ObserveTimeout: s.set.detectionTimeout,
 			Group:          group,
+			ReconnectMin:   s.set.reconnectMin,
+			ReconnectMax:   s.set.reconnectMax,
 		}, opts...)
 	default:
 		return nil, fmt.Errorf("monocle: unknown backend %q", spec.Backend)
@@ -277,6 +316,11 @@ func (s *Service) AddSwitch(spec SwitchSpec) (*Verifier, error) {
 	if err != nil {
 		be.Close()
 		return nil, err
+	}
+	if s.store != nil {
+		if err := s.store.SaveSwitch(spec); err != nil {
+			s.noteStoreErr()
+		}
 	}
 	return v, nil
 }
@@ -297,7 +341,9 @@ func (s *Service) InstallRules(id uint32, rules ...*Rule) error {
 			}
 		}
 	}
-	return v.Install(rules...)
+	err := v.Install(rules...)
+	s.persistRules(id, v)
+	return err
 }
 
 // ApplyRule executes one rule operation against switch id, updating the
@@ -405,6 +451,12 @@ func (s *Service) ApplyRule(id uint32, op RuleOp) (UpdateReply, error) {
 	default:
 		return UpdateReply{}, fmt.Errorf("monocle: unknown op %q", op.Op)
 	}
+	if expected {
+		// The expected-table mutation committed: snapshot it before the
+		// confirmation probe round trip, so a crash during observation
+		// still restarts with the post-mutation table.
+		s.persistRules(id, v)
+	}
 
 	reply := UpdateReply{Switch: id, Rule: ruleID, Op: op.Op, Verdict: "none"}
 	switch {
@@ -460,6 +512,16 @@ func (s *Service) SweepRound(ctx context.Context) []Alert {
 	}
 	alerts := s.differ.EndSweep()
 
+	// WAL ordering: persist the round (fold state + alerts) before any
+	// sink sees the alerts. A crash between the two re-delivers on the
+	// next life; the reverse order would lose alerts the operator saw.
+	var storeErrs uint64
+	if s.store != nil {
+		if err := s.store.SaveRound(s.differ.State(), alerts); err != nil {
+			storeErrs++
+		}
+	}
+
 	var sinkErrs uint64
 	if len(alerts) > 0 {
 		for _, sink := range s.sinks {
@@ -476,6 +538,7 @@ func (s *Service) SweepRound(ctx context.Context) []Alert {
 	s.metrics.RulesSwept += uint64(len(recs))
 	s.metrics.AlertsTotal += uint64(len(alerts))
 	s.metrics.SinkErrors += sinkErrs
+	s.metrics.StoreErrors += storeErrs
 	for _, a := range alerts {
 		s.alertsByType[a.Type.String()]++
 	}
@@ -495,6 +558,12 @@ func (s *Service) SweepRound(ctx context.Context) []Alert {
 // truncates one mid-sweep), the service is marked draining for /healthz,
 // and the context's error is returned.
 func (s *Service) Run(ctx context.Context) error {
+	// A previous Run marked the service draining on its way out; a new
+	// Run is the restart-lifecycle moment to clear it, or /healthz
+	// reports a healthy, sweeping service as draining forever.
+	s.mu.Lock()
+	s.draining = false
+	s.mu.Unlock()
 	ticker := time.NewTicker(s.set.steadyInterval)
 	defer ticker.Stop()
 	s.SweepRound(context.Background())
@@ -538,7 +607,103 @@ func (s *Service) Close() error {
 			firstErr = err
 		}
 	}
+	if s.store != nil {
+		if err := s.store.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
 	return firstErr
+}
+
+// Resume restores the service from its Store after a process restart:
+// switches are re-registered (proxy backends re-dial their switches),
+// expected tables are re-installed and their table-change epochs
+// fast-forwarded to the persisted values, the diff engine's folded state
+// is restored, and the persisted alert history refills the in-memory ring
+// backing GET /alerts. Restored alerts go only to the ring — webhook and
+// log sinks already delivered them in the previous life. After Resume the
+// next sweep round diffs against the pre-restart history: an unchanged
+// fleet raises no alerts, a rule that was failing keeps its streak, and a
+// rule healed during the outage raises exactly one rule_recovered.
+//
+// Resume is a no-op without a store. Call it once, before Run or any
+// sweep. Switches that fail to re-register (an unreachable proxy switch)
+// are skipped and reported in the joined error; the rest of the fleet
+// resumes.
+func (s *Service) Resume(ctx context.Context) error {
+	if s.store == nil {
+		return nil
+	}
+	state, err := s.store.Load()
+	if err != nil {
+		return fmt.Errorf("monocle: resume: %w", err)
+	}
+	var errs []error
+	ids := make([]uint32, 0, len(state.Switches))
+	for id := range state.Switches {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	diffState := DifferState{Rounds: state.Rounds, Switches: make(map[uint32]SwitchDiffState)}
+	for _, id := range ids {
+		st := state.Switches[id]
+		if st.HasDiff {
+			diffState.Switches[id] = st.Diff
+		}
+		if st.Spec.ID == 0 {
+			continue // fold state without a registration record
+		}
+		v, err := s.AddSwitch(st.Spec)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("switch %d: %w", id, err))
+			continue
+		}
+		if len(st.Rules) > 0 {
+			rules := make([]*Rule, 0, len(st.Rules))
+			for i := range st.Rules {
+				r, err := st.Rules[i].rule()
+				if err != nil {
+					errs = append(errs, fmt.Errorf("switch %d rule %d: %w", id, st.Rules[i].ID, err))
+					continue
+				}
+				rules = append(rules, r)
+			}
+			// A sim data plane died with the old process: replay the
+			// snapshot into the fresh table. A proxy backend's data plane
+			// is the live switch itself — the rules are still on the
+			// hardware, so only the expected side is restored (re-applying
+			// would rewrite the data plane the monitor is supposed to be
+			// verifying).
+			if be, ok := s.fleet.Backend(id); ok {
+				if _, sim := be.(*SimBackend); sim {
+					for _, r := range rules {
+						if err := be.Apply(BackendOp{Op: "add", Rule: r}); err != nil {
+							errs = append(errs, fmt.Errorf("switch %d rule %d: %w", id, r.ID, err))
+						}
+					}
+				}
+			}
+			if err := v.Install(rules...); err != nil {
+				errs = append(errs, fmt.Errorf("switch %d: %w", id, err))
+			}
+		}
+		v.restoreEpoch(st.Epoch)
+	}
+	s.differ.Restore(diffState)
+	if len(state.Alerts) > 0 {
+		if err := s.ring.Deliver(ctx, state.Alerts); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	s.mu.Lock()
+	s.metrics.Rounds = state.Rounds
+	s.metrics.AlertsTotal = uint64(len(state.Alerts))
+	for _, a := range state.Alerts {
+		s.alertsByType[a.Type.String()]++
+	}
+	s.mu.Unlock()
+	return errors.Join(errs...)
 }
 
 // Metrics returns a snapshot of the service counters with per-switch
@@ -638,6 +803,10 @@ func (s *Service) handleRules(w http.ResponseWriter, r *http.Request) {
 			status = http.StatusNotFound
 		case errors.Is(err, ErrDuplicateID), errors.Is(err, ErrSamePriorityOverlap):
 			status = http.StatusConflict
+		case errors.Is(err, ErrBackendDisconnected):
+			// Transient: the proxy driver is redialing its switch with
+			// backoff; the client should retry after backend_reconnected.
+			status = http.StatusServiceUnavailable
 		}
 		httpError(w, status, err)
 		return
@@ -721,6 +890,7 @@ func (s *Service) writePrometheus(w http.ResponseWriter) {
 	counter("monocle_sweep_rounds_total", "Completed sweep rounds.", m.Rounds)
 	counter("monocle_rules_swept_total", "Per-rule results across all rounds.", m.RulesSwept)
 	counter("monocle_sink_errors_total", "Failed alert-sink deliveries.", m.SinkErrors)
+	counter("monocle_store_errors_total", "Failed persistence-store writes.", m.StoreErrors)
 
 	fmt.Fprintf(&b, "# HELP monocle_alerts_total Alerts raised, by type.\n# TYPE monocle_alerts_total counter\n")
 	for t := AlertRuleFailing; t <= AlertVerdictFlapping; t++ {
@@ -849,8 +1019,25 @@ func cloneActions(actions []Action) []Action {
 }
 
 // parseTernary parses one match value: "5", "0x800", "10.0.0.0",
-// "10.0.0.0/8", or "value/prefixlen".
+// "10.0.0.0/8", "value/prefixlen", or "value&mask" (an arbitrary ternary
+// mask — the persisted form of matches that are neither exact nor
+// prefix).
 func parseTernary(f FieldID, s string) (Ternary, error) {
+	if valPart, maskPart, hasMask := strings.Cut(s, "&"); hasMask {
+		v, err := parseFieldValue(valPart)
+		if err != nil {
+			return Ternary{}, fmt.Errorf("monocle: field %s: %w", f, err)
+		}
+		m, err := parseFieldValue(maskPart)
+		if err != nil {
+			return Ternary{}, fmt.Errorf("monocle: field %s: bad mask: %w", f, err)
+		}
+		full := header.WidthMask(f)
+		if m&^full != 0 {
+			return Ternary{}, fmt.Errorf("monocle: field %s: mask 0x%x wider than the field", f, m)
+		}
+		return Ternary{Value: v & m, Mask: m}, nil
+	}
 	valPart, plenPart, hasPlen := strings.Cut(s, "/")
 	v, err := parseFieldValue(valPart)
 	if err != nil {

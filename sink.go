@@ -109,19 +109,34 @@ func (s *LogSink) Close() error { return nil }
 
 // WebhookSink POSTs each round's alerts as one JSON array to a URL
 // (Content-Type application/json). Non-2xx responses are errors; the
-// Service counts them in its sink_errors metric but keeps sweeping.
+// Service counts them in its sink_errors metric but keeps sweeping. Every
+// POST runs under a bounded deadline (SetTimeout, default 10s) regardless
+// of the caller's context or client: sweeps deliver with a background
+// context, so without its own deadline one stalled endpoint would pile up
+// a blocked goroutine per round, forever.
 type WebhookSink struct {
-	url    string
-	client *http.Client
+	url     string
+	client  *http.Client
+	timeout time.Duration
 }
 
 // NewWebhookSink returns a webhook sink for url. client nil uses a
-// private client with a 10s timeout.
+// private default client; either way each POST is bounded by the sink's
+// per-request timeout.
 func NewWebhookSink(url string, client *http.Client) *WebhookSink {
 	if client == nil {
-		client = &http.Client{Timeout: 10 * time.Second}
+		client = &http.Client{}
 	}
-	return &WebhookSink{url: url, client: client}
+	return &WebhookSink{url: url, client: client, timeout: 10 * time.Second}
+}
+
+// SetTimeout replaces the per-POST deadline (default 10s; d <= 0 keeps
+// the default). Call it before the sink is attached to a Service.
+func (s *WebhookSink) SetTimeout(d time.Duration) *WebhookSink {
+	if d > 0 {
+		s.timeout = d
+	}
+	return s
 }
 
 // Deliver implements Sink.
@@ -130,6 +145,8 @@ func (s *WebhookSink) Deliver(ctx context.Context, alerts []Alert) error {
 	if err != nil {
 		return err
 	}
+	ctx, cancel := context.WithTimeout(ctx, s.timeout)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.url, bytes.NewReader(body))
 	if err != nil {
 		return err

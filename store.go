@@ -1,0 +1,491 @@
+package monocle
+
+// Crash-safe persistence for the monocled service. A Store is the seam
+// the Service writes its cross-restart state through: switch
+// registrations, expected-table snapshots (stamped with their
+// table-change epoch), the diff engine's folded cross-epoch state, and
+// every emitted alert. FileStore is the built-in implementation: one
+// append-only JSON-line WAL per switch plus one service-level WAL,
+// compacted in place once they accumulate enough superseded records. A
+// restarted process calls Service.Resume to load the store and pick up
+// diffing exactly where the previous process stopped — same epochs, same
+// debounce/flap streaks, same outstanding alerts — so a restart raises
+// neither a re-confirmation storm nor false rule_recovered alerts.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math/bits"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"monocle/internal/flowtable"
+	"monocle/internal/header"
+)
+
+// Store persists the service's cross-restart state. Implementations must
+// be safe for concurrent use. Every Save call must be durable when it
+// returns (the Service persists a round's alerts before delivering them
+// to sinks, so a crash between the two re-delivers rather than loses).
+type Store interface {
+	// SaveSwitch persists one switch registration.
+	SaveSwitch(spec SwitchSpec) error
+	// SaveRules persists switch id's full expected rule set as of the
+	// given table-change epoch (a snapshot, superseding earlier ones).
+	SaveRules(id uint32, epoch uint64, rules []RuleSpec) error
+	// SaveRound persists one completed sweep round: the diff engine's
+	// folded state and the alerts the round raised.
+	SaveRound(state DifferState, alerts []Alert) error
+	// Load reads the last persisted state back (an empty, non-nil state
+	// when the store is new).
+	Load() (*FleetState, error)
+	// Close flushes and releases the store.
+	Close() error
+}
+
+// SwitchState is one switch's slice of a loaded FleetState.
+type SwitchState struct {
+	// Spec is the switch registration.
+	Spec SwitchSpec `json:"spec"`
+	// Epoch is the table-change epoch of the Rules snapshot.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Rules is the last persisted expected rule set.
+	Rules []RuleSpec `json:"rules,omitempty"`
+	// Diff is the switch's folded diff state; HasDiff marks it valid
+	// (a switch may have been registered but never swept).
+	Diff    SwitchDiffState `json:"diff,omitempty"`
+	HasDiff bool            `json:"has_diff,omitempty"`
+}
+
+// FleetState is everything a Store gives back on Load.
+type FleetState struct {
+	// Rounds is the completed sweep-round count.
+	Rounds uint64 `json:"rounds,omitempty"`
+	// Switches holds the per-switch state, keyed by switch id.
+	Switches map[uint32]SwitchState `json:"switches,omitempty"`
+	// Alerts is the retained alert history, oldest first.
+	Alerts []Alert `json:"alerts,omitempty"`
+}
+
+// walRecord is one WAL line. Kind selects which payload fields are set:
+// "spec" (Spec), "rules" (Epoch, Rules), "diff" (Diff), "round" (Rounds),
+// "alert" (Alert). Seq is a store-global monotonic sequence number
+// stamped on every appended record.
+type walRecord struct {
+	Kind   string           `json:"kind"`
+	Seq    uint64           `json:"seq"`
+	Spec   *SwitchSpec      `json:"spec,omitempty"`
+	Epoch  uint64           `json:"epoch,omitempty"`
+	Rules  []RuleSpec       `json:"rules,omitempty"`
+	Diff   *SwitchDiffState `json:"diff,omitempty"`
+	Rounds uint64           `json:"rounds,omitempty"`
+	Alert  *Alert           `json:"alert,omitempty"`
+}
+
+const (
+	// compactEvery bounds how many records a WAL accumulates beyond its
+	// compacted form before it is rewritten in place.
+	compactEvery = 256
+	// alertKeep bounds how many alerts survive a service-WAL compaction
+	// (matches the default RingSink capacity).
+	alertKeep = 4096
+)
+
+// FileStore is the built-in Store: a state directory holding one
+// append-only JSON-line WAL per switch (switch-<id>.wal) plus a
+// service-level WAL (service.wal) for the round counter and the alert
+// history. Appends are fsynced; compaction rewrites a WAL through a
+// temporary file and an atomic rename, so a crash at any point leaves
+// either the old or the new file, never a mix. A truncated final line
+// (crash mid-append) is ignored on load.
+type FileStore struct {
+	dir string
+
+	mu    sync.Mutex
+	seq   uint64
+	files map[string]*walFile
+}
+
+// walFile is one open WAL with its append count since the last compaction.
+type walFile struct {
+	f       *os.File
+	appends int
+}
+
+// OpenFileStore opens (creating if needed) the state directory as a
+// FileStore.
+func OpenFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("monocle: state dir: %w", err)
+	}
+	return &FileStore{dir: dir, files: make(map[string]*walFile)}, nil
+}
+
+// Dir returns the state directory.
+func (fs *FileStore) Dir() string { return fs.dir }
+
+func switchWALName(id uint32) string { return fmt.Sprintf("switch-%d.wal", id) }
+
+const serviceWALName = "service.wal"
+
+// SaveSwitch implements Store.
+func (fs *FileStore) SaveSwitch(spec SwitchSpec) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	sp := spec
+	return fs.appendLocked(switchWALName(spec.ID), walRecord{Kind: "spec", Spec: &sp})
+}
+
+// SaveRules implements Store.
+func (fs *FileStore) SaveRules(id uint32, epoch uint64, rules []RuleSpec) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if rules == nil {
+		rules = []RuleSpec{} // distinguish "empty table" from "no snapshot"
+	}
+	return fs.appendLocked(switchWALName(id), walRecord{Kind: "rules", Epoch: epoch, Rules: rules})
+}
+
+// SaveRound implements Store.
+func (fs *FileStore) SaveRound(state DifferState, alerts []Alert) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var firstErr error
+	ids := make([]uint32, 0, len(state.Switches))
+	for id := range state.Switches {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		d := state.Switches[id]
+		if err := fs.appendLocked(switchWALName(id), walRecord{Kind: "diff", Diff: &d}); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := fs.appendLocked(serviceWALName, walRecord{Kind: "round", Rounds: state.Rounds}); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	for i := range alerts {
+		if err := fs.appendLocked(serviceWALName, walRecord{Kind: "alert", Alert: &alerts[i]}); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// appendLocked stamps, encodes, appends, and fsyncs one record, then
+// compacts the file if it has accumulated enough superseded records.
+func (fs *FileStore) appendLocked(name string, rec walRecord) error {
+	wf := fs.files[name]
+	if wf == nil {
+		f, err := os.OpenFile(filepath.Join(fs.dir, name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		wf = &walFile{f: f}
+		fs.files[name] = wf
+	}
+	fs.seq++
+	rec.Seq = fs.seq
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := wf.f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	if err := wf.f.Sync(); err != nil {
+		return err
+	}
+	wf.appends++
+	if wf.appends >= compactEvery {
+		if err := fs.compactLocked(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// compactLocked rewrites one WAL to its minimal equivalent state:
+// a switch WAL keeps the latest spec, rules snapshot, and diff record; the
+// service WAL keeps the latest round record and the last alertKeep alerts.
+func (fs *FileStore) compactLocked(name string) error {
+	path := filepath.Join(fs.dir, name)
+	recs, err := readWAL(path)
+	if err != nil {
+		return err
+	}
+	var keep []walRecord
+	if name == serviceWALName {
+		var round *walRecord
+		var alerts []walRecord
+		for i := range recs {
+			switch recs[i].Kind {
+			case "round":
+				round = &recs[i]
+			case "alert":
+				alerts = append(alerts, recs[i])
+			}
+		}
+		if len(alerts) > alertKeep {
+			alerts = alerts[len(alerts)-alertKeep:]
+		}
+		if round != nil {
+			keep = append(keep, *round)
+		}
+		keep = append(keep, alerts...)
+	} else {
+		var spec, rules, diff *walRecord
+		for i := range recs {
+			switch recs[i].Kind {
+			case "spec":
+				spec = &recs[i]
+			case "rules":
+				rules = &recs[i]
+			case "diff":
+				diff = &recs[i]
+			}
+		}
+		for _, r := range []*walRecord{spec, rules, diff} {
+			if r != nil {
+				keep = append(keep, *r)
+			}
+		}
+	}
+
+	tmp, err := os.CreateTemp(fs.dir, name+".tmp-")
+	if err != nil {
+		return err
+	}
+	tmpPath := tmp.Name()
+	w := bufio.NewWriter(tmp)
+	for _, r := range keep {
+		line, err := json.Marshal(r)
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return err
+		}
+		w.Write(line)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		os.Remove(tmpPath)
+		return err
+	}
+	// Reopen the append handle on the renamed file.
+	if wf := fs.files[name]; wf != nil {
+		wf.f.Close()
+		delete(fs.files, name)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	fs.files[name] = &walFile{f: f}
+	return nil
+}
+
+// readWAL parses one WAL file, skipping a truncated or corrupt final line
+// (the signature of a crash mid-append).
+func readWAL(path string) ([]walRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	var recs []walRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec walRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			// A torn tail from a crash mid-append: everything before it
+			// already parsed, so stop here rather than fail the load.
+			break
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return recs, nil // oversized torn tail: same treatment
+	}
+	return recs, nil
+}
+
+// Load implements Store.
+func (fs *FileStore) Load() (*FleetState, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	state := &FleetState{Switches: make(map[uint32]SwitchState)}
+	entries, err := os.ReadDir(fs.dir)
+	if err != nil {
+		return nil, err
+	}
+	var maxSeq uint64
+	note := func(r walRecord) {
+		if r.Seq > maxSeq {
+			maxSeq = r.Seq
+		}
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "switch-") || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		id64, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "switch-"), ".wal"), 10, 32)
+		if err != nil {
+			continue
+		}
+		recs, err := readWAL(filepath.Join(fs.dir, name))
+		if err != nil {
+			return nil, err
+		}
+		var st SwitchState
+		var haveSpec, haveRules bool
+		for _, r := range recs {
+			note(r)
+			switch r.Kind {
+			case "spec":
+				if r.Spec != nil {
+					st.Spec = *r.Spec
+					haveSpec = true
+				}
+			case "rules":
+				st.Epoch = r.Epoch
+				st.Rules = r.Rules
+				haveRules = true
+			case "diff":
+				if r.Diff != nil {
+					st.Diff = *r.Diff
+					st.HasDiff = true
+				}
+			}
+		}
+		if haveSpec || haveRules || st.HasDiff {
+			state.Switches[uint32(id64)] = st
+		}
+	}
+	recs, err := readWAL(filepath.Join(fs.dir, serviceWALName))
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range recs {
+		note(r)
+		switch r.Kind {
+		case "round":
+			state.Rounds = r.Rounds
+		case "alert":
+			if r.Alert != nil {
+				state.Alerts = append(state.Alerts, *r.Alert)
+			}
+		}
+	}
+	if len(state.Alerts) > alertKeep {
+		state.Alerts = state.Alerts[len(state.Alerts)-alertKeep:]
+	}
+	if maxSeq > fs.seq {
+		fs.seq = maxSeq
+	}
+	return state, nil
+}
+
+// Close implements Store.
+func (fs *FileStore) Close() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var firstErr error
+	for name, wf := range fs.files {
+		if err := wf.f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		delete(fs.files, name)
+	}
+	return firstErr
+}
+
+// ruleSpecs converts installed rules back to their JSON wire form — the
+// inverse of RuleSpec.rule() — so expected-table snapshots round-trip
+// through the store bit-identically.
+func ruleSpecs(rules []*Rule) []RuleSpec {
+	out := make([]RuleSpec, 0, len(rules))
+	for _, r := range rules {
+		out = append(out, ruleSpec(r))
+	}
+	return out
+}
+
+// ruleSpec converts one rule to its JSON wire form.
+func ruleSpec(r *Rule) RuleSpec {
+	rs := RuleSpec{ID: r.ID, Priority: r.Priority}
+	for f := FieldID(0); f < NumFields; f++ {
+		t := r.Match[f]
+		if t.Mask == 0 {
+			continue // wildcard
+		}
+		if rs.Match == nil {
+			rs.Match = make(map[string]string)
+		}
+		rs.Match[f.String()] = ternaryString(f, t)
+	}
+	for _, a := range r.Actions {
+		rs.Actions = append(rs.Actions, actionSpec(a))
+	}
+	return rs
+}
+
+// ternaryString renders one match cell in the form parseTernary accepts:
+// a bare value for exact matches, value/prefixlen for contiguous prefix
+// masks, and value&mask for arbitrary ternary masks.
+func ternaryString(f FieldID, t Ternary) string {
+	full := header.WidthMask(f)
+	if t.Mask == full {
+		return strconv.FormatUint(t.Value, 10)
+	}
+	ones := bits.OnesCount64(t.Mask)
+	if t.Mask == full&^(full>>uint(ones)) {
+		return fmt.Sprintf("%d/%d", t.Value, ones)
+	}
+	return fmt.Sprintf("0x%x&0x%x", t.Value, t.Mask)
+}
+
+// actionSpec converts one action to its JSON wire form.
+func actionSpec(a Action) ActionSpec {
+	switch a.Kind {
+	case flowtable.ActionOutput:
+		return ActionSpec{Output: uint16(a.Port)}
+	case flowtable.ActionGroupECMP:
+		ports := make([]uint16, len(a.Ports))
+		for i, p := range a.Ports {
+			ports[i] = uint16(p)
+		}
+		return ActionSpec{ECMP: ports}
+	default: // ActionSetField
+		return ActionSpec{Set: &SetFieldSpec{Field: a.Field.String(), Value: a.Value}}
+	}
+}

@@ -1,0 +1,21 @@
+package monocle
+
+// Allocation regression check for the proxy event loop's reused timer:
+// re-arming between waits must not allocate (the time.After it replaced
+// allocated a timer plus channel per message, i.e. per probe per sweep).
+
+import (
+	"testing"
+	"time"
+)
+
+func TestResetTimerAllocs(t *testing.T) {
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	allocs := testing.AllocsPerRun(1000, func() {
+		resetTimer(timer, time.Hour)
+	})
+	if allocs != 0 {
+		t.Fatalf("resetTimer allocates %.1f allocs/op, want 0", allocs)
+	}
+}

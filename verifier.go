@@ -222,6 +222,19 @@ func (v *Verifier) Epoch() uint64 {
 	return v.epoch
 }
 
+// restoreEpoch fast-forwards the table-change epoch to a persisted value
+// (never backwards). The restart path needs it: a restored Differ carries
+// the pre-restart epoch, and a fresh Verifier restarting from epoch zero
+// would stamp every post-restart sweep event with an epoch the Differ
+// discards as stale.
+func (v *Verifier) restoreEpoch(e uint64) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if e > v.epoch {
+		v.epoch = e
+	}
+}
+
 // CacheStats returns a snapshot of the session-cache counters (hits,
 // delta recompiles, rebuilds).
 func (v *Verifier) CacheStats() CacheStats {
