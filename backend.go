@@ -151,13 +151,45 @@ type BackendEvent struct {
 	Detail string
 }
 
+// EventDropCounter is the optional Backend extension for drivers that
+// count events dropped from their Events stream (the buffer overflowed
+// with no consumer keeping up). The Service surfaces these counts per
+// switch in /metrics (JSON events_dropped and the Prometheus counter
+// monocle_backend_events_dropped_total): a silently lossy event stream
+// would otherwise hide exactly the disconnect/reconnect evidence an
+// operator needs.
+type EventDropCounter interface {
+	// EventDrops reports the number of events dropped so far, including
+	// any wrapped driver's own drops.
+	EventDrops() uint64
+}
+
+// UnwrapBackend returns the innermost driver behind any wrapping layers
+// (a RecordBackend, the Service's event tap) by walking Unwrap() Backend
+// methods — for callers that need the concrete driver type, the way
+// errors.Unwrap walks wrapped errors.
+func UnwrapBackend(be Backend) Backend {
+	for {
+		u, ok := be.(interface{ Unwrap() Backend })
+		if !ok {
+			return be
+		}
+		inner := u.Unwrap()
+		if inner == nil {
+			return be
+		}
+		be = inner
+	}
+}
+
 // eventRing is the shared non-blocking event plumbing of the built-in
-// backends: sends never block the driver, overflow is dropped, and Close
-// ends the stream exactly once.
+// backends: sends never block the driver, overflow is dropped (and
+// counted), and Close ends the stream exactly once.
 type eventRing struct {
-	mu     sync.Mutex
-	ch     chan BackendEvent
-	closed bool
+	mu      sync.Mutex
+	ch      chan BackendEvent
+	closed  bool
+	dropped uint64
 }
 
 func newEventRing() *eventRing {
@@ -172,8 +204,18 @@ func (r *eventRing) emit(ev BackendEvent) {
 	}
 	select {
 	case r.ch <- ev:
-	default: // overflow: drop rather than block the driver
+	default:
+		// Overflow: drop rather than block the driver — but count the
+		// drop so /metrics can surface the loss.
+		r.dropped++
 	}
+}
+
+// drops reports how many events overflowed the ring.
+func (r *eventRing) drops() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
 }
 
 // close ends the stream; it reports whether this call closed it.
@@ -311,6 +353,9 @@ func (b *SimBackend) Epoch() uint64 {
 
 // Events implements Backend.
 func (b *SimBackend) Events() <-chan BackendEvent { return b.events.ch }
+
+// EventDrops implements EventDropCounter.
+func (b *SimBackend) EventDrops() uint64 { return b.events.drops() }
 
 // String identifies the driver in logs.
 func (b *SimBackend) String() string { return fmt.Sprintf("sim-backend(S%d)", b.id) }

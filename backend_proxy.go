@@ -807,6 +807,9 @@ func (pb *ProxyBackend) Epoch() uint64 {
 // Events implements Backend.
 func (pb *ProxyBackend) Events() <-chan BackendEvent { return pb.ev.ch }
 
+// EventDrops implements EventDropCounter.
+func (pb *ProxyBackend) EventDrops() uint64 { return pb.ev.drops() }
+
 // CatchRules returns the catching rules this switch must carry for its
 // neighbours' probes (strategy 1, §6), given the deployment's reserved
 // tag values.

@@ -1,0 +1,211 @@
+// Command monotrace replays recorded switch-backend sessions through a
+// fresh monocle Service — deterministically, with zero network.
+//
+// A monocled run started with -record-dir (or any Service built with
+// monocle.WithRecordDir) writes one append-only trace per switch:
+// every Apply, Observe, Epoch call, every backend event, plus
+// annotations for the session-level rule operations and sweep rounds
+// that produced them. monotrace reads those traces, registers each
+// switch with a replay backend, and re-drives the annotated rule
+// operations and sweep rounds in their recorded order. The replay
+// backends serve the recorded verdicts and events; the verification
+// stack, diff engine, and alerting run for real on top.
+//
+//	monotrace /var/lib/monocled/traces/switch-1.trace
+//	monotrace -debounce 2 traces/switch-*.trace   # whole fleet, one run
+//	monotrace -dump traces/switch-1.trace         # inspect, don't replay
+//
+// Replay is judged strictly: if the re-driven session departs from the
+// recording — a different operation, a different probe, a different
+// order — the replay backend reports a structured divergence and
+// monotrace exits with status 2. Exit status 1 means the trace could
+// not be read or replayed at all.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"monocle"
+)
+
+func main() {
+	var (
+		dump     = flag.Bool("dump", false, "print the trace records instead of replaying")
+		debounce = flag.Int("debounce", 1, "consecutive failing sweeps before a rule alert")
+		stall    = flag.Int("stall", 3, "missed sweep rounds before a switch-stalled alert")
+		quiet    = flag.Bool("q", false, "suppress per-round output; only the final summary")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: monotrace [-dump] [-debounce n] [-stall n] [-q] trace [trace...]")
+		os.Exit(1)
+	}
+	if *dump {
+		for _, path := range flag.Args() {
+			if err := dumpTrace(path); err != nil {
+				fmt.Fprintf(os.Stderr, "monotrace: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	os.Exit(replay(flag.Args(), *debounce, *stall, *quiet))
+}
+
+// dumpTrace prints one trace's records, one line each.
+func dumpTrace(path string) error {
+	tr, err := monocle.ReadTraceFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: switch %d, %d records\n", path, tr.Header.Switch, len(tr.Records))
+	for _, rec := range tr.Records {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %s\n", line)
+	}
+	return nil
+}
+
+// replaySwitch is one trace's replay cursor: the annotation stream
+// (rule ops and round marks) drives the service; everything else is
+// served by the replay backend.
+type replaySwitch struct {
+	path  string
+	id    uint32
+	annos []monocle.TraceRecord
+	pos   int
+}
+
+func replay(paths []string, debounce, stall int, quiet bool) int {
+	svc := monocle.NewService(
+		monocle.WithDebounce(debounce),
+		monocle.WithStallThreshold(stall),
+	)
+	defer svc.Close()
+
+	var switches []*replaySwitch
+	for _, path := range paths {
+		tr, err := monocle.ReadTraceFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "monotrace: %s: %v\n", path, err)
+			return 1
+		}
+		rs := &replaySwitch{path: path, id: tr.Header.Switch}
+		spec := monocle.SwitchSpec{ID: tr.Header.Switch}
+		for _, rec := range tr.Records {
+			switch rec.Kind {
+			case monocle.TraceKindSpec:
+				if rec.Spec != nil {
+					spec = *rec.Spec
+				}
+			case monocle.TraceKindRuleOp, monocle.TraceKindRound:
+				rs.annos = append(rs.annos, rec)
+			}
+		}
+		// The recorded session dialed a live switch; the replay serves it
+		// from the trace instead.
+		spec.Backend = "replay"
+		spec.Trace = path
+		spec.Address = ""
+		if _, err := svc.AddSwitch(spec); err != nil {
+			fmt.Fprintf(os.Stderr, "monotrace: %s: %v\n", path, err)
+			return 1
+		}
+		switches = append(switches, rs)
+	}
+
+	// Re-drive the annotation streams: each trace's rule operations run
+	// in their recorded order, and a sweep round runs whenever every
+	// stream has reached its next round mark.
+	status := 0
+	ctx := context.Background()
+	rounds, alerts := 0, 0
+	for {
+		for _, rs := range switches {
+			for rs.pos < len(rs.annos) && rs.annos[rs.pos].Kind == monocle.TraceKindRuleOp {
+				op := rs.annos[rs.pos].RuleOp
+				rs.pos++
+				if op == nil {
+					continue
+				}
+				if err := driveOp(svc, rs.id, *op); err != nil {
+					fmt.Fprintf(os.Stderr, "monotrace: %s: replaying %s: %v\n", rs.path, op.Op, err)
+					status = pickStatus(status, err)
+				}
+			}
+		}
+		pending := false
+		for _, rs := range switches {
+			if rs.pos < len(rs.annos) {
+				pending = true
+			}
+		}
+		if !pending {
+			break
+		}
+		roundAlerts := svc.SweepRound(ctx)
+		rounds++
+		alerts += len(roundAlerts)
+		if !quiet {
+			for _, a := range roundAlerts {
+				line, _ := json.Marshal(a)
+				fmt.Println(string(line))
+			}
+		}
+		for _, rs := range switches {
+			if rs.pos < len(rs.annos) && rs.annos[rs.pos].Kind == monocle.TraceKindRound {
+				rs.pos++
+			}
+		}
+	}
+
+	// A divergence folds into the sweep as a loud failing verdict rather
+	// than an error return, so check every replay backend explicitly.
+	for _, rs := range switches {
+		be, ok := svc.Fleet().Backend(rs.id)
+		if !ok {
+			continue
+		}
+		if rb, ok := monocle.UnwrapBackend(be).(*monocle.ReplayBackend); ok {
+			if div := rb.Divergence(); div != nil {
+				fmt.Fprintf(os.Stderr, "monotrace: %s: DIVERGED: %v\n", rs.path, div)
+				status = 2
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "monotrace: %d switch(es), %d round(s), %d alert(s)\n", len(switches), rounds, alerts)
+	return status
+}
+
+// driveOp re-drives one recorded rule operation.
+func driveOp(svc *monocle.Service, id uint32, op monocle.RuleOp) error {
+	if op.Op == "install" {
+		if op.Rule == nil {
+			return fmt.Errorf("install annotation without a rule")
+		}
+		return svc.InstallRuleSpecs(id, *op.Rule)
+	}
+	_, err := svc.ApplyRule(id, op)
+	return err
+}
+
+// pickStatus keeps the most specific failure: divergence (2) wins over
+// generic replay trouble (1).
+func pickStatus(cur int, err error) int {
+	var div *monocle.DivergenceError
+	if errors.As(err, &div) {
+		return 2
+	}
+	if cur == 0 {
+		return 1
+	}
+	return cur
+}

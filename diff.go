@@ -92,6 +92,11 @@ const (
 	// AlertVerdictFlapping: a rule's good/bad state flipped at least the
 	// configured number of times inside the flap window (WithFlapWindow).
 	AlertVerdictFlapping
+	// AlertBackendFlapping: a switch's driver completed at least the
+	// configured number of disconnect/reconnect cycles inside the backend
+	// flap window (WithBackendFlapWindow) — the reconnect machinery is
+	// keeping the switch reachable, but the transport itself is sick.
+	AlertBackendFlapping
 )
 
 // String names the alert type.
@@ -105,6 +110,8 @@ func (t AlertType) String() string {
 		return "switch_stalled"
 	case AlertVerdictFlapping:
 		return "verdict_flapping"
+	case AlertBackendFlapping:
+		return "backend_flapping"
 	default:
 		return fmt.Sprintf("alert(%d)", uint8(t))
 	}
@@ -121,7 +128,7 @@ func (t *AlertType) UnmarshalJSON(b []byte) error {
 	if err := json.Unmarshal(b, &name); err != nil {
 		return err
 	}
-	for c := AlertRuleFailing; c <= AlertVerdictFlapping; c++ {
+	for c := AlertRuleFailing; c <= AlertBackendFlapping; c++ {
 		if c.String() == name {
 			*t = c
 			return nil
@@ -159,8 +166,9 @@ type Alert struct {
 
 // observation is one rule's result within the accumulating snapshot.
 type observation struct {
-	status RuleStatus
-	rec    ResultRecord
+	status  RuleStatus
+	rec     ResultRecord
+	skipped bool // present in the table but unjudgeable this round
 }
 
 // ruleDiff is the folded cross-epoch state of one rule.
@@ -180,6 +188,10 @@ type switchDiff struct {
 	rules   map[uint64]*ruleDiff
 	missed  int // consecutive rounds with no events
 	stalled bool
+
+	pendingCycles  int   // reconnect cycles completed since the last round
+	cycleHist      []int // per-round cycle counts, oldest first
+	backendFlapped bool  // backend_flapping alert outstanding
 }
 
 // Differ folds a SweepEvent stream into per-switch epoch snapshots and
@@ -228,6 +240,28 @@ func (d *Differ) ObserveVerdict(ev SweepEvent, v Verdict) {
 	d.observe(ev, st)
 }
 
+// ObserveSkipped records a rule whose sweep observation could not be
+// judged this round (the backend disconnected or closed mid-sweep). The
+// rule is still part of the expected table, so it must stay in the
+// round's snapshot: without this, a partial round — some rules folded
+// before the transport died, the rest skipped — would make the skipped
+// rules look like intentional table deletions, silently discarding an
+// outstanding failing alert and swallowing its eventual recovery. A
+// skipped observation contributes presence only; the rule's debounce
+// streak, flap history, and alert state carry over frozen.
+func (d *Differ) ObserveSkipped(ev SweepEvent) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sw := d.switchLocked(ev.SwitchID)
+	if ev.Epoch < sw.epoch {
+		return // superseded epoch: the table changed under the sweep
+	}
+	sw.cur[ev.Result.Rule.ID] = &observation{
+		skipped: true,
+		rec:     NewResultRecord(ev.SwitchID, ev.Epoch, ev.Result),
+	}
+}
+
 // statusFromResult classifies a generation result without a verdict.
 // Both no-probe-exists sentinels are structural properties of the table,
 // not divergence: a rule hidden by higher-priority rules (§3.5) and a
@@ -244,17 +278,40 @@ func statusFromResult(res ProbeResult) RuleStatus {
 	}
 }
 
-func (d *Differ) observe(ev SweepEvent, st RuleStatus) {
+// ObserveBackendEvent folds one driver lifecycle event into the current
+// round: each BackendReconnected completes one disconnect/reconnect
+// cycle, and EndSweep raises AlertBackendFlapping once the cycle count
+// inside the backend flap window crosses the WithBackendFlapWindow
+// threshold. The Service feeds every switch's event stream through here
+// (draining its queue at the start of each round); other event types are
+// ignored — an outage without recovery surfaces as switch_stalled
+// instead.
+func (d *Differ) ObserveBackendEvent(ev BackendEvent) {
+	if ev.Type != BackendReconnected {
+		return
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	sw := d.switches[ev.SwitchID]
+	d.switchLocked(ev.SwitchID).pendingCycles++
+}
+
+// switchLocked returns (creating if needed) switch id's fold state.
+func (d *Differ) switchLocked(id uint32) *switchDiff {
+	sw := d.switches[id]
 	if sw == nil {
 		sw = &switchDiff{
 			cur:   make(map[uint64]*observation),
 			rules: make(map[uint64]*ruleDiff),
 		}
-		d.switches[ev.SwitchID] = sw
+		d.switches[id] = sw
 	}
+	return sw
+}
+
+func (d *Differ) observe(ev SweepEvent, st RuleStatus) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sw := d.switchLocked(ev.SwitchID)
 	if ev.Epoch < sw.epoch {
 		return // superseded epoch: the table changed under the sweep
 	}
@@ -285,7 +342,41 @@ func (d *Differ) EndSweep() []Alert {
 
 	for _, id := range ids {
 		sw := d.switches[id]
+
+		// Backend flap detection runs for every switch every round —
+		// transport health is orthogonal to whether the round produced
+		// sweep events (a flapping backend often means it did not).
+		sw.cycleHist = append(sw.cycleHist, sw.pendingCycles)
+		sw.pendingCycles = 0
+		if len(sw.cycleHist) > d.set.backendFlapWindow {
+			sw.cycleHist = sw.cycleHist[1:]
+		}
+		cycles := 0
+		for _, c := range sw.cycleHist {
+			cycles += c
+		}
+		if cycles >= d.set.backendFlapCycles {
+			if !sw.backendFlapped {
+				sw.backendFlapped = true
+				alerts = append(alerts, Alert{
+					Type:     AlertBackendFlapping,
+					SwitchID: id,
+					Epoch:    sw.epoch,
+					Streak:   cycles,
+					Detail:   fmt.Sprintf("switch %d backend reconnected %d times in the last %d sweeps", id, cycles, len(sw.cycleHist)),
+				})
+			}
+		} else {
+			sw.backendFlapped = false
+		}
+
 		if !sw.seen {
+			// A round with only skipped observations (full outage) counts
+			// as missed: the skip entries protected nothing this round,
+			// and must not survive into the next snapshot.
+			if len(sw.cur) > 0 {
+				sw.cur = make(map[uint64]*observation)
+			}
 			if !sw.ever {
 				continue
 			}
@@ -314,6 +405,11 @@ func (d *Differ) EndSweep() []Alert {
 
 		for _, rid := range rids {
 			o := sw.cur[rid]
+			if o.skipped {
+				// Unjudged this round: the snapshot entry keeps the rule
+				// tracked, everything else carries over untouched.
+				continue
+			}
 			r := sw.rules[rid]
 			if r == nil {
 				r = &ruleDiff{}
@@ -429,6 +525,14 @@ type SwitchDiffState struct {
 	Missed int `json:"missed,omitempty"`
 	// Stalled marks an outstanding switch_stalled alert.
 	Stalled bool `json:"stalled,omitempty"`
+	// PendingCycles counts reconnect cycles observed since the last
+	// finalized round.
+	PendingCycles int `json:"pending_cycles,omitempty"`
+	// CycleHist is the backend flap window's per-round reconnect-cycle
+	// counts, oldest first.
+	CycleHist []int `json:"cycle_hist,omitempty"`
+	// BackendFlapped marks an outstanding backend_flapping alert.
+	BackendFlapped bool `json:"backend_flapped,omitempty"`
 	// Rules is the per-rule fold state.
 	Rules map[uint64]RuleDiffState `json:"rules,omitempty"`
 }
@@ -456,10 +560,13 @@ func (d *Differ) State() DifferState {
 	}
 	for id, sw := range d.switches {
 		s := SwitchDiffState{
-			Epoch:   sw.epoch,
-			Ever:    sw.ever,
-			Missed:  sw.missed,
-			Stalled: sw.stalled,
+			Epoch:          sw.epoch,
+			Ever:           sw.ever,
+			Missed:         sw.missed,
+			Stalled:        sw.stalled,
+			PendingCycles:  sw.pendingCycles,
+			CycleHist:      append([]int(nil), sw.cycleHist...),
+			BackendFlapped: sw.backendFlapped,
 		}
 		if len(sw.rules) > 0 {
 			s.Rules = make(map[uint64]RuleDiffState, len(sw.rules))
@@ -488,12 +595,15 @@ func (d *Differ) Restore(st DifferState) {
 	d.switches = make(map[uint32]*switchDiff, len(st.Switches))
 	for id, s := range st.Switches {
 		sw := &switchDiff{
-			epoch:   s.Epoch,
-			ever:    s.Ever,
-			missed:  s.Missed,
-			stalled: s.Stalled,
-			cur:     make(map[uint64]*observation),
-			rules:   make(map[uint64]*ruleDiff, len(s.Rules)),
+			epoch:          s.Epoch,
+			ever:           s.Ever,
+			missed:         s.Missed,
+			stalled:        s.Stalled,
+			pendingCycles:  s.PendingCycles,
+			cycleHist:      append([]int(nil), s.CycleHist...),
+			backendFlapped: s.BackendFlapped,
+			cur:            make(map[uint64]*observation),
+			rules:          make(map[uint64]*ruleDiff, len(s.Rules)),
 		}
 		for rid, r := range s.Rules {
 			sw.rules[rid] = &ruleDiff{

@@ -36,6 +36,21 @@
 //     (Sink: RingSink, LogSink, WebhookSink via WithAlertSink) behind a
 //     net/http control surface with JSON and Prometheus metrics.
 //
+//   - Record/replay: WithRecordDir wraps every switch backend in a
+//     RecordBackend capturing the whole session — calls, verdicts,
+//     events, epochs — to an append-only trace (CreateTrace /
+//     ReadTraceFile); ReplayBackend (SwitchSpec backend "replay", or
+//     cmd/monotrace) re-serves a trace deterministically with zero
+//     network, failing loudly with a DivergenceError when the replayed
+//     session departs from the recording.
+//
+//   - Scenarios: the adversarial scenario fleet. Scenarios() scripts
+//     rule-churn storms, mid-sweep switch flaps, monitor failover,
+//     lossy switches, ECMP/multicast tables, and priority shadowing
+//     against live TCP switches (StartSwitchServer, the in-process
+//     OpenFlow 1.0 testbed switch), each declaring its exact alert
+//     sequence and behaving identically across worker budgets.
+//
 // Quickstart — verify one rule and sweep an 8-switch fleet:
 //
 //	v, _ := monocle.NewVerifier(monocle.WithProbeTag(1))

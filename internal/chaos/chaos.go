@@ -1,0 +1,161 @@
+// Package chaos generates the deterministic adversarial inputs behind
+// the scenario fleet: a tiny seeded PRNG whose sequence is pinned by this
+// package (not by a standard-library implementation that may change
+// between releases) and plan generators that turn it into legal
+// rule-churn storms. Everything is a pure function of the seed, so a
+// scenario that fails in CI reproduces bit-for-bit from its name and
+// seed alone.
+package chaos
+
+import "fmt"
+
+// Rand is a splitmix64 PRNG. The zero value is a valid generator seeded
+// with zero.
+type Rand struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 returns the next value of the splitmix64 sequence.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n). It panics when n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("chaos: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Bool returns the next coin flip.
+func (r *Rand) Bool() bool { return r.Uint64()&1 == 1 }
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements (Fisher–Yates).
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}
+
+// Pick returns k distinct values from [0, n) in ascending order.
+// It panics when k > n.
+func (r *Rand) Pick(n, k int) []int {
+	if k > n {
+		panic("chaos: Pick with k > n")
+	}
+	perm := r.Perm(n)[:k]
+	// Insertion sort: k is tiny and this keeps the package dependency-free.
+	for i := 1; i < len(perm); i++ {
+		for j := i; j > 0 && perm[j] < perm[j-1]; j-- {
+			perm[j], perm[j-1] = perm[j-1], perm[j]
+		}
+	}
+	return perm
+}
+
+// OpKind classifies one churn-plan operation.
+type OpKind uint8
+
+// Churn-plan operation kinds.
+const (
+	// OpAdd installs a rule in a currently-dead slot.
+	OpAdd OpKind = iota
+	// OpModify replaces the action list of a live slot's rule.
+	OpModify
+	// OpDelete removes a live slot's rule.
+	OpDelete
+)
+
+// String names the kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpAdd:
+		return "add"
+	case OpModify:
+		return "modify"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(k))
+	}
+}
+
+// Op is one operation of a churn plan: Kind applied to rule slot Slot.
+type Op struct {
+	Kind OpKind
+	Slot int
+}
+
+// Churn generates an n-op add/modify/delete storm over rule slots
+// [0, slots): every modify and delete targets a slot that is live at that
+// point of the plan, every add targets a dead one, and the plan never
+// deletes the last live rule (an empty table would make the following
+// sweep vacuous). It returns the plan and the slots live after applying
+// all of it, ascending.
+func Churn(r *Rand, slots, n int) (plan []Op, live []int) {
+	if slots <= 0 {
+		panic("chaos: Churn with no slots")
+	}
+	alive := make([]bool, slots)
+	count := 0
+	var dead, up []int
+	for i := 0; i < n; i++ {
+		dead = dead[:0]
+		up = up[:0]
+		for s, a := range alive {
+			if a {
+				up = append(up, s)
+			} else {
+				dead = append(dead, s)
+			}
+		}
+		var kinds []OpKind
+		if len(dead) > 0 {
+			kinds = append(kinds, OpAdd)
+		}
+		if count > 0 {
+			kinds = append(kinds, OpModify)
+		}
+		if count > 1 {
+			kinds = append(kinds, OpDelete)
+		}
+		op := Op{Kind: kinds[r.Intn(len(kinds))]}
+		switch op.Kind {
+		case OpAdd:
+			op.Slot = dead[r.Intn(len(dead))]
+			alive[op.Slot] = true
+			count++
+		case OpModify:
+			op.Slot = up[r.Intn(len(up))]
+		case OpDelete:
+			op.Slot = up[r.Intn(len(up))]
+			alive[op.Slot] = false
+			count--
+		}
+		plan = append(plan, op)
+	}
+	for s, a := range alive {
+		if a {
+			live = append(live, s)
+		}
+	}
+	return plan, live
+}

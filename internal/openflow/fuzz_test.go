@@ -56,8 +56,50 @@ func fuzzSeeds() []Message {
 	}
 }
 
+// traceSeeds reproduces the wire traffic a recorded live-switch session
+// (a -record-dir trace of the scenario fleet) actually carries: strict
+// modify/delete flow-mods with header-rewrite actions (churn plans), and
+// probe frames riding PacketOut/PacketIn. Found divergences replay as
+// traces, so the codec is fuzzed from the same distribution.
+func traceSeeds() []Message {
+	m := flowtable.MatchAll().
+		WithExact(header.EthType, header.EthTypeIPv4).
+		With(header.IPDst, header.Prefix(header.IPDst, 10<<24|1<<8, 24))
+	wm, _ := FromMatch(m)
+	// The abstract probe header the traces record: dl_type 0x800,
+	// dl_vlan 1, in_port 1, nw_dst 10.0.x.0, nw_proto 1.
+	probe := []byte{
+		0x00, 0x00, 0x11, 0x22, 0x33, 0x44, 0x00, 0x00, 0xaa, 0xbb, 0xcc, 0xdd, // eth dst/src
+		0x81, 0x00, 0x00, 0x01, // vlan 1
+		0x08, 0x00, // ipv4
+		0x45, 0x00, 0x00, 0x1c, 0x00, 0x00, 0x00, 0x00, 0x40, 0x01, 0x00, 0x00, // ihl/len/ttl/icmp
+		0x0a, 0x00, 0x00, 0x01, 0x0a, 0x00, 0x01, 0x00, // 10.0.0.1 -> 10.0.1.0
+		0x08, 0x00, 0x00, 0x00, 0x00, 0x07, 0x00, 0x09, // icmp echo + probe metadata
+	}
+	return []Message{
+		FlowMod{
+			Match:    wm,
+			Command:  FCModifyStrict,
+			Priority: 10,
+			BufferID: BufferNone,
+			OutPort:  PortNone,
+			Actions:  []Action{{Type: atSetNWTos, Value: 36}, OutputAction(4)},
+		},
+		FlowMod{
+			Match:    wm,
+			Command:  FCDeleteStrict,
+			Priority: 10,
+			BufferID: BufferNone,
+			OutPort:  PortNone,
+		},
+		PacketOut{BufferID: BufferNone, InPort: PortNone,
+			Actions: []Action{OutputAction(1)}, Data: probe},
+		PacketIn{BufferID: BufferNone, InPort: 1, Reason: ReasonNoMatch, Data: probe},
+	}
+}
+
 func FuzzDecode(f *testing.F) {
-	for _, msg := range fuzzSeeds() {
+	for _, msg := range append(fuzzSeeds(), traceSeeds()...) {
 		b, err := Encode(msg, 0x11223344)
 		if err != nil {
 			f.Fatalf("encoding seed %T: %v", msg, err)

@@ -54,6 +54,27 @@ func FuzzParse(f *testing.F) {
 	// A probe-metadata payload, as real injected probes carry.
 	meta := Metadata{RuleID: 7, Seq: 9, SwitchID: 3, Expect: ExpectPresent, Nonce: 1}
 	f.Add(seedFrame(func(h *header.Header) { h.Set(header.VlanID, 3) }, meta.Marshal()))
+	// Trace-derived seeds: the frames recorded live-switch sessions
+	// actually exchange. The observe records in a -record-dir trace pin
+	// the probe shape — ICMP to a 10.0.x.0 destination on vlan 1 — and
+	// the catches come back with the nw_tos rewrite the churn scenarios'
+	// modify rules apply, still carrying the probe metadata.
+	caught := Metadata{RuleID: 102, Seq: 1, SwitchID: 1, Expect: ExpectPresent, Nonce: 0xC0FFEE}
+	f.Add(seedFrame(func(h *header.Header) {
+		h.Set(header.VlanID, 1)
+		h.Set(header.IPProto, header.ProtoICMP)
+		h.Set(header.IPDst, 10<<24|2<<8)
+		h.Set(header.TPSrc, 8)
+		h.Set(header.TPDst, 0)
+	}, caught.Marshal()))
+	f.Add(seedFrame(func(h *header.Header) {
+		h.Set(header.VlanID, 1)
+		h.Set(header.IPProto, header.ProtoICMP)
+		h.Set(header.IPDst, 10<<24|5<<8)
+		h.Set(header.IPTos, 36) // churn modify's Set nw_tos rewrite
+		h.Set(header.TPSrc, 8)
+		h.Set(header.TPDst, 0)
+	}, Metadata{RuleID: 105, Seq: 2, SwitchID: 1, Expect: ExpectAbsent, Nonce: 0xFEED}.Marshal()))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		h, payload, err := Parse(data)

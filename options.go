@@ -43,10 +43,14 @@ type settings struct {
 	flapWindow  int
 	flapFlips   int
 
+	backendFlapWindow int
+	backendFlapCycles int
+
 	sinks []Sink
 
 	store        Store
 	stateDir     string
+	recordDir    string
 	reconnectMin time.Duration
 	reconnectMax time.Duration
 }
@@ -63,6 +67,9 @@ func defaultSettings() settings {
 		stallSweeps:    3,
 		flapWindow:     6,
 		flapFlips:      3,
+
+		backendFlapWindow: 6,
+		backendFlapCycles: 3,
 	}
 }
 
@@ -227,6 +234,26 @@ func WithFlapWindow(window, flips int) Option {
 		s.flapFlips = max(flips, 1)
 	}
 }
+
+// WithBackendFlapWindow raises AlertBackendFlapping when a switch's
+// driver completes at least cycles disconnect/reconnect cycles within its
+// last window sweep rounds (defaults 6 and 3). Values below 1 are
+// clamped.
+func WithBackendFlapWindow(window, cycles int) Option {
+	return func(s *settings) {
+		s.backendFlapWindow = max(window, 1)
+		s.backendFlapCycles = max(cycles, 1)
+	}
+}
+
+// WithRecordDir makes the Service record every switch's complete backend
+// session — calls, verdicts, events, timings — to an append-only trace
+// file (switch-<id>.trace) in the given directory (created if needed).
+// Traces replay offline through ReplayBackend / cmd/monotrace: a live
+// incident recorded once is reproducible forever, with zero network
+// access. Recording failures degrade the trace, never the monitoring
+// (counted in ServiceMetrics.StoreErrors).
+func WithRecordDir(dir string) Option { return func(s *settings) { s.recordDir = dir } }
 
 // WithAlertSink attaches an alert sink to the Service: every sweep round
 // that raises alerts delivers them to each attached sink. A *RingSink

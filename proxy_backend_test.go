@@ -33,14 +33,14 @@ import (
 // harness (the same role the scripted switch plays in the internal proxy
 // tests).
 type tcpSimSwitch struct {
-	t     *testing.T
-	ln    net.Listener
+	t        *testing.T
+	ln       net.Listener
 	done     chan struct{}
 	fail     chan uint64 // rule ids to delete from the data plane only
 	heal     chan uint64 // rule ids whose injected failure is lifted
 	healDone chan struct{}
-	addr  string
-	ports []monocle.PortID
+	addr     string
+	ports    []monocle.PortID
 	// deliver receives every frame the data plane emits on a physical
 	// port; nil reflects it back as this switch's own PacketIn.
 	deliver func(port monocle.PortID, f monocle.Frame)
@@ -56,14 +56,14 @@ func startTCPSimSwitch(t *testing.T, id uint32, ports []monocle.PortID) *tcpSimS
 		t.Fatal(err)
 	}
 	s := &tcpSimSwitch{
-		t:     t,
-		ln:    ln,
+		t:        t,
+		ln:       ln,
 		done:     make(chan struct{}),
 		fail:     make(chan uint64, 4),
 		heal:     make(chan uint64),
 		healDone: make(chan struct{}),
-		addr:  ln.Addr().String(),
-		ports: ports,
+		addr:     ln.Addr().String(),
+		ports:    ports,
 	}
 	go s.serve(id)
 	return s

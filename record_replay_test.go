@@ -1,0 +1,275 @@
+package monocle
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"monocle/internal/netx"
+)
+
+// replaySessionLog captures the observable outputs of one service
+// session — the per-round ResultRecord streams, every alert, and every
+// rule-update verdict — the artifacts a replay must reproduce
+// bit-for-bit.
+type replaySessionLog struct {
+	rounds   [][]byte
+	alerts   []Alert
+	verdicts []string
+}
+
+func (l *replaySessionLog) sweep(t *testing.T, svc *Service) []Alert {
+	t.Helper()
+	alerts := svc.SweepRound(context.Background())
+	l.alerts = append(l.alerts, alerts...)
+	b, err := json.Marshal(svc.LastSweep())
+	if err != nil {
+		t.Fatalf("marshaling sweep records: %v", err)
+	}
+	l.rounds = append(l.rounds, b)
+	return alerts
+}
+
+func (l *replaySessionLog) apply(t *testing.T, svc *Service, op RuleOp) string {
+	t.Helper()
+	reply, err := svc.ApplyRule(1, op)
+	if err != nil {
+		t.Fatalf("%s rule %d: %v", op.Op, opRuleID(op), err)
+	}
+	l.verdicts = append(l.verdicts, reply.Verdict)
+	return reply.Verdict
+}
+
+// TestRecordReplayLiveSession is the end-to-end record/replay pin: a
+// live ProxyBackend session over real TCP — installs, clean sweeps, an
+// injected data-plane failure, a recovery — is recorded with
+// WithRecordDir, then replayed through a ReplayBackend in a fresh
+// Service with the network provably unreachable. The replay must
+// reproduce the live session's ResultRecord streams byte-for-byte, the
+// same alert sequence, and the same update verdicts, with zero dials.
+func TestRecordReplayLiveSession(t *testing.T) {
+	recDir := t.TempDir()
+	serviceOpts := func() []Option {
+		return []Option{
+			WithWorkers(1),
+			WithDebounce(1),
+			WithDetectionTimeout(150 * time.Millisecond),
+		}
+	}
+
+	// ---- Live session over real TCP, recorded. ----
+	srv, err := StartSwitchServer(SwitchServerConfig{ID: 1, Ports: []PortID{1, 2, 3, 4}, Profile: SwitchProfile{}})
+	if err != nil {
+		t.Fatalf("starting switch server: %v", err)
+	}
+	defer srv.Close()
+
+	live := &replaySessionLog{}
+	svc := NewService(append(serviceOpts(), WithRecordDir(recDir))...)
+	spec := SwitchSpec{
+		ID: 1, Backend: "proxy", Address: srv.Addr(),
+		Ports: []uint16{1, 2, 3, 4},
+		Peers: map[uint16]uint32{1: 1, 2: 1, 3: 1, 4: 1},
+	}
+	if _, err := svc.AddSwitch(spec); err != nil {
+		t.Fatalf("adding live switch: %v", err)
+	}
+
+	rules := []RuleSpec{scenarioRule(0, 30, 2), scenarioRule(1, 20, 3), scenarioRule(2, 10, 4)}
+	for _, rs := range rules {
+		rs := rs
+		if v := live.apply(t, svc, RuleOp{Op: "add", Rule: &rs}); v != "confirmed" {
+			t.Fatalf("live add rule %d: verdict %q, want confirmed", rs.ID, v)
+		}
+	}
+	live.sweep(t, svc)
+	live.sweep(t, svc)
+
+	srv.FailRule(101)
+	if alerts := live.sweep(t, svc); len(alerts) != 1 || AlertKey(alerts[0]) != failKey(1, 101) {
+		t.Fatalf("live failure sweep alerts = %v, want exactly %s", alerts, failKey(1, 101))
+	}
+
+	srv.HealRule(101)
+	heal := rules[1]
+	if v := live.apply(t, svc, RuleOp{Op: "add", Rule: &heal, Dataplane: "actual"}); v != "none" {
+		t.Fatalf("live heal: verdict %q, want none", v)
+	}
+	if alerts := live.sweep(t, svc); len(alerts) != 1 || AlertKey(alerts[0]) != recoverKey(1, 101) {
+		t.Fatalf("live recovery sweep alerts = %v, want exactly %s", alerts, recoverKey(1, 101))
+	}
+
+	if err := svc.Close(); err != nil {
+		t.Fatalf("closing live service: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("closing switch server: %v", err)
+	}
+
+	// ---- Replay: fresh service, network unreachable. ----
+	var dials atomic.Int64
+	restore := netx.SetDialHook(func(ctx context.Context, network, addr string) (net.Conn, error) {
+		dials.Add(1)
+		return nil, fmt.Errorf("network disabled for replay (dialed %s %s)", network, addr)
+	})
+	defer restore()
+
+	tracePath := filepath.Join(recDir, "switch-1.trace")
+	tr, err := ReadTraceFile(tracePath)
+	if err != nil {
+		t.Fatalf("reading trace: %v", err)
+	}
+
+	// Rebuild the switch from its recorded spec annotation — ports and
+	// peers must match for the probe streams to line up — swapping the
+	// live proxy driver for the trace.
+	var annos []TraceRecord
+	replSpec := SwitchSpec{ID: tr.Header.Switch}
+	for _, rec := range tr.Records {
+		switch rec.Kind {
+		case TraceKindSpec:
+			if rec.Spec != nil {
+				replSpec = *rec.Spec
+			}
+		case TraceKindRuleOp, TraceKindRound:
+			annos = append(annos, rec)
+		}
+	}
+	if replSpec.Backend != "proxy" {
+		t.Fatalf("recorded spec backend = %q, want proxy", replSpec.Backend)
+	}
+	replSpec.Backend = "replay"
+	replSpec.Trace = tracePath
+	replSpec.Address = ""
+
+	repl := &replaySessionLog{}
+	svc2 := NewService(serviceOpts()...)
+	defer svc2.Close()
+	if _, err := svc2.AddSwitch(replSpec); err != nil {
+		t.Fatalf("adding replay switch: %v", err)
+	}
+
+	// Re-drive the recorded session: rule-op annotations replay through
+	// the same service entry points, round marks become sweep rounds —
+	// the same merge loop cmd/monotrace runs.
+	for i := 0; i < len(annos); {
+		if annos[i].Kind == TraceKindRuleOp {
+			op := annos[i].RuleOp
+			i++
+			if op == nil {
+				continue
+			}
+			if op.Op == "install" {
+				if err := svc2.InstallRuleSpecs(1, *op.Rule); err != nil {
+					t.Fatalf("replaying install: %v", err)
+				}
+				continue
+			}
+			repl.apply(t, svc2, *op)
+			continue
+		}
+		repl.sweep(t, svc2)
+		i++
+	}
+
+	// The replay must not have diverged, and must never have touched the
+	// network.
+	be, ok := svc2.Fleet().Backend(1)
+	if !ok {
+		t.Fatal("replay backend missing from fleet")
+	}
+	rb, ok := UnwrapBackend(be).(*ReplayBackend)
+	if !ok {
+		t.Fatalf("fleet backend is %T, want *ReplayBackend", UnwrapBackend(be))
+	}
+	if div := rb.Divergence(); div != nil {
+		t.Fatalf("replay diverged: %v", div)
+	}
+	if n := dials.Load(); n != 0 {
+		t.Fatalf("replay dialed the network %d time(s)", n)
+	}
+
+	// Bit-identical session: every round's ResultRecord stream, the full
+	// alert sequence, and every update verdict.
+	if len(repl.rounds) != len(live.rounds) {
+		t.Fatalf("replay ran %d rounds, live ran %d", len(repl.rounds), len(live.rounds))
+	}
+	for i := range live.rounds {
+		if !bytes.Equal(repl.rounds[i], live.rounds[i]) {
+			t.Errorf("round %d ResultRecord stream diverged:\n live:   %s\n replay: %s", i+1, live.rounds[i], repl.rounds[i])
+		}
+	}
+	liveAlerts, _ := json.Marshal(live.alerts)
+	replAlerts, _ := json.Marshal(repl.alerts)
+	if !bytes.Equal(liveAlerts, replAlerts) {
+		t.Errorf("alert streams diverged:\n live:   %s\n replay: %s", liveAlerts, replAlerts)
+	}
+	if len(repl.verdicts) != len(live.verdicts) {
+		t.Fatalf("replay saw %d update verdicts, live saw %d", len(repl.verdicts), len(live.verdicts))
+	}
+	for i := range live.verdicts {
+		if repl.verdicts[i] != live.verdicts[i] {
+			t.Errorf("update %d verdict: live %q, replay %q", i+1, live.verdicts[i], repl.verdicts[i])
+		}
+	}
+}
+
+// TestReplayDivergenceDetected pins the failure mode: a session that
+// departs from its recording (an extra rule operation the live run
+// never made) must produce a structured DivergenceError, not a silent
+// wrong answer.
+func TestReplayDivergenceDetected(t *testing.T) {
+	recDir := t.TempDir()
+
+	srv, err := StartSwitchServer(SwitchServerConfig{ID: 1, Ports: []PortID{1, 2}, Profile: SwitchProfile{}})
+	if err != nil {
+		t.Fatalf("starting switch server: %v", err)
+	}
+	defer srv.Close()
+
+	svc := NewService(WithWorkers(1), WithRecordDir(recDir), WithDetectionTimeout(150*time.Millisecond))
+	if _, err := svc.AddSwitch(SwitchSpec{
+		ID: 1, Backend: "proxy", Address: srv.Addr(),
+		Ports: []uint16{1, 2}, Peers: map[uint16]uint32{1: 1, 2: 1},
+	}); err != nil {
+		t.Fatalf("adding live switch: %v", err)
+	}
+	rs := scenarioRule(0, 10, 2)
+	if _, err := svc.ApplyRule(1, RuleOp{Op: "add", Rule: &rs}); err != nil {
+		t.Fatalf("live add: %v", err)
+	}
+	svc.SweepRound(context.Background())
+	if err := svc.Close(); err != nil {
+		t.Fatalf("closing live service: %v", err)
+	}
+
+	svc2 := NewService(WithWorkers(1))
+	defer svc2.Close()
+	if _, err := svc2.AddSwitch(SwitchSpec{
+		ID: 1, Backend: "replay", Trace: filepath.Join(recDir, "switch-1.trace"),
+		Ports: []uint16{1, 2}, Peers: map[uint16]uint32{1: 1, 2: 1},
+	}); err != nil {
+		t.Fatalf("adding replay switch: %v", err)
+	}
+	// The recording added rule 100 — replaying an add of a different
+	// rule departs from the trace.
+	wrong := scenarioRule(9, 10, 2)
+	if _, err := svc2.ApplyRule(1, RuleOp{Op: "add", Rule: &wrong}); err == nil {
+		t.Fatal("divergent ApplyRule succeeded, want DivergenceError")
+	}
+	be, _ := svc2.Fleet().Backend(1)
+	rb := UnwrapBackend(be).(*ReplayBackend)
+	div := rb.Divergence()
+	if div == nil {
+		t.Fatal("Divergence() = nil after divergent call")
+	}
+	if div.Switch != 1 || div.Got == "" || div.Want == "" {
+		t.Fatalf("divergence report incomplete: %+v", div)
+	}
+}

@@ -19,6 +19,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -51,6 +53,17 @@ type Service struct {
 	// member switch route back to their owner (created on first use).
 	groupMu    sync.Mutex
 	proxyGroup *ProxyGroup
+
+	// recorders holds the per-switch session recorders WithRecordDir
+	// created, for the session-layer annotations (rule ops, round marks).
+	recMu     sync.Mutex
+	recorders map[uint32]*RecordBackend
+
+	// evq accumulates backend lifecycle events between sweep rounds; the
+	// next round drains it into the diff engine before folding results,
+	// so reconnect cycles land deterministically at round boundaries.
+	evMu sync.Mutex
+	evq  []BackendEvent
 
 	mu           sync.Mutex
 	lastSweep    []ResultRecord
@@ -90,6 +103,11 @@ type SwitchMetrics struct {
 	Epoch  uint64     `json:"epoch"`
 	Rules  int        `json:"rules"`
 	Cache  CacheStats `json:"cache"`
+	// EventsDropped counts driver lifecycle events dropped from the
+	// switch's backend event stream (buffer overflow with no consumer
+	// keeping up) — a non-zero value means disconnect/reconnect evidence
+	// may be missing.
+	EventsDropped uint64 `json:"events_dropped,omitempty"`
 }
 
 // SwitchSpec is the POST /switches request body.
@@ -103,11 +121,15 @@ type SwitchSpec struct {
 	// Miss is the table-miss behaviour: "drop" (default) or "controller".
 	Miss string `json:"miss,omitempty"`
 	// Backend selects the switch driver: "sim" (default — a simulated
-	// in-memory data plane) or "proxy" (a live TCP OpenFlow 1.0 switch
-	// fronted by the library's proxy driver).
+	// in-memory data plane), "proxy" (a live TCP OpenFlow 1.0 switch
+	// fronted by the library's proxy driver), or "replay" (a recorded
+	// session trace re-served deterministically with zero network access).
 	Backend string `json:"backend,omitempty"`
 	// Address is the switch's TCP address (backend "proxy").
 	Address string `json:"address,omitempty"`
+	// Trace is the path of the recorded session trace to re-serve
+	// (backend "replay"; see WithRecordDir and cmd/monotrace).
+	Trace string `json:"trace,omitempty"`
 	// Listen is the controller-side proxy listen address (backend
 	// "proxy", optional: empty means the service is the only controller).
 	Listen string `json:"listen,omitempty"`
@@ -189,6 +211,7 @@ func NewService(opts ...Option) *Service {
 		set:          set,
 		fleet:        NewFleet(opts...),
 		differ:       NewDiffer(opts...),
+		recorders:    make(map[uint32]*RecordBackend),
 		alertsByType: make(map[string]uint64),
 	}
 	for _, sink := range set.sinks {
@@ -251,6 +274,11 @@ func (s *Service) AddSwitch(spec SwitchSpec) (*Verifier, error) {
 	if spec.ID == 0 {
 		return nil, fmt.Errorf("monocle: switch id must be non-zero")
 	}
+	// Catch duplicates before any trace file is created: re-registering a
+	// switch must not truncate the trace its live session is writing.
+	if _, dup := s.fleet.Verifier(spec.ID); dup {
+		return nil, fmt.Errorf("%w: %d", ErrDuplicateSwitch, spec.ID)
+	}
 	// Default to the service-level option (WithTableMiss), not MissDrop.
 	miss := s.set.miss
 	switch spec.Miss {
@@ -305,9 +333,35 @@ func (s *Service) AddSwitch(spec SwitchSpec) (*Verifier, error) {
 			ReconnectMin:   s.set.reconnectMin,
 			ReconnectMax:   s.set.reconnectMax,
 		}, opts...)
+	case "replay":
+		if spec.Trace == "" {
+			return nil, fmt.Errorf("monocle: backend \"replay\" needs a trace path")
+		}
+		rb, err := OpenReplayBackend(spec.Trace)
+		if err != nil {
+			return nil, err
+		}
+		if rb.SwitchID() != spec.ID {
+			return nil, fmt.Errorf("monocle: trace %s records switch %d, not %d", spec.Trace, rb.SwitchID(), spec.ID)
+		}
+		be = rb
 	default:
 		return nil, fmt.Errorf("monocle: unknown backend %q", spec.Backend)
 	}
+	// Wrap the driver before Connect so the whole session lands on the
+	// trace, then tap it so lifecycle events feed the diff engine. A replay
+	// driver is never re-recorded: pointing -record-dir at the directory a
+	// trace replays from must not overwrite the evidence.
+	if s.set.recordDir != "" && spec.Backend != "replay" {
+		if rb, err := s.recordSwitch(be); err == nil {
+			rb.RecordSpec(spec)
+			be = rb
+		} else {
+			be.Close()
+			return nil, fmt.Errorf("monocle: record dir: %w", err)
+		}
+	}
+	be = s.tapBackend(be)
 	if err := be.Connect(context.Background()); err != nil {
 		be.Close()
 		return nil, err
@@ -315,6 +369,7 @@ func (s *Service) AddSwitch(spec SwitchSpec) (*Verifier, error) {
 	v, err := s.fleet.AddBackend(be, opts...)
 	if err != nil {
 		be.Close()
+		s.dropRecorder(spec.ID)
 		return nil, err
 	}
 	if s.store != nil {
@@ -323,6 +378,112 @@ func (s *Service) AddSwitch(spec SwitchSpec) (*Verifier, error) {
 		}
 	}
 	return v, nil
+}
+
+// recordSwitch wraps be in a RecordBackend writing to the service's
+// record directory (WithRecordDir), registering the recorder for the
+// session-layer annotations (rule ops, round marks).
+func (s *Service) recordSwitch(be Backend) (*RecordBackend, error) {
+	id := be.SwitchID()
+	if err := os.MkdirAll(s.set.recordDir, 0o755); err != nil {
+		return nil, err
+	}
+	tw, err := CreateTrace(filepath.Join(s.set.recordDir, fmt.Sprintf("switch-%d.trace", id)), TraceHeader{Switch: id})
+	if err != nil {
+		return nil, err
+	}
+	rb := NewRecordBackend(be, tw)
+	s.recMu.Lock()
+	s.recorders[id] = rb
+	s.recMu.Unlock()
+	return rb, nil
+}
+
+// recorder returns switch id's session recorder, nil when not recording.
+func (s *Service) recorder(id uint32) *RecordBackend {
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
+	return s.recorders[id]
+}
+
+// dropRecorder forgets a recorder after a failed registration.
+func (s *Service) dropRecorder(id uint32) {
+	s.recMu.Lock()
+	delete(s.recorders, id)
+	s.recMu.Unlock()
+}
+
+// backendTap is the Service's outermost backend wrapper: it consumes the
+// driver's lifecycle event stream, queues every event for the diff
+// engine (drained at the next sweep round, so reconnect cycles fold at
+// round boundaries), and re-emits it on its own ring for external
+// consumers. The queue is appended before the re-emit: a consumer that
+// saw an event on Events() knows the diff engine will see it no later
+// than the next round — the ordering scenario tests lean on.
+type backendTap struct {
+	Backend
+	svc    *Service
+	events *eventRing
+	done   chan struct{}
+}
+
+// tapBackend wraps be in the service's event tap.
+func (s *Service) tapBackend(be Backend) *backendTap {
+	t := &backendTap{Backend: be, svc: s, events: newEventRing(), done: make(chan struct{})}
+	go t.pump()
+	return t
+}
+
+func (t *backendTap) pump() {
+	defer close(t.done)
+	for ev := range t.Backend.Events() {
+		t.svc.queueBackendEvent(ev)
+		t.events.emit(ev)
+	}
+	t.events.close()
+}
+
+// Unwrap returns the wrapped driver (see UnwrapBackend).
+func (t *backendTap) Unwrap() Backend { return t.Backend }
+
+// Events implements Backend with the tap's re-emitted stream.
+func (t *backendTap) Events() <-chan BackendEvent { return t.events.ch }
+
+// EventDrops implements EventDropCounter: the tap's own drops plus the
+// wrapped driver's.
+func (t *backendTap) EventDrops() uint64 {
+	d := t.events.drops()
+	if c, ok := t.Backend.(EventDropCounter); ok {
+		d += c.EventDrops()
+	}
+	return d
+}
+
+// Close implements Backend, waiting for the pump to drain so every event
+// the driver emitted reaches the diff-engine queue before Close returns.
+func (t *backendTap) Close() error {
+	err := t.Backend.Close()
+	<-t.done
+	return err
+}
+
+// queueBackendEvent queues one driver lifecycle event for the diff
+// engine; SweepRound drains the queue before folding results.
+func (s *Service) queueBackendEvent(ev BackendEvent) {
+	s.evMu.Lock()
+	s.evq = append(s.evq, ev)
+	s.evMu.Unlock()
+}
+
+// drainBackendEvents feeds queued driver events to the diff engine.
+func (s *Service) drainBackendEvents() {
+	s.evMu.Lock()
+	q := s.evq
+	s.evq = nil
+	s.evMu.Unlock()
+	for _, ev := range q {
+		s.differ.ObserveBackendEvent(ev)
+	}
 }
 
 // InstallRules loads pre-existing rules into switch id: the expected
@@ -343,7 +504,30 @@ func (s *Service) InstallRules(id uint32, rules ...*Rule) error {
 	}
 	err := v.Install(rules...)
 	s.persistRules(id, v)
+	if err == nil {
+		if rec := s.recorder(id); rec != nil {
+			for _, r := range rules {
+				rs := ruleSpec(r)
+				rec.RecordRuleOp(RuleOp{Op: "install", Rule: &rs})
+			}
+		}
+	}
 	return err
+}
+
+// InstallRuleSpecs is InstallRules for JSON-form rules — the form trace
+// annotations and HTTP clients carry. cmd/monotrace re-drives recorded
+// "install" annotations through it.
+func (s *Service) InstallRuleSpecs(id uint32, specs ...RuleSpec) error {
+	rules := make([]*Rule, len(specs))
+	for i := range specs {
+		r, err := specs[i].rule()
+		if err != nil {
+			return err
+		}
+		rules[i] = r
+	}
+	return s.InstallRules(id, rules...)
 }
 
 // ApplyRule executes one rule operation against switch id, updating the
@@ -476,6 +660,13 @@ func (s *Service) ApplyRule(id uint32, op RuleOp) (UpdateReply, error) {
 		}
 		reply.Verdict = verdict.String()
 	}
+	// Annotate the trace with the session-level operation so cmd/monotrace
+	// can re-drive the same RuleOp against a replayed backend. Written
+	// after the backend calls it produced, and only for ops that
+	// committed: a rejected op left nothing on the trace to replay.
+	if rec := s.recorder(id); rec != nil {
+		rec.RecordRuleOp(op)
+	}
 	return reply, nil
 }
 
@@ -489,6 +680,9 @@ func (s *Service) SweepRound(ctx context.Context) []Alert {
 	s.sweepMu.Lock()
 	defer s.sweepMu.Unlock()
 	start := time.Now()
+	// Driver lifecycle events queued since the last round fold first, so a
+	// reconnect cycle lands in the same round as the sweep that follows it.
+	s.drainBackendEvents()
 	evs := s.fleet.Sweep(ctx)
 
 	recs := make([]ResultRecord, 0, len(evs))
@@ -496,14 +690,32 @@ func (s *Service) SweepRound(ctx context.Context) []Alert {
 		be, hasBE := s.fleet.Backend(ev.SwitchID)
 		if hasBE && ev.Result.Probe != nil {
 			verdict, err := be.Observe(ctx, ev.Result.Probe, ExpectPresent)
-			if err != nil {
-				// The probe was never observed (cancelled round, backend
-				// closed or disconnected): fold the generation result
-				// unjudged rather than manufacture a failing verdict —
-				// a drain or a flaky transport must not page anyone.
-				s.differ.Observe(ev)
-			} else {
+			var div *DivergenceError
+			switch {
+			case err == nil:
 				s.differ.ObserveVerdict(ev, verdict)
+			case errors.As(err, &div):
+				// A replayed session departed from its recording: the
+				// loudest possible judgement, never a quiet skip — a
+				// silent divergence would defeat the whole point of
+				// deterministic replay.
+				s.differ.ObserveVerdict(ev, VerdictUnexpected)
+			case errors.Is(err, ErrBackendDisconnected), errors.Is(err, ErrBackendClosed):
+				// The backend is down: record presence without judging.
+				// Folding unjudged would mark the rule recovered the
+				// moment the transport died (a false all-clear mid-
+				// outage); dropping the event entirely would make a
+				// mid-sweep flap look like the unswept rules left the
+				// table, forgetting their outstanding alerts. A skipped
+				// observation does neither — and a full-outage round
+				// still counts as missed, so a persistent outage
+				// surfaces as switch_stalled.
+				s.differ.ObserveSkipped(ev)
+			default:
+				// The probe was never observed (cancelled round): fold
+				// the generation result unjudged rather than manufacture
+				// a failing verdict — a drain must not page anyone.
+				s.differ.Observe(ev)
 			}
 		} else {
 			s.differ.Observe(ev)
@@ -549,6 +761,15 @@ func (s *Service) SweepRound(ctx context.Context) []Alert {
 	} else {
 		s.metrics.LastRoundMicrosPerRule = 0
 	}
+	// Mark the completed round on every session trace and flush: a crash
+	// loses at most the round in flight, and cmd/monotrace re-drives one
+	// SweepRound per round mark.
+	s.recMu.Lock()
+	for _, rb := range s.recorders {
+		rb.MarkRound(s.metrics.Rounds)
+		rb.Flush()
+	}
+	s.recMu.Unlock()
 	return alerts
 }
 
@@ -676,7 +897,7 @@ func (s *Service) Resume(ctx context.Context) error {
 			// would rewrite the data plane the monitor is supposed to be
 			// verifying).
 			if be, ok := s.fleet.Backend(id); ok {
-				if _, sim := be.(*SimBackend); sim {
+				if _, sim := UnwrapBackend(be).(*SimBackend); sim {
 					for _, r := range rules {
 						if err := be.Apply(BackendOp{Op: "add", Rule: r}); err != nil {
 							errs = append(errs, fmt.Errorf("switch %d rule %d: %w", id, r.ID, err))
@@ -723,14 +944,21 @@ func (s *Service) Metrics() ServiceMetrics {
 		if !ok {
 			continue
 		}
-		m.Switches = append(m.Switches, SwitchMetrics{
-			Switch: id,
-			Epoch:  v.Epoch(),
-			Rules:  v.Len(),
-			Cache:  v.CacheStats(),
-		})
+		m.Switches = append(m.Switches, s.switchMetrics(id, v))
 	}
 	return m
+}
+
+// switchMetrics builds one switch's metrics slice, including the event
+// drop count of drivers that report one.
+func (s *Service) switchMetrics(id uint32, v *Verifier) SwitchMetrics {
+	sm := SwitchMetrics{Switch: id, Epoch: v.Epoch(), Rules: v.Len(), Cache: v.CacheStats()}
+	if be, ok := s.fleet.Backend(id); ok {
+		if c, ok := be.(EventDropCounter); ok {
+			sm.EventsDropped = c.EventDrops()
+		}
+	}
+	return sm
 }
 
 // Handler returns the monocled HTTP control surface:
@@ -778,7 +1006,7 @@ func (s *Service) handleListSwitches(w http.ResponseWriter, _ *http.Request) {
 	var out []SwitchMetrics
 	for _, id := range s.fleet.Switches() {
 		if v, ok := s.fleet.Verifier(id); ok {
-			out = append(out, SwitchMetrics{Switch: id, Epoch: v.Epoch(), Rules: v.Len(), Cache: v.CacheStats()})
+			out = append(out, s.switchMetrics(id, v))
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -893,7 +1121,7 @@ func (s *Service) writePrometheus(w http.ResponseWriter) {
 	counter("monocle_store_errors_total", "Failed persistence-store writes.", m.StoreErrors)
 
 	fmt.Fprintf(&b, "# HELP monocle_alerts_total Alerts raised, by type.\n# TYPE monocle_alerts_total counter\n")
-	for t := AlertRuleFailing; t <= AlertVerdictFlapping; t++ {
+	for t := AlertRuleFailing; t <= AlertBackendFlapping; t++ {
 		fmt.Fprintf(&b, "monocle_alerts_total{type=%q} %d\n", t.String(), m.AlertsByType[t.String()])
 	}
 
@@ -919,6 +1147,8 @@ func (s *Service) writePrometheus(w http.ResponseWriter) {
 		func(sw SwitchMetrics) int64 { return int64(sw.Cache.DeltaRules) })
 	perSwitch("monocle_switch_cache_rebuilds_total", "Full library rebuilds per switch.", "counter",
 		func(sw SwitchMetrics) int64 { return int64(sw.Cache.Rebuilds) })
+	perSwitch("monocle_backend_events_dropped_total", "Driver lifecycle events dropped from the backend event stream per switch.", "counter",
+		func(sw SwitchMetrics) int64 { return int64(sw.EventsDropped) })
 	w.Write([]byte(b.String()))
 }
 

@@ -118,10 +118,19 @@ type walFile struct {
 }
 
 // OpenFileStore opens (creating if needed) the state directory as a
-// FileStore.
+// FileStore. Orphaned compaction temporaries (a crash between the tmp
+// write and the atomic rename) are swept away: the un-renamed WAL is
+// still the authoritative state, and the next compaction will rewrite it.
 func OpenFileStore(dir string) (*FileStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("monocle: state dir: %w", err)
+	}
+	if entries, err := os.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			if strings.Contains(e.Name(), ".wal.tmp-") {
+				os.Remove(filepath.Join(dir, e.Name()))
+			}
+		}
 	}
 	return &FileStore{dir: dir, files: make(map[string]*walFile)}, nil
 }

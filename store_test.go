@@ -158,6 +158,68 @@ func TestFileStoreTornTail(t *testing.T) {
 	}
 }
 
+func TestFileStoreCrashDuringCompaction(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := SwitchSpec{ID: 5, Backend: "sim", Ports: []uint16{1, 2}}
+	if err := fs.SaveSwitch(spec); err != nil {
+		t.Fatal(err)
+	}
+	rules := []RuleSpec{{ID: 2, Priority: 7, Actions: []ActionSpec{{Output: 2}}}}
+	if err := fs.SaveRules(5, 11, rules); err != nil {
+		t.Fatal(err)
+	}
+	fs.Close()
+
+	// Simulate a kill between the compaction's tmp write and its atomic
+	// rename: a fully written, synced temporary holding a *different*
+	// (would-be compacted) state sits next to the untouched WAL. The WAL
+	// is still the authoritative file — the rename never happened.
+	stale := filepath.Join(dir, switchWALName(5)+".tmp-123456")
+	if err := os.WriteFile(stale,
+		[]byte(`{"seq":1,"kind":"rules","epoch":999,"rules":[{"id":66,"priority":1}]}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fs2, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	state, err := fs2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := state.Switches[5]
+	if !ok {
+		t.Fatalf("switch 5 missing from %+v", state)
+	}
+	if !reflect.DeepEqual(st.Spec, spec) || st.Epoch != 11 || !reflect.DeepEqual(st.Rules, rules) {
+		t.Fatalf("load after compaction crash returned the wrong state: %+v", st)
+	}
+	// The orphaned temporary must be swept on open, not left to pile up.
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale compaction temporary survived open: %v", err)
+	}
+	// The recovered store keeps working: appends and a real compaction
+	// against the survivor WAL.
+	for i := 0; i < compactEvery+1; i++ {
+		if err := fs2.SaveRules(5, uint64(100+i), rules); err != nil {
+			t.Fatal(err)
+		}
+	}
+	state, err = fs2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := state.Switches[5]; got.Epoch != uint64(100+compactEvery) {
+		t.Fatalf("post-recovery compaction lost the latest snapshot: %+v", got)
+	}
+}
+
 func TestRuleSpecRoundTrip(t *testing.T) {
 	arbitrary := Ternary{Value: 0x0a000001 & 0xff0000ff, Mask: 0xff0000ff}
 	rules := []*Rule{

@@ -1,0 +1,307 @@
+package monocle
+
+// Backend session traces: the append-only JSON-line format RecordBackend
+// writes and ReplayBackend re-serves. A trace is one switch's complete
+// driver history — every Connect/Apply/Observe/Epoch call with its
+// outcome, every BackendEvent, and the service-layer markers (switch
+// spec, rule operations, sweep-round boundaries) that let cmd/monotrace
+// re-drive the whole session through a fresh Service. The file format
+// follows the WAL discipline of store.go: a versioned header line,
+// fsync-batched appends, and torn-tail-tolerant reads (a crash mid-append
+// loses at most the unflushed tail, never the parse).
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TraceVersion is the trace format version this build writes and reads.
+const TraceVersion = 1
+
+// ErrTraceVersion reports a trace written by an incompatible format
+// version.
+var ErrTraceVersion = errors.New("monocle: unsupported trace version")
+
+// errNoTraceHeader reports a stream that does not start with a trace
+// header line.
+var errNoTraceHeader = errors.New("monocle: missing trace header")
+
+// TraceHeader is the first line of every trace file. The Version field
+// marshals under the key "monocle_trace", doubling as the file's magic.
+type TraceHeader struct {
+	// Version is the trace format version (TraceVersion).
+	Version int `json:"monocle_trace"`
+	// Switch is the recorded switch's id.
+	Switch uint32 `json:"switch,omitempty"`
+	// Note is a free-form annotation (who recorded, why).
+	Note string `json:"note,omitempty"`
+}
+
+// Trace record kinds. Call records (connect, apply, observe, close) are
+// consumed in strict order by ReplayBackend; event records re-emit on the
+// replay's Events stream at the position they were recorded; annotation
+// records (epoch, spec, rule_op, round) carry session context for offline
+// replay drivers and are skipped by the backend-call cursor.
+const (
+	// TraceKindConnect records one Backend.Connect call and its error.
+	TraceKindConnect = "connect"
+	// TraceKindClose records the Backend.Close call ending the session.
+	TraceKindClose = "close"
+	// TraceKindApply records one Backend.Apply call: the operation, the
+	// driver's post-apply epoch, and the error.
+	TraceKindApply = "apply"
+	// TraceKindObserve records one Backend.Observe call: the probe's
+	// header (the replay matching key), the expectation, and the verdict
+	// or error the data plane produced.
+	TraceKindObserve = "observe"
+	// TraceKindEpoch annotates an explicit Backend.Epoch poll.
+	TraceKindEpoch = "epoch"
+	// TraceKindEvent records one BackendEvent from the driver's stream.
+	TraceKindEvent = "event"
+	// TraceKindSpec annotates the SwitchSpec the switch was added with.
+	TraceKindSpec = "spec"
+	// TraceKindRuleOp annotates one service-level rule operation
+	// (Service.ApplyRule, or an InstallRules entry with Dataplane
+	// "install").
+	TraceKindRuleOp = "rule_op"
+	// TraceKindRound annotates the start of one sweep round.
+	TraceKindRound = "round"
+)
+
+// TraceOp is the serialized form of one BackendOp.
+type TraceOp struct {
+	Op      string       `json:"op"`
+	ID      uint64       `json:"id,omitempty"`
+	Rule    *RuleSpec    `json:"rule,omitempty"`
+	Actions []ActionSpec `json:"actions,omitempty"`
+}
+
+// TraceEvent is the serialized form of one BackendEvent.
+type TraceEvent struct {
+	Type   string `json:"type"`
+	Rule   uint64 `json:"rule,omitempty"`
+	Err    string `json:"err,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// TraceRecord is one trace line. Kind selects which payload fields are
+// meaningful. Seq is a per-trace monotonic sequence number; T is the
+// record's clock offset in nanoseconds from the start of the recording.
+type TraceRecord struct {
+	Seq  uint64 `json:"seq"`
+	T    int64  `json:"t,omitempty"`
+	Kind string `json:"kind"`
+	// Op is the applied operation (kind "apply").
+	Op *TraceOp `json:"op,omitempty"`
+	// Probe is the observed probe (kind "observe"); its Header is the
+	// replay matching key.
+	Probe *ProbeRecord `json:"probe,omitempty"`
+	// RuleID is the observed probe's rule id (kind "observe").
+	RuleID uint64 `json:"rule_id,omitempty"`
+	// Expect is the observation's expectation name (kind "observe").
+	Expect string `json:"expect,omitempty"`
+	// Verdict is the data plane's judgement (kind "observe").
+	Verdict string `json:"verdict,omitempty"`
+	// Err is the call's error text ("" for success).
+	Err string `json:"err,omitempty"`
+	// Epoch is the driver epoch after the call (kinds "connect",
+	// "apply", "epoch").
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Event is the driver lifecycle event (kind "event").
+	Event *TraceEvent `json:"event,omitempty"`
+	// Spec is the switch registration (kind "spec").
+	Spec *SwitchSpec `json:"spec,omitempty"`
+	// RuleOp is the service-level rule operation (kind "rule_op").
+	RuleOp *RuleOp `json:"rule_op,omitempty"`
+	// Round is the sweep round number (kind "round").
+	Round uint64 `json:"round,omitempty"`
+}
+
+// Trace is one decoded trace: the header plus every intact record in
+// file order.
+type Trace struct {
+	Header  TraceHeader
+	Records []TraceRecord
+}
+
+// traceSyncEvery bounds how many appended records may ride one fsync:
+// the writer batches flushes so a probe-per-record sweep does not pay a
+// disk sync per probe, and a crash loses at most the last batch.
+const traceSyncEvery = 32
+
+// TraceWriter appends records to one trace. It is safe for concurrent
+// use (a recording driver appends from the caller's goroutine and its
+// event pump concurrently).
+type TraceWriter struct {
+	mu      sync.Mutex
+	f       *os.File // nil when backed by a plain io.Writer
+	w       *bufio.Writer
+	seq     uint64
+	start   time.Time
+	pending int
+	closed  bool
+}
+
+// CreateTrace creates (truncating) a trace file at path and writes its
+// header.
+func CreateTrace(path string, hdr TraceHeader) (*TraceWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("monocle: trace: %w", err)
+	}
+	tw, err := newTraceWriter(f, f, hdr)
+	if err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return tw, nil
+}
+
+// NewTraceWriter writes a trace to an arbitrary writer (tests, pipes);
+// durability batching applies only to file-backed writers.
+func NewTraceWriter(w io.Writer, hdr TraceHeader) (*TraceWriter, error) {
+	return newTraceWriter(w, nil, hdr)
+}
+
+func newTraceWriter(w io.Writer, f *os.File, hdr TraceHeader) (*TraceWriter, error) {
+	if hdr.Version == 0 {
+		hdr.Version = TraceVersion
+	}
+	tw := &TraceWriter{f: f, w: bufio.NewWriter(w), start: time.Now()}
+	line, err := json.Marshal(hdr)
+	if err != nil {
+		return nil, err
+	}
+	tw.w.Write(line)
+	tw.w.WriteByte('\n')
+	if err := tw.flushLocked(); err != nil {
+		return nil, err
+	}
+	return tw, nil
+}
+
+// Append stamps rec with the next sequence number and its clock offset,
+// encodes it as one line, and schedules it for the next fsync batch.
+func (tw *TraceWriter) Append(rec TraceRecord) error {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	if tw.closed {
+		return fmt.Errorf("monocle: trace writer closed")
+	}
+	tw.seq++
+	rec.Seq = tw.seq
+	rec.T = time.Since(tw.start).Nanoseconds()
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := tw.w.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	tw.pending++
+	if tw.pending >= traceSyncEvery {
+		return tw.flushLocked()
+	}
+	return nil
+}
+
+// Flush forces the pending batch to durable storage.
+func (tw *TraceWriter) Flush() error {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	if tw.closed {
+		return nil
+	}
+	return tw.flushLocked()
+}
+
+func (tw *TraceWriter) flushLocked() error {
+	if err := tw.w.Flush(); err != nil {
+		return err
+	}
+	tw.pending = 0
+	if tw.f != nil {
+		return tw.f.Sync()
+	}
+	return nil
+}
+
+// Close flushes and closes the trace. Idempotent.
+func (tw *TraceWriter) Close() error {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	if tw.closed {
+		return nil
+	}
+	err := tw.flushLocked()
+	tw.closed = true
+	if tw.f != nil {
+		if cerr := tw.f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// ReadTraceFile decodes the trace at path.
+func ReadTraceFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("monocle: trace: %w", err)
+	}
+	defer f.Close()
+	return DecodeTrace(f)
+}
+
+// DecodeTrace decodes one trace stream: the header line, then every
+// record up to (not including) the first torn or corrupt line — the
+// signature of a crash mid-append, tolerated exactly like the store's
+// WALs. A missing header or an unsupported version is an error; torn
+// tails are not.
+func DecodeTrace(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	tr := &Trace{}
+	seenHeader := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if !seenHeader {
+			var hdr TraceHeader
+			if err := json.Unmarshal([]byte(line), &hdr); err != nil || hdr.Version == 0 {
+				return nil, errNoTraceHeader
+			}
+			if hdr.Version != TraceVersion {
+				return nil, fmt.Errorf("%w: %d (this build reads %d)", ErrTraceVersion, hdr.Version, TraceVersion)
+			}
+			tr.Header = hdr
+			seenHeader = true
+			continue
+		}
+		var rec TraceRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			break // torn tail: keep everything already parsed
+		}
+		if rec.Kind == "" {
+			continue // unknown/foreign line: skip, keep reading
+		}
+		tr.Records = append(tr.Records, rec)
+	}
+	if !seenHeader {
+		return nil, errNoTraceHeader
+	}
+	if err := sc.Err(); err != nil {
+		return tr, nil // oversized torn tail: same treatment
+	}
+	return tr, nil
+}

@@ -1,0 +1,117 @@
+package monocle
+
+// Fuzz target for the trace decoder. Traces are the record/replay
+// subsystem's crash-safety surface: monotrace and the replay backend
+// feed them whole files that may end in a torn line (a recorder killed
+// mid-batch) or contain foreign bytes (a corrupted disk, a truncated
+// artifact download). The target asserts the decoder never panics, is
+// deterministic, that everything it accepts re-encodes and re-decodes
+// to the same trace, and that a torn tail appended to any decodable
+// stream never changes the already-parsed prefix.
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// encodeTrace renders a decoded trace back to its on-disk JSON-line form.
+func encodeTrace(t *testing.T, tr *Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(tr.Header); err != nil {
+		t.Fatalf("re-encoding header: %v", err)
+	}
+	for i := range tr.Records {
+		if err := enc.Encode(&tr.Records[i]); err != nil {
+			t.Fatalf("re-encoding record %d: %v", i, err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func FuzzTraceDecode(f *testing.F) {
+	seeds := []string{
+		// A miniature but complete recorded session: header, connect,
+		// spec and rule-op annotations, apply, observe, event, round
+		// marks, close.
+		`{"monocle_trace":1,"switch":1}
+{"seq":1,"t":1000,"kind":"spec","spec":{"id":1,"ports":[1,2],"backend":"proxy","address":"127.0.0.1:6653","peers":{"1":1,"2":1}}}
+{"seq":2,"t":2000,"kind":"connect"}
+{"seq":3,"t":2500,"kind":"event","event":{"type":"connected","detail":"connected to switch"}}
+{"seq":4,"t":3000,"kind":"rule_op","rule_op":{"op":"add","rule":{"id":100,"priority":10,"match":{"dl_type":"2048"},"actions":[{"output":2}]}}}
+{"seq":5,"t":3100,"kind":"apply","op":{"op":"add","rule":{"id":100,"priority":10,"match":{"dl_type":"2048"},"actions":[{"output":2}]}},"epoch":1}
+{"seq":6,"t":4000,"kind":"observe","probe":{"header":{"dl_type":2048,"in_port":1},"present":{"emissions":[{"port":2,"header":{"dl_type":2048,"in_port":1}}]},"absent":{"drop":true}},"rule_id":100,"expect":"present","verdict":"confirmed"}
+{"seq":7,"t":5000,"kind":"round","round":1}
+{"seq":8,"t":6000,"kind":"epoch","epoch":1}
+{"seq":9,"t":7000,"kind":"close"}
+`,
+		// Observe error and event error forms.
+		`{"monocle_trace":1,"switch":2}
+{"seq":1,"kind":"observe","probe":{"header":{}},"rule_id":7,"expect":"absent","err":"monocle: observe timeout"}
+{"seq":2,"kind":"event","event":{"type":"disconnected","err":"EOF","rule":7}}
+`,
+		// Torn tail: the recorder died mid-line.
+		`{"monocle_trace":1,"switch":1}
+{"seq":1,"kind":"connect"}
+{"seq":2,"kind":"apply","op":{"op":"add","ru`,
+		// Unknown kinds and blank lines are skipped, not fatal.
+		`{"monocle_trace":1}
+
+{"seq":1,"kind":"hologram","verdict":"yes"}
+{"seq":2,"kind":"connect"}
+`,
+		// The rejects: no header, bad magic, future version, garbage.
+		`{"seq":1,"kind":"connect"}`,
+		`{"monocle_trace":0,"switch":1}`,
+		`{"monocle_trace":99,"switch":1}`,
+		`{"switch":1}`,
+		`not json at all`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := DecodeTrace(bytes.NewReader(data))
+		tr2, err2 := DecodeTrace(bytes.NewReader(data))
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("nondeterministic decode: %v vs %v", err, err2)
+		}
+		if err != nil {
+			return
+		}
+		if !reflect.DeepEqual(tr, tr2) {
+			t.Fatalf("nondeterministic trace: %+v vs %+v", tr, tr2)
+		}
+
+		// Round-trip: re-encoding the accepted trace in the on-disk form
+		// (one JSON line per record under the same header) must decode
+		// back to a trace with the identical canonical encoding. Byte
+		// comparison of the encodings, not DeepEqual on the structs:
+		// adversarial inputs can produce states JSON cannot distinguish
+		// (an empty-but-non-nil map under omitempty, case-folded keys)
+		// that are equal on disk without being equal in memory.
+		canonical := encodeTrace(t, tr)
+		rt, err := DecodeTrace(bytes.NewReader(canonical))
+		if err != nil {
+			t.Fatalf("re-decoding accepted trace: %v", err)
+		}
+		if again := encodeTrace(t, rt); !bytes.Equal(again, canonical) {
+			t.Fatalf("round-trip changed the trace:\n first:  %s\n second: %s", canonical, again)
+		}
+
+		// Torn-tail tolerance: a partial line appended to any decodable
+		// stream must never corrupt the already-parsed prefix.
+		torn := append(append([]byte{}, canonical...), []byte(`{"seq":9999,"kind":"app`)...)
+		tt, err := DecodeTrace(bytes.NewReader(torn))
+		if err != nil {
+			t.Fatalf("torn tail made the trace unreadable: %v", err)
+		}
+		if got := encodeTrace(t, tt); !bytes.Equal(got, canonical) {
+			t.Fatalf("torn tail changed the parsed prefix:\n want: %s\n got:  %s", canonical, got)
+		}
+	})
+}
