@@ -330,6 +330,19 @@ func (pb *ProxyBackend) SwitchID() uint32 { return pb.cfg.SwitchID }
 // the group's event-loop thread.
 func (pb *ProxyBackend) Monitor() *Monitor { return pb.mon }
 
+// SetObserveTimeout replaces the per-Observe round-trip bound at runtime
+// (non-positive values are ignored). The Service calls it when a
+// monitoring policy attaches a "confirm within" deadline to this switch;
+// in-flight observations keep the timeout they started with.
+func (pb *ProxyBackend) SetObserveTimeout(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	pb.mu.Lock()
+	pb.cfg.ObserveTimeout = d
+	pb.mu.Unlock()
+}
+
 // ControllerAddr returns the resolved controller-side listen address
 // ("" before Connect or without a Listen configuration) — the address an
 // SDN controller dials to reach the monitored switch through this proxy.
@@ -734,11 +747,12 @@ func (pb *ProxyBackend) Observe(ctx context.Context, p *Probe, expect Expectatio
 		return VerdictUnexpected, ErrBackendDisconnected
 	}
 	connLost := pb.connLost
+	timeout := pb.cfg.ObserveTimeout
 	pb.mu.Unlock()
 
 	ch := make(chan Verdict, 1)
 	ok := pb.group.post(func() {
-		pb.mon.ObserveProbe(p, expect, pb.cfg.RetryInterval, pb.cfg.ObserveTimeout, func(v Verdict) {
+		pb.mon.ObserveProbe(p, expect, pb.cfg.RetryInterval, timeout, func(v Verdict) {
 			ch <- v
 		})
 	})

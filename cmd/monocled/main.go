@@ -41,20 +41,21 @@ import (
 
 func main() {
 	var (
-		listen    = flag.String("listen", ":8866", "HTTP listen address")
-		interval  = flag.Duration("interval", 2*time.Second, "steady-state sweep interval")
-		workers   = flag.Int("workers", 0, "fleet-wide solver-worker budget (0 = all CPUs)")
-		debounce  = flag.Int("debounce", 1, "consecutive failing sweeps before a rule alert")
-		stall     = flag.Int("stall", 3, "missed sweep rounds before a switch-stalled alert")
-		flapWin   = flag.Int("flap-window", 6, "sweep window for verdict-flap detection")
-		flapN     = flag.Int("flap-flips", 3, "status flips inside the window that count as flapping")
-		ring      = flag.Int("alert-ring", 4096, "alerts retained in memory for GET /alerts")
-		webhook   = flag.String("alert-webhook", "", "POST each round's alerts as a JSON array to this URL")
-		alertLog  = flag.Bool("alert-log", false, "log one ALERT line per alert on stderr")
-		stateDir  = flag.String("state-dir", "", "persist switches, epoch snapshots, and alerts in this directory and resume from it on start")
-		reconMin  = flag.Duration("reconnect-min", 100*time.Millisecond, "first proxy-backend reconnect backoff delay")
-		reconMax  = flag.Duration("reconnect-max", 15*time.Second, "proxy-backend reconnect backoff cap")
-		recordDir = flag.String("record-dir", "", "record every switch's backend session to <dir>/switch-<id>.trace for deterministic replay (monotrace)")
+		listen     = flag.String("listen", ":8866", "HTTP listen address")
+		interval   = flag.Duration("interval", 2*time.Second, "steady-state sweep interval")
+		workers    = flag.Int("workers", 0, "fleet-wide solver-worker budget (0 = all CPUs)")
+		debounce   = flag.Int("debounce", 1, "consecutive failing sweeps before a rule alert")
+		stall      = flag.Int("stall", 3, "missed sweep rounds before a switch-stalled alert")
+		flapWin    = flag.Int("flap-window", 6, "sweep window for verdict-flap detection")
+		flapN      = flag.Int("flap-flips", 3, "status flips inside the window that count as flapping")
+		ring       = flag.Int("alert-ring", 4096, "alerts retained in memory for GET /alerts")
+		webhook    = flag.String("alert-webhook", "", "POST each round's alerts as a JSON array to this URL")
+		alertLog   = flag.Bool("alert-log", false, "log one ALERT line per alert on stderr")
+		stateDir   = flag.String("state-dir", "", "persist switches, epoch snapshots, and alerts in this directory and resume from it on start")
+		reconMin   = flag.Duration("reconnect-min", 100*time.Millisecond, "first proxy-backend reconnect backoff delay")
+		reconMax   = flag.Duration("reconnect-max", 15*time.Second, "proxy-backend reconnect backoff cap")
+		recordDir  = flag.String("record-dir", "", "record every switch's backend session to <dir>/switch-<id>.trace for deterministic replay (monotrace)")
+		policyFile = flag.String("policy", "", "monitoring-policy file: per-group sweep cadences, rule sampling, alert filters (validate with monopolicy)")
 	)
 	flag.Parse()
 
@@ -78,6 +79,16 @@ func main() {
 	}
 	if *recordDir != "" {
 		opts = append(opts, monocle.WithRecordDir(*recordDir))
+	}
+	if *policyFile != "" {
+		// Unlike WithPolicyFile (which degrades to no policy), a policy
+		// named on the command line failing to parse is an operator typo
+		// that should stop the launch, with the source position.
+		p, err := monocle.ParsePolicyFile(*policyFile)
+		if err != nil {
+			log.Fatalf("monocled: -policy %s: %v", *policyFile, err)
+		}
+		opts = append(opts, monocle.WithPolicy(p))
 	}
 	svc := monocle.NewService(opts...)
 	defer svc.Close()

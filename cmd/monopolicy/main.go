@@ -1,0 +1,148 @@
+// Command monopolicy checks and explains Monocle monitoring policies
+// offline — the pre-flight for `monocled -policy` and `PUT /policy`.
+//
+// Check mode (the default) parses the policy and prints its canonical
+// form; a parse or validation error prints as file:line:col and exits
+// non-zero, so a bad policy fails in CI instead of at the switch:
+//
+//	monopolicy edge.policy
+//
+// Explain mode compiles the policy against a described fleet and prints
+// each switch's resolved assignment — winning group, cadence, sampling,
+// thresholds, alert filter — and, with -rules, the exact probe plan a
+// sweep round would execute (which rule ids are probed, which are left
+// unsampled), as JSON lines:
+//
+//	monopolicy -explain -switches "1=edge;2=edge,rack7;9=core" edge.policy
+//	monopolicy -explain -switches "1=edge;9=core" -rules 200 -round 3 edge.policy
+//
+// Because probe plans are a pure function of (policy, switch, rules,
+// round), the plan printed here is byte-identical to what a running
+// monocled compiles for the same inputs.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"monocle"
+)
+
+func main() {
+	var (
+		explain  = flag.Bool("explain", false, "resolve the policy against a fleet (-switches) and print per-switch assignments")
+		switches = flag.String("switches", "", `fleet description for -explain: "id=tag,tag;id=;..." (e.g. "1=edge;2=edge,rack7;9=core")`)
+		rules    = flag.Int("rules", 0, "with -explain: compile the full probe plan against this many synthetic rules (ids 1..n)")
+		round    = flag.Uint64("round", 0, "with -rules: the group sweep-round index to compile the plan for (drives sampling)")
+		quiet    = flag.Bool("q", false, "check only; print nothing on success")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: monopolicy [-explain -switches SPEC [-rules N -round R]] <policy-file>")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	pol, err := monocle.ParsePolicyFile(path)
+	if err != nil {
+		// A *PolicyError renders "line:col: message"; prefix the file so
+		// editors and CI annotations can jump to the position.
+		var perr *monocle.PolicyError
+		if errors.As(err, &perr) {
+			fmt.Fprintf(os.Stderr, "%s:%v\n", path, perr)
+		} else {
+			fmt.Fprintf(os.Stderr, "monopolicy: %v\n", err)
+		}
+		os.Exit(1)
+	}
+
+	if !*explain {
+		if !*quiet {
+			// The canonical form: normalized values, fixed directive
+			// order — what the policy means, not how it was typed.
+			fmt.Print(pol.String())
+		}
+		return
+	}
+
+	fleet, err := parseFleet(*switches)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "monopolicy: -switches: %v\n", err)
+		os.Exit(2)
+	}
+	table := syntheticRules(*rules)
+	enc := json.NewEncoder(os.Stdout)
+	for _, sw := range fleet {
+		if *rules > 0 {
+			if err := enc.Encode(pol.Plan(sw.id, sw.tags, table, *round)); err != nil {
+				fmt.Fprintf(os.Stderr, "monopolicy: %v\n", err)
+				os.Exit(1)
+			}
+			continue
+		}
+		asn := pol.Assignment(sw.id, sw.tags)
+		if err := enc.Encode(struct {
+			Switch uint32                   `json:"switch"`
+			Tags   []string                 `json:"tags,omitempty"`
+			Plan   monocle.PolicyAssignment `json:"assignment"`
+		}{sw.id, sw.tags, asn}); err != nil {
+			fmt.Fprintf(os.Stderr, "monopolicy: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// fleetSwitch is one -switches entry.
+type fleetSwitch struct {
+	id   uint32
+	tags []string
+}
+
+// parseFleet parses the "id=tag,tag;id=;..." fleet description.
+func parseFleet(spec string) ([]fleetSwitch, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("describe the fleet, e.g. -switches \"1=edge;9=core\"")
+	}
+	var out []fleetSwitch
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		idStr, tagStr, _ := strings.Cut(part, "=")
+		id, err := strconv.ParseUint(strings.TrimSpace(idStr), 10, 32)
+		if err != nil || id == 0 {
+			return nil, fmt.Errorf("bad switch id %q", idStr)
+		}
+		var tags []string
+		for _, t := range strings.Split(tagStr, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				tags = append(tags, t)
+			}
+		}
+		out = append(out, fleetSwitch{id: uint32(id), tags: tags})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out, nil
+}
+
+// syntheticRules builds a stand-in table of n wildcard rules (ids 1..n)
+// so sampling decisions — a pure function of (seed, switch, rule, round)
+// — can be previewed without the real tables.
+func syntheticRules(n int) []*monocle.Rule {
+	rules := make([]*monocle.Rule, n)
+	for i := range rules {
+		rules[i] = &monocle.Rule{
+			ID:       uint64(i + 1),
+			Priority: n - i,
+			Match:    monocle.MatchAll(),
+			Actions:  []monocle.Action{monocle.Output(1)},
+		}
+	}
+	return rules
+}

@@ -166,9 +166,11 @@ type Alert struct {
 
 // observation is one rule's result within the accumulating snapshot.
 type observation struct {
-	status  RuleStatus
-	rec     ResultRecord
-	skipped bool // present in the table but unjudgeable this round
+	status    RuleStatus
+	rec       ResultRecord
+	rule      *Rule // the probed rule, for alert-filter predicates (may be nil)
+	skipped   bool  // present in the table but unjudgeable this round
+	unsampled bool  // present in the table but not selected by the round's plan
 }
 
 // ruleDiff is the folded cross-epoch state of one rule.
@@ -206,9 +208,82 @@ type switchDiff struct {
 type Differ struct {
 	set settings
 
-	mu       sync.Mutex
-	switches map[uint32]*switchDiff
-	rounds   uint64
+	mu        sync.Mutex
+	switches  map[uint32]*switchDiff
+	overrides map[uint32]*DiffOverrides
+	rounds    uint64
+}
+
+// DiffOverrides are per-switch alerting overrides, layered on top of the
+// Differ's own thresholds — how a monitoring policy gives one switch group
+// tighter debounce or a rule-level alert filter without touching the rest
+// of the fleet. Zero-valued thresholds keep the Differ's setting.
+type DiffOverrides struct {
+	// Debounce overrides WithDebounce for this switch.
+	Debounce int
+	// StallSweeps overrides WithStallThreshold for this switch.
+	StallSweeps int
+	// FlapWindow and FlapFlips override WithFlapWindow for this switch
+	// (both must be set together to take effect).
+	FlapWindow int
+	FlapFlips  int
+	// AlertFilter, when non-nil, gates the rule-level alert types
+	// (rule_failing, rule_recovered, verdict_flapping): alerts for rules
+	// it rejects are suppressed symmetrically — a suppressed failure also
+	// suppresses its eventual recovery — while the fold state underneath
+	// still advances, so removing the filter later resumes alerting from
+	// truthful state. Switch-level alerts (switch_stalled,
+	// backend_flapping) are never filtered. The rule pointer may be nil
+	// when the triggering observation carried no rule body.
+	AlertFilter func(rule uint64, r *Rule) bool
+}
+
+// SetOverrides installs (or, with nil, clears) one switch's alerting
+// overrides. Overrides are not part of DifferState: they derive from the
+// active policy, and the Service re-applies them after Restore.
+func (d *Differ) SetOverrides(id uint32, ov *DiffOverrides) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if ov == nil {
+		delete(d.overrides, id)
+		return
+	}
+	if d.overrides == nil {
+		d.overrides = make(map[uint32]*DiffOverrides)
+	}
+	d.overrides[id] = ov
+}
+
+// effective returns the alerting thresholds for one switch: the Differ's
+// settings with any per-switch overrides applied.
+type effectiveThresholds struct {
+	debounce, stallSweeps, flapWindow, flapFlips int
+	filter                                       func(rule uint64, r *Rule) bool
+}
+
+func (d *Differ) effectiveLocked(id uint32) effectiveThresholds {
+	eff := effectiveThresholds{
+		debounce:    d.set.debounce,
+		stallSweeps: d.set.stallSweeps,
+		flapWindow:  d.set.flapWindow,
+		flapFlips:   d.set.flapFlips,
+	}
+	ov := d.overrides[id]
+	if ov == nil {
+		return eff
+	}
+	if ov.Debounce > 0 {
+		eff.debounce = ov.Debounce
+	}
+	if ov.StallSweeps > 0 {
+		eff.stallSweeps = ov.StallSweeps
+	}
+	if ov.FlapWindow > 0 && ov.FlapFlips > 0 {
+		eff.flapWindow = ov.FlapWindow
+		eff.flapFlips = ov.FlapFlips
+	}
+	eff.filter = ov.AlertFilter
+	return eff
 }
 
 // NewDiffer returns an empty diff engine. WithDebounce, WithStallThreshold,
@@ -258,8 +333,25 @@ func (d *Differ) ObserveSkipped(ev SweepEvent) {
 	}
 	sw.cur[ev.Result.Rule.ID] = &observation{
 		skipped: true,
+		rule:    ev.Result.Rule,
 		rec:     NewResultRecord(ev.SwitchID, ev.Epoch, ev.Result),
 	}
+}
+
+// ObserveUnsampled records a rule the round's probe plan deliberately left
+// out (policy sampling). Like a skipped observation it contributes
+// presence only — the rule stays tracked with its debounce streak, flap
+// history, and alert state frozen — but unlike skipped it does not imply
+// transport trouble: a round whose observations are all unsampled is a
+// healthy quiet round, not an outage.
+func (d *Differ) ObserveUnsampled(switchID uint32, epoch, rule uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	sw := d.switchLocked(switchID)
+	if epoch < sw.epoch {
+		return // superseded epoch: the table changed under the sweep
+	}
+	sw.cur[rule] = &observation{unsampled: true}
 }
 
 // statusFromResult classifies a generation result without a verdict.
@@ -319,6 +411,7 @@ func (d *Differ) observe(ev SweepEvent, st RuleStatus) {
 	sw.seen = true
 	sw.cur[ev.Result.Rule.ID] = &observation{
 		status: st,
+		rule:   ev.Result.Rule,
 		rec:    NewResultRecord(ev.SwitchID, ev.Epoch, ev.Result),
 	}
 }
@@ -331,17 +424,59 @@ func (d *Differ) observe(ev SweepEvent, st RuleStatus) {
 func (d *Differ) EndSweep() []Alert {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.rounds++
-
-	var alerts []Alert
 	ids := make([]uint32, 0, len(d.switches))
 	for id := range d.switches {
 		ids = append(ids, id)
 	}
+	return d.endSweepLocked(ids)
+}
+
+// EndSweepScoped finalizes a round that swept only the given switches —
+// one policy group's cadence tick. Switches outside the scope are left
+// untouched: their in-progress snapshots, missed-round counters, and
+// backend flap windows advance only on their own group's rounds, so a
+// 50ms edge cadence cannot stall-out a 5s core group. Unknown switch IDs
+// are tracked from this round on (a swept switch that produced no events
+// must still accrue missed rounds).
+func (d *Differ) EndSweepScoped(ids []uint32) []Alert {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, id := range ids {
+		d.switchLocked(id)
+	}
+	return d.endSweepLocked(ids)
+}
+
+// AbortSweep discards the current round's accumulated snapshots without
+// finalizing anything: no alerts, no debounce/stall/flap advancement, and
+// the round does not count. Backend lifecycle cycles already observed stay
+// pending for the next completed round. It is how a cancelled sweep (the
+// Service's Run context ending mid-round) avoids turning its own partial
+// results into false alerts.
+func (d *Differ) AbortSweep() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, sw := range d.switches {
+		if len(sw.cur) > 0 {
+			sw.cur = make(map[uint64]*observation)
+		}
+		sw.seen = false
+	}
+}
+
+func (d *Differ) endSweepLocked(ids []uint32) []Alert {
+	d.rounds++
+
+	var alerts []Alert
+	ids = append([]uint32(nil), ids...)
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 
 	for _, id := range ids {
 		sw := d.switches[id]
+		if sw == nil {
+			continue
+		}
+		eff := d.effectiveLocked(id)
 
 		// Backend flap detection runs for every switch every round —
 		// transport health is orthogonal to whether the round produced
@@ -370,7 +505,18 @@ func (d *Differ) EndSweep() []Alert {
 			sw.backendFlapped = false
 		}
 
-		if !sw.seen {
+		// A round whose entries are all unsampled is a healthy quiet round
+		// (the plan chose no rules this tick), not an outage: it takes the
+		// normal path below with every entry frozen.
+		quiet := !sw.seen && len(sw.cur) > 0
+		for _, o := range sw.cur {
+			if !quiet {
+				break
+			}
+			quiet = o.unsampled
+		}
+
+		if !sw.seen && !quiet {
 			// A round with only skipped observations (full outage) counts
 			// as missed: the skip entries protected nothing this round,
 			// and must not survive into the next snapshot.
@@ -381,7 +527,7 @@ func (d *Differ) EndSweep() []Alert {
 				continue
 			}
 			sw.missed++
-			if !sw.stalled && sw.missed >= d.set.stallSweeps {
+			if !sw.stalled && sw.missed >= eff.stallSweeps {
 				sw.stalled = true
 				alerts = append(alerts, Alert{
 					Type:     AlertSwitchStalled,
@@ -393,7 +539,9 @@ func (d *Differ) EndSweep() []Alert {
 			}
 			continue
 		}
-		sw.ever = true
+		if sw.seen {
+			sw.ever = true
+		}
 		sw.missed = 0
 		sw.stalled = false
 
@@ -405,11 +553,13 @@ func (d *Differ) EndSweep() []Alert {
 
 		for _, rid := range rids {
 			o := sw.cur[rid]
-			if o.skipped {
-				// Unjudged this round: the snapshot entry keeps the rule
-				// tracked, everything else carries over untouched.
+			if o.skipped || o.unsampled {
+				// Unjudged (or unplanned) this round: the snapshot entry
+				// keeps the rule tracked, everything else carries over
+				// untouched.
 				continue
 			}
+			pass := eff.filter == nil || eff.filter(rid, o.rule)
 			r := sw.rules[rid]
 			if r == nil {
 				r = &ruleDiff{}
@@ -422,37 +572,41 @@ func (d *Differ) EndSweep() []Alert {
 				r.streak = 0
 			}
 
-			if bad && !r.alerted && r.streak >= d.set.debounce {
+			if bad && !r.alerted && r.streak >= eff.debounce {
 				r.alerted = true
-				rec := o.rec
-				alerts = append(alerts, Alert{
-					Type:     AlertRuleFailing,
-					SwitchID: id,
-					Rule:     rid,
-					Epoch:    sw.epoch,
-					Status:   o.status,
-					Streak:   r.streak,
-					Detail:   fmt.Sprintf("rule %d on switch %d %s for %d consecutive sweeps", rid, id, o.status, r.streak),
-					Record:   &rec,
-				})
+				if pass {
+					rec := o.rec
+					alerts = append(alerts, Alert{
+						Type:     AlertRuleFailing,
+						SwitchID: id,
+						Rule:     rid,
+						Epoch:    sw.epoch,
+						Status:   o.status,
+						Streak:   r.streak,
+						Detail:   fmt.Sprintf("rule %d on switch %d %s for %d consecutive sweeps", rid, id, o.status, r.streak),
+						Record:   &rec,
+					})
+				}
 			}
 			if !bad && r.alerted {
 				r.alerted = false
-				rec := o.rec
-				alerts = append(alerts, Alert{
-					Type:     AlertRuleRecovered,
-					SwitchID: id,
-					Rule:     rid,
-					Epoch:    sw.epoch,
-					Status:   o.status,
-					Detail:   fmt.Sprintf("rule %d on switch %d recovered", rid, id),
-					Record:   &rec,
-				})
+				if pass {
+					rec := o.rec
+					alerts = append(alerts, Alert{
+						Type:     AlertRuleRecovered,
+						SwitchID: id,
+						Rule:     rid,
+						Epoch:    sw.epoch,
+						Status:   o.status,
+						Detail:   fmt.Sprintf("rule %d on switch %d recovered", rid, id),
+						Record:   &rec,
+					})
+				}
 			}
 
 			// Flap detection over the last flapWindow sweeps.
 			r.hist = append(r.hist, bad)
-			if len(r.hist) > d.set.flapWindow {
+			if len(r.hist) > eff.flapWindow {
 				r.hist = r.hist[1:]
 			}
 			flips := 0
@@ -461,20 +615,22 @@ func (d *Differ) EndSweep() []Alert {
 					flips++
 				}
 			}
-			if flips >= d.set.flapFlips {
+			if flips >= eff.flapFlips {
 				if !r.flapped {
 					r.flapped = true
-					rec := o.rec
-					alerts = append(alerts, Alert{
-						Type:     AlertVerdictFlapping,
-						SwitchID: id,
-						Rule:     rid,
-						Epoch:    sw.epoch,
-						Status:   o.status,
-						Streak:   flips,
-						Detail:   fmt.Sprintf("rule %d on switch %d flipped %d times in the last %d sweeps", rid, id, flips, len(r.hist)),
-						Record:   &rec,
-					})
+					if pass {
+						rec := o.rec
+						alerts = append(alerts, Alert{
+							Type:     AlertVerdictFlapping,
+							SwitchID: id,
+							Rule:     rid,
+							Epoch:    sw.epoch,
+							Status:   o.status,
+							Streak:   flips,
+							Detail:   fmt.Sprintf("rule %d on switch %d flipped %d times in the last %d sweeps", rid, id, flips, len(r.hist)),
+							Record:   &rec,
+						})
+					}
 				}
 			} else {
 				r.flapped = false

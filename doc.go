@@ -36,6 +36,17 @@
 //     (Sink: RingSink, LogSink, WebhookSink via WithAlertSink) behind a
 //     net/http control surface with JSON and Prometheus metrics.
 //
+//   - Monitoring policies: a declarative DSL (ParsePolicy /
+//     ParsePolicyFile, installed via WithPolicy, WithPolicyFile,
+//     Service.SetPolicy, or PUT /policy) that groups switches by tag or
+//     ID and sets per-group sweep cadences, confirmation deadlines,
+//     seeded rule sampling, Differ threshold overrides, and alert
+//     filters. Policies compile against the live fleet into
+//     deterministic per-switch ProbePlans (Service.ProbePlans,
+//     Policy.Plan) — byte-identical across worker budgets — and
+//     Service.Run sweeps each group at its own cadence. cmd/monopolicy
+//     checks and explains policies offline.
+//
 //   - Record/replay: WithRecordDir wraps every switch backend in a
 //     RecordBackend capturing the whole session — calls, verdicts,
 //     events, epochs — to an append-only trace (CreateTrace /

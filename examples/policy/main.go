@@ -1,0 +1,112 @@
+// Policy runs the monocled service layer under a monitoring policy: two
+// switch classes — latency-sensitive edge switches and a bulky core —
+// declared once in the policy language and compiled into per-switch
+// probe plans every round. The edge group sweeps every rule each round
+// and alerts only on its customer prefix; the core group samples 25% of
+// its table per round (seeded, so the schedule is reproducible) and
+// rotates through the rest on later rounds. A divergence injected behind
+// the verifier's back on each class shows the filter and the sample at
+// work: the edge alert fires only for the filtered prefix, the core
+// alert fires on whichever round its rule's sample comes up.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"monocle"
+)
+
+const policyText = `
+# Edge switches: full coverage, alert only on the customer prefix.
+policy edge {
+  select tag "edge"
+  every 50ms
+  debounce 1
+  alert only nw_dst in 10.0.0.0/8
+}
+
+# Core switches: big tables, sample a quarter per round.
+policy core {
+  select tag "core"
+  every 200ms
+  sample 25% seed 7
+}
+`
+
+func main() {
+	pol, err := monocle.ParsePolicy(policyText)
+	if err != nil {
+		log.Fatalf("policy: %v", err)
+	}
+	svc := monocle.NewService(monocle.WithPolicy(pol))
+	defer svc.Close()
+
+	// Two edge switches, one core switch; tags drive group resolution.
+	for _, sw := range []monocle.SwitchSpec{
+		{ID: 1, Tags: []string{"edge"}},
+		{ID: 2, Tags: []string{"edge"}},
+		{ID: 9, Tags: []string{"core"}},
+	} {
+		if _, err := svc.AddSwitch(sw); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for id := uint32(1); id <= 2; id++ {
+		install(svc, id,
+			rule(1, 200, "10.1.0.0/16"), // customer prefix: alertable
+			rule(2, 100, "192.168.0.0/16"),
+		)
+	}
+	install(svc, 9,
+		rule(1, 400, "10.2.0.0/16"), rule(2, 300, "172.16.0.0/12"),
+		rule(3, 200, "192.168.1.0/24"), rule(4, 100, "10.3.0.0/16"),
+	)
+
+	for _, plan := range svc.ProbePlans() {
+		fmt.Printf("plan: switch %d -> group %q, %d/%d rules this round (%d unsampled)\n",
+			plan.Switch, plan.Group, len(plan.Rules), plan.Total, len(plan.Unsampled))
+	}
+
+	// Break one rule per class behind the verifier's back.
+	breakRule(svc, 1, 2) // edge, non-customer prefix: filtered, no alert
+	breakRule(svc, 1, 1) // edge, customer prefix: alerts
+	breakRule(svc, 9, 3) // core: alerts once its sample round arrives
+
+	ctx := context.Background()
+	for round := 0; round < 8; round++ {
+		for _, a := range svc.SweepRound(ctx) {
+			fmt.Printf("round %d: [%s] %s\n", round, a.Type, a.Detail)
+		}
+	}
+	for _, g := range svc.Metrics().Groups {
+		fmt.Printf("group %q: %d switches, %d rounds, %d rule results\n",
+			g.Group, g.Switches, g.Rounds, g.RulesCovered)
+	}
+}
+
+// rule builds an IPv4-destination ACL rule.
+func rule(id uint64, prio int, dst string) *monocle.Rule {
+	m := monocle.MatchAll()
+	var a, b, c, d, plen int
+	fmt.Sscanf(dst, "%d.%d.%d.%d/%d", &a, &b, &c, &d, &plen)
+	v := uint64(a)<<24 | uint64(b)<<16 | uint64(c)<<8 | uint64(d)
+	m = m.With(monocle.IPDst, monocle.Prefix(monocle.IPDst, v, plen))
+	return &monocle.Rule{ID: id, Priority: prio, Match: m, Actions: []monocle.Action{monocle.Output(1)}}
+}
+
+// install loads rules into both the expected table and the sim data plane.
+func install(svc *monocle.Service, id uint32, rules ...*monocle.Rule) {
+	if err := svc.InstallRules(id, rules...); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// breakRule deletes a rule from the data plane only — the hardware
+// diverging behind the controller's back.
+func breakRule(svc *monocle.Service, id uint32, ruleID uint64) {
+	if _, err := svc.ApplyRule(id, monocle.RuleOp{Op: "delete", ID: ruleID, Dataplane: "actual"}); err != nil {
+		log.Fatal(err)
+	}
+}

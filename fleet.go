@@ -214,7 +214,31 @@ func (f *Fleet) Size() int {
 func (f *Fleet) Sweep(ctx context.Context) []SweepEvent {
 	members := f.snapshot()
 	perMember := make([][]SweepEvent, len(members))
-	f.sweepInto(ctx, members, func(i int, evs []SweepEvent) { perMember[i] = evs })
+	f.sweepInto(ctx, members, nil, func(i int, evs []SweepEvent) { perMember[i] = evs })
+	var out []SweepEvent
+	for _, evs := range perMember {
+		out = append(out, evs...)
+	}
+	return out
+}
+
+// SweepPlan runs one sweep restricted to a probe plan: only member
+// switches present in sel are swept, each over the given rule-id subset.
+// A nil subset sweeps the member's whole table; an empty non-nil subset
+// sweeps nothing for that member (a sampled round that chose no rules)
+// while still claiming its sweep slot. Event ordering and determinism
+// match Sweep: members in registration order, rules in table priority
+// order, bit-identical for any worker budget.
+func (f *Fleet) SweepPlan(ctx context.Context, sel map[uint32][]uint64) []SweepEvent {
+	members := f.snapshot()
+	picked := members[:0:0]
+	for _, m := range members {
+		if _, ok := sel[m.id]; ok {
+			picked = append(picked, m)
+		}
+	}
+	perMember := make([][]SweepEvent, len(picked))
+	f.sweepInto(ctx, picked, sel, func(i int, evs []SweepEvent) { perMember[i] = evs })
 	var out []SweepEvent
 	for _, evs := range perMember {
 		out = append(out, evs...)
@@ -238,7 +262,7 @@ func (f *Fleet) Stream(ctx context.Context) <-chan SweepEvent {
 	members := f.snapshot()
 	go func() {
 		defer close(inner)
-		f.sweepInto(ctx, members, func(_ int, evs []SweepEvent) {
+		f.sweepInto(ctx, members, nil, func(_ int, evs []SweepEvent) {
 			for _, ev := range evs {
 				select {
 				case inner <- ev:
@@ -321,7 +345,12 @@ func (f *Fleet) snapshot() []*fleetMember {
 // members sweep sequentially on the calling goroutine with the full
 // budget (their event-loop contract); self-sweeping backends marshal onto
 // their own loops internally, so they join the concurrent pool.
-func (f *Fleet) sweepInto(ctx context.Context, members []*fleetMember, done func(int, []SweepEvent)) {
+//
+// sel, when non-nil, restricts each member to a rule-id subset (SweepPlan):
+// verifier-backed members generate only the subset; self-sweeping and
+// monitor-backed members sweep their own table and the events are filtered
+// afterwards (their table is theirs to enumerate).
+func (f *Fleet) sweepInto(ctx context.Context, members []*fleetMember, sel map[uint32][]uint64, done func(int, []SweepEvent)) {
 	budget := f.set.effectiveWorkers()
 
 	var vIdx []int
@@ -360,14 +389,21 @@ func (f *Fleet) sweepInto(ctx context.Context, members []*fleetMember, done func
 					}
 					i := vIdx[n]
 					m := members[i]
+					subset, limited := planSubset(sel, m.id)
 					var (
 						epoch   uint64
 						results []ProbeResult
 					)
-					if m.v != nil {
+					switch {
+					case m.v != nil && limited:
+						epoch, results = m.v.sweepSubset(ctx, subset)
+					case m.v != nil:
 						epoch, results = m.v.sweepShard(ctx, share)
-					} else {
+					default:
 						epoch, results = m.be.(Sweeper).SweepExpected(ctx, share)
+						if limited {
+							results = filterResults(results, subset)
+						}
 					}
 					done(i, memberEvents(m.id, epoch, results))
 				}
@@ -382,8 +418,38 @@ func (f *Fleet) sweepInto(ctx context.Context, members []*fleetMember, done func
 		}
 		epoch := m.mon.Epoch()
 		results := m.mon.SweepExpected(ctx, budget)
+		if subset, limited := planSubset(sel, m.id); limited {
+			results = filterResults(results, subset)
+		}
 		done(i, memberEvents(m.id, epoch, results))
 	}
+}
+
+// planSubset looks up one member's rule subset in a sweep plan. The second
+// return is false when the member should sweep its whole table (no plan,
+// or a nil subset).
+func planSubset(sel map[uint32][]uint64, id uint32) ([]uint64, bool) {
+	if sel == nil {
+		return nil, false
+	}
+	subset, ok := sel[id]
+	return subset, ok && subset != nil
+}
+
+// filterResults keeps only results for the planned rule ids, preserving
+// order.
+func filterResults(results []ProbeResult, ids []uint64) []ProbeResult {
+	want := make(map[uint64]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	out := results[:0:0]
+	for _, res := range results {
+		if res.Rule != nil && want[res.Rule.ID] {
+			out = append(out, res)
+		}
+	}
+	return out
 }
 
 // memberEvents wraps one member's sweep results as events.

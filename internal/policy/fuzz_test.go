@@ -1,0 +1,51 @@
+package policy
+
+import "testing"
+
+// FuzzPolicyParse checks the three properties the HTTP surface leans on:
+// the parser never panics on arbitrary input, a policy that parses prints
+// in a canonical form that reparses to the same canonical form (fixed
+// point — PUT /policy can round-trip what GET /policy serves), and
+// rejection is stable (an input that fails once fails identically again,
+// so validate-then-swap cannot race its own answer).
+func FuzzPolicyParse(f *testing.F) {
+	f.Add(demoPolicy)
+	f.Add("")
+	f.Add("policy a { select all }")
+	f.Add("policy a {\n\tselect switch 1, 2\n\tmatch nw_dst in 10.0.0.0/8 and priority >= 5\n\tevery 50ms\n\tsample 12.5% seed 9\n\talert only not dl_type = 0x806\n}\ndefault { stall 4 flap 6 3 }")
+	f.Add(`policy t { select tag "a b", edge confirm within 1.5s alert none }`)
+	f.Add("# comment only\n")
+	f.Add("policy x { select all match (tp_dst = 443 or tp_dst = 80) and not nw_src in 0.0.0.0/0 }")
+	f.Add("policy default { select all }")
+	f.Add("policy a { select all every 1s every 2s }")
+	f.Add("policy a { select all sample 200% }")
+	f.Add("\"unterminated")
+	f.Fuzz(func(t *testing.T, src string) {
+		p1, err1 := Parse(src)
+		_, err2 := Parse(src)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("unstable accept/reject: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			if err2.Error() != err1.Error() {
+				t.Fatalf("unstable error: %q vs %q", err1, err2)
+			}
+			perr, ok := err1.(*Error)
+			if !ok {
+				t.Fatalf("error is %T, want *Error", err1)
+			}
+			if perr.Line < 1 || perr.Col < 1 {
+				t.Fatalf("error position not 1-based: %+v", perr)
+			}
+			return
+		}
+		c1 := p1.String()
+		p2, err := Parse(c1)
+		if err != nil {
+			t.Fatalf("canonical form does not reparse: %v\n--- input:\n%q\n--- canonical:\n%q", err, src, c1)
+		}
+		if c2 := p2.String(); c2 != c1 {
+			t.Fatalf("canonical form is not a fixed point:\n--- input: %q\n--- first: %q\n--- second: %q", src, c1, c2)
+		}
+	})
+}

@@ -1,0 +1,131 @@
+package policy
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// tokKind classifies lexer output. Keywords are not distinguished here —
+// the parser classifies words in context, so `tag`, `seed`, etc. stay
+// usable as tag values and group names.
+type tokKind int
+
+const (
+	tokEOF    tokKind = iota
+	tokWord           // bare word: idents, keywords, numbers, durations, CIDRs
+	tokString         // double-quoted string (text holds the unquoted value)
+	tokPunct          // one of { } ( ) , = < > <= >=
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return strconv.Quote(t.text)
+	default:
+		return strconv.Quote(t.text)
+	}
+}
+
+// lex splits src into tokens. `#` starts a comment running to end of line.
+// Words are runs of letters, digits, and the value characters `_ . / %`
+// (covering numbers, durations like 50ms, CIDRs like 10.0.0.0/8, and
+// percentages like 12.5%).
+func lex(src string) ([]token, *Error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			col = 1
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			col++
+			i++
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+				col++
+			}
+		case c == '{' || c == '}' || c == '(' || c == ')' || c == ',' || c == '=':
+			toks = append(toks, token{tokPunct, string(c), line, col})
+			i++
+			col++
+		case c == '<' || c == '>':
+			text := string(c)
+			if i+1 < len(src) && src[i+1] == '=' {
+				text += "="
+			}
+			toks = append(toks, token{tokPunct, text, line, col})
+			i += len(text)
+			col += len(text)
+		case c == '"':
+			start, startLine, startCol := i, line, col
+			i++
+			col++
+			for i < len(src) && src[i] != '"' && src[i] != '\n' {
+				if src[i] == '\\' && i+1 < len(src) {
+					i++
+					col++
+				}
+				i++
+				col++
+			}
+			if i >= len(src) || src[i] != '"' {
+				return nil, &Error{startLine, startCol, "unterminated string"}
+			}
+			i++
+			col++
+			val, err := strconv.Unquote(src[start:i])
+			if err != nil {
+				return nil, &Error{startLine, startCol, "bad string literal: " + err.Error()}
+			}
+			toks = append(toks, token{tokString, val, startLine, startCol})
+		case isWordChar(c):
+			start, startCol := i, col
+			for i < len(src) && isWordChar(src[i]) {
+				i++
+				col++
+			}
+			toks = append(toks, token{tokWord, src[start:i], line, startCol})
+		default:
+			return nil, &Error{line, col, fmt.Sprintf("unexpected character %q", rune(c))}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line, col})
+	return toks, nil
+}
+
+func isWordChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '_' || c == '.' || c == '/' || c == '%' || c == '-'
+}
+
+// isIdent reports whether s is a plain identifier (a valid group name).
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	c := s[0]
+	if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_') {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,257 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"monocle/internal/flowtable"
+	"monocle/internal/header"
+)
+
+const demoPolicy = `
+# Edge switches: tight cadence, alert only on the corp prefix.
+policy edge {
+	select tag "edge", "dmz"
+	every 50ms
+	confirm within 50ms
+	debounce 1
+	alert only nw_dst in 10.0.0.0/8
+}
+
+policy core {
+	select switch 7, 9
+	match priority >= 10 and not dl_type = 0x806
+	every 5s
+	sample 10% seed 42
+}
+
+default {
+	stall 4
+	flap 8 3
+}
+`
+
+func TestParseDemoPolicy(t *testing.T) {
+	p, err := Parse(demoPolicy)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(p.Groups) != 2 || p.Default == nil {
+		t.Fatalf("got %d groups, default=%v", len(p.Groups), p.Default)
+	}
+	edge := p.Groups[0]
+	if edge.Name != "edge" || len(edge.Select.Tags) != 2 || edge.Dir.Every != 50*time.Millisecond {
+		t.Fatalf("edge group parsed wrong: %+v", edge)
+	}
+	if edge.Dir.Alert == nil || edge.Dir.Alert.Only == nil {
+		t.Fatalf("edge alert filter missing: %+v", edge.Dir.Alert)
+	}
+	core := p.Groups[1]
+	if core.Name != "core" || len(core.Select.IDs) != 2 || core.Dir.SampleBP != 1000 || !core.Dir.HasSeed || core.Dir.Seed != 42 {
+		t.Fatalf("core group parsed wrong: %+v", core)
+	}
+	if p.Default.Stall != 4 || p.Default.FlapWin != 8 || p.Default.FlapFlip != 3 {
+		t.Fatalf("default block parsed wrong: %+v", p.Default)
+	}
+}
+
+func TestCanonicalRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		demoPolicy,
+		``,
+		`policy a { select all }`,
+		`policy a { select switch 1 sample 12.5% }`,
+		`policy a { select tag x alert none } default { every 1500ms }`,
+		`policy a { select tag "spaced tag" match (nw_src in 0.0.0.0/0 or id = 3) and priority < 5 }`,
+		`policy a { select all match not (dl_type = 2048 or dl_type = 0x806) alert all }`,
+		`policy a { select all match tp_dst = 443 or tp_dst = 80 and priority <= 100 }`,
+	} {
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		c1 := p1.String()
+		p2, err := Parse(c1)
+		if err != nil {
+			t.Fatalf("reparse of canonical form failed: %v\n--- canonical:\n%s", err, c1)
+		}
+		if c2 := p2.String(); c2 != c1 {
+			t.Fatalf("canonical form is not a fixed point:\n--- first:\n%s\n--- second:\n%s", c1, c2)
+		}
+	}
+}
+
+func TestParseErrorsCarryPosition(t *testing.T) {
+	cases := []struct {
+		src        string
+		line, col  int
+		wantSubstr string
+	}{
+		{"policy {}", 1, 8, "expected group name"},
+		{"bogus", 1, 1, "expected 'policy' or 'default'"},
+		{"policy a {\n\tselect all\n\tevery fast\n}", 3, 8, "bad duration"},
+		{"policy a {\n\tselect all\n\tsample 200%\n}", 3, 9, "between"},
+		{"policy a {\n\tmatch nw_dst in 10.0.0.0\n\tselect all\n}", 2, 18, "CIDR"},
+		{"policy a {\n\tmatch bogus = 1\n\tselect all\n}", 2, 8, "unknown field"},
+		{"policy a {\n\tselect all\n\tevery 1s\n\tevery 2s\n}", 4, 2, "duplicate every"},
+		{"policy default { select all }", 1, 8, "reserved"},
+		{"policy a { select all }\npolicy a { select all }", 2, 8, "duplicate group"},
+		{"policy a { every 1s }", 1, 8, "no select clause"},
+		{"default { select all }", 1, 11, "cannot select"},
+		{"policy a {\n\tselect all\n\tflap 4 9\n}", 3, 9, "cannot exceed"},
+		{"policy a { select all match dl_type = 99999999 }", 1, 39, "does not fit"},
+		{"policy a { select all\n\tmatch nw_src in 10.0.0.0/40 }", 2, 18, "prefix length"},
+		{"policy a { select all } trailing", 1, 25, "expected 'policy'"},
+		{`policy a { select tag "unterminated`, 1, 23, "unterminated string"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Fatalf("Parse(%q): expected error", c.src)
+		}
+		perr, ok := err.(*Error)
+		if !ok {
+			t.Fatalf("Parse(%q): error is %T, want *Error", c.src, err)
+		}
+		if perr.Line != c.line || perr.Col != c.col || !strings.Contains(perr.Msg, c.wantSubstr) {
+			t.Errorf("Parse(%q) = %q (line %d col %d), want line %d col %d containing %q",
+				c.src, perr.Msg, perr.Line, perr.Col, c.line, c.col, c.wantSubstr)
+		}
+	}
+}
+
+func TestAssignFirstMatchWinsAndInheritance(t *testing.T) {
+	p, err := Parse(`
+policy edge { select tag edge every 50ms debounce 1 }
+policy all  { select all every 5s }
+default { stall 9 every 1s }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge := p.Assign(1, []string{"edge", "rack1"})
+	if edge.Group != "edge" || edge.Dir.Every != 50*time.Millisecond || edge.Dir.Debounce != 1 {
+		t.Fatalf("edge assignment wrong: %+v", edge)
+	}
+	if edge.Dir.Stall != 9 {
+		t.Fatalf("edge should inherit stall from default block: %+v", edge.Dir)
+	}
+	rest := p.Assign(2, nil)
+	if rest.Group != "all" || rest.Dir.Every != 5*time.Second || rest.Dir.Stall != 9 {
+		t.Fatalf("fallthrough assignment wrong: %+v", rest)
+	}
+}
+
+func TestAssignDefaultGroup(t *testing.T) {
+	p, err := Parse(`policy edge { select tag edge } default { every 3s }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.Assign(5, []string{"core"})
+	if d.Group != DefaultGroup || d.Dir.Every != 3*time.Second {
+		t.Fatalf("default assignment wrong: %+v", d)
+	}
+	names := p.GroupNames()
+	if len(names) != 2 || names[0] != "edge" || names[1] != DefaultGroup {
+		t.Fatalf("GroupNames = %v", names)
+	}
+}
+
+func TestPredicateEvalIntersection(t *testing.T) {
+	pred := func(src string) Pred {
+		p, err := Parse("policy a { select all match " + src + " }")
+		if err != nil {
+			t.Fatalf("match %q: %v", src, err)
+		}
+		return p.Groups[0].Dir.Match
+	}
+	rule := func(m flowtable.Match, prio int, id uint64) *flowtable.Rule {
+		return &flowtable.Rule{ID: id, Priority: prio, Match: m}
+	}
+	in10 := flowtable.MatchAll().With(header.IPDst, header.Prefix(header.IPDst, 10<<24, 8))
+	in192 := flowtable.MatchAll().With(header.IPDst, header.Prefix(header.IPDst, 192<<24|168<<16, 16))
+	wild := flowtable.MatchAll()
+
+	p := pred("nw_dst in 10.0.0.0/8")
+	if !p.Eval(rule(in10, 1, 1)) {
+		t.Error("10/8 rule should match nw_dst in 10/8")
+	}
+	if p.Eval(rule(in192, 1, 1)) {
+		t.Error("192.168/16 rule should not match nw_dst in 10/8")
+	}
+	if !p.Eval(rule(wild, 1, 1)) {
+		t.Error("wildcard rule intersects every prefix")
+	}
+
+	p = pred("priority >= 10 and id < 100")
+	if !p.Eval(rule(wild, 10, 99)) || p.Eval(rule(wild, 9, 99)) || p.Eval(rule(wild, 10, 100)) {
+		t.Error("numeric conjunction misbehaves")
+	}
+
+	p = pred("not nw_dst in 10.0.0.0/8")
+	if p.Eval(rule(in10, 1, 1)) || !p.Eval(rule(in192, 1, 1)) {
+		t.Error("negation misbehaves")
+	}
+
+	exact := flowtable.MatchAll().WithExact(header.EthType, 0x800)
+	p = pred("dl_type = 0x800")
+	if !p.Eval(rule(exact, 1, 1)) {
+		t.Error("exact dl_type should match")
+	}
+	p = pred("dl_type = 0x806")
+	if p.Eval(rule(exact, 1, 1)) {
+		t.Error("different dl_type should not match")
+	}
+}
+
+func TestSampledDeterministicAndUnbiased(t *testing.T) {
+	const seed, sw = 7, 3
+	for round := uint64(0); round < 4; round++ {
+		for rid := uint64(1); rid <= 50; rid++ {
+			a := Sampled(seed, sw, rid, round, 2500)
+			b := Sampled(seed, sw, rid, round, 2500)
+			if a != b {
+				t.Fatalf("Sampled not deterministic at rid %d round %d", rid, round)
+			}
+		}
+	}
+	// Rate sanity over many draws: 25% ± a wide margin.
+	hits := 0
+	const n = 4000
+	for rid := uint64(0); rid < n; rid++ {
+		if Sampled(seed, sw, rid, 0, 2500) {
+			hits++
+		}
+	}
+	if hits < n/5 || hits > n/3 {
+		t.Fatalf("25%% sampling hit %d of %d draws", hits, n)
+	}
+	// Degenerate rates sample everything.
+	if !Sampled(seed, sw, 1, 0, 0) || !Sampled(seed, sw, 1, 0, 10000) {
+		t.Fatal("rate 0 / 100% must sample every rule")
+	}
+	// Distinct rounds sample distinct subsets.
+	same := true
+	for rid := uint64(0); rid < 64 && same; rid++ {
+		same = Sampled(seed, sw, rid, 1, 2500) == Sampled(seed, sw, rid, 2, 2500)
+	}
+	if same {
+		t.Fatal("rounds 1 and 2 sampled identical subsets; round is not mixed in")
+	}
+}
+
+func TestSeedDerivedFromGroupName(t *testing.T) {
+	p, err := Parse(`policy a { select switch 1 sample 50% } policy b { select switch 2 sample 50% }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.Assign(1, nil)
+	b := p.Assign(2, nil)
+	if a.Group != "a" || b.Group != "b" {
+		t.Fatalf("assignments: %+v / %+v", a, b)
+	}
+	if a.Seed == b.Seed {
+		t.Fatal("distinct groups must derive distinct default seeds")
+	}
+}

@@ -53,6 +53,9 @@ type settings struct {
 	recordDir    string
 	reconnectMin time.Duration
 	reconnectMax time.Duration
+
+	policy     *Policy
+	policyFile string
 }
 
 // defaultSettings returns the paper-default option values.
@@ -286,6 +289,21 @@ func WithReconnectBackoff(min, max time.Duration) Option {
 		s.reconnectMax = max
 	}
 }
+
+// WithPolicy installs a monitoring policy on the Service at construction:
+// every switch resolves to a policy group, each group sweeps at its own
+// cadence with its own sampling and alerting directives, and GET /policy
+// serves the source text. The policy can be swapped live with
+// Service.SetPolicy or PUT /policy. An explicit policy takes precedence
+// over one persisted in the state directory.
+func WithPolicy(p *Policy) Option { return func(s *settings) { s.policy = p } }
+
+// WithPolicyFile is WithPolicy reading the policy text from a file at
+// construction. A read or parse failure leaves the service running
+// without a policy and is counted in ServiceMetrics.PolicyErrors — like a
+// bad state directory, a bad policy file must not keep the monitor from
+// running. Validate files first with cmd/monopolicy (or ParsePolicyFile).
+func WithPolicyFile(path string) Option { return func(s *settings) { s.policyFile = path } }
 
 // monitorPeers converts the option peer map to the internal type.
 func (s *settings) monitorPeers() map[flowtable.PortID]uint32 { return s.peers }

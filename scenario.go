@@ -213,6 +213,33 @@ func (e *scenarioEnv) sweep() []Alert {
 	return alerts
 }
 
+// sweepGroups drives one sweep round restricted to the named policy
+// groups and accumulates its alerts.
+func (e *scenarioEnv) sweepGroups(groups ...string) []Alert {
+	alerts := e.svc.SweepRound(context.Background(), groups...)
+	e.alerts = append(e.alerts, alerts...)
+	e.rounds++
+	return alerts
+}
+
+// planHasRule reports whether the next compiled probe plan for switch id
+// samples rule rid — plan membership is a pure function of (policy,
+// switch, rules, round), so a scenario can know a loss will surface
+// before it sweeps.
+func planHasRule(svc *Service, id uint32, rid uint64) bool {
+	for _, p := range svc.ProbePlans() {
+		if p.Switch != id {
+			continue
+		}
+		for _, r := range p.Rules {
+			if r == rid {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // apply runs one rule operation and checks the confirmation verdict.
 func (e *scenarioEnv) apply(id uint32, op RuleOp, wantVerdict string) error {
 	reply, err := e.svc.ApplyRule(id, op)
@@ -688,6 +715,105 @@ func Scenarios() []Scenario {
 				e.sweep()
 				e.expect(recoverKey(1, hi.ID))
 				return nil
+			},
+		},
+		{
+			Name:        "policy_groups",
+			Description: "a two-group monitoring policy over live switches: the edge filter mutes the non-customer loss, the core sample surfaces its loss exactly on the round the schedule probes it",
+			run: func(e *scenarioEnv) error {
+				e.service(WithDetectionTimeout(150 * time.Millisecond))
+				srv1, err := e.addSwitch(1, SwitchProfile{}, 1, 2, 3, 4)
+				if err != nil {
+					return err
+				}
+				srv2, err := e.addSwitch(2, SwitchProfile{}, 1, 2, 3, 4)
+				if err != nil {
+					return err
+				}
+				// The edge switch: a customer-prefix rule inside the alert
+				// filter and a guest rule outside it.
+				cust := scenarioRule(0, 20, 2)
+				guest := RuleSpec{ID: 110, Priority: 10,
+					Match:   map[string]string{"dl_type": "0x800", "nw_dst": "192.168.0.0/24"},
+					Actions: []ActionSpec{{Output: 3}}}
+				for _, rs := range []RuleSpec{cust, guest} {
+					spec := rs
+					if err := e.apply(1, RuleOp{Op: "add", Rule: &spec}, "confirmed"); err != nil {
+						return err
+					}
+				}
+				// The core switch: four rules sampled half per round.
+				var core []RuleSpec
+				for slot := 0; slot < 4; slot++ {
+					spec := scenarioRule(slot, 10, churnOutputs[slot%len(churnOutputs)])
+					if err := e.apply(2, RuleOp{Op: "add", Rule: &spec}, "confirmed"); err != nil {
+						return err
+					}
+					core = append(core, spec)
+				}
+				pol, err := ParsePolicy(`
+policy edge {
+  select switch 1
+  debounce 1
+  alert only nw_dst in 10.0.0.0/8
+}
+
+policy core {
+  select switch 2
+  sample 50% seed 3
+}
+`)
+				if err != nil {
+					return err
+				}
+				e.svc.SetPolicy(pol)
+				e.sweep() // healthy baseline across both groups
+
+				// One hardware loss per class behind the verifier's back —
+				// plus the guest rule, whose loss the filter must mute.
+				srv1.FailRule(cust.ID)
+				srv1.FailRule(guest.ID)
+				victim := core[2]
+				srv2.FailRule(victim.ID)
+
+				e.sweepGroups("edge")
+				e.expect(failKey(1, cust.ID)) // the 192.168/24 loss stays silent
+
+				// The core loss surfaces exactly on the round the sample
+				// schedule probes the victim; until then the frozen entry
+				// raises nothing.
+				coreRound := func(want string) error {
+					for round := 0; round < 32; round++ {
+						sampled := planHasRule(e.svc, 2, victim.ID)
+						alerts := e.sweepGroups("core")
+						if sampled {
+							e.expect(want)
+							return nil
+						}
+						if len(alerts) != 0 {
+							return fmt.Errorf("unsampled core round raised %v", alerts)
+						}
+					}
+					return fmt.Errorf("rule %d never sampled in 32 core rounds", victim.ID)
+				}
+				if err := coreRound(failKey(2, victim.ID)); err != nil {
+					return err
+				}
+
+				// Recovery mirrors the split: the filtered rule heals
+				// silently, the others alert exactly once.
+				if err := e.restoreRule(1, cust); err != nil {
+					return err
+				}
+				if err := e.restoreRule(1, guest); err != nil {
+					return err
+				}
+				e.sweepGroups("edge")
+				e.expect(recoverKey(1, cust.ID))
+				if err := e.restoreRule(2, victim); err != nil {
+					return err
+				}
+				return coreRound(recoverKey(2, victim.ID))
 			},
 		},
 	}

@@ -79,6 +79,7 @@ func TestScenariosDeclared(t *testing.T) {
 		"slow_lossy",
 		"ecmp_multicast",
 		"priority_shadow",
+		"policy_groups",
 	}
 	got := Scenarios()
 	if len(got) != len(want) {

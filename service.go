@@ -15,9 +15,11 @@ package monocle
 // controller's back" fault the paper's monitoring exists to catch.
 
 import (
+	"container/heap"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -65,10 +67,20 @@ type Service struct {
 	evMu sync.Mutex
 	evq  []BackendEvent
 
+	// polMu guards the active monitoring policy, the per-switch tag
+	// sets, and the plan version Run's scheduler watches so a policy
+	// swap or switch registration rebuilds the per-group cadences.
+	polMu   sync.Mutex
+	pol     *Policy
+	tags    map[uint32][]string
+	planVer uint64
+
 	mu           sync.Mutex
 	lastSweep    []ResultRecord
 	metrics      ServiceMetrics
 	alertsByType map[string]uint64
+	groupRounds  map[string]uint64
+	groupStats   map[string]*GroupMetrics
 	draining     bool
 }
 
@@ -93,8 +105,15 @@ type ServiceMetrics struct {
 	// StoreErrors counts failed persistence-store writes (the service
 	// keeps monitoring through them; a bad disk must not stop sweeps).
 	StoreErrors uint64 `json:"store_errors,omitempty"`
+	// PolicyErrors counts rejected policy loads: a WithPolicyFile that
+	// did not read or parse, or a persisted policy that no longer parses
+	// on Resume (the service keeps monitoring without the policy).
+	PolicyErrors uint64 `json:"policy_errors,omitempty"`
 	// Switches carries the per-switch epoch and cache snapshots.
 	Switches []SwitchMetrics `json:"switches,omitempty"`
+	// Groups carries the per-policy-group sweep counters, sorted by
+	// group name (empty without an active policy).
+	Groups []GroupMetrics `json:"groups,omitempty"`
 }
 
 // SwitchMetrics is one switch's slice of GET /metrics.
@@ -110,10 +129,35 @@ type SwitchMetrics struct {
 	EventsDropped uint64 `json:"events_dropped,omitempty"`
 }
 
+// GroupMetrics is one policy group's slice of GET /metrics.
+type GroupMetrics struct {
+	// Group is the policy group name ("default" for the implicit
+	// catch-all group).
+	Group string `json:"group"`
+	// Switches counts fleet members currently resolving to the group.
+	Switches int `json:"switches"`
+	// Rounds counts completed sweep rounds that included the group.
+	Rounds uint64 `json:"rounds"`
+	// RulesCovered counts per-rule results the group's switches
+	// contributed across all rounds.
+	RulesCovered uint64 `json:"rules_covered"`
+	// LastRoundRules is the group's result count in its most recent
+	// round.
+	LastRoundRules int `json:"last_round_rules"`
+	// LastRoundMicros is the wall time of the group's most recent round
+	// in µs (a round sweeping several groups shares its wall time).
+	LastRoundMicros int64 `json:"last_round_micros"`
+	// LastRoundMicrosPerRule is the group's most recent per-rule cost.
+	LastRoundMicrosPerRule float64 `json:"last_round_us_per_rule"`
+}
+
 // SwitchSpec is the POST /switches request body.
 type SwitchSpec struct {
 	// ID is the switch id (required, non-zero).
 	ID uint32 `json:"id"`
+	// Tags are free-form labels monitoring-policy selectors match
+	// ("select tag ..."); they have no effect without a policy.
+	Tags []string `json:"tags,omitempty"`
 	// Tag pins the probe tag (default: the switch id).
 	Tag uint64 `json:"tag,omitempty"`
 	// Ports restricts probe in_port values to the switch's real ports.
@@ -213,6 +257,9 @@ func NewService(opts ...Option) *Service {
 		differ:       NewDiffer(opts...),
 		recorders:    make(map[uint32]*RecordBackend),
 		alertsByType: make(map[string]uint64),
+		tags:         make(map[uint32][]string),
+		groupRounds:  make(map[string]uint64),
+		groupStats:   make(map[string]*GroupMetrics),
 	}
 	for _, sink := range set.sinks {
 		if ring, ok := sink.(*RingSink); ok {
@@ -231,6 +278,23 @@ func NewService(opts ...Option) *Service {
 		if st, err := OpenFileStore(set.stateDir); err == nil {
 			s.store = st
 		} else {
+			s.metrics.StoreErrors++
+		}
+	}
+	switch {
+	case set.policy != nil:
+		s.pol = set.policy
+	case set.policyFile != "":
+		if p, err := ParsePolicyFile(set.policyFile); err == nil {
+			s.pol = p
+		} else {
+			// A bad policy file must not keep the monitor from running:
+			// the service comes up without a policy, loudly countable.
+			s.metrics.PolicyErrors++
+		}
+	}
+	if s.pol != nil && s.store != nil {
+		if err := s.store.SavePolicy(s.pol.Source()); err != nil {
 			s.metrics.StoreErrors++
 		}
 	}
@@ -265,6 +329,75 @@ func (s *Service) Fleet() *Fleet { return s.fleet }
 // Differ returns the service's diff engine.
 func (s *Service) Differ() *Differ { return s.differ }
 
+// Policy returns the active monitoring policy (nil when none).
+func (s *Service) Policy() *Policy {
+	s.polMu.Lock()
+	defer s.polMu.Unlock()
+	return s.pol
+}
+
+// planVersion returns the counter Run's scheduler watches: it bumps
+// whenever the group layout may have changed (policy swap, new switch).
+func (s *Service) planVersion() uint64 {
+	s.polMu.Lock()
+	defer s.polMu.Unlock()
+	return s.planVer
+}
+
+// tagsOf returns switch id's registration tags.
+func (s *Service) tagsOf(id uint32) []string {
+	s.polMu.Lock()
+	defer s.polMu.Unlock()
+	return s.tags[id]
+}
+
+// SetPolicy atomically replaces the active monitoring policy (nil clears
+// it): every switch re-resolves to its group, the diff engine's
+// threshold and alert-filter overrides and the proxy drivers'
+// confirmation deadlines are re-applied, Run's scheduler rebuilds its
+// per-group cadences before the next round, and the policy text is
+// persisted so Resume restores it after a restart. A sweep round already
+// in flight finishes under the plan it was compiled with.
+func (s *Service) SetPolicy(p *Policy) {
+	s.polMu.Lock()
+	s.pol = p
+	s.planVer++
+	tags := make(map[uint32][]string, len(s.tags))
+	for id, t := range s.tags {
+		tags[id] = t
+	}
+	s.polMu.Unlock()
+
+	for _, id := range s.fleet.Switches() {
+		var ov *DiffOverrides
+		confirm := s.set.detectionTimeout
+		if p != nil {
+			ov = p.overridesFor(id, tags[id])
+			if c := p.confirmOf(id, tags[id]); c > 0 {
+				confirm = c
+			}
+		}
+		s.differ.SetOverrides(id, ov)
+		if be, ok := s.fleet.Backend(id); ok {
+			if ts, ok := UnwrapBackend(be).(interface{ SetObserveTimeout(time.Duration) }); ok {
+				if confirm <= 0 {
+					confirm = 2 * time.Second // NewProxyBackend's own default
+				}
+				ts.SetObserveTimeout(confirm)
+			}
+		}
+	}
+	if s.store != nil {
+		src := ""
+		if p != nil {
+			src = p.Source()
+		}
+		if err := s.store.SavePolicy(src); err != nil {
+			s.noteStoreErr()
+		}
+	}
+}
+
 // AddSwitch registers a switch with the service: a fleet Verifier for the
 // expected table plus the Backend driver sweeps are judged against — a
 // simulated data-plane table (backend "sim", the default) or the live TCP
@@ -279,6 +412,7 @@ func (s *Service) AddSwitch(spec SwitchSpec) (*Verifier, error) {
 	if _, dup := s.fleet.Verifier(spec.ID); dup {
 		return nil, fmt.Errorf("%w: %d", ErrDuplicateSwitch, spec.ID)
 	}
+	pol := s.Policy()
 	// Default to the service-level option (WithTableMiss), not MissDrop.
 	miss := s.set.miss
 	switch spec.Miss {
@@ -324,11 +458,19 @@ func (s *Service) AddSwitch(spec SwitchSpec) (*Verifier, error) {
 		}
 		group := s.proxyGroup
 		s.groupMu.Unlock()
+		// A policy "confirm within" deadline for this switch bounds the
+		// proxy's Observe round trips from the first observation on.
+		confirm := s.set.detectionTimeout
+		if pol != nil {
+			if c := pol.confirmOf(spec.ID, spec.Tags); c > 0 {
+				confirm = c
+			}
+		}
 		be = NewProxyBackend(ProxyConfig{
 			SwitchID:       spec.ID,
 			SwitchAddr:     spec.Address,
 			Listen:         spec.Listen,
-			ObserveTimeout: s.set.detectionTimeout,
+			ObserveTimeout: confirm,
 			Group:          group,
 			ReconnectMin:   s.set.reconnectMin,
 			ReconnectMax:   s.set.reconnectMax,
@@ -371,6 +513,13 @@ func (s *Service) AddSwitch(spec SwitchSpec) (*Verifier, error) {
 		be.Close()
 		s.dropRecorder(spec.ID)
 		return nil, err
+	}
+	s.polMu.Lock()
+	s.tags[spec.ID] = append([]string(nil), spec.Tags...)
+	s.planVer++
+	s.polMu.Unlock()
+	if pol != nil {
+		s.differ.SetOverrides(spec.ID, pol.overridesFor(spec.ID, spec.Tags))
 	}
 	if s.store != nil {
 		if err := s.store.SaveSwitch(spec); err != nil {
@@ -670,23 +819,120 @@ func (s *Service) ApplyRule(id uint32, op RuleOp) (UpdateReply, error) {
 	return reply, nil
 }
 
-// SweepRound runs one fleet sweep, judges every generated probe against
+// roundPlan pairs one switch's compiled ProbePlan with the table epoch
+// it was compiled against (the frozen-entry folds of unsampled rules
+// need an epoch even when the switch contributed no sweep events).
+type roundPlan struct {
+	plan  ProbePlan
+	epoch uint64
+}
+
+// compilePlans compiles the active policy against the live fleet: one
+// plan per switch whose group is named in groups (empty = every group),
+// at each group's current round counter. Plans are deterministic — a
+// pure function of (policy, switch, installed rules, group round).
+func (s *Service) compilePlans(pol *Policy, groups []string) []roundPlan {
+	var filter map[string]bool
+	if len(groups) > 0 {
+		filter = make(map[string]bool, len(groups))
+		for _, g := range groups {
+			filter[g] = true
+		}
+	}
+	s.mu.Lock()
+	rounds := make(map[string]uint64, len(s.groupRounds))
+	for g, n := range s.groupRounds {
+		rounds[g] = n
+	}
+	s.mu.Unlock()
+	var out []roundPlan
+	for _, id := range s.fleet.Switches() {
+		v, ok := s.fleet.Verifier(id)
+		if !ok {
+			continue
+		}
+		tags := s.tagsOf(id)
+		group := pol.groupOf(id, tags)
+		if filter != nil && !filter[group] {
+			continue
+		}
+		out = append(out, roundPlan{
+			plan:  pol.Plan(id, tags, v.Rules(), rounds[group]),
+			epoch: v.Epoch(),
+		})
+	}
+	return out
+}
+
+// ProbePlans compiles the active policy against the live fleet at each
+// group's next round counter and returns the per-switch plans — exactly
+// what the next SweepRound will probe. Nil without a policy.
+func (s *Service) ProbePlans() []ProbePlan {
+	pol := s.Policy()
+	if pol == nil {
+		return nil
+	}
+	rps := s.compilePlans(pol, nil)
+	out := make([]ProbePlan, len(rps))
+	for i, rp := range rps {
+		out[i] = rp.plan
+	}
+	return out
+}
+
+// SweepRound runs one sweep round, judges every generated probe against
 // its switch's data plane through the Backend seam, feeds the diff
 // engine, finalizes the round, delivers the round's alerts to the
-// attached sinks, and returns them. Run calls this on the steady
-// interval; tests and externally-paced deployments call it directly (or
+// attached sinks, and returns them. Run calls this on the per-group
+// cadences; tests and externally-paced deployments call it directly (or
 // through POST /sweep).
-func (s *Service) SweepRound(ctx context.Context) []Alert {
+//
+// With an active policy the round first compiles each switch's probe
+// plan and sweeps only the planned rules; groups names the policy groups
+// to include (none = every group, which is also the no-policy
+// behaviour). Cancelling ctx aborts the round: the partial fold is
+// discarded (no false failing-rule streaks from unprocessed rules), the
+// round is not counted, and nil is returned.
+func (s *Service) SweepRound(ctx context.Context, groups ...string) []Alert {
 	s.sweepMu.Lock()
 	defer s.sweepMu.Unlock()
 	start := time.Now()
 	// Driver lifecycle events queued since the last round fold first, so a
 	// reconnect cycle lands in the same round as the sweep that follows it.
 	s.drainBackendEvents()
-	evs := s.fleet.Sweep(ctx)
+
+	pol := s.Policy()
+	var (
+		evs   []SweepEvent
+		plans []roundPlan
+	)
+	if pol == nil {
+		evs = s.fleet.Sweep(ctx)
+	} else {
+		plans = s.compilePlans(pol, groups)
+		sel := make(map[uint32][]uint64, len(plans))
+		for _, rp := range plans {
+			sel[rp.plan.Switch] = rp.plan.Rules
+		}
+		evs = s.fleet.SweepPlan(ctx, sel)
+	}
+
+	// abort discards a cancelled round: folding its partial results would
+	// turn every unprocessed rule into a false failing streak, so the
+	// diff engine drops the partial fold and the round is not counted.
+	abort := func() []Alert {
+		s.differ.AbortSweep()
+		return nil
+	}
+	if ctx.Err() != nil {
+		return abort()
+	}
 
 	recs := make([]ResultRecord, 0, len(evs))
 	for _, ev := range evs {
+		if ctx.Err() != nil {
+			return abort()
+		}
 		be, hasBE := s.fleet.Backend(ev.SwitchID)
 		if hasBE && ev.Result.Probe != nil {
 			verdict, err := be.Observe(ctx, ev.Result.Probe, ExpectPresent)
@@ -722,7 +968,42 @@ func (s *Service) SweepRound(ctx context.Context) []Alert {
 		}
 		recs = append(recs, ev.Record())
 	}
-	alerts := s.differ.EndSweep()
+
+	// Matched-but-unsampled rules fold as frozen entries: still tracked
+	// (their absence from the sweep must not read as "left the table"),
+	// never alerted on, streaks and epochs kept.
+	if len(plans) > 0 {
+		epochs := make(map[uint32]uint64, len(plans))
+		for _, ev := range evs {
+			epochs[ev.SwitchID] = ev.Epoch
+		}
+		for _, rp := range plans {
+			epoch, ok := epochs[rp.plan.Switch]
+			if !ok {
+				epoch = rp.epoch
+			}
+			for _, rid := range rp.plan.Unsampled {
+				s.differ.ObserveUnsampled(rp.plan.Switch, epoch, rid)
+			}
+		}
+	}
+	if ctx.Err() != nil {
+		return abort()
+	}
+
+	var alerts []Alert
+	if pol == nil {
+		alerts = s.differ.EndSweep()
+	} else {
+		// Only the swept groups' switches participate in this round:
+		// unswept groups accrue neither missed-round streaks nor
+		// rule-left-table inferences from a round that never probed them.
+		participants := make([]uint32, 0, len(plans))
+		for _, rp := range plans {
+			participants = append(participants, rp.plan.Switch)
+		}
+		alerts = s.differ.EndSweepScoped(participants)
+	}
 
 	// WAL ordering: persist the round (fold state + alerts) before any
 	// sink sees the alerts. A crash between the two re-delivers on the
@@ -761,6 +1042,39 @@ func (s *Service) SweepRound(ctx context.Context) []Alert {
 	} else {
 		s.metrics.LastRoundMicrosPerRule = 0
 	}
+	if len(plans) > 0 {
+		// Per-group stats: attribute this round's results to the groups
+		// that swept, and advance their round counters (the sampling
+		// sequence index the next plan compilation uses).
+		bySwitch := make(map[uint32]string, len(plans))
+		groupRules := make(map[string]int, len(plans))
+		for _, rp := range plans {
+			bySwitch[rp.plan.Switch] = rp.plan.Group
+			if _, ok := groupRules[rp.plan.Group]; !ok {
+				groupRules[rp.plan.Group] = 0 // a group with no results still counts its round
+			}
+		}
+		for i := range recs {
+			groupRules[bySwitch[recs[i].Switch]]++
+		}
+		for g, n := range groupRules {
+			gs := s.groupStats[g]
+			if gs == nil {
+				gs = &GroupMetrics{Group: g}
+				s.groupStats[g] = gs
+			}
+			gs.Rounds++
+			gs.RulesCovered += uint64(n)
+			gs.LastRoundRules = n
+			gs.LastRoundMicros = s.metrics.LastRoundMicros
+			if n > 0 {
+				gs.LastRoundMicrosPerRule = float64(gs.LastRoundMicros) / float64(n)
+			} else {
+				gs.LastRoundMicrosPerRule = 0
+			}
+			s.groupRounds[g]++
+		}
+	}
 	// Mark the completed round on every session trace and flush: a crash
 	// loses at most the round in flight, and cmd/monotrace re-drives one
 	// SweepRound per round mark.
@@ -773,11 +1087,84 @@ func (s *Service) SweepRound(ctx context.Context) []Alert {
 	return alerts
 }
 
-// Run drives steady-state sweep rounds every WithSteadyInterval until the
-// context is cancelled, then drains gracefully: the in-flight round
-// completes (rounds run under their own context, so cancellation never
-// truncates one mid-sweep), the service is marked draining for /healthz,
-// and the context's error is returned.
+// groupEntry is one scheduled policy group in Run's cadence heap.
+type groupEntry struct {
+	name  string // "" is the no-policy catch-all sweeping everything
+	every time.Duration
+	due   time.Time
+}
+
+// groupHeap orders entries by due time, ties broken by name so the
+// schedule is deterministic.
+type groupHeap []*groupEntry
+
+func (h groupHeap) Len() int { return len(h) }
+func (h groupHeap) Less(i, j int) bool {
+	if !h[i].due.Equal(h[j].due) {
+		return h[i].due.Before(h[j].due)
+	}
+	return h[i].name < h[j].name
+}
+func (h groupHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *groupHeap) Push(x any)   { *h = append(*h, x.(*groupEntry)) }
+func (h *groupHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// buildSchedule computes Run's sweep schedule: one entry per populated
+// policy group at the group's declared cadence (the service interval
+// when it declares none), or a single catch-all entry at the service
+// interval when no policy is active or no switch resolves to any group.
+// Groups surviving a rebuild keep their due times; new groups are due
+// immediately — installing a policy mid-run starts its cadences at once.
+func (s *Service) buildSchedule(prev *groupHeap, now time.Time) *groupHeap {
+	prevDue := make(map[string]time.Time)
+	if prev != nil {
+		for _, e := range *prev {
+			prevDue[e.name] = e.due
+		}
+	}
+	h := &groupHeap{}
+	add := func(name string, every time.Duration) {
+		if every <= 0 {
+			every = s.set.steadyInterval
+		}
+		due, ok := prevDue[name]
+		if !ok {
+			due = now
+		}
+		heap.Push(h, &groupEntry{name: name, every: every, due: due})
+	}
+	pol := s.Policy()
+	if pol != nil {
+		seen := make(map[string]bool)
+		for _, id := range s.fleet.Switches() {
+			g := pol.groupOf(id, s.tagsOf(id))
+			if seen[g] {
+				continue
+			}
+			seen[g] = true
+			add(g, pol.everyOf(g))
+		}
+	}
+	if h.Len() == 0 {
+		add("", 0)
+	}
+	return h
+}
+
+// Run drives steady-state sweep rounds until the context is cancelled.
+// Without a policy every round sweeps everything on WithSteadyInterval;
+// with one, each policy group sweeps at its own cadence (a min-heap of
+// next-due groups), rebuilt whenever the policy is swapped or a switch
+// registers. Cancellation aborts an in-flight round cleanly — the
+// partial fold is discarded rather than turned into false alerts — then
+// the service is marked draining for /healthz and the context's error is
+// returned.
 func (s *Service) Run(ctx context.Context) error {
 	// A previous Run marked the service draining on its way out; a new
 	// Run is the restart-lifecycle moment to clear it, or /healthz
@@ -785,20 +1172,57 @@ func (s *Service) Run(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = false
 	s.mu.Unlock()
-	ticker := time.NewTicker(s.set.steadyInterval)
-	defer ticker.Stop()
-	s.SweepRound(context.Background())
+	drain := func() error {
+		s.mu.Lock()
+		s.draining = true
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	var (
+		sched *groupHeap
+		ver   uint64
+	)
 	for {
+		if v := s.planVersion(); sched == nil || v != ver {
+			sched = s.buildSchedule(sched, time.Now())
+			ver = v
+		}
+		next := (*sched)[0]
+		timer.Reset(time.Until(next.due))
 		select {
 		case <-ctx.Done():
-			s.mu.Lock()
-			s.draining = true
-			s.mu.Unlock()
-			return ctx.Err()
-		case <-ticker.C:
-			s.SweepRound(context.Background())
+			if !timer.Stop() {
+				<-timer.C
+			}
+			return drain()
+		case <-timer.C:
 		}
+		s.SweepRound(ctx, sweepArgs(next.name)...)
+		if ctx.Err() != nil {
+			return drain()
+		}
+		next.due = next.due.Add(next.every)
+		if !next.due.After(time.Now()) {
+			// The round overran its cadence: rebase instead of sweeping a
+			// burst of make-up rounds.
+			next.due = time.Now().Add(next.every)
+		}
+		heap.Fix(sched, 0)
 	}
+}
+
+// sweepArgs turns a schedule entry name into SweepRound's group list
+// (the catch-all entry sweeps every group).
+func sweepArgs(name string) []string {
+	if name == "" {
+		return nil
+	}
+	return []string{name}
 }
 
 // Alerts returns a snapshot of the alert ring (oldest first).
@@ -911,6 +1335,19 @@ func (s *Service) Resume(ctx context.Context) error {
 		}
 		v.restoreEpoch(st.Epoch)
 	}
+	// The previous life's policy comes back after the switches so the
+	// swap re-applies overrides to the restored fleet. An explicit
+	// WithPolicy/WithPolicyFile takes precedence over the persisted text.
+	if state.Policy != "" && s.Policy() == nil {
+		if p, err := ParsePolicy(state.Policy); err == nil {
+			s.SetPolicy(p)
+		} else {
+			errs = append(errs, fmt.Errorf("persisted policy: %w", err))
+			s.mu.Lock()
+			s.metrics.PolicyErrors++
+			s.mu.Unlock()
+		}
+	}
 	s.differ.Restore(diffState)
 	if len(state.Alerts) > 0 {
 		if err := s.ring.Deliver(ctx, state.Alerts); err != nil {
@@ -938,6 +1375,10 @@ func (s *Service) Metrics() ServiceMetrics {
 			m.AlertsByType[k] = v
 		}
 	}
+	groups := make(map[string]GroupMetrics, len(s.groupStats))
+	for g, gs := range s.groupStats {
+		groups[g] = *gs
+	}
 	s.mu.Unlock()
 	for _, id := range s.fleet.Switches() {
 		v, ok := s.fleet.Verifier(id)
@@ -946,6 +1387,21 @@ func (s *Service) Metrics() ServiceMetrics {
 		}
 		m.Switches = append(m.Switches, s.switchMetrics(id, v))
 	}
+	if pol := s.Policy(); pol != nil {
+		// Current membership counts; a populated group appears even
+		// before its first round.
+		for _, id := range s.fleet.Switches() {
+			g := pol.groupOf(id, s.tagsOf(id))
+			gm := groups[g]
+			gm.Group = g
+			gm.Switches++
+			groups[g] = gm
+		}
+	}
+	for _, gm := range groups {
+		m.Groups = append(m.Groups, gm)
+	}
+	sort.Slice(m.Groups, func(i, j int) bool { return m.Groups[i].Group < m.Groups[j].Group })
 	return m
 }
 
@@ -966,7 +1422,13 @@ func (s *Service) switchMetrics(id uint32, v *Verifier) SwitchMetrics {
 //	POST /switches            add a switch (SwitchSpec)
 //	GET  /switches            list switches with epochs and rule counts
 //	POST /switches/{id}/rules apply a RuleOp, returns UpdateReply
-//	POST /sweep               run one sweep round now, returns its alerts
+//	POST /sweep               run one sweep round now (?group= limits it
+//	                          to named policy groups), returns its alerts
+//	GET  /policy              active policy source text (404 when none)
+//	PUT  /policy              validate-then-swap the monitoring policy
+//	                          (422 with line/column on a parse error,
+//	                          leaving the running plan untouched; an
+//	                          empty body clears the policy)
 //	GET  /sweeps              last round's ResultRecords, one JSON line each
 //	GET  /alerts              retained alerts, one JSON line each
 //	GET  /healthz             liveness and drain state
@@ -978,6 +1440,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /switches", s.handleListSwitches)
 	mux.HandleFunc("POST /switches/{id}/rules", s.handleRules)
 	mux.HandleFunc("POST /sweep", s.handleSweepNow)
+	mux.HandleFunc("GET /policy", s.handleGetPolicy)
+	mux.HandleFunc("PUT /policy", s.handlePutPolicy)
 	mux.HandleFunc("GET /sweeps", s.handleSweeps)
 	mux.HandleFunc("GET /alerts", s.handleAlerts)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -1042,17 +1506,66 @@ func (s *Service) handleRules(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, reply)
 }
 
-func (s *Service) handleSweepNow(w http.ResponseWriter, _ *http.Request) {
+func (s *Service) handleSweepNow(w http.ResponseWriter, r *http.Request) {
 	// Deliberately not the request context: a client disconnect mid-sweep
-	// would cancel the round and turn every unswept rule into a false
-	// StatusError failing alert (Run's loop avoids this the same way).
-	alerts := s.SweepRound(context.Background())
+	// would abort the round, and an operator-requested sweep should
+	// complete once started.
+	alerts := s.SweepRound(context.Background(), r.URL.Query()["group"]...)
 	s.mu.Lock()
 	round := s.metrics.Rounds
 	rules := s.metrics.LastRoundRules
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"round": round, "rules": rules, "alerts": alerts,
+	})
+}
+
+func (s *Service) handleGetPolicy(w http.ResponseWriter, _ *http.Request) {
+	pol := s.Policy()
+	if pol == nil {
+		httpError(w, http.StatusNotFound, errors.New("no active policy"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte(pol.Source()))
+}
+
+// handlePutPolicy validates, then swaps: a body that does not parse is
+// rejected with 422 Unprocessable Entity carrying the offending source
+// line and column, and the running plan stays untouched. An empty body
+// clears the active policy.
+func (s *Service) handlePutPolicy(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if strings.TrimSpace(string(body)) == "" {
+		s.SetPolicy(nil)
+		writeJSON(w, http.StatusOK, map[string]any{"policy": nil})
+		return
+	}
+	p, err := ParsePolicy(string(body))
+	if err != nil {
+		var perr *PolicyError
+		if errors.As(err, &perr) {
+			writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
+				"error": perr.Error(), "line": perr.Line, "column": perr.Col,
+			})
+		} else {
+			httpError(w, http.StatusUnprocessableEntity, err)
+		}
+		return
+	}
+	s.SetPolicy(p)
+	assignments := make(map[string][]uint32)
+	for _, id := range s.fleet.Switches() {
+		g := p.groupOf(id, s.tagsOf(id))
+		assignments[g] = append(assignments[g], id)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"groups":      p.GroupNames(),
+		"assignments": assignments,
 	})
 }
 
@@ -1119,6 +1632,7 @@ func (s *Service) writePrometheus(w http.ResponseWriter) {
 	counter("monocle_rules_swept_total", "Per-rule results across all rounds.", m.RulesSwept)
 	counter("monocle_sink_errors_total", "Failed alert-sink deliveries.", m.SinkErrors)
 	counter("monocle_store_errors_total", "Failed persistence-store writes.", m.StoreErrors)
+	counter("monocle_policy_errors_total", "Rejected monitoring-policy loads.", m.PolicyErrors)
 
 	fmt.Fprintf(&b, "# HELP monocle_alerts_total Alerts raised, by type.\n# TYPE monocle_alerts_total counter\n")
 	for t := AlertRuleFailing; t <= AlertBackendFlapping; t++ {
@@ -1127,6 +1641,23 @@ func (s *Service) writePrometheus(w http.ResponseWriter) {
 
 	fmt.Fprintf(&b, "# HELP monocle_last_round_rules Result count of the most recent round.\n# TYPE monocle_last_round_rules gauge\nmonocle_last_round_rules %d\n", m.LastRoundRules)
 	fmt.Fprintf(&b, "# HELP monocle_last_round_us_per_rule Per-rule cost of the most recent round in microseconds.\n# TYPE monocle_last_round_us_per_rule gauge\nmonocle_last_round_us_per_rule %g\n", m.LastRoundMicrosPerRule)
+
+	if len(m.Groups) > 0 {
+		perGroup := func(name, help, kind string, value func(GroupMetrics) string) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+			for _, g := range m.Groups {
+				fmt.Fprintf(&b, "%s{group=%q} %s\n", name, g.Group, value(g))
+			}
+		}
+		perGroup("monocle_group_switches", "Fleet members per policy group.", "gauge",
+			func(g GroupMetrics) string { return strconv.Itoa(g.Switches) })
+		perGroup("monocle_group_rounds_total", "Completed sweep rounds per policy group.", "counter",
+			func(g GroupMetrics) string { return strconv.FormatUint(g.Rounds, 10) })
+		perGroup("monocle_group_rules_covered_total", "Per-rule results per policy group across all rounds.", "counter",
+			func(g GroupMetrics) string { return strconv.FormatUint(g.RulesCovered, 10) })
+		perGroup("monocle_group_last_round_us_per_rule", "Per-rule cost of the group's most recent round in microseconds.", "gauge",
+			func(g GroupMetrics) string { return strconv.FormatFloat(g.LastRoundMicrosPerRule, 'g', -1, 64) })
+	}
 
 	sort.Slice(m.Switches, func(i, j int) bool { return m.Switches[i].Switch < m.Switches[j].Switch })
 	perSwitch := func(name, help, kind string, value func(SwitchMetrics) int64) {

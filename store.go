@@ -41,6 +41,9 @@ type Store interface {
 	// SaveRound persists one completed sweep round: the diff engine's
 	// folded state and the alerts the round raised.
 	SaveRound(state DifferState, alerts []Alert) error
+	// SavePolicy persists the active monitoring-policy source text
+	// (empty clears it), superseding earlier saves.
+	SavePolicy(src string) error
 	// Load reads the last persisted state back (an empty, non-nil state
 	// when the store is new).
 	Load() (*FleetState, error)
@@ -70,12 +73,15 @@ type FleetState struct {
 	Switches map[uint32]SwitchState `json:"switches,omitempty"`
 	// Alerts is the retained alert history, oldest first.
 	Alerts []Alert `json:"alerts,omitempty"`
+	// Policy is the last persisted monitoring-policy source text ("" when
+	// none was ever saved or the last save cleared it).
+	Policy string `json:"policy,omitempty"`
 }
 
 // walRecord is one WAL line. Kind selects which payload fields are set:
 // "spec" (Spec), "rules" (Epoch, Rules), "diff" (Diff), "round" (Rounds),
-// "alert" (Alert). Seq is a store-global monotonic sequence number
-// stamped on every appended record.
+// "alert" (Alert), "policy" (Policy). Seq is a store-global monotonic
+// sequence number stamped on every appended record.
 type walRecord struct {
 	Kind   string           `json:"kind"`
 	Seq    uint64           `json:"seq"`
@@ -85,6 +91,7 @@ type walRecord struct {
 	Diff   *SwitchDiffState `json:"diff,omitempty"`
 	Rounds uint64           `json:"rounds,omitempty"`
 	Alert  *Alert           `json:"alert,omitempty"`
+	Policy string           `json:"policy,omitempty"`
 }
 
 const (
@@ -187,6 +194,13 @@ func (fs *FileStore) SaveRound(state DifferState, alerts []Alert) error {
 	return firstErr
 }
 
+// SavePolicy implements Store.
+func (fs *FileStore) SavePolicy(src string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.appendLocked(serviceWALName, walRecord{Kind: "policy", Policy: src})
+}
+
 // appendLocked stamps, encodes, appends, and fsyncs one record, then
 // compacts the file if it has accumulated enough superseded records.
 func (fs *FileStore) appendLocked(name string, rec walRecord) error {
@@ -222,7 +236,8 @@ func (fs *FileStore) appendLocked(name string, rec walRecord) error {
 
 // compactLocked rewrites one WAL to its minimal equivalent state:
 // a switch WAL keeps the latest spec, rules snapshot, and diff record; the
-// service WAL keeps the latest round record and the last alertKeep alerts.
+// service WAL keeps the latest round and policy records and the last
+// alertKeep alerts.
 func (fs *FileStore) compactLocked(name string) error {
 	path := filepath.Join(fs.dir, name)
 	recs, err := readWAL(path)
@@ -231,12 +246,14 @@ func (fs *FileStore) compactLocked(name string) error {
 	}
 	var keep []walRecord
 	if name == serviceWALName {
-		var round *walRecord
+		var round, policy *walRecord
 		var alerts []walRecord
 		for i := range recs {
 			switch recs[i].Kind {
 			case "round":
 				round = &recs[i]
+			case "policy":
+				policy = &recs[i]
 			case "alert":
 				alerts = append(alerts, recs[i])
 			}
@@ -246,6 +263,9 @@ func (fs *FileStore) compactLocked(name string) error {
 		}
 		if round != nil {
 			keep = append(keep, *round)
+		}
+		if policy != nil {
+			keep = append(keep, *policy)
 		}
 		keep = append(keep, alerts...)
 	} else {
@@ -409,6 +429,8 @@ func (fs *FileStore) Load() (*FleetState, error) {
 		switch r.Kind {
 		case "round":
 			state.Rounds = r.Rounds
+		case "policy":
+			state.Policy = r.Policy
 		case "alert":
 			if r.Alert != nil {
 				state.Alerts = append(state.Alerts, *r.Alert)

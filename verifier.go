@@ -190,6 +190,35 @@ func (v *Verifier) sweepShard(ctx context.Context, workers int) (uint64, []Probe
 	return v.epoch, res
 }
 
+// sweepSubset generates probes for the given rule ids only — one switch's
+// share of a policy probe plan. Rules are processed sequentially in table
+// priority order through the epoch's cached session, so the result slice
+// is deterministic for any worker budget (unknown ids are skipped: the
+// plan may lag a concurrent table change by one round). Cancelling the
+// context stops the sweep early; unprocessed rules carry the context
+// error.
+func (v *Verifier) sweepSubset(ctx context.Context, ids []uint64) (uint64, []ProbeResult) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	want := make(map[uint64]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	var out []ProbeResult
+	for _, r := range v.table.Rules() {
+		if !want[r.ID] {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			out = append(out, ProbeResult{Rule: r, Err: err})
+			continue
+		}
+		p, err := v.probeLocked(r)
+		out = append(out, ProbeResult{Rule: r, Probe: p, Err: err})
+	}
+	return v.epoch, out
+}
+
 // Rule returns a copy of installed rule id, if present.
 func (v *Verifier) Rule(id uint64) (*Rule, bool) {
 	v.mu.Lock()
