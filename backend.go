@@ -57,6 +57,43 @@ type Backend interface {
 	Events() <-chan BackendEvent
 }
 
+// BatchObserver is the optional Backend extension for drivers with a
+// batched observe fast path: N probes judged per call, with one marshal
+// loop and (for live drivers) one event-loop post instead of one per
+// probe, plus an in-flight window so a 10k-probe sweep pipelines round
+// trips instead of serializing them. Every built-in driver implements
+// it; ObserveBatch (the package function) is the uniform entry point
+// that falls back to sequential Observe calls for drivers that do not.
+type BatchObserver interface {
+	// ObserveBatch judges probes[i] against expects[i] exactly like N
+	// Observe calls, returning the verdicts and the per-probe errors
+	// (errs[i] nil on success) positionally. len(expects) must equal
+	// len(probes). The returned slices are owned by the caller, and the
+	// input slices revert to the caller when the call returns — an
+	// implementation that keeps working past a partial failure (a live
+	// driver's in-flight probes draining after a context abort) must
+	// copy them.
+	ObserveBatch(ctx context.Context, probes []*Probe, expects []Expectation) ([]Verdict, []error)
+}
+
+// ObserveBatch judges N probes through be: drivers implementing
+// BatchObserver take their batched fast path, every other driver gets a
+// sequential Observe loop with identical semantics — so callers route
+// unconditionally through this seam and stay driver-agnostic. The
+// verdicts and errors are positional; len(expects) must equal
+// len(probes).
+func ObserveBatch(ctx context.Context, be Backend, probes []*Probe, expects []Expectation) ([]Verdict, []error) {
+	if bo, ok := be.(BatchObserver); ok {
+		return bo.ObserveBatch(ctx, probes, expects)
+	}
+	verdicts := make([]Verdict, len(probes))
+	errs := make([]error, len(probes))
+	for i, p := range probes {
+		verdicts[i], errs[i] = be.Observe(ctx, p, expects[i])
+	}
+	return verdicts, errs
+}
+
 // Sweeper is the optional Backend extension for drivers that track their
 // switch's expected flow table themselves — a live proxy driver learning
 // it from the FlowMods it forwards. Fleet.AttachBackend requires it:
@@ -342,6 +379,31 @@ func (b *SimBackend) Observe(ctx context.Context, p *Probe, expect Expectation) 
 		return VerdictUnexpected, ErrBackendClosed
 	}
 	return EvaluateProbe(p, b.table), nil
+}
+
+// ObserveBatch implements BatchObserver: the whole batch is evaluated
+// under one lock acquisition against the simulated table. The seam
+// itself adds only the two result-slice allocations on top of the
+// per-probe evaluation cost — the alloc pin in the batch tests leans on
+// this.
+func (b *SimBackend) ObserveBatch(ctx context.Context, probes []*Probe, expects []Expectation) ([]Verdict, []error) {
+	_ = expects // the simulated data plane is deterministic; like Observe
+	verdicts := make([]Verdict, len(probes))
+	errs := make([]error, len(probes))
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, p := range probes {
+		if err := ctx.Err(); err != nil {
+			verdicts[i], errs[i] = VerdictUnexpected, err
+			continue
+		}
+		if b.closed {
+			verdicts[i], errs[i] = VerdictUnexpected, ErrBackendClosed
+			continue
+		}
+		verdicts[i] = EvaluateProbe(p, b.table)
+	}
+	return verdicts, errs
 }
 
 // Epoch implements Backend.

@@ -14,6 +14,7 @@ package monocle
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -222,6 +223,15 @@ type ProxyConfig struct {
 	// RetryInterval paces probe re-injection within Observe (default:
 	// the Monitor's dynamic retry interval, 3ms).
 	RetryInterval time.Duration
+	// ObserveWindow caps the observations one ObserveBatch keeps in
+	// flight at once (default 64): the batch pipelines that many round
+	// trips instead of serializing inject→wait→inject.
+	ObserveWindow int
+	// ObserveRate paces batched observation starts in probes per second
+	// through a token bucket on the group's clock (0: unpaced). It
+	// bounds the PacketOut burst a sweep puts on the control channel so
+	// probes do not crowd out FlowMods.
+	ObserveRate float64
 	// Group shares an event loop and probe-routing Multiplexer with
 	// other backends (nil: a private group).
 	Group *ProxyGroup
@@ -793,6 +803,130 @@ func (pb *ProxyBackend) Observe(ctx context.Context, p *Probe, expect Expectatio
 			return VerdictUnexpected, ErrBackendClosed
 		}
 	}
+}
+
+// errBatchPending marks a batch slot whose observation has not resolved
+// yet; abort paths replace it with the real cause, completion clears it.
+var errBatchPending = errors.New("monocle: batch observation pending")
+
+// batchWait collects one ObserveBatch's results across the event-loop /
+// caller boundary: the loop thread resolves slots as verdicts arrive,
+// the caller waits for completion or an abort. After abort, late
+// verdicts are dropped (the caller owns the slices by then).
+type batchWait struct {
+	mu       sync.Mutex
+	verdicts []Verdict
+	errs     []error
+	left     int
+	aborted  bool
+	done     chan struct{}
+}
+
+func newBatchWait(n int) *batchWait {
+	w := &batchWait{
+		verdicts: make([]Verdict, n),
+		errs:     make([]error, n),
+		left:     n,
+		done:     make(chan struct{}),
+	}
+	for i := range w.errs {
+		w.errs[i] = errBatchPending
+	}
+	return w
+}
+
+// resolve records one verdict; the last one completes the wait.
+func (w *batchWait) resolve(i int, v Verdict) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.aborted || w.errs[i] != errBatchPending {
+		return
+	}
+	w.verdicts[i], w.errs[i] = v, nil
+	w.left--
+	if w.left == 0 {
+		close(w.done)
+	}
+}
+
+// abort fails every unresolved slot with cause. Verdicts that raced the
+// abort still count — only pending slots turn into errors, mirroring the
+// one-shot Observe's drop semantics.
+func (w *batchWait) abort(cause error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.aborted {
+		return
+	}
+	w.aborted = true
+	for i, err := range w.errs {
+		if err == errBatchPending {
+			w.verdicts[i], w.errs[i] = VerdictUnexpected, cause
+		}
+	}
+}
+
+// ObserveBatch implements BatchObserver: the whole batch marshals onto
+// the event loop with a single post, where the Monitor pipelines up to
+// ObserveWindow observations at once under ObserveRate's token bucket —
+// one call, N judged probes, no per-probe post/channel/select round
+// trips. Failure semantics are positional and identical to N Observe
+// calls: a transport drop or close mid-batch fails the still-unresolved
+// probes with the same sentinel errors Observe returns, while verdicts
+// that already settled keep their values.
+func (pb *ProxyBackend) ObserveBatch(ctx context.Context, probes []*Probe, expects []Expectation) ([]Verdict, []error) {
+	n := len(probes)
+	w := newBatchWait(n)
+	failAll := func(err error) ([]Verdict, []error) {
+		w.abort(err)
+		return w.verdicts, w.errs
+	}
+	if n == 0 {
+		return w.verdicts, w.errs
+	}
+
+	pb.mu.Lock()
+	if pb.closed {
+		pb.mu.Unlock()
+		return failAll(ErrBackendClosed)
+	}
+	if !pb.connected {
+		pb.mu.Unlock()
+		return failAll(ErrBackendDisconnected)
+	}
+	connLost := pb.connLost
+	timeout := pb.cfg.ObserveTimeout
+	pb.mu.Unlock()
+
+	pacing := imon.BatchPacing{Window: pb.cfg.ObserveWindow, Rate: pb.cfg.ObserveRate}
+	// The Monitor retains the batch past an abort (its timers keep
+	// driving the in-flight observations to their own deadlines), so it
+	// gets private copies: the caller may reuse its slices the moment
+	// ObserveBatch returns.
+	ps := append([]*Probe(nil), probes...)
+	exps := append([]Expectation(nil), expects...)
+	ok := pb.group.post(func() {
+		pb.mon.ObserveProbeBatch(ps, exps, pb.cfg.RetryInterval, timeout, pacing, w.resolve)
+	})
+	if !ok {
+		return failAll(ErrBackendClosed)
+	}
+	select {
+	case <-w.done:
+	case <-ctx.Done():
+		w.abort(ctx.Err())
+	case <-connLost:
+		// The transport dropped under the batch: resolve the pending
+		// observations as unobserved now instead of letting them hang
+		// out the observation timeout against a dead switch. (The
+		// Monitor's own deadlines still clean up the in-flight state.)
+		w.abort(ErrBackendDisconnected)
+	case <-pb.closedCh:
+		w.abort(ErrBackendClosed)
+	case <-pb.group.doneCh():
+		w.abort(ErrBackendClosed)
+	}
+	return w.verdicts, w.errs
 }
 
 // SweepExpected implements Sweeper: it sweeps the Monitor's proxied

@@ -1,0 +1,257 @@
+package monocle_test
+
+// Probe-dataplane benchmarks for the batched zero-alloc injection path:
+// frame craft/parse (pinned at 0 B/op), the SimBackend batch seam, and
+// the live ProxyBackend throughput comparison — N serialized one-shot
+// round trips versus one pipelined ObserveBatch over the same wire.
+// BENCH_probe.json records the results; TestProbeBenchRegression guards
+// the allocation numbers in CI.
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"monocle"
+	"monocle/internal/header"
+	"monocle/internal/packet"
+)
+
+// benchProbeHeader is the widest frame the crafter emits (tagged IPv4
+// TCP), mirroring the internal packet alloc pins.
+func benchProbeHeader() header.Header {
+	var h header.Header
+	h.Set(header.EthDst, 0x0000deadbeef)
+	h.Set(header.EthSrc, 0x0000cafef00d)
+	h.Set(header.EthType, header.EthTypeIPv4)
+	h.Set(header.VlanID, 7)
+	h.Set(header.VlanPCP, 1)
+	h.Set(header.IPSrc, 0x0a000001)
+	h.Set(header.IPDst, 0x0a000002)
+	h.Set(header.IPProto, header.ProtoTCP)
+	h.Set(header.TPSrc, 1234)
+	h.Set(header.TPDst, 80)
+	return h
+}
+
+// BenchmarkProbeCraft measures the reused-buffer injection marshal: one
+// metadata payload + frame craft per op, 0 B/op.
+func BenchmarkProbeCraft(b *testing.B) {
+	h := benchProbeHeader()
+	meta := packet.Metadata{RuleID: 42, SwitchID: 3, Expect: packet.ExpectPresent, Nonce: 99}
+	frameBuf := make([]byte, 0, packet.DefaultFrameCap)
+	metaBuf := make([]byte, 0, packet.MetadataLen)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		meta.Seq = uint64(i)
+		payload := meta.AppendTo(metaBuf[:0])
+		var err error
+		frameBuf, err = packet.CraftInto(frameBuf[:0], h, payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProbeParse measures the catch-side frame parse, 0 B/op.
+func BenchmarkProbeParse(b *testing.B) {
+	h := benchProbeHeader()
+	meta := packet.Metadata{RuleID: 42, Seq: 7, SwitchID: 3, Expect: packet.ExpectPresent, Nonce: 99}
+	frame, err := packet.Craft(h, meta.Marshal())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := packet.Parse(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProbeObserveBatchSim measures the batch seam against the
+// simulated driver: one 64-probe ObserveBatch per op. The bytes/op here
+// are dominated by probe evaluation; the seam itself adds only the two
+// result slices (pinned by TestSimBackendObserveBatchAllocs).
+func BenchmarkProbeObserveBatchSim(b *testing.B) {
+	be := monocle.NewSimBackend(1)
+	v, err := monocle.NewVerifier(monocle.WithProbeTag(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var probes []*monocle.Probe
+	var expects []monocle.Expectation
+	for i := uint64(0); i < 64; i++ {
+		r := seamRule(1, i)
+		if err := be.Apply(monocle.BackendOp{Op: "add", Rule: r.Clone()}); err != nil {
+			b.Fatal(err)
+		}
+		p, err := v.Add(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		probes = append(probes, p)
+		expects = append(expects, monocle.ExpectPresent)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		verdicts, errs := be.ObserveBatch(ctx, probes, expects)
+		if errs[0] != nil || verdicts[0] != monocle.VerdictConfirmed {
+			b.Fatalf("verdict %v err %v", verdicts[0], errs[0])
+		}
+	}
+}
+
+// proxyBenchEnv is a live TCP switch + proxy driver + generated probes,
+// shared by the throughput benchmarks.
+type proxyBenchEnv struct {
+	be      *monocle.ProxyBackend
+	probes  []*monocle.Probe
+	expects []monocle.Expectation
+}
+
+func newProxyBenchEnv(b *testing.B, nRules uint64) *proxyBenchEnv {
+	b.Helper()
+	ports := []monocle.PortID{1, 2, 3, 4}
+	srv, err := monocle.StartSwitchServer(monocle.SwitchServerConfig{ID: 9, Ports: ports, Profile: monocle.SwitchProfile{}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	peers := map[monocle.PortID]uint32{1: 9, 2: 9, 3: 9, 4: 9}
+	be := monocle.NewProxyBackend(monocle.ProxyConfig{
+		SwitchID:   9,
+		SwitchAddr: srv.Addr(),
+	}, monocle.WithPorts(ports...), monocle.WithPeers(peers))
+	if err := be.Connect(context.Background()); err != nil {
+		srv.Close()
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		be.Close()
+		srv.Close()
+	})
+	v, err := monocle.NewVerifier(monocle.WithProbeTag(9), monocle.WithPorts(ports...), monocle.WithPeers(peers))
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := &proxyBenchEnv{be: be}
+	for i := uint64(0); i < nRules; i++ {
+		r := seamRule(9, i)
+		if err := be.Apply(monocle.BackendOp{Op: "add", Rule: r.Clone()}); err != nil {
+			b.Fatal(err)
+		}
+		p, err := v.Add(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		env.probes = append(env.probes, p)
+		env.expects = append(env.expects, monocle.ExpectPresent)
+	}
+	return env
+}
+
+// BenchmarkProbeProxyOneShot is the pre-batch baseline: every probe is
+// one Observe call — one event-loop post, one wire round trip, and a
+// full inject→wait→inject serialization.
+func BenchmarkProbeProxyOneShot(b *testing.B) {
+	env := newProxyBenchEnv(b, 128)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, p := range env.probes {
+			v, err := env.be.Observe(ctx, p, env.expects[j])
+			if err != nil || v != monocle.VerdictConfirmed {
+				b.Fatalf("observe %d: %v %v", j, v, err)
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(env.probes)*b.N)/b.Elapsed().Seconds(), "probes/s")
+}
+
+// BenchmarkProbeProxyBatch10k is the batched dataplane: a 10k-probe
+// sweep through one ObserveBatch call — one event-loop post, an
+// in-flight window of pipelined observations saturating the wire. The
+// probes/s here versus BenchmarkProbeProxyOneShot is the headline
+// speedup BENCH_probe.json records.
+func BenchmarkProbeProxyBatch10k(b *testing.B) {
+	const sweep = 10000
+	env := newProxyBenchEnv(b, 128)
+	// The 128 generated probes cycled to a 10k-probe sweep: every entry
+	// is injected as its own wire probe with a fresh sequence number.
+	probes := make([]*monocle.Probe, 0, sweep)
+	expects := make([]monocle.Expectation, 0, sweep)
+	for len(probes) < sweep {
+		probes = append(probes, env.probes...)
+		expects = append(expects, env.expects...)
+	}
+	probes, expects = probes[:sweep], expects[:sweep]
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		verdicts, errs := env.be.ObserveBatch(ctx, probes, expects)
+		for j := range verdicts {
+			if errs[j] != nil || verdicts[j] != monocle.VerdictConfirmed {
+				b.Fatalf("probe %d: %v %v", j, verdicts[j], errs[j])
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(sweep*b.N)/b.Elapsed().Seconds(), "probes/s")
+}
+
+// probeBenchBaseline is BENCH_probe.json's guarded slice: per-benchmark
+// allocation baselines.
+type probeBenchBaseline struct {
+	Benchmarks map[string]struct {
+		NsPerOp     float64 `json:"ns_per_op"`
+		BytesPerOp  int64   `json:"bytes_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+	} `json:"benchmarks"`
+}
+
+// TestProbeBenchRegression is the CI bench-smoke guard: it re-runs the
+// deterministic probe benchmarks and fails when bytes/op regresses more
+// than 20% over BENCH_probe.json (time is not guarded — shared runners
+// jitter; allocation behaviour does not). Gated behind an env var so
+// ordinary test runs stay fast.
+func TestProbeBenchRegression(t *testing.T) {
+	if os.Getenv("MONOCLE_BENCH_GUARD") == "" {
+		t.Skip("set MONOCLE_BENCH_GUARD=1 to run the bench regression guard (CI bench-smoke)")
+	}
+	raw, err := os.ReadFile("BENCH_probe.json")
+	if err != nil {
+		t.Fatalf("reading baseline: %v", err)
+	}
+	var base probeBenchBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("parsing BENCH_probe.json: %v", err)
+	}
+	for name, bench := range map[string]func(*testing.B){
+		"BenchmarkProbeCraft":           BenchmarkProbeCraft,
+		"BenchmarkProbeParse":           BenchmarkProbeParse,
+		"BenchmarkProbeObserveBatchSim": BenchmarkProbeObserveBatchSim,
+	} {
+		want, ok := base.Benchmarks[name]
+		if !ok {
+			t.Errorf("%s missing from BENCH_probe.json", name)
+			continue
+		}
+		r := testing.Benchmark(bench)
+		got := r.AllocedBytesPerOp()
+		limit := int64(float64(want.BytesPerOp) * 1.2)
+		if want.BytesPerOp == 0 && got != 0 {
+			t.Errorf("%s: %d B/op, baseline is zero-alloc", name, got)
+			continue
+		}
+		if got > limit {
+			t.Errorf("%s: %d B/op regressed >20%% over baseline %d", name, got, want.BytesPerOp)
+		}
+		t.Logf("%s: %d B/op %d allocs/op (baseline %d B/op)", name, got, r.AllocsPerOp(), want.BytesPerOp)
+	}
+}

@@ -30,6 +30,17 @@
 //     session (share an event loop and probe routing between backends
 //     with a ProxyGroup). Everything above the seam is driver-agnostic.
 //
+//   - ObserveBatch: the batched probe dataplane. Backends implementing
+//     the optional BatchObserver extension observe N probes per call —
+//     one marshal loop over pooled zero-alloc packet buffers, one
+//     event-loop post, and a rate-paced in-flight window of pipelined
+//     wire observations (ProxyConfig.ObserveWindow / ObserveRate) in
+//     place of inject→wait→inject. The package-level ObserveBatch
+//     helper falls back to sequential Observe for plain Backends;
+//     verdicts are bit-identical either way. Fleet sweeps and
+//     Service.SweepRound route through it (BENCH_probe.json records
+//     the throughput delta).
+//
 //   - Service: the long-running monocled fleet service. A Fleet of
 //     Backends, the cross-epoch diff engine (Differ) folding every sweep
 //     round into typed debounced Alerts, and pluggable alert delivery

@@ -215,11 +215,7 @@ func (f *Fleet) Sweep(ctx context.Context) []SweepEvent {
 	members := f.snapshot()
 	perMember := make([][]SweepEvent, len(members))
 	f.sweepInto(ctx, members, nil, func(i int, evs []SweepEvent) { perMember[i] = evs })
-	var out []SweepEvent
-	for _, evs := range perMember {
-		out = append(out, evs...)
-	}
-	return out
+	return collectEvents(perMember)
 }
 
 // SweepPlan runs one sweep restricted to a probe plan: only member
@@ -239,9 +235,22 @@ func (f *Fleet) SweepPlan(ctx context.Context, sel map[uint32][]uint64) []SweepE
 	}
 	perMember := make([][]SweepEvent, len(picked))
 	f.sweepInto(ctx, picked, sel, func(i int, evs []SweepEvent) { perMember[i] = evs })
-	var out []SweepEvent
+	return collectEvents(perMember)
+}
+
+// collectEvents concatenates per-member event slices into one result
+// sized in a single allocation (the old grow-by-append doubled its way
+// up every round), then recycles the per-member backing arrays for the
+// next round's memberEvents.
+func collectEvents(perMember [][]SweepEvent) []SweepEvent {
+	total := 0
+	for _, evs := range perMember {
+		total += len(evs)
+	}
+	out := make([]SweepEvent, 0, total)
 	for _, evs := range perMember {
 		out = append(out, evs...)
+		recycleMemberEvents(evs)
 	}
 	return out
 }
@@ -452,11 +461,44 @@ func filterResults(results []ProbeResult, ids []uint64) []ProbeResult {
 	return out
 }
 
-// memberEvents wraps one member's sweep results as events.
+// memberEvents wraps one member's sweep results as events, reusing a
+// recycled backing array when one fits (see collectEvents).
 func memberEvents(id uint32, epoch uint64, results []ProbeResult) []SweepEvent {
-	evs := make([]SweepEvent, len(results))
-	for i, res := range results {
-		evs[i] = SweepEvent{SwitchID: id, Epoch: epoch, Result: res}
+	evs := takeMemberEvents(len(results))
+	for _, res := range results {
+		evs = append(evs, SweepEvent{SwitchID: id, Epoch: epoch, Result: res})
 	}
 	return evs
+}
+
+// memberEventPool recycles per-member event slice backing arrays across
+// sweep rounds. Stream's events are never recycled (they outlive the
+// sweep on the consumer's side of the channel by value, but the slices
+// are dropped mid-loop on cancellation), only Sweep/SweepPlan's.
+var memberEventPool sync.Pool
+
+// takeMemberEvents returns a zero-length event slice with capacity for
+// n, pooled when a big-enough recycled array is available.
+func takeMemberEvents(n int) []SweepEvent {
+	if p, ok := memberEventPool.Get().(*[]SweepEvent); ok {
+		if evs := *p; cap(evs) >= n {
+			return evs[:0]
+		}
+	}
+	return make([]SweepEvent, 0, n)
+}
+
+// recycleMemberEvents clears and pools one per-member slice. Elements
+// are zeroed first so the pool does not pin the round's Rule and Probe
+// objects beyond the round that produced them.
+func recycleMemberEvents(evs []SweepEvent) {
+	if cap(evs) == 0 {
+		return
+	}
+	evs = evs[:cap(evs)]
+	for i := range evs {
+		evs[i] = SweepEvent{}
+	}
+	boxed := evs[:0]
+	memberEventPool.Put(&boxed)
 }

@@ -170,7 +170,10 @@ func (m *Monitor) catcherFor(p flowtable.PortID) uint32 {
 }
 
 // injectProbe crafts and PacketOuts one probe; it returns the sequence
-// number (0 on crafting failure).
+// number (0 on crafting failure). The frame, metadata payload, and
+// PacketOut are built in Monitor-owned scratch buffers reused across
+// injections (see the ToSwitch contract): a 10k-probe sweep injects with
+// zero per-probe buffer allocations.
 func (m *Monitor) injectProbe(p *probe.Probe, dynamic bool, kind packet.Expectation) uint64 {
 	m.nextSeq++
 	seq := m.nextSeq
@@ -181,19 +184,26 @@ func (m *Monitor) injectProbe(p *probe.Probe, dynamic bool, kind packet.Expectat
 		Expect:   kind,
 		Nonce:    m.nonce,
 	}
-	frame, err := packet.Craft(p.Header, meta.Marshal())
+	if cap(m.metaBuf) == 0 {
+		m.metaBuf = make([]byte, 0, packet.MetadataLen)
+		m.frameBuf = make([]byte, 0, packet.DefaultFrameCap)
+		m.scratchAct[0] = openflow.OutputAction(openflow.PortTable)
+	}
+	m.metaBuf = meta.AppendTo(m.metaBuf[:0])
+	frame, err := packet.CraftInto(m.frameBuf[:0], p.Header, m.metaBuf)
 	if err != nil {
 		return 0
 	}
+	m.frameBuf = frame
 	m.inflight[seq] = &inflightProbe{seq: seq, ruleID: p.RuleID, dynamic: dynamic, epoch: m.updateEpoch}
 	m.Stats.ProbesSent++
-	po := &openflow.PacketOut{
+	m.scratchPO = openflow.PacketOut{
 		BufferID: openflow.BufferNone,
 		InPort:   uint16(p.Header.Get(header.InPort)),
-		Actions:  []openflow.Action{openflow.OutputAction(openflow.PortTable)},
+		Actions:  m.scratchAct[:],
 		Data:     frame,
 	}
-	m.forwardToSwitch(po, m.virtXID())
+	m.forwardToSwitch(&m.scratchPO, m.virtXID())
 	return seq
 }
 

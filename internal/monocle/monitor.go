@@ -145,7 +145,11 @@ type Monitor struct {
 	Sim *sim.Sim
 
 	// ToSwitch and ToController forward proxied messages; the harness
-	// wires them.
+	// wires them. Sinks must consume the message synchronously: the
+	// Monitor reuses the PacketOut and frame buffers of its injection
+	// hot path across probes, so a sink that needs the message beyond
+	// the call must copy it (WriteMessage and the simulated switch both
+	// serialize/copy inline).
 	ToSwitch     func(msg openflow.Message, xid uint32)
 	ToController func(msg openflow.Message, xid uint32)
 	// Mux routes probes caught at this switch to their owners.
@@ -175,6 +179,15 @@ type Monitor struct {
 	nextSeq     uint64
 	nonce       uint64
 	updateEpoch uint64 // bumped on table changes; invalidates cached probes
+
+	// Injection scratch: one frame buffer, one metadata buffer, and one
+	// PacketOut (with its single-element action list) reused across every
+	// probe injected by this Monitor. Safe because the Monitor is
+	// single-threaded and ToSwitch sinks consume messages synchronously.
+	frameBuf   []byte
+	metaBuf    []byte
+	scratchPO  openflow.PacketOut
+	scratchAct [1]openflow.Action
 
 	// Stats for experiments.
 	Stats MonitorStats

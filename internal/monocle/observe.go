@@ -30,6 +30,10 @@ type probeObserver struct {
 	last     Verdict
 	retry    *sim.Timer
 	deadline *sim.Timer
+	// seqs are the observer's injected sequence numbers, so release is
+	// O(injections) instead of a scan of the whole inflight map — the
+	// scan was quadratic across a large ObserveProbeBatch.
+	seqs []uint64
 }
 
 // ObserveProbe injects probe p and reports, through done, the verdict of
@@ -76,6 +80,7 @@ func (m *Monitor) injectForObserver(ob *probeObserver) {
 		return
 	}
 	m.inflight[seq].observer = ob
+	ob.seqs = append(ob.seqs, seq)
 }
 
 // observerCatch judges a caught probe owned by an observer. Evidence that
@@ -111,6 +116,119 @@ func (m *Monitor) timeoutVerdict(ob *probeObserver) Verdict {
 	}
 }
 
+// defaultBatchWindow bounds the observations one ObserveProbeBatch keeps
+// in flight when the caller passes no window.
+const defaultBatchWindow = 64
+
+// BatchPacing configures ObserveProbeBatch's injection scheduling.
+type BatchPacing struct {
+	// Window caps the observations in flight at once (<= 0: 64).
+	Window int
+	// Rate paces observation starts, in probes per second, through a
+	// token bucket on the Monitor's clock (<= 0: unpaced). Pacing bounds
+	// the PacketOut burst a batch puts on the control channel, so probes
+	// do not crowd out FlowMods (§8.4's interference concern).
+	Rate float64
+}
+
+// batchRun drives one ObserveProbeBatch: an in-flight window of
+// concurrent ObserveProbe observations, refilled as each completes, with
+// token-bucket pacing of the starts. All state is event-loop-owned.
+type batchRun struct {
+	m              *Monitor
+	probes         []*probe.Probe
+	expects        []packet.Expectation
+	retry, timeout time.Duration
+	done           func(int, Verdict)
+
+	next    int // next probe index to start
+	active  int // observations in flight
+	window  int
+	interval time.Duration // token refill gap (0: unpaced)
+	nextTok  sim.Time      // earliest time the next token is available
+	pacer    *sim.Timer    // reused pacing timer (re-armed, never stacked)
+	filling  bool          // re-entrance guard for fill
+	again    bool
+}
+
+// ObserveProbeBatch judges probes[i] against expects[i] exactly like N
+// ObserveProbe calls, but pipelined: up to pacing.Window observations run
+// concurrently — an in-flight window instead of inject→wait→inject — and
+// observation starts are paced by pacing.Rate's token bucket, so one
+// batch call replaces N round trips without flooding the control
+// channel. done(i, v) fires once per probe on the event-loop thread, in
+// completion order. retry and timeout clamp exactly as in ObserveProbe
+// (non-positive values fall back to the defaults). len(expects) must
+// equal len(probes). Like every Monitor method, it must run on the
+// event-loop thread.
+func (m *Monitor) ObserveProbeBatch(probes []*probe.Probe, expects []packet.Expectation, retry, timeout time.Duration, pacing BatchPacing, done func(int, Verdict)) {
+	if len(probes) == 0 {
+		return
+	}
+	br := &batchRun{
+		m: m, probes: probes, expects: expects,
+		retry: retry, timeout: timeout, done: done,
+		window: pacing.Window,
+	}
+	if br.window <= 0 {
+		br.window = defaultBatchWindow
+	}
+	if pacing.Rate > 0 {
+		br.interval = time.Duration(float64(time.Second) / pacing.Rate)
+	}
+	br.fill()
+}
+
+// fill tops the in-flight window back up. The guard flattens the
+// recursion of synchronously-finishing observations (a probe that cannot
+// be crafted resolves inside ObserveProbe) into a loop.
+func (br *batchRun) fill() {
+	if br.filling {
+		br.again = true
+		return
+	}
+	br.filling = true
+	for {
+		br.again = false
+		br.launch()
+		if !br.again {
+			break
+		}
+	}
+	br.filling = false
+}
+
+// launch starts observations until the window is full, the batch is
+// exhausted, or the token bucket runs dry (in which case the reused
+// pacing timer re-arms for the next token).
+func (br *batchRun) launch() {
+	for br.next < len(br.probes) && br.active < br.window {
+		if br.interval > 0 {
+			now := br.m.Sim.Now()
+			if now < br.nextTok {
+				if br.pacer == nil || !br.pacer.Pending() {
+					br.pacer = br.m.Sim.After(time.Duration(br.nextTok-now), br.fill)
+				}
+				return
+			}
+			if br.nextTok < now {
+				br.nextTok = now // idle bucket: no credit for elapsed time
+			}
+			br.nextTok += sim.Time(br.interval)
+		}
+		i := br.next
+		br.next++
+		br.active++
+		br.m.ObserveProbe(br.probes[i], br.expects[i], br.retry, br.timeout, func(v Verdict) {
+			br.active--
+			if br.done != nil {
+				br.done(i, v)
+			}
+			br.fill()
+		})
+	}
+}
+
 // finishObserver reports the verdict once and releases the observer's
 // timers and inflight entries.
 func (m *Monitor) finishObserver(ob *probeObserver, v Verdict) {
@@ -124,8 +242,8 @@ func (m *Monitor) finishObserver(ob *probeObserver, v Verdict) {
 	if ob.deadline != nil {
 		ob.deadline.Cancel()
 	}
-	for seq, fl := range m.inflight {
-		if fl.observer == ob {
+	for _, seq := range ob.seqs {
+		if fl, ok := m.inflight[seq]; ok && fl.observer == ob {
 			delete(m.inflight, seq)
 		}
 	}

@@ -1,0 +1,188 @@
+package monocle
+
+// Tests for one-shot and batched probe observation: the timeout clamp
+// regression (a non-positive timeout must mean the default, never an
+// instant or infinite deadline), batch/one-shot verdict equivalence
+// across window sizes, and token-bucket pacing of batch injections.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"monocle/internal/packet"
+	"monocle/internal/probe"
+	"monocle/internal/sim"
+	"monocle/internal/switchsim"
+)
+
+// sweepProbes generates probes for the monitored switch's rules with
+// RuleID >= minID (filtering out the preinstalled catch rules), in
+// table order.
+func sweepProbes(t *testing.T, tb *lineTestbed, minID uint64) []*probe.Probe {
+	t.Helper()
+	var out []*probe.Probe
+	for _, res := range tb.mon[2].SweepExpected(context.Background(), 1) {
+		if res.Err != nil || res.Probe == nil || res.Probe.RuleID < minID {
+			continue
+		}
+		out = append(out, res.Probe)
+	}
+	return out
+}
+
+// TestObserveProbeClampsNonPositiveTimeout: ObserveProbe with timeout
+// <= 0 must clamp to defaultObserveTimeout — resolving neither
+// immediately (timeout taken literally) nor never (deadline never
+// armed) — and ObserveProbeBatch must clamp identically.
+func TestObserveProbeClampsNonPositiveTimeout(t *testing.T) {
+	tb := newLineTestbed(t, switchsim.Ideal(), nil)
+	tb.mon[2].OnControllerMessage(addFM(t, 500, 10, ip4(10, 9, 0, 1), 2), 1)
+	tb.sim.RunUntil(time.Second)
+	probes := sweepProbes(t, tb, 500)
+	if len(probes) != 1 {
+		t.Fatalf("want 1 probe, got %d", len(probes))
+	}
+	// Fail the rule in the data plane: with no settling catch the
+	// observation can only resolve at the deadline, which exposes the
+	// effective timeout value.
+	tb.sw[2].FailRule(500)
+
+	start := tb.sim.Now()
+	var doneAt sim.Time = -1
+	var got Verdict
+	tb.mon[2].ObserveProbe(probes[0], packet.ExpectPresent, 0, 0, func(v Verdict) {
+		got, doneAt = v, tb.sim.Now()
+	})
+	tb.sim.RunUntil(start + sim.Time(defaultObserveTimeout)/2)
+	if doneAt >= 0 {
+		t.Fatalf("observation resolved at +%v: timeout<=0 must clamp to the default, not fire early", doneAt-start)
+	}
+	tb.sim.RunUntil(start + 2*sim.Time(defaultObserveTimeout))
+	if doneAt < 0 {
+		t.Fatal("observation never resolved: timeout<=0 must clamp to the default, not wait forever")
+	}
+	if elapsed := doneAt - start; elapsed != sim.Time(defaultObserveTimeout) {
+		t.Fatalf("resolved after %v, want the clamped default %v", elapsed, defaultObserveTimeout)
+	}
+	if got != VerdictAbsent {
+		t.Fatalf("verdict %v, want %v for a failed rule", got, VerdictAbsent)
+	}
+
+	// The batch path must apply the identical clamp.
+	start = tb.sim.Now()
+	batchAt := sim.Time(-1)
+	var batchV Verdict
+	tb.mon[2].ObserveProbeBatch(probes, []packet.Expectation{packet.ExpectPresent}, 0, 0, BatchPacing{}, func(_ int, v Verdict) {
+		batchV, batchAt = v, tb.sim.Now()
+	})
+	tb.sim.RunUntil(start + 2*sim.Time(defaultObserveTimeout))
+	if batchAt < 0 {
+		t.Fatal("batch observation never resolved with timeout<=0")
+	}
+	if elapsed := batchAt - start; elapsed != sim.Time(defaultObserveTimeout) {
+		t.Fatalf("batch resolved after %v, want the clamped default %v", elapsed, defaultObserveTimeout)
+	}
+	if batchV != got {
+		t.Fatalf("batch verdict %v != one-shot verdict %v", batchV, got)
+	}
+}
+
+// TestObserveProbeBatchMatchesOneShot: the pipelined batch reports the
+// same per-probe verdicts as sequential one-shot observations, for any
+// in-flight window.
+func TestObserveProbeBatchMatchesOneShot(t *testing.T) {
+	const timeout = 200 * time.Millisecond
+	tb := newLineTestbed(t, switchsim.Ideal(), nil)
+	for i := 0; i < 12; i++ {
+		tb.mon[2].OnControllerMessage(addFM(t, uint64(500+i), 10, ip4(10, 9, 1, uint64(i)), 2), uint32(i))
+	}
+	tb.sim.RunUntil(time.Second)
+	probes := sweepProbes(t, tb, 500)
+	if len(probes) != 12 {
+		t.Fatalf("want 12 probes, got %d", len(probes))
+	}
+	for _, id := range []uint64{502, 507, 511} {
+		tb.sw[2].FailRule(id)
+	}
+	expects := make([]packet.Expectation, len(probes))
+	for i := range expects {
+		expects[i] = packet.ExpectPresent
+	}
+
+	// One-shot reference: strictly sequential inject→wait→inject.
+	oneShot := make([]Verdict, len(probes))
+	for i, p := range probes {
+		resolved := false
+		tb.mon[2].ObserveProbe(p, expects[i], 0, timeout, func(v Verdict) {
+			oneShot[i], resolved = v, true
+		})
+		tb.sim.RunUntil(tb.sim.Now() + 2*sim.Time(timeout))
+		if !resolved {
+			t.Fatalf("one-shot observation %d never resolved", i)
+		}
+	}
+
+	for _, window := range []int{1, 4, 64} {
+		batch := make([]Verdict, len(probes))
+		seen := make([]bool, len(probes))
+		n := 0
+		tb.mon[2].ObserveProbeBatch(probes, expects, 0, timeout, BatchPacing{Window: window}, func(i int, v Verdict) {
+			if seen[i] {
+				t.Fatalf("window %d: verdict for probe %d delivered twice", window, i)
+			}
+			batch[i], seen[i] = v, true
+			n++
+		})
+		tb.sim.RunUntil(tb.sim.Now() + sim.Time(len(probes))*2*sim.Time(timeout))
+		if n != len(probes) {
+			t.Fatalf("window %d: %d/%d verdicts delivered", window, n, len(probes))
+		}
+		for i := range probes {
+			if batch[i] != oneShot[i] {
+				t.Fatalf("window %d: probe %d verdict %v != one-shot %v", window, i, batch[i], oneShot[i])
+			}
+		}
+	}
+}
+
+// TestObserveProbeBatchPacing: a positive Rate spreads injection starts
+// through the token bucket — the batch cannot finish before the last
+// token is issued.
+func TestObserveProbeBatchPacing(t *testing.T) {
+	tb := newLineTestbed(t, switchsim.Ideal(), nil)
+	for i := 0; i < 10; i++ {
+		tb.mon[2].OnControllerMessage(addFM(t, uint64(500+i), 10, ip4(10, 9, 2, uint64(i)), 2), uint32(i))
+	}
+	tb.sim.RunUntil(time.Second)
+	probes := sweepProbes(t, tb, 500)
+	if len(probes) != 10 {
+		t.Fatalf("want 10 probes, got %d", len(probes))
+	}
+	expects := make([]packet.Expectation, len(probes))
+	for i := range expects {
+		expects[i] = packet.ExpectPresent
+	}
+
+	start := tb.sim.Now()
+	var lastAt sim.Time
+	n := 0
+	// 100 probes/s: tokens at 0ms, 10ms, ..., 90ms.
+	tb.mon[2].ObserveProbeBatch(probes, expects, 0, time.Second, BatchPacing{Rate: 100}, func(_ int, v Verdict) {
+		if v != VerdictConfirmed {
+			t.Fatalf("healthy rule judged %v", v)
+		}
+		lastAt = tb.sim.Now()
+		n++
+	})
+	tb.sim.RunUntil(start + 5*sim.Time(time.Second))
+	if n != len(probes) {
+		t.Fatalf("%d/%d verdicts delivered", n, len(probes))
+	}
+	if elapsed := lastAt - start; elapsed < 90*time.Millisecond {
+		t.Fatalf("batch finished after %v: pacing at 100/s cannot issue the 10th token before 90ms", elapsed)
+	}
+	if elapsed := lastAt - start; elapsed > 500*time.Millisecond {
+		t.Fatalf("paced batch took %v: pacing should gap starts by 10ms, not serialize timeouts", elapsed)
+	}
+}

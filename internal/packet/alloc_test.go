@@ -1,0 +1,112 @@
+package packet
+
+import (
+	"testing"
+
+	"monocle/internal/header"
+)
+
+// probeHeader builds a representative probe packet header (tagged IPv4
+// TCP — the widest frame the crafter emits).
+func probeHeader() header.Header {
+	var h header.Header
+	h.Set(header.EthDst, 0x0000deadbeef)
+	h.Set(header.EthSrc, 0x0000cafef00d)
+	h.Set(header.EthType, header.EthTypeIPv4)
+	h.Set(header.VlanID, 7)
+	h.Set(header.VlanPCP, 1)
+	h.Set(header.IPSrc, 0x0a000001)
+	h.Set(header.IPDst, 0x0a000002)
+	h.Set(header.IPProto, header.ProtoTCP)
+	h.Set(header.TPSrc, 1234)
+	h.Set(header.TPDst, 80)
+	return h
+}
+
+// TestCraftIntoZeroAlloc pins the reused-buffer craft path at zero
+// allocations per frame: the batched probe dataplane leans on this to
+// inject 10k-probe sweeps without per-probe []byte churn.
+func TestCraftIntoZeroAlloc(t *testing.T) {
+	h := probeHeader()
+	meta := Metadata{RuleID: 42, Seq: 7, SwitchID: 3, Expect: ExpectPresent, Nonce: 99}
+	frameBuf := make([]byte, 0, DefaultFrameCap)
+	metaBuf := make([]byte, 0, MetadataLen)
+	allocs := testing.AllocsPerRun(1000, func() {
+		payload := meta.AppendTo(metaBuf[:0])
+		var err error
+		frameBuf, err = CraftInto(frameBuf[:0], h, payload)
+		if err != nil {
+			t.Fatalf("CraftInto: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("CraftInto+AppendTo allocated %.1f times per frame, want 0", allocs)
+	}
+}
+
+// TestParseZeroAlloc pins the parse path (the catch side of every probe)
+// at zero allocations per frame on success.
+func TestParseZeroAlloc(t *testing.T) {
+	h := probeHeader()
+	meta := Metadata{RuleID: 42, Seq: 7, SwitchID: 3, Expect: ExpectPresent, Nonce: 99}
+	frame, err := Craft(h, meta.Marshal())
+	if err != nil {
+		t.Fatalf("Craft: %v", err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		got, payload, err := Parse(frame)
+		if err != nil {
+			t.Fatalf("Parse: %v", err)
+		}
+		if got.Get(header.IPDst) != h.Get(header.IPDst) || len(payload) != MetadataLen {
+			t.Fatal("Parse round-trip mismatch")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Parse allocated %.1f times per frame, want 0", allocs)
+	}
+}
+
+// TestCraftIntoMatchesCraft proves the scratch-buffer path is
+// bit-identical to the allocating one.
+func TestCraftIntoMatchesCraft(t *testing.T) {
+	h := probeHeader()
+	meta := Metadata{RuleID: 1, Seq: 2, SwitchID: 3, Expect: ExpectAbsent, Nonce: 4}
+	want, err := Craft(h, meta.Marshal())
+	if err != nil {
+		t.Fatalf("Craft: %v", err)
+	}
+	got, err := CraftInto(make([]byte, 0, DefaultFrameCap), h, meta.Marshal())
+	if err != nil {
+		t.Fatalf("CraftInto: %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("CraftInto differs from Craft:\n got %x\nwant %x", got, want)
+	}
+	// AppendTo must produce exactly Marshal's bytes.
+	if string(meta.AppendTo(nil)) != string(meta.Marshal()) {
+		t.Fatal("Metadata.AppendTo differs from Marshal")
+	}
+}
+
+// TestBufferPoolRecycles exercises the pool contract: Get after Put
+// returns a zero-length frame-capable buffer, and undersized buffers are
+// not recycled.
+func TestBufferPoolRecycles(t *testing.T) {
+	var bp BufferPool
+	b := bp.Get()
+	if len(b) != 0 || cap(b) < DefaultFrameCap {
+		t.Fatalf("Get: len=%d cap=%d, want empty with cap >= %d", len(b), cap(b), DefaultFrameCap)
+	}
+	b = append(b, 1, 2, 3)
+	bp.Put(b)
+	b2 := bp.Get()
+	if len(b2) != 0 || cap(b2) < DefaultFrameCap {
+		t.Fatalf("recycled Get: len=%d cap=%d", len(b2), cap(b2))
+	}
+	bp.Put(make([]byte, 8)) // undersized: dropped, not recycled
+	b3 := bp.Get()
+	if cap(b3) < DefaultFrameCap {
+		t.Fatalf("undersized buffer leaked back out of the pool (cap=%d)", cap(b3))
+	}
+}

@@ -278,10 +278,18 @@ func decodeICMP(b []byte) (icmpType, icmpCode uint8, payload []byte, err error) 
 // valid packet (e.g. an EtherType the crafter does not speak) — by
 // construction the probe generator's domain handling avoids these.
 func Craft(h header.Header, payload []byte) ([]byte, error) {
+	return CraftInto(make([]byte, 0, 64+len(payload)), h, payload)
+}
+
+// CraftInto is Craft appending into dst (which is truncated first): with a
+// dst of sufficient capacity it performs no allocation, so a hot injection
+// loop can reuse one scratch buffer across probes. The returned slice
+// aliases dst's storage whenever it fits.
+func CraftInto(dst []byte, h header.Header, payload []byte) ([]byte, error) {
 	if h.Get(header.EthType) != header.EthTypeIPv4 {
 		return nil, fmt.Errorf("%w: dl_type %#x", ErrUnsupported, h.Get(header.EthType))
 	}
-	b := make([]byte, 0, 64+len(payload))
+	b := dst[:0]
 	eth := ethernet{dst: h.Get(header.EthDst), src: h.Get(header.EthSrc)}
 	tagged := h.Get(header.VlanID) != header.VlanNone
 	if tagged {

@@ -52,15 +52,21 @@ type Metadata struct {
 
 // Marshal encodes the metadata into its fixed wire layout.
 func (m Metadata) Marshal() []byte {
-	b := make([]byte, MetadataLen)
-	copy(b[0:4], metaMagic)
-	binary.BigEndian.PutUint64(b[4:12], m.RuleID)
-	binary.BigEndian.PutUint64(b[12:20], m.Seq)
-	binary.BigEndian.PutUint32(b[20:24], m.SwitchID)
-	b[24] = byte(m.Expect)
-	binary.BigEndian.PutUint64(b[25:33], m.Nonce)
-	binary.BigEndian.PutUint16(b[33:35], checksum(b[:33]))
-	return b
+	return m.AppendTo(make([]byte, 0, MetadataLen))
+}
+
+// AppendTo appends the fixed wire layout to b and returns the extended
+// slice. With spare capacity it performs no allocation — the zero-alloc
+// counterpart of Marshal for reused scratch buffers.
+func (m Metadata) AppendTo(b []byte) []byte {
+	start := len(b)
+	b = append(b, metaMagic...)
+	b = binary.BigEndian.AppendUint64(b, m.RuleID)
+	b = binary.BigEndian.AppendUint64(b, m.Seq)
+	b = binary.BigEndian.AppendUint32(b, m.SwitchID)
+	b = append(b, byte(m.Expect))
+	b = binary.BigEndian.AppendUint64(b, m.Nonce)
+	return binary.BigEndian.AppendUint16(b, checksum(b[start:start+33]))
 }
 
 // UnmarshalMetadata decodes and verifies a probe payload.

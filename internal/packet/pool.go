@@ -1,0 +1,38 @@
+package packet
+
+import "sync"
+
+// DefaultFrameCap sizes pooled frame buffers for the common probe shape:
+// Ethernet + 802.1Q + IPv4 + L4 header (≤ 64 bytes of headers) plus the
+// fixed-width probe metadata payload, rounded up to a power of two.
+const DefaultFrameCap = 128
+
+// BufferPool recycles frame buffers across probe injections — the
+// mempool discipline of batch dataplanes (BESS, DPDK) applied to the
+// crafting hot path: a sweep of 10k probes reuses a handful of buffers
+// instead of allocating one frame each. It is safe for concurrent use;
+// the zero value is ready.
+type BufferPool struct {
+	p sync.Pool
+}
+
+// Get returns a zero-length buffer with at least DefaultFrameCap
+// capacity, reusing a previously Put buffer when one is available.
+func (bp *BufferPool) Get() []byte {
+	if b, ok := bp.p.Get().(*[]byte); ok {
+		return (*b)[:0]
+	}
+	return make([]byte, 0, DefaultFrameCap)
+}
+
+// Put recycles a buffer obtained from Get (or any buffer the caller no
+// longer needs). The caller must not touch b afterwards. Undersized
+// buffers are dropped rather than recycled, so the pool converges on
+// frame-capable storage.
+func (bp *BufferPool) Put(b []byte) {
+	if cap(b) < DefaultFrameCap {
+		return
+	}
+	b = b[:0]
+	bp.p.Put(&b)
+}

@@ -359,6 +359,26 @@ func (rb *RecordBackend) Observe(ctx context.Context, p *Probe, expect Expectati
 	return v, err
 }
 
+// ObserveBatch implements BatchObserver: the batch takes the wrapped
+// driver's fast path (through the package-level ObserveBatch seam) and
+// is captured as one TraceKindObserve record per probe in submission
+// order — so a trace recorded through the batch path is byte-compatible
+// with one-shot recordings and replays through either path.
+func (rb *RecordBackend) ObserveBatch(ctx context.Context, probes []*Probe, expects []Expectation) ([]Verdict, []error) {
+	verdicts, errs := ObserveBatch(ctx, rb.inner, probes, expects)
+	for i, p := range probes {
+		rb.append(TraceRecord{
+			Kind:    TraceKindObserve,
+			Probe:   newProbeRecord(p),
+			RuleID:  p.RuleID,
+			Expect:  expectName(expects[i]),
+			Verdict: verdicts[i].String(),
+			Err:     traceErr(errs[i]),
+		})
+	}
+	return verdicts, errs
+}
+
 // Epoch implements Backend, annotating the poll in the trace.
 func (rb *RecordBackend) Epoch() uint64 {
 	e := rb.inner.Epoch()
@@ -579,6 +599,43 @@ func (rb *ReplayBackend) Observe(ctx context.Context, p *Probe, expect Expectati
 		return VerdictUnexpected, errFromTrace(rec.Err)
 	}
 	return verdictFromName(rec.Verdict), nil
+}
+
+// ObserveBatch implements BatchObserver: the batch is served as N
+// consecutive observe records under one lock acquisition, with exactly
+// the per-probe matching of Observe — a trace recorded one-shot replays
+// through the batch path and vice versa, because both paths produce the
+// same flat record stream.
+func (rb *ReplayBackend) ObserveBatch(ctx context.Context, probes []*Probe, expects []Expectation) ([]Verdict, []error) {
+	verdicts := make([]Verdict, len(probes))
+	errs := make([]error, len(probes))
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	for i, p := range probes {
+		if err := ctx.Err(); err != nil {
+			verdicts[i], errs[i] = VerdictUnexpected, err
+			continue
+		}
+		if rb.closed {
+			verdicts[i], errs[i] = VerdictUnexpected, ErrBackendClosed
+			continue
+		}
+		hm := headerMap(p.Header)
+		expect := expects[i]
+		got := fmt.Sprintf("observe rule %d expect %s", p.RuleID, expectName(expect))
+		rec, err := rb.serveLocked(TraceKindObserve, got, func(r *TraceRecord) bool {
+			return r.Probe != nil && r.Expect == expectName(expect) && headerMapsEqual(r.Probe.Header, hm)
+		})
+		switch {
+		case err != nil:
+			verdicts[i], errs[i] = VerdictUnexpected, err
+		case rec.Err != "":
+			verdicts[i], errs[i] = VerdictUnexpected, errFromTrace(rec.Err)
+		default:
+			verdicts[i] = verdictFromName(rec.Verdict)
+		}
+	}
+	return verdicts, errs
 }
 
 // Epoch implements Backend: the recorded epoch as of the last served

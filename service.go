@@ -77,6 +77,17 @@ type Service struct {
 
 	mu           sync.Mutex
 	lastSweep    []ResultRecord
+	// sweepBufs double-buffers the published result records: round N
+	// fills the buffer round N-2 published, which round N-1 already
+	// unpublished — so the fill (outside s.mu) never races a reader
+	// copying s.lastSweep under s.mu, and steady-state rounds allocate
+	// no record storage.
+	sweepBufs    [2][]ResultRecord
+	sweepBufIdx  int
+	// batchScratch holds SweepRound's per-run batch collation (probe
+	// pointers, expectations); reused across rounds, guarded by sweepMu.
+	batchProbes  []*Probe
+	batchExpects []Expectation
 	metrics      ServiceMetrics
 	alertsByType map[string]uint64
 	groupRounds  map[string]uint64
@@ -595,6 +606,14 @@ func (t *backendTap) pump() {
 // Unwrap returns the wrapped driver (see UnwrapBackend).
 func (t *backendTap) Unwrap() Backend { return t.Backend }
 
+// ObserveBatch implements BatchObserver by forwarding through the
+// package seam: the embedded interface would hide the wrapped driver's
+// batch fast path from type assertions on the tap, so the tap forwards
+// explicitly (falling back to sequential Observe for plain drivers).
+func (t *backendTap) ObserveBatch(ctx context.Context, probes []*Probe, expects []Expectation) ([]Verdict, []error) {
+	return ObserveBatch(ctx, t.Backend, probes, expects)
+}
+
 // Events implements Backend with the tap's re-emitted stream.
 func (t *backendTap) Events() <-chan BackendEvent { return t.events.ch }
 
@@ -928,45 +947,83 @@ func (s *Service) SweepRound(ctx context.Context, groups ...string) []Alert {
 		return abort()
 	}
 
-	recs := make([]ResultRecord, 0, len(evs))
-	for _, ev := range evs {
+	// The fold routes observation through the batch seam: sweep events
+	// arrive contiguous per switch (Fleet concatenates per-member
+	// slices), so each run becomes one ObserveBatch call — one event-loop
+	// post and a pipelined in-flight window on a ProxyBackend instead of
+	// len(run) serialized round trips. Verdicts fold in the original
+	// event order through exactly the branches of the one-shot path, so
+	// the alert stream is bit-identical. The record slice and batch
+	// collation scratch are pooled (see sweepBufs).
+	recs := s.sweepBufs[s.sweepBufIdx][:0]
+	if cap(recs) < len(evs) {
+		recs = make([]ResultRecord, 0, len(evs))
+	}
+	s.sweepBufs[s.sweepBufIdx] = recs
+	for lo := 0; lo < len(evs); {
 		if ctx.Err() != nil {
 			return abort()
 		}
-		be, hasBE := s.fleet.Backend(ev.SwitchID)
-		if hasBE && ev.Result.Probe != nil {
-			verdict, err := be.Observe(ctx, ev.Result.Probe, ExpectPresent)
-			var div *DivergenceError
-			switch {
-			case err == nil:
-				s.differ.ObserveVerdict(ev, verdict)
-			case errors.As(err, &div):
-				// A replayed session departed from its recording: the
-				// loudest possible judgement, never a quiet skip — a
-				// silent divergence would defeat the whole point of
-				// deterministic replay.
-				s.differ.ObserveVerdict(ev, VerdictUnexpected)
-			case errors.Is(err, ErrBackendDisconnected), errors.Is(err, ErrBackendClosed):
-				// The backend is down: record presence without judging.
-				// Folding unjudged would mark the rule recovered the
-				// moment the transport died (a false all-clear mid-
-				// outage); dropping the event entirely would make a
-				// mid-sweep flap look like the unswept rules left the
-				// table, forgetting their outstanding alerts. A skipped
-				// observation does neither — and a full-outage round
-				// still counts as missed, so a persistent outage
-				// surfaces as switch_stalled.
-				s.differ.ObserveSkipped(ev)
-			default:
-				// The probe was never observed (cancelled round): fold
-				// the generation result unjudged rather than manufacture
-				// a failing verdict — a drain must not page anyone.
+		hi := lo + 1
+		for hi < len(evs) && evs[hi].SwitchID == evs[lo].SwitchID {
+			hi++
+		}
+		be, hasBE := s.fleet.Backend(evs[lo].SwitchID)
+		s.batchProbes, s.batchExpects = s.batchProbes[:0], s.batchExpects[:0]
+		if hasBE {
+			for i := lo; i < hi; i++ {
+				if evs[i].Result.Probe != nil {
+					s.batchProbes = append(s.batchProbes, evs[i].Result.Probe)
+					s.batchExpects = append(s.batchExpects, ExpectPresent)
+				}
+			}
+		}
+		var (
+			verdicts []Verdict
+			obsErrs  []error
+		)
+		if len(s.batchProbes) > 0 {
+			verdicts, obsErrs = ObserveBatch(ctx, be, s.batchProbes, s.batchExpects)
+		}
+		j := 0
+		for i := lo; i < hi; i++ {
+			ev := evs[i]
+			if hasBE && ev.Result.Probe != nil {
+				verdict, err := verdicts[j], obsErrs[j]
+				j++
+				var div *DivergenceError
+				switch {
+				case err == nil:
+					s.differ.ObserveVerdict(ev, verdict)
+				case errors.As(err, &div):
+					// A replayed session departed from its recording: the
+					// loudest possible judgement, never a quiet skip — a
+					// silent divergence would defeat the whole point of
+					// deterministic replay.
+					s.differ.ObserveVerdict(ev, VerdictUnexpected)
+				case errors.Is(err, ErrBackendDisconnected), errors.Is(err, ErrBackendClosed):
+					// The backend is down: record presence without judging.
+					// Folding unjudged would mark the rule recovered the
+					// moment the transport died (a false all-clear mid-
+					// outage); dropping the event entirely would make a
+					// mid-sweep flap look like the unswept rules left the
+					// table, forgetting their outstanding alerts. A skipped
+					// observation does neither — and a full-outage round
+					// still counts as missed, so a persistent outage
+					// surfaces as switch_stalled.
+					s.differ.ObserveSkipped(ev)
+				default:
+					// The probe was never observed (cancelled round): fold
+					// the generation result unjudged rather than manufacture
+					// a failing verdict — a drain must not page anyone.
+					s.differ.Observe(ev)
+				}
+			} else {
 				s.differ.Observe(ev)
 			}
-		} else {
-			s.differ.Observe(ev)
+			recs = append(recs, ev.Record())
 		}
-		recs = append(recs, ev.Record())
+		lo = hi
 	}
 
 	// Matched-but-unsampled rules fold as frozen entries: still tracked
@@ -1026,6 +1083,8 @@ func (s *Service) SweepRound(ctx context.Context, groups ...string) []Alert {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sweepBufs[s.sweepBufIdx] = recs
+	s.sweepBufIdx = 1 - s.sweepBufIdx
 	s.lastSweep = recs
 	s.metrics.Rounds++
 	s.metrics.RulesSwept += uint64(len(recs))
