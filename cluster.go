@@ -1,0 +1,962 @@
+package monocle
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"monocle/internal/cluster"
+)
+
+// ReplicaSpec names one monocled replica behind a cluster coordinator.
+type ReplicaSpec struct {
+	// Name is the replica's stable shard identity. Rendezvous hashing
+	// assigns switches to names, not addresses, so a replica may restart
+	// on a new port (or host) and keep its shard as long as the name and
+	// the state directory survive.
+	Name string `json:"name"`
+	// URL is the replica's base HTTP URL (e.g. "http://10.0.0.7:7771").
+	URL string `json:"url"`
+}
+
+// ClusterConfig configures a Coordinator.
+type ClusterConfig struct {
+	// Replicas is the static cluster membership. Names must be unique and
+	// non-empty; the set is fixed for the coordinator's lifetime.
+	Replicas []ReplicaSpec
+	// Client is the HTTP client used to reach replicas (default: a client
+	// with a 10s timeout).
+	Client *http.Client
+	// CheckInterval is the background health-check cadence of Run
+	// (default 2s).
+	CheckInterval time.Duration
+}
+
+// ReplicaHealth is one replica's slice of the cluster health view.
+type ReplicaHealth struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+	// Alive reports the replica answered its last health probe at all.
+	Alive bool `json:"alive"`
+	// Ready reports the replica passed GET /readyz: its WAL replay is
+	// done and the first sweep round of this process life has completed.
+	Ready bool `json:"ready"`
+	// Resuming/Draining mirror the replica's readyz detail when alive.
+	Resuming bool `json:"resuming,omitempty"`
+	Draining bool `json:"draining,omitempty"`
+	// Rounds and Switches are the replica's own counters.
+	Rounds   uint64 `json:"rounds"`
+	Switches int    `json:"switches"`
+	// Error is the probe failure when the replica is not alive.
+	Error string `json:"error,omitempty"`
+}
+
+// ClusterHealth is the coordinator's GET /healthz payload: the fleet-wide
+// view across every replica.
+type ClusterHealth struct {
+	// OK reports every replica answered its probe.
+	OK bool `json:"ok"`
+	// Ready reports every replica is routable (alive and ready).
+	Ready bool `json:"ready"`
+	// Replicas holds the per-replica detail in membership order.
+	Replicas []ReplicaHealth `json:"replicas"`
+	// Degraded names the shards that are currently not routable, sorted.
+	// A degraded shard's switches are unmonitored until the replica comes
+	// back (same name, same state dir) and finishes its Resume.
+	Degraded []string `json:"degraded,omitempty"`
+}
+
+// ShardMap is the cluster's switch-to-replica assignment.
+type ShardMap struct {
+	// Replicas is the membership the assignment is computed over.
+	Replicas []string `json:"replicas"`
+	// Switches maps the currently registered switch ids to their owning
+	// replica name (populated by GET /shards from live fan-in; empty in a
+	// freshly built map).
+	Switches map[uint32]string `json:"switches,omitempty"`
+	// Degraded names replicas that did not answer the fan-in.
+	Degraded []string `json:"degraded,omitempty"`
+}
+
+// Owner returns the replica name that owns switch id under the map's
+// membership (rendezvous hashing; deterministic for a given membership).
+func (m ShardMap) Owner(id uint32) string { return cluster.Owner(m.Replicas, id) }
+
+// ReplicaMetrics is one replica's slice of ClusterMetrics.
+type ReplicaMetrics struct {
+	Name  string `json:"name"`
+	URL   string `json:"url"`
+	Alive bool   `json:"alive"`
+	Error string `json:"error,omitempty"`
+	// Metrics is the replica's own GET /metrics payload when alive.
+	Metrics *ServiceMetrics `json:"metrics,omitempty"`
+}
+
+// ClusterMetrics is the coordinator's GET /metrics payload: cluster
+// rollups plus the per-replica detail.
+type ClusterMetrics struct {
+	// Rounds is the maximum replica round counter. Coordinated sweeps
+	// advance every replica in lockstep, so under POST /sweep fan-out the
+	// counters agree; cadence-driven replicas may briefly diverge.
+	Rounds uint64 `json:"rounds"`
+	// RulesSwept, AlertsTotal, SinkErrors, StoreErrors and PolicyErrors
+	// are summed across replicas.
+	RulesSwept   uint64            `json:"rules_swept"`
+	AlertsTotal  uint64            `json:"alerts_total"`
+	AlertsByType map[string]uint64 `json:"alerts_by_type,omitempty"`
+	SinkErrors   uint64            `json:"sink_errors,omitempty"`
+	StoreErrors  uint64            `json:"store_errors,omitempty"`
+	PolicyErrors uint64            `json:"policy_errors,omitempty"`
+	// Switches is the total registered switch count across replicas.
+	Switches int `json:"switches"`
+	// Replicas holds the per-replica payloads in membership order.
+	Replicas []ReplicaMetrics `json:"replicas"`
+	// Degraded names replicas that did not answer the fan-in, sorted.
+	Degraded []string `json:"degraded,omitempty"`
+}
+
+// Coordinator fronts N monocled replicas as one fleet: it owns the
+// switch-to-replica shard map (rendezvous hashing on switch id), routes
+// registrations and rule ops to the owning replica, fans policy updates
+// and sweeps out to every replica, and merges the per-replica alert and
+// sweep streams back into one deterministic global order.
+//
+// The aggregated surface mirrors a single monocled's HTTP API: a client
+// pointed at a coordinator sees the same endpoints and — for a
+// single-replica cluster — byte-identical streams. See Handler for the
+// routes and doc.go for the cluster topology story.
+type Coordinator struct {
+	replicas []ReplicaSpec
+	names    []string
+	byName   map[string]ReplicaSpec
+	client   *http.Client
+	interval time.Duration
+
+	mu     sync.Mutex
+	health map[string]ReplicaHealth
+}
+
+// NewCoordinator validates the membership and returns a coordinator.
+// Replica names must be unique and non-empty, URLs must parse absolute.
+func NewCoordinator(cfg ClusterConfig) (*Coordinator, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, errors.New("monocle: cluster needs at least one replica")
+	}
+	byName := make(map[string]ReplicaSpec, len(cfg.Replicas))
+	names := make([]string, 0, len(cfg.Replicas))
+	for _, rep := range cfg.Replicas {
+		if rep.Name == "" {
+			return nil, errors.New("monocle: replica with empty name")
+		}
+		if _, dup := byName[rep.Name]; dup {
+			return nil, fmt.Errorf("monocle: duplicate replica name %q", rep.Name)
+		}
+		u, err := url.Parse(rep.URL)
+		if err != nil || !u.IsAbs() || u.Host == "" {
+			return nil, fmt.Errorf("monocle: replica %q: bad URL %q", rep.Name, rep.URL)
+		}
+		byName[rep.Name] = rep
+		names = append(names, rep.Name)
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	interval := cfg.CheckInterval
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	return &Coordinator{
+		replicas: append([]ReplicaSpec(nil), cfg.Replicas...),
+		names:    names,
+		byName:   byName,
+		client:   client,
+		interval: interval,
+		health:   make(map[string]ReplicaHealth),
+	}, nil
+}
+
+// Owner returns the replica that owns switch id under the current
+// membership.
+func (c *Coordinator) Owner(id uint32) ReplicaSpec {
+	return c.byName[cluster.Owner(c.names, id)]
+}
+
+// ShardMap returns the membership's shard map (Switches unset; the
+// GET /shards endpoint populates it from a live fan-in).
+func (c *Coordinator) ShardMap() ShardMap {
+	return ShardMap{Replicas: append([]string(nil), c.names...)}
+}
+
+// Run health-checks every replica each CheckInterval until ctx is done,
+// keeping the cached health view (served to callers that want a recent
+// snapshot without a probe) fresh. It always returns nil; cancelling ctx
+// is the normal shutdown.
+func (c *Coordinator) Run(ctx context.Context) error {
+	ticker := time.NewTicker(c.interval)
+	defer ticker.Stop()
+	c.Health(ctx)
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C:
+			c.Health(ctx)
+		}
+	}
+}
+
+// Close releases the coordinator's idle replica connections. It is safe
+// to call more than once.
+func (c *Coordinator) Close() error {
+	c.client.CloseIdleConnections()
+	return nil
+}
+
+// Health probes every replica now and returns the fleet view. The result
+// is also cached for LastHealth.
+func (c *Coordinator) Health(ctx context.Context) ClusterHealth {
+	results := make([]ReplicaHealth, len(c.replicas))
+	var wg sync.WaitGroup
+	for i, rep := range c.replicas {
+		wg.Add(1)
+		go func(i int, rep ReplicaSpec) {
+			defer wg.Done()
+			results[i] = c.probe(ctx, rep)
+		}(i, rep)
+	}
+	wg.Wait()
+	out := ClusterHealth{OK: true, Ready: true, Replicas: results}
+	c.mu.Lock()
+	for _, h := range results {
+		c.health[h.Name] = h
+		if !h.Alive {
+			out.OK = false
+		}
+		if !h.Alive || !h.Ready {
+			out.Ready = false
+			out.Degraded = append(out.Degraded, h.Name)
+		}
+	}
+	c.mu.Unlock()
+	sort.Strings(out.Degraded)
+	return out
+}
+
+// LastHealth returns the most recent cached health view without probing
+// (zero-valued entries before the first probe of a replica).
+func (c *Coordinator) LastHealth() ClusterHealth {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := ClusterHealth{OK: true, Ready: true}
+	for _, rep := range c.replicas {
+		h, ok := c.health[rep.Name]
+		if !ok {
+			h = ReplicaHealth{Name: rep.Name, URL: rep.URL}
+		}
+		out.Replicas = append(out.Replicas, h)
+		if !h.Alive {
+			out.OK = false
+		}
+		if !h.Alive || !h.Ready {
+			out.Ready = false
+			out.Degraded = append(out.Degraded, h.Name)
+		}
+	}
+	sort.Strings(out.Degraded)
+	return out
+}
+
+// probe asks one replica's /readyz and folds the answer into a
+// ReplicaHealth. Any transport error means not alive (and therefore a
+// degraded shard); a 503 means alive but not routable yet.
+func (c *Coordinator) probe(ctx context.Context, rep ReplicaSpec) ReplicaHealth {
+	h := ReplicaHealth{Name: rep.Name, URL: rep.URL}
+	body, status, err := c.call(ctx, rep, http.MethodGet, "/readyz", "", nil)
+	if err != nil {
+		h.Error = err.Error()
+		return h
+	}
+	var detail struct {
+		Ready    bool   `json:"ready"`
+		Resuming bool   `json:"resuming"`
+		Draining bool   `json:"draining"`
+		Rounds   uint64 `json:"rounds"`
+		Switches int    `json:"switches"`
+	}
+	if err := json.Unmarshal(body, &detail); err != nil {
+		h.Error = fmt.Sprintf("bad readyz body: %v", err)
+		return h
+	}
+	h.Alive = true
+	h.Ready = status == http.StatusOK && detail.Ready
+	h.Resuming = detail.Resuming
+	h.Draining = detail.Draining
+	h.Rounds = detail.Rounds
+	h.Switches = detail.Switches
+	return h
+}
+
+// call performs one replica request and returns the full response body
+// and status. Transport errors (replica down) come back as err; HTTP
+// error statuses do not.
+func (c *Coordinator) call(ctx context.Context, rep ReplicaSpec, method, path, contentType string, body []byte) ([]byte, int, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, rep.URL+path, rd)
+	if err != nil {
+		return nil, 0, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, 0, err
+	}
+	return b, resp.StatusCode, nil
+}
+
+// errShardDegraded marks a routing failure: the owning replica is down or
+// not ready, so the op cannot be applied without losing it.
+type errShardDegraded struct {
+	shard  string
+	reason string
+}
+
+func (e errShardDegraded) Error() string {
+	return fmt.Sprintf("shard %s degraded: %s", e.shard, e.reason)
+}
+
+// requireRoutable synchronously re-probes one replica and returns an
+// errShardDegraded unless the replica can safely accept routed ops: it
+// answers, it is not mid-Resume (WAL replay), and it is not draining.
+// Note this is deliberately weaker than full /readyz readiness — a fresh
+// replica has not finished its first round yet, but it must accept the
+// switch registrations that make the first round possible.
+func (c *Coordinator) requireRoutable(ctx context.Context, rep ReplicaSpec) error {
+	h := c.probe(ctx, rep)
+	c.mu.Lock()
+	c.health[h.Name] = h
+	c.mu.Unlock()
+	switch {
+	case !h.Alive:
+		return errShardDegraded{shard: rep.Name, reason: h.Error}
+	case h.Resuming:
+		return errShardDegraded{shard: rep.Name, reason: "resuming (WAL replay in progress)"}
+	case h.Draining:
+		return errShardDegraded{shard: rep.Name, reason: "draining"}
+	}
+	return nil
+}
+
+// Handler returns the coordinator's aggregated HTTP surface — the same
+// routes a single monocled serves, re-exposed fleet-wide:
+//
+//	POST /switches             route the registration to the owning shard
+//	GET  /switches             fan-in, merged ascending by switch id
+//	POST /switches/{id}/rules  route the rule op to the owning shard
+//	POST /sweep                fan-out to every shard, aggregate reply
+//	GET  /policy               active policy source (from the first live shard)
+//	PUT  /policy               validate, then fan-out to every shard
+//	GET  /sweeps               per-replica streams merged by switch id
+//	GET  /alerts               merged by (round, switch, rule, seq), seq
+//	                           renumbered along the merged global order
+//	GET  /metrics              cluster rollups + replica-labelled series
+//	                           (JSON; Prometheus text via Accept)
+//	GET  /healthz              ClusterHealth (always 200, body carries state)
+//	GET  /livez                coordinator process liveness
+//	GET  /readyz               200 only when every shard is routable
+//	GET  /shards               live shard map (switch id -> replica name)
+//
+// Fan-in reads tolerate dead replicas: the response carries the merged
+// view of the live shards and an X-Monocle-Degraded header naming the
+// missing ones. Mutating ops are gated on the owning shard's readiness
+// and fail 503 with the shard name instead of silently dropping work.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /switches", c.handleAddSwitch)
+	mux.HandleFunc("GET /switches", c.handleListSwitches)
+	mux.HandleFunc("POST /switches/{id}/rules", c.handleRules)
+	mux.HandleFunc("POST /sweep", c.handleSweep)
+	mux.HandleFunc("GET /policy", c.handleGetPolicy)
+	mux.HandleFunc("PUT /policy", c.handlePutPolicy)
+	mux.HandleFunc("GET /sweeps", c.handleSweeps)
+	mux.HandleFunc("GET /alerts", c.handleAlerts)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	mux.HandleFunc("GET /livez", c.handleLivez)
+	mux.HandleFunc("GET /readyz", c.handleReadyz)
+	mux.HandleFunc("GET /shards", c.handleShards)
+	return mux
+}
+
+func (c *Coordinator) degradedError(w http.ResponseWriter, err error) {
+	var deg errShardDegraded
+	if errors.As(err, &deg) {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error": deg.Error(), "shard": deg.shard, "degraded": true,
+		})
+		return
+	}
+	httpError(w, http.StatusBadGateway, err)
+}
+
+// relay copies a replica response (status and body) to the client.
+func relay(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func (c *Coordinator) handleAddSwitch(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	var peek struct {
+		ID uint32 `json:"id"`
+	}
+	if err := json.Unmarshal(body, &peek); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	owner := c.Owner(peek.ID)
+	if err := c.requireRoutable(r.Context(), owner); err != nil {
+		c.degradedError(w, err)
+		return
+	}
+	resp, status, err := c.call(r.Context(), owner, http.MethodPost, "/switches", "application/json", body)
+	if err != nil {
+		c.degradedError(w, errShardDegraded{shard: owner.Name, reason: err.Error()})
+		return
+	}
+	relay(w, status, resp)
+}
+
+func (c *Coordinator) handleRules(w http.ResponseWriter, r *http.Request) {
+	id64, err := strconv.ParseUint(r.PathValue("id"), 10, 32)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad switch id: %w", err))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	owner := c.Owner(uint32(id64))
+	if err := c.requireRoutable(r.Context(), owner); err != nil {
+		c.degradedError(w, err)
+		return
+	}
+	resp, status, err := c.call(r.Context(), owner, http.MethodPost, "/switches/"+r.PathValue("id")+"/rules", "application/json", body)
+	if err != nil {
+		c.degradedError(w, errShardDegraded{shard: owner.Name, reason: err.Error()})
+		return
+	}
+	relay(w, status, resp)
+}
+
+// fanIn performs one GET against every replica concurrently and returns
+// the bodies in membership order (nil body for a failed replica) plus the
+// sorted names of the replicas that failed.
+func (c *Coordinator) fanIn(ctx context.Context, path string) (bodies [][]byte, degraded []string) {
+	bodies = make([][]byte, len(c.replicas))
+	errs := make([]error, len(c.replicas))
+	var wg sync.WaitGroup
+	for i, rep := range c.replicas {
+		wg.Add(1)
+		go func(i int, rep ReplicaSpec) {
+			defer wg.Done()
+			body, status, err := c.call(ctx, rep, http.MethodGet, path, "", nil)
+			if err == nil && status != http.StatusOK {
+				err = fmt.Errorf("replica %s: %s returned %d", rep.Name, path, status)
+			}
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			bodies[i] = body
+		}(i, rep)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			degraded = append(degraded, c.replicas[i].Name)
+		}
+	}
+	sort.Strings(degraded)
+	return bodies, degraded
+}
+
+func markDegraded(w http.ResponseWriter, degraded []string) {
+	if len(degraded) > 0 {
+		w.Header().Set("X-Monocle-Degraded", joinNames(degraded))
+	}
+}
+
+func joinNames(names []string) string {
+	var b bytes.Buffer
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+	}
+	return b.String()
+}
+
+func (c *Coordinator) handleListSwitches(w http.ResponseWriter, r *http.Request) {
+	bodies, degraded := c.fanIn(r.Context(), "/switches")
+	var merged []SwitchMetrics
+	for _, body := range bodies {
+		if body == nil {
+			continue
+		}
+		var part []SwitchMetrics
+		if err := json.Unmarshal(body, &part); err != nil {
+			httpError(w, http.StatusBadGateway, err)
+			return
+		}
+		merged = append(merged, part...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Switch < merged[j].Switch })
+	markDegraded(w, degraded)
+	writeJSON(w, http.StatusOK, merged)
+}
+
+func (c *Coordinator) handleSweep(w http.ResponseWriter, r *http.Request) {
+	// A partial sweep would silently skip a shard's switches, so the whole
+	// fleet must be routable before any replica sweeps.
+	for _, rep := range c.replicas {
+		if err := c.requireRoutable(r.Context(), rep); err != nil {
+			c.degradedError(w, err)
+			return
+		}
+	}
+	path := "/sweep"
+	if r.URL.RawQuery != "" {
+		path += "?" + r.URL.RawQuery
+	}
+	type sweepReply struct {
+		Round  uint64  `json:"round"`
+		Rules  int     `json:"rules"`
+		Alerts []Alert `json:"alerts"`
+	}
+	replies := make([]*sweepReply, len(c.replicas))
+	errs := make([]error, len(c.replicas))
+	var wg sync.WaitGroup
+	for i, rep := range c.replicas {
+		wg.Add(1)
+		go func(i int, rep ReplicaSpec) {
+			defer wg.Done()
+			body, status, err := c.call(r.Context(), rep, http.MethodPost, path, "", nil)
+			if err == nil && status != http.StatusOK {
+				err = fmt.Errorf("replica %s: sweep returned %d: %s", rep.Name, status, body)
+			}
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			var sr sweepReply
+			if err := json.Unmarshal(body, &sr); err != nil {
+				errs[i] = err
+				return
+			}
+			replies[i] = &sr
+		}(i, rep)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			c.degradedError(w, errShardDegraded{shard: c.replicas[i].Name, reason: err.Error()})
+			return
+		}
+	}
+	var out sweepReply
+	var merged []Alert
+	for _, rep := range replies {
+		if rep.Round > out.Round {
+			out.Round = rep.Round
+		}
+		out.Rules += rep.Rules
+		merged = append(merged, rep.Alerts...)
+	}
+	sortAlerts(merged)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"round": out.Round, "rules": out.Rules, "alerts": merged,
+	})
+}
+
+func (c *Coordinator) handleGetPolicy(w http.ResponseWriter, r *http.Request) {
+	for _, rep := range c.replicas {
+		body, status, err := c.call(r.Context(), rep, http.MethodGet, "/policy", "", nil)
+		if err != nil {
+			continue
+		}
+		if status == http.StatusOK {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.Write(body)
+			return
+		}
+		relay(w, status, body)
+		return
+	}
+	httpError(w, http.StatusServiceUnavailable, errors.New("no live replica"))
+}
+
+func (c *Coordinator) handlePutPolicy(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Validate locally first: a policy that does not parse must not reach
+	// any replica, or shards would diverge on which policy is active.
+	if len(bytes.TrimSpace(body)) > 0 {
+		if _, err := ParsePolicy(string(body)); err != nil {
+			var perr *PolicyError
+			if errors.As(err, &perr) {
+				writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
+					"error": perr.Error(), "line": perr.Line, "column": perr.Col,
+				})
+			} else {
+				httpError(w, http.StatusUnprocessableEntity, err)
+			}
+			return
+		}
+	}
+	for _, rep := range c.replicas {
+		if err := c.requireRoutable(r.Context(), rep); err != nil {
+			c.degradedError(w, err)
+			return
+		}
+	}
+	type putReply struct {
+		Groups      []string            `json:"groups"`
+		Assignments map[string][]uint32 `json:"assignments"`
+	}
+	var groups []string
+	mergedAsn := make(map[string][]uint32)
+	cleared := len(bytes.TrimSpace(body)) == 0
+	for _, rep := range c.replicas {
+		resp, status, err := c.call(r.Context(), rep, http.MethodPut, "/policy", "text/plain", body)
+		if err != nil || status != http.StatusOK {
+			if err == nil {
+				err = fmt.Errorf("replica %s: policy update returned %d: %s", rep.Name, status, resp)
+			}
+			c.degradedError(w, errShardDegraded{shard: rep.Name, reason: err.Error()})
+			return
+		}
+		if cleared {
+			continue
+		}
+		var pr putReply
+		if err := json.Unmarshal(resp, &pr); err != nil {
+			httpError(w, http.StatusBadGateway, err)
+			return
+		}
+		groups = pr.Groups
+		for g, ids := range pr.Assignments {
+			mergedAsn[g] = append(mergedAsn[g], ids...)
+		}
+	}
+	if cleared {
+		writeJSON(w, http.StatusOK, map[string]any{"policy": nil})
+		return
+	}
+	for g := range mergedAsn {
+		sort.Slice(mergedAsn[g], func(i, j int) bool { return mergedAsn[g][i] < mergedAsn[g][j] })
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"groups": groups, "assignments": mergedAsn,
+	})
+}
+
+// sortAlerts orders a merged alert slice by the global stream order
+// (round, switch, rule, per-replica seq). Switch ownership is disjoint
+// across replicas, so the order is total; within one replica's alerts it
+// matches the replica's own emission order.
+func sortAlerts(alerts []Alert) {
+	sort.SliceStable(alerts, func(i, j int) bool {
+		a, b := alerts[i], alerts[j]
+		ka := cluster.Key{Round: a.Round, Switch: a.SwitchID, Rule: a.Rule, Seq: a.Seq}
+		kb := cluster.Key{Round: b.Round, Switch: b.SwitchID, Rule: b.Rule, Seq: b.Seq}
+		return ka.Less(kb)
+	})
+}
+
+func (c *Coordinator) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	bodies, degraded := c.fanIn(r.Context(), "/alerts")
+	var merged []Alert
+	for _, body := range bodies {
+		if body == nil {
+			continue
+		}
+		sc := bufio.NewScanner(bytes.NewReader(body))
+		sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			var a Alert
+			if err := json.Unmarshal(line, &a); err != nil {
+				httpError(w, http.StatusBadGateway, err)
+				return
+			}
+			merged = append(merged, a)
+		}
+	}
+	sortAlerts(merged)
+	// Renumber Seq along the merged global order: per-replica sequence
+	// numbers depend on how the fleet is sharded, so the aggregated
+	// stream re-stamps them 1..N to be byte-identical for every replica
+	// count (a single-replica merge is the identity renumbering as long
+	// as the replica's retained history has not wrapped its ring).
+	for i := range merged {
+		merged[i].Seq = uint64(i + 1)
+	}
+	markDegraded(w, degraded)
+	writeJSONLines(w, len(merged), func(enc *json.Encoder, i int) error {
+		return enc.Encode(merged[i])
+	})
+}
+
+func (c *Coordinator) handleSweeps(w http.ResponseWriter, r *http.Request) {
+	bodies, degraded := c.fanIn(r.Context(), "/sweeps")
+	// Sweep records pass through as raw lines: switch ownership is
+	// disjoint and each replica emits its switches in ascending id order,
+	// so a stable merge on the peeked switch id reproduces the standalone
+	// byte stream exactly.
+	type rawLine struct {
+		sw   uint32
+		line []byte
+	}
+	var lines []rawLine
+	for _, body := range bodies {
+		if body == nil {
+			continue
+		}
+		sc := bufio.NewScanner(bytes.NewReader(body))
+		sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(bytes.TrimSpace(line)) == 0 {
+				continue
+			}
+			var peek struct {
+				Switch uint32 `json:"switch"`
+			}
+			if err := json.Unmarshal(line, &peek); err != nil {
+				httpError(w, http.StatusBadGateway, err)
+				return
+			}
+			lines = append(lines, rawLine{sw: peek.Switch, line: append([]byte(nil), line...)})
+		}
+	}
+	sort.SliceStable(lines, func(i, j int) bool { return lines[i].sw < lines[j].sw })
+	markDegraded(w, degraded)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	for _, l := range lines {
+		w.Write(l.line)
+		w.Write([]byte{'\n'})
+	}
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := c.clusterMetrics(r.Context())
+	if wantsPrometheus(r.Header.Get("Accept")) {
+		writeClusterPrometheus(w, m)
+		return
+	}
+	markDegraded(w, m.Degraded)
+	writeJSON(w, http.StatusOK, m)
+}
+
+func (c *Coordinator) clusterMetrics(ctx context.Context) ClusterMetrics {
+	bodies := make([][]byte, len(c.replicas))
+	errs := make([]error, len(c.replicas))
+	var wg sync.WaitGroup
+	for i, rep := range c.replicas {
+		wg.Add(1)
+		go func(i int, rep ReplicaSpec) {
+			defer wg.Done()
+			body, status, err := c.call(ctx, rep, http.MethodGet, "/metrics", "", nil)
+			if err == nil && status != http.StatusOK {
+				err = fmt.Errorf("metrics returned %d", status)
+			}
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			bodies[i] = body
+		}(i, rep)
+	}
+	wg.Wait()
+	out := ClusterMetrics{AlertsByType: make(map[string]uint64)}
+	for i, rep := range c.replicas {
+		rm := ReplicaMetrics{Name: rep.Name, URL: rep.URL}
+		if errs[i] != nil {
+			rm.Error = errs[i].Error()
+			out.Degraded = append(out.Degraded, rep.Name)
+			out.Replicas = append(out.Replicas, rm)
+			continue
+		}
+		var sm ServiceMetrics
+		if err := json.Unmarshal(bodies[i], &sm); err != nil {
+			rm.Error = err.Error()
+			out.Degraded = append(out.Degraded, rep.Name)
+			out.Replicas = append(out.Replicas, rm)
+			continue
+		}
+		rm.Alive = true
+		rm.Metrics = &sm
+		out.Replicas = append(out.Replicas, rm)
+		if sm.Rounds > out.Rounds {
+			out.Rounds = sm.Rounds
+		}
+		out.RulesSwept += sm.RulesSwept
+		out.AlertsTotal += sm.AlertsTotal
+		out.SinkErrors += sm.SinkErrors
+		out.StoreErrors += sm.StoreErrors
+		out.PolicyErrors += sm.PolicyErrors
+		out.Switches += len(sm.Switches)
+		for t, n := range sm.AlertsByType {
+			out.AlertsByType[t] += n
+		}
+	}
+	if len(out.AlertsByType) == 0 {
+		out.AlertsByType = nil
+	}
+	sort.Strings(out.Degraded)
+	return out
+}
+
+// writeClusterPrometheus renders the cluster rollups plus replica-labelled
+// series in the Prometheus text exposition format. Per-switch series keep
+// both the switch and the owning replica as labels.
+func writeClusterPrometheus(w http.ResponseWriter, m ClusterMetrics) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b bytes.Buffer
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("monocle_cluster_sweep_rounds_total", "Completed sweep rounds (max across replicas).", m.Rounds)
+	counter("monocle_cluster_rules_swept_total", "Per-rule results across all replicas.", m.RulesSwept)
+	counter("monocle_cluster_alerts_total", "Alerts raised across all replicas.", m.AlertsTotal)
+	counter("monocle_cluster_sink_errors_total", "Failed alert-sink deliveries across all replicas.", m.SinkErrors)
+	counter("monocle_cluster_store_errors_total", "Failed persistence-store writes across all replicas.", m.StoreErrors)
+	fmt.Fprintf(&b, "# HELP monocle_cluster_switches Registered switches across all replicas.\n# TYPE monocle_cluster_switches gauge\nmonocle_cluster_switches %d\n", m.Switches)
+	fmt.Fprintf(&b, "# HELP monocle_cluster_degraded_shards Replicas currently unreachable.\n# TYPE monocle_cluster_degraded_shards gauge\nmonocle_cluster_degraded_shards %d\n", len(m.Degraded))
+
+	fmt.Fprintf(&b, "# HELP monocle_replica_up Replica answered its last metrics fan-in.\n# TYPE monocle_replica_up gauge\n")
+	for _, rm := range m.Replicas {
+		up := 0
+		if rm.Alive {
+			up = 1
+		}
+		fmt.Fprintf(&b, "monocle_replica_up{replica=%q} %d\n", rm.Name, up)
+	}
+	perReplica := func(name, help, kind string, value func(*ServiceMetrics) string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+		for _, rm := range m.Replicas {
+			if rm.Metrics == nil {
+				continue
+			}
+			fmt.Fprintf(&b, "%s{replica=%q} %s\n", name, rm.Name, value(rm.Metrics))
+		}
+	}
+	perReplica("monocle_sweep_rounds_total", "Completed sweep rounds per replica.", "counter",
+		func(sm *ServiceMetrics) string { return strconv.FormatUint(sm.Rounds, 10) })
+	perReplica("monocle_rules_swept_total", "Per-rule results per replica across all rounds.", "counter",
+		func(sm *ServiceMetrics) string { return strconv.FormatUint(sm.RulesSwept, 10) })
+	perReplica("monocle_alerts_raised_total", "Alerts raised per replica.", "counter",
+		func(sm *ServiceMetrics) string { return strconv.FormatUint(sm.AlertsTotal, 10) })
+	perReplica("monocle_last_round_rules", "Result count of the replica's most recent round.", "gauge",
+		func(sm *ServiceMetrics) string { return strconv.Itoa(sm.LastRoundRules) })
+	perReplica("monocle_last_round_us_per_rule", "Per-rule cost of the replica's most recent round in microseconds.", "gauge",
+		func(sm *ServiceMetrics) string { return strconv.FormatFloat(sm.LastRoundMicrosPerRule, 'g', -1, 64) })
+
+	fmt.Fprintf(&b, "# HELP monocle_switch_epoch Table-change epoch per switch.\n# TYPE monocle_switch_epoch gauge\n")
+	for _, rm := range m.Replicas {
+		if rm.Metrics == nil {
+			continue
+		}
+		sws := append([]SwitchMetrics(nil), rm.Metrics.Switches...)
+		sort.Slice(sws, func(i, j int) bool { return sws[i].Switch < sws[j].Switch })
+		for _, sw := range sws {
+			fmt.Fprintf(&b, "monocle_switch_epoch{replica=%q,switch=\"%d\"} %d\n", rm.Name, sw.Switch, sw.Epoch)
+		}
+	}
+	fmt.Fprintf(&b, "# HELP monocle_switch_rules Installed rules per switch.\n# TYPE monocle_switch_rules gauge\n")
+	for _, rm := range m.Replicas {
+		if rm.Metrics == nil {
+			continue
+		}
+		sws := append([]SwitchMetrics(nil), rm.Metrics.Switches...)
+		sort.Slice(sws, func(i, j int) bool { return sws[i].Switch < sws[j].Switch })
+		for _, sw := range sws {
+			fmt.Fprintf(&b, "monocle_switch_rules{replica=%q,switch=\"%d\"} %d\n", rm.Name, sw.Switch, sw.Rules)
+		}
+	}
+	w.Write(b.Bytes())
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.Health(r.Context()))
+}
+
+func (c *Coordinator) handleLivez(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+func (c *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	h := c.Health(r.Context())
+	status := http.StatusOK
+	if !h.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+func (c *Coordinator) handleShards(w http.ResponseWriter, r *http.Request) {
+	bodies, degraded := c.fanIn(r.Context(), "/switches")
+	m := c.ShardMap()
+	m.Degraded = degraded
+	m.Switches = make(map[uint32]string)
+	for _, body := range bodies {
+		if body == nil {
+			continue
+		}
+		var part []SwitchMetrics
+		if err := json.Unmarshal(body, &part); err != nil {
+			httpError(w, http.StatusBadGateway, err)
+			return
+		}
+		for _, sw := range part {
+			m.Switches[sw.Switch] = m.Owner(sw.Switch)
+		}
+	}
+	markDegraded(w, degraded)
+	writeJSON(w, http.StatusOK, m)
+}

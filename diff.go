@@ -160,6 +160,17 @@ type Alert struct {
 	Streak int `json:"streak,omitempty"`
 	// Detail is a human-readable one-liner.
 	Detail string `json:"detail,omitempty"`
+	// Round is the 1-based sweep-round counter of the Differ that raised
+	// the alert. Rounds survive restarts (DifferState carries the
+	// counter), so the stamp is stable across a kill-and-resume cycle.
+	Round uint64 `json:"round,omitempty"`
+	// Seq is the Differ's monotonic alert sequence number: alert N+1 of a
+	// diff engine's lifetime (restarts included) carries Seq one greater
+	// than alert N. A cluster coordinator merges per-replica alert
+	// streams by (Round, SwitchID, Rule, Seq) — the per-replica Seq
+	// breaks ties among a switch's alerts within one round without
+	// imposing any cross-replica clock.
+	Seq uint64 `json:"seq,omitempty"`
 	// Record is the sweep result that triggered a rule-level alert.
 	Record *ResultRecord `json:"record,omitempty"`
 }
@@ -212,6 +223,7 @@ type Differ struct {
 	switches  map[uint32]*switchDiff
 	overrides map[uint32]*DiffOverrides
 	rounds    uint64
+	seq       uint64
 }
 
 // DiffOverrides are per-switch alerting overrides, layered on top of the
@@ -646,6 +658,14 @@ func (d *Differ) endSweepLocked(ids []uint32) []Alert {
 		sw.cur = make(map[uint64]*observation)
 		sw.seen = false
 	}
+	// Stamp every alert with the round that raised it and the engine's
+	// lifetime sequence number, in emission order — the per-replica merge
+	// key a cluster coordinator orders aggregated streams by.
+	for i := range alerts {
+		d.seq++
+		alerts[i].Round = d.rounds
+		alerts[i].Seq = d.seq
+	}
 	return alerts
 }
 
@@ -700,6 +720,10 @@ type SwitchDiffState struct {
 type DifferState struct {
 	// Rounds is the completed sweep-round count.
 	Rounds uint64 `json:"rounds,omitempty"`
+	// Seq is the lifetime alert sequence counter (the Seq stamp of the
+	// most recently raised alert), so a restarted engine keeps numbering
+	// where the previous life stopped.
+	Seq uint64 `json:"seq,omitempty"`
 	// Switches is the per-switch fold state.
 	Switches map[uint32]SwitchDiffState `json:"switches,omitempty"`
 }
@@ -710,7 +734,7 @@ type DifferState struct {
 func (d *Differ) State() DifferState {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	st := DifferState{Rounds: d.rounds}
+	st := DifferState{Rounds: d.rounds, Seq: d.seq}
 	if len(d.switches) > 0 {
 		st.Switches = make(map[uint32]SwitchDiffState, len(d.switches))
 	}
@@ -748,6 +772,7 @@ func (d *Differ) Restore(st DifferState) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.rounds = st.Rounds
+	d.seq = st.Seq
 	d.switches = make(map[uint32]*switchDiff, len(st.Switches))
 	for id, s := range st.Switches {
 		sw := &switchDiff{

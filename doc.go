@@ -66,6 +66,18 @@
 //     network, failing loudly with a DivergenceError when the replayed
 //     session departs from the recording.
 //
+//   - Cluster: the sharded control plane. A Coordinator (NewCoordinator,
+//     ClusterConfig) fronts N monocled replicas, assigns every switch to
+//     a replica by rendezvous hashing on its id (ShardMap), routes
+//     registrations and rule ops to the owning shard, fans policy
+//     updates and sweeps out fleet-wide, and merges the per-replica
+//     alert and sweep streams into one deterministic global order —
+//     byte-identical to a standalone monocled for a single replica, and
+//     across any replica count for the same fleet. Replica failure
+//     degrades exactly one shard (ClusterHealth names it); a replica
+//     restarted from its state directory rejoins via Resume with no
+//     false recoveries. cmd/monocluster spawns or joins the replicas.
+//
 //   - Scenarios: the adversarial scenario fleet. Scenarios() scripts
 //     rule-churn storms, mid-sweep switch flaps, monitor failover,
 //     lossy switches, ECMP/multicast tables, and priority shadowing

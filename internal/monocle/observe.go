@@ -141,9 +141,9 @@ type batchRun struct {
 	retry, timeout time.Duration
 	done           func(int, Verdict)
 
-	next    int // next probe index to start
-	active  int // observations in flight
-	window  int
+	next     int // next probe index to start
+	active   int // observations in flight
+	window   int
 	interval time.Duration // token refill gap (0: unpaced)
 	nextTok  sim.Time      // earliest time the next token is available
 	pacer    *sim.Timer    // reused pacing timer (re-armed, never stacked)

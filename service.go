@@ -75,15 +75,15 @@ type Service struct {
 	tags    map[uint32][]string
 	planVer uint64
 
-	mu           sync.Mutex
-	lastSweep    []ResultRecord
+	mu        sync.Mutex
+	lastSweep []ResultRecord
 	// sweepBufs double-buffers the published result records: round N
 	// fills the buffer round N-2 published, which round N-1 already
 	// unpublished — so the fill (outside s.mu) never races a reader
 	// copying s.lastSweep under s.mu, and steady-state rounds allocate
 	// no record storage.
-	sweepBufs    [2][]ResultRecord
-	sweepBufIdx  int
+	sweepBufs   [2][]ResultRecord
+	sweepBufIdx int
 	// batchScratch holds SweepRound's per-run batch collation (probe
 	// pointers, expectations); reused across rounds, guarded by sweepMu.
 	batchProbes  []*Probe
@@ -93,6 +93,20 @@ type Service struct {
 	groupRounds  map[string]uint64
 	groupStats   map[string]*GroupMetrics
 	draining     bool
+	// resuming is true while Resume replays the WAL: the service is alive
+	// but must not be routed to (GET /readyz stays 503).
+	resuming bool
+	// liveRounds counts sweep rounds completed in THIS process life
+	// (Resume restores metrics.Rounds but not liveRounds): readiness
+	// requires at least one, so a replica still warming up after a
+	// restart is never routed to before its first post-resume round.
+	liveRounds uint64
+
+	// closeOnce makes Close idempotent and safe to race from several
+	// goroutines (a cluster coordinator tearing down replicas easily
+	// double-Closes); the first call's error is returned to all callers.
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // ServiceMetrics is the GET /metrics payload.
@@ -1087,6 +1101,7 @@ func (s *Service) SweepRound(ctx context.Context, groups ...string) []Alert {
 	s.sweepBufIdx = 1 - s.sweepBufIdx
 	s.lastSweep = recs
 	s.metrics.Rounds++
+	s.liveRounds++
 	s.metrics.RulesSwept += uint64(len(recs))
 	s.metrics.AlertsTotal += uint64(len(alerts))
 	s.metrics.SinkErrors += sinkErrs
@@ -1296,8 +1311,20 @@ func (s *Service) LastSweep() []ResultRecord {
 
 // Close shuts the service down: every switch backend and every alert sink
 // is closed. It does not stop a concurrently running Run loop — cancel
-// its context first.
+// its context first. Close is idempotent and safe to call from several
+// goroutines concurrently (including concurrently with a Run drain):
+// the shutdown runs once and every caller gets the first call's error.
 func (s *Service) Close() error {
+	s.closeOnce.Do(func() { s.closeErr = s.doClose() })
+	return s.closeErr
+}
+
+// doClose is the single-execution body of Close. It serializes against an
+// in-flight sweep round (sweepMu), so backends and the store are never
+// closed under a round that is still folding through them.
+func (s *Service) doClose() error {
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
 	var firstErr error
 	for _, id := range s.fleet.Switches() {
 		if be, ok := s.fleet.Backend(id); ok {
@@ -1338,6 +1365,18 @@ func (s *Service) Resume(ctx context.Context) error {
 	if s.store == nil {
 		return nil
 	}
+	// The service is not routable while the WAL replays: GET /readyz
+	// reports resuming until the flag clears AND the first post-resume
+	// round completes, so a cluster coordinator never fans work out to a
+	// replica whose expected tables are still being rebuilt.
+	s.mu.Lock()
+	s.resuming = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.resuming = false
+		s.mu.Unlock()
+	}()
 	state, err := s.store.Load()
 	if err != nil {
 		return fmt.Errorf("monocle: resume: %w", err)
@@ -1349,7 +1388,7 @@ func (s *Service) Resume(ctx context.Context) error {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 
-	diffState := DifferState{Rounds: state.Rounds, Switches: make(map[uint32]SwitchDiffState)}
+	diffState := DifferState{Rounds: state.Rounds, Seq: state.AlertSeq, Switches: make(map[uint32]SwitchDiffState)}
 	for _, id := range ids {
 		st := state.Switches[id]
 		if st.HasDiff {
@@ -1490,7 +1529,14 @@ func (s *Service) switchMetrics(id uint32, v *Verifier) SwitchMetrics {
 //	                          empty body clears the policy)
 //	GET  /sweeps              last round's ResultRecords, one JSON line each
 //	GET  /alerts              retained alerts, one JSON line each
-//	GET  /healthz             liveness and drain state
+//	GET  /healthz             combined liveness/readiness/drain view
+//	GET  /livez               liveness only: 200 while the process serves
+//	GET  /readyz              readiness: 200 only after Resume finished
+//	                          and the first round of this life completed
+//	                          (503 with the blocking state otherwise) — a
+//	                          cluster coordinator routes on this, never
+//	                          on /livez, so a replica still replaying its
+//	                          WAL receives no traffic
 //	GET  /metrics             ServiceMetrics (JSON; Prometheus text with
 //	                          Accept: text/plain)
 func (s *Service) Handler() http.Handler {
@@ -1504,6 +1550,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /sweeps", s.handleSweeps)
 	mux.HandleFunc("GET /alerts", s.handleAlerts)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /livez", s.handleLivez)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -1644,16 +1692,75 @@ func (s *Service) handleAlerts(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+// healthState is one consistent snapshot of the liveness/readiness axes.
+type healthState struct {
+	draining   bool
+	resuming   bool
+	rounds     uint64
+	liveRounds uint64
+}
+
+func (s *Service) healthState() healthState {
 	s.mu.Lock()
-	draining := s.draining
-	rounds := s.metrics.Rounds
-	s.mu.Unlock()
+	defer s.mu.Unlock()
+	return healthState{
+		draining:   s.draining,
+		resuming:   s.resuming,
+		rounds:     s.metrics.Rounds,
+		liveRounds: s.liveRounds,
+	}
+}
+
+// ready reports whether the service should receive routed traffic: the
+// WAL replay (Resume) has finished, at least one sweep round of this
+// process life has completed, and the service is not draining.
+func (h healthState) ready() bool {
+	return !h.resuming && !h.draining && h.liveRounds > 0
+}
+
+// Ready reports the service's readiness (the GET /readyz state): Resume
+// is not in flight, the first sweep round of this process life has
+// completed, and the service is not draining.
+func (s *Service) Ready() bool { return s.healthState().ready() }
+
+// handleHealthz is the combined health view (kept for operators and
+// backward compatibility; orchestrators should probe /livez and /readyz).
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	h := s.healthState()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":       true,
-		"draining": draining,
+		"ready":    h.ready(),
+		"draining": h.draining,
+		"resuming": h.resuming,
 		"switches": s.fleet.Size(),
-		"rounds":   rounds,
+		"rounds":   h.rounds,
+	})
+}
+
+// handleLivez reports process liveness only: if this handler runs at all,
+// the process is alive — restarts are for the orchestrator to decide on
+// timeouts, not on body content.
+func (s *Service) handleLivez(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+// handleReadyz reports routability: 200 only once Resume has completed
+// and the first sweep round of this life has finished (503 otherwise,
+// with the blocking state in the body). A restarted replica behind a
+// cluster coordinator therefore serves no routed traffic until its WAL
+// replay is done and its diff engine has re-proven the fleet once.
+func (s *Service) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	h := s.healthState()
+	status := http.StatusOK
+	if !h.ready() {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{
+		"ready":    h.ready(),
+		"resuming": h.resuming,
+		"draining": h.draining,
+		"rounds":   h.rounds,
+		"switches": s.fleet.Size(),
 	})
 }
 

@@ -69,6 +69,10 @@ type SwitchState struct {
 type FleetState struct {
 	// Rounds is the completed sweep-round count.
 	Rounds uint64 `json:"rounds,omitempty"`
+	// AlertSeq is the Differ's alert sequence counter as of the last
+	// persisted round, so a Resume continues numbering where the previous
+	// process stopped.
+	AlertSeq uint64 `json:"alert_seq,omitempty"`
 	// Switches holds the per-switch state, keyed by switch id.
 	Switches map[uint32]SwitchState `json:"switches,omitempty"`
 	// Alerts is the retained alert history, oldest first.
@@ -83,15 +87,16 @@ type FleetState struct {
 // "alert" (Alert), "policy" (Policy). Seq is a store-global monotonic
 // sequence number stamped on every appended record.
 type walRecord struct {
-	Kind   string           `json:"kind"`
-	Seq    uint64           `json:"seq"`
-	Spec   *SwitchSpec      `json:"spec,omitempty"`
-	Epoch  uint64           `json:"epoch,omitempty"`
-	Rules  []RuleSpec       `json:"rules,omitempty"`
-	Diff   *SwitchDiffState `json:"diff,omitempty"`
-	Rounds uint64           `json:"rounds,omitempty"`
-	Alert  *Alert           `json:"alert,omitempty"`
-	Policy string           `json:"policy,omitempty"`
+	Kind     string           `json:"kind"`
+	Seq      uint64           `json:"seq"`
+	Spec     *SwitchSpec      `json:"spec,omitempty"`
+	Epoch    uint64           `json:"epoch,omitempty"`
+	Rules    []RuleSpec       `json:"rules,omitempty"`
+	Diff     *SwitchDiffState `json:"diff,omitempty"`
+	Rounds   uint64           `json:"rounds,omitempty"`
+	AlertSeq uint64           `json:"alert_seq,omitempty"`
+	Alert    *Alert           `json:"alert,omitempty"`
+	Policy   string           `json:"policy,omitempty"`
 }
 
 const (
@@ -183,7 +188,7 @@ func (fs *FileStore) SaveRound(state DifferState, alerts []Alert) error {
 			firstErr = err
 		}
 	}
-	if err := fs.appendLocked(serviceWALName, walRecord{Kind: "round", Rounds: state.Rounds}); err != nil && firstErr == nil {
+	if err := fs.appendLocked(serviceWALName, walRecord{Kind: "round", Rounds: state.Rounds, AlertSeq: state.Seq}); err != nil && firstErr == nil {
 		firstErr = err
 	}
 	for i := range alerts {
@@ -429,6 +434,7 @@ func (fs *FileStore) Load() (*FleetState, error) {
 		switch r.Kind {
 		case "round":
 			state.Rounds = r.Rounds
+			state.AlertSeq = r.AlertSeq
 		case "policy":
 			state.Policy = r.Policy
 		case "alert":
